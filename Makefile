@@ -1,0 +1,46 @@
+# Standard entry points; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments figures selfcheck cover fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the full experiment report (EXPERIMENTS.md's source data).
+experiments:
+	$(GO) run ./cmd/experiments -scale 2 -seeds 3 -parallel | tee experiments_report.txt
+
+# Render the SVG reproductions of the paper's figures into figs/.
+figures:
+	$(GO) run ./cmd/figures -out figs
+
+selfcheck:
+	$(GO) run ./cmd/selfcheck
+
+cover:
+	$(GO) test -cover ./...
+
+# Brief fuzzing session over the input parsers and the levelizer.
+fuzz:
+	$(GO) test -fuzz FuzzReadProblem -fuzztime 30s ./internal/persist/
+	$(GO) test -fuzz FuzzReadNetwork -fuzztime 30s ./internal/persist/
+	$(GO) test -fuzz FuzzLevelize -fuzztime 30s ./internal/topo/
+
+clean:
+	rm -rf figs
+	$(GO) clean -testcache

@@ -1,0 +1,211 @@
+package hotpotato_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"hotpotato"
+)
+
+func TestFacadeLevelize(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	edges := hotpotato.RandomDAG(rng, 20, 0.2)
+	if len(edges) == 0 {
+		t.Fatal("no edges drawn")
+	}
+	net, ids, err := hotpotato.Levelize("facade-dag", 20, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 20 {
+		t.Errorf("mapped %d nodes", len(ids))
+	}
+	prob, err := hotpotato.RandomWorkload(net, rng, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := hotpotato.PracticalParamsWith(prob.C, prob.L(), prob.N(),
+		hotpotato.PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3})
+	res := hotpotato.RouteFrame(prob, params, hotpotato.Options{Seed: 30})
+	if !res.Done {
+		t.Errorf("frame did not complete on levelized DAG: %s", res)
+	}
+}
+
+func TestFacadeSaveLoadProblem(t *testing.T) {
+	net, err := hotpotato.Butterfly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	prob, err := hotpotato.HotSpotWorkload(net, rng, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := hotpotato.SaveProblem(&buf, prob); err != nil {
+		t.Fatal(err)
+	}
+	prob2, err := hotpotato.LoadProblem(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob2.C != prob.C || prob2.D != prob.D || prob2.N() != prob.N() {
+		t.Errorf("round trip changed problem: %s vs %s", prob2, prob)
+	}
+	// Routing the loaded problem gives the same deterministic outcome.
+	a, err := hotpotato.RouteBaseline(prob, hotpotato.GreedyHP, hotpotato.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hotpotato.RouteBaseline(prob2, hotpotato.GreedyHP, hotpotato.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps {
+		t.Errorf("loaded problem routes differently: %d vs %d", a.Steps, b.Steps)
+	}
+}
+
+func TestFacadeSaveLoadNetwork(t *testing.T) {
+	net, err := hotpotato.Mesh(4, 4, hotpotato.CornerNE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := hotpotato.SaveNetwork(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	net2, err := hotpotato.LoadNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net2.NumNodes() != net.NumNodes() || net2.Depth() != net.Depth() {
+		t.Error("network round trip mismatch")
+	}
+}
+
+func TestFacadeAnalysis(t *testing.T) {
+	a := hotpotato.NewAnalysis(32, 64, 512)
+	if got, floor := a.SuccessProbability(), a.TheoremFloor(); got < floor {
+		t.Errorf("success %v below floor %v", got, floor)
+	}
+	if a.StepBound() <= 0 || a.PolylogFactor() <= 1 {
+		t.Errorf("degenerate bound: steps=%d factor=%g", a.StepBound(), a.PolylogFactor())
+	}
+}
+
+func TestFacadeBufferCap(t *testing.T) {
+	net, err := hotpotato.Butterfly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(32))
+	prob, err := hotpotato.HotSpotWorkload(net, rng, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hotpotato.RouteBaseline(prob, hotpotato.SFFifo, hotpotato.Options{Seed: 3, BufferCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatal("bounded run did not complete")
+	}
+	if res.SF.MaxQueueLen > 1 {
+		t.Errorf("MaxQueueLen = %d with cap 1", res.SF.MaxQueueLen)
+	}
+}
+
+func TestFacadeOmega(t *testing.T) {
+	net, err := hotpotato.Omega(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Depth() != 4 || net.NumNodes() != 5*16 {
+		t.Errorf("omega stats: %v", net.ComputeStats())
+	}
+	rng := rand.New(rand.NewSource(33))
+	prob, err := hotpotato.FullThroughputWorkload(net, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hotpotato.RouteBaseline(prob, hotpotato.GreedyHP, hotpotato.Options{Seed: 1})
+	if err != nil || !res.Done {
+		t.Fatalf("route: %v %v", err, res)
+	}
+}
+
+func TestFacadeProfile(t *testing.T) {
+	net, err := hotpotato.Butterfly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(34))
+	prob, err := hotpotato.HotSpotWorkload(net, rng, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := hotpotato.PracticalParams(prob.C, prob.L(), prob.N())
+	res := hotpotato.RouteFrame(prob, params, hotpotato.Options{Seed: 34, Profile: true})
+	if !res.Done {
+		t.Fatal("did not complete")
+	}
+	if len(res.Phases) == 0 {
+		t.Error("profile requested but no phases recorded")
+	}
+	// Latency breakdown is always populated.
+	if res.InjectWait.N != prob.N() || res.Transit.N != prob.N() {
+		t.Errorf("breakdown N = %d/%d, want %d", res.InjectWait.N, res.Transit.N, prob.N())
+	}
+}
+
+func TestFacadeRemainingWrappers(t *testing.T) {
+	// Exercise the thin façade wrappers not touched by other tests.
+	if _, err := hotpotato.Benes(3); err != nil {
+		t.Errorf("Benes: %v", err)
+	}
+	if _, err := hotpotato.ButterflyRadix(2, 3); err != nil {
+		t.Errorf("ButterflyRadix: %v", err)
+	}
+	bf, err := hotpotato.Butterfly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id := hotpotato.ButterflyNode(bf, 4, 3, 2); bf.Node(id).Level != 2 {
+		t.Error("ButterflyNode wrong level")
+	}
+	if id := hotpotato.MeshNode(4, 1, 2); id != 6 {
+		t.Errorf("MeshNode = %d", id)
+	}
+	if p, err := hotpotato.TransposeWorkload(bf, 4); err != nil || p.N() != 16 {
+		t.Errorf("TransposeWorkload: %v", err)
+	}
+	if p, err := hotpotato.BitReversalWorkload(bf, 4); err != nil || p.N() != 16 {
+		t.Errorf("BitReversalWorkload: %v", err)
+	}
+	// Valiant on the Benes network (path diversity at the mid level).
+	bn, err := hotpotato.Benes(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(35))
+	var reqs []hotpotato.Request
+	for w := 0; w < 8; w++ {
+		reqs = append(reqs, hotpotato.Request{
+			Src: hotpotato.NodeID(w),
+			Dst: hotpotato.NodeID(6*8 + (w+3)%8),
+		})
+	}
+	vp, err := hotpotato.ValiantWorkload("valiant", bn, rng, reqs)
+	if err != nil {
+		t.Fatalf("ValiantWorkload: %v", err)
+	}
+	if vp.D != 6 {
+		t.Errorf("Valiant D = %d, want 6", vp.D)
+	}
+}

@@ -1,0 +1,262 @@
+// Benchmarks: one per experiment of DESIGN.md's index (figures F1-F2
+// and E1-E10). Each benchmark runs a scaled-down instance of its
+// experiment and reports the headline quantity via b.ReportMetric, so
+// `go test -bench=. -benchmem` regenerates the whole suite in miniature;
+// `go run ./cmd/experiments` produces the full tables.
+package hotpotato_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpotato"
+	"hotpotato/internal/baselines"
+	"hotpotato/internal/bench"
+	"hotpotato/internal/core"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+// benchExperiment runs a registered experiment end to end.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := bench.Config{Seeds: 1, Scale: 1}
+	var bytes int
+	for i := 0; i < b.N; i++ {
+		out, err := e.Run(cfg)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		bytes = len(out)
+	}
+	b.ReportMetric(float64(bytes), "report-bytes")
+}
+
+func BenchmarkF1_TopologyGallery(b *testing.B)       { benchExperiment(b, "F1") }
+func BenchmarkF2_FramePipeline(b *testing.B)         { benchExperiment(b, "F2") }
+func BenchmarkE4_FrontierSetCongestion(b *testing.B) { benchExperiment(b, "E4") }
+func BenchmarkE5_DeflectionAudit(b *testing.B)       { benchExperiment(b, "E5") }
+func BenchmarkE6_Invariants(b *testing.B)            { benchExperiment(b, "E6") }
+func BenchmarkE7_WaitConvergence(b *testing.B)       { benchExperiment(b, "E7") }
+func BenchmarkE8_Ablation(b *testing.B)              { benchExperiment(b, "E8") }
+func BenchmarkE11_Ensemble(b *testing.B)             { benchExperiment(b, "E11") }
+func BenchmarkE12_Waves(b *testing.B)                { benchExperiment(b, "E12") }
+func BenchmarkE13_Levelize(b *testing.B)             { benchExperiment(b, "E13") }
+func BenchmarkE14_BufferSpectrum(b *testing.B)       { benchExperiment(b, "E14") }
+func BenchmarkE15_DynamicStability(b *testing.B)     { benchExperiment(b, "E15") }
+func BenchmarkE16_LinkFaults(b *testing.B)           { benchExperiment(b, "E16") }
+func BenchmarkE17_ModelCheck(b *testing.B)           { benchExperiment(b, "E17") }
+func BenchmarkE18_LatencyDecomposition(b *testing.B) { benchExperiment(b, "E18") }
+func BenchmarkE19_ExcitationSuccess(b *testing.B)    { benchExperiment(b, "E19") }
+func BenchmarkP1_SimulatorCapacity(b *testing.B)     { benchExperiment(b, "P1") }
+
+// The scaling experiments also report their headline metric directly so
+// the bench output shows steps/(C+L) without parsing the report.
+
+func BenchmarkE1_ScalingInC(b *testing.B) {
+	g, err := topo.Butterfly(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := workload.HotSpot(g, rand.New(rand.NewSource(1)), 32, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := core.ParamsPractical(p.C, p.L(), p.N(),
+		core.PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3})
+	var last *core.Result
+	for i := 0; i < b.N; i++ {
+		last = core.Run(p, params, core.RunOptions{Seed: int64(i)})
+		if !last.Done {
+			b.Fatal("frame did not complete")
+		}
+	}
+	b.ReportMetric(float64(last.Steps), "steps")
+	b.ReportMetric(last.Ratio(), "steps/(C+L)")
+}
+
+func BenchmarkE2_ScalingInL(b *testing.B) {
+	g, err := topo.Linear(65)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := workload.SingleFile(g, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := core.ParamsPractical(p.C, p.L(), p.N(),
+		core.PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3})
+	var last *core.Result
+	for i := 0; i < b.N; i++ {
+		last = core.Run(p, params, core.RunOptions{Seed: int64(i)})
+		if !last.Done {
+			b.Fatal("frame did not complete")
+		}
+	}
+	b.ReportMetric(float64(last.Steps), "steps")
+	b.ReportMetric(last.Ratio(), "steps/(C+L)")
+}
+
+func BenchmarkE3_Baselines(b *testing.B) {
+	g, err := topo.Butterfly(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := workload.HotSpot(g, rand.New(rand.NewSource(2)), 32, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("frame", func(b *testing.B) {
+		params := core.ParamsPractical(p.C, p.L(), p.N(),
+			core.PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3})
+		var steps int
+		for i := 0; i < b.N; i++ {
+			res := core.Run(p, params, core.RunOptions{Seed: int64(i)})
+			if !res.Done {
+				b.Fatal("did not complete")
+			}
+			steps = res.Steps
+		}
+		b.ReportMetric(float64(steps), "steps")
+	})
+	b.Run("greedy-hp", func(b *testing.B) {
+		var steps int
+		for i := 0; i < b.N; i++ {
+			e := sim.NewEngine(p, baselines.NewGreedy(), int64(i))
+			s, done := e.Run(1 << 20)
+			if !done {
+				b.Fatal("did not complete")
+			}
+			steps = s
+		}
+		b.ReportMetric(float64(steps), "steps")
+	})
+	b.Run("rand-greedy-hp", func(b *testing.B) {
+		var steps int
+		for i := 0; i < b.N; i++ {
+			e := sim.NewEngine(p, baselines.NewRandGreedy(0.05), int64(i))
+			s, done := e.Run(1 << 20)
+			if !done {
+				b.Fatal("did not complete")
+			}
+			steps = s
+		}
+		b.ReportMetric(float64(steps), "steps")
+	})
+	b.Run("sf-fifo", func(b *testing.B) {
+		var steps int
+		for i := 0; i < b.N; i++ {
+			e := sim.NewSFEngine(p, baselines.NewFIFO(), int64(i))
+			s, done := e.Run(1 << 20)
+			if !done {
+				b.Fatal("did not complete")
+			}
+			steps = s
+		}
+		b.ReportMetric(float64(steps), "steps")
+	})
+	b.Run("sf-randdelay", func(b *testing.B) {
+		var steps int
+		for i := 0; i < b.N; i++ {
+			e := sim.NewSFEngine(p, baselines.NewRandomDelay(p.C, 1), int64(i))
+			s, done := e.Run(1 << 20)
+			if !done {
+				b.Fatal("did not complete")
+			}
+			steps = s
+		}
+		b.ReportMetric(float64(steps), "steps")
+	})
+}
+
+func BenchmarkE9_MeshApplication(b *testing.B) {
+	p, err := workload.MeshHard(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := core.ParamsPractical(p.C, p.L(), p.N(),
+		core.PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3})
+	var last *core.Result
+	for i := 0; i < b.N; i++ {
+		last = core.Run(p, params, core.RunOptions{Seed: int64(i)})
+		if !last.Done {
+			b.Fatal("did not complete")
+		}
+	}
+	b.ReportMetric(float64(last.Steps), "steps")
+	b.ReportMetric(last.Ratio(), "steps/(C+L)")
+}
+
+func BenchmarkE10_ManyToOne(b *testing.B) {
+	g, err := topo.Butterfly(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := workload.HotSpot(g, rand.New(rand.NewSource(3)), 32, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := core.ParamsPractical(p.C, p.L(), p.N(),
+		core.PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3})
+	var last *core.Result
+	for i := 0; i < b.N; i++ {
+		last = core.Run(p, params, core.RunOptions{Seed: int64(i)})
+		if !last.Done {
+			b.Fatal("did not complete")
+		}
+	}
+	b.ReportMetric(float64(last.Steps), "steps")
+	b.ReportMetric(float64(last.Engine.TotalDeflections())/float64(p.N()), "defl/pkt")
+}
+
+// BenchmarkEngineStep measures the raw cost of one simulator step under
+// load — the engine's microbenchmark, independent of any experiment.
+func BenchmarkEngineStep(b *testing.B) {
+	g, err := topo.Butterfly(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := workload.FullThroughput(g, rand.New(rand.NewSource(4)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sim.NewEngine(p, baselines.NewGreedy(), 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e.Done() {
+			b.StopTimer()
+			e = sim.NewEngine(p, baselines.NewGreedy(), int64(i))
+			b.StartTimer()
+		}
+		e.Step()
+	}
+}
+
+// BenchmarkFrameRouterRequest measures the per-packet decision cost of
+// the paper's router.
+func BenchmarkFrameRouterRequest(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	g, err := topo.Random(rng, 40, 3, 6, 0.4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := workload.Random(g, rng, 0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := hotpotato.PracticalParams(p.C, p.L(), p.N())
+	e := sim.NewEngine(p, core.NewFrame(params), 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e.Done() {
+			b.StopTimer()
+			e = sim.NewEngine(p, core.NewFrame(params), int64(i))
+			b.StartTimer()
+		}
+		e.Step()
+	}
+}

@@ -1,0 +1,95 @@
+// Command experiments regenerates the full experiment suite (figures
+// F1-F2 and experiments E1-E10 from DESIGN.md) and prints the report
+// that EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	experiments [-scale N] [-seeds N] [-only ID[,ID...]] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"hotpotato/internal/bench"
+)
+
+func main() {
+	scale := flag.Int("scale", 2, "sweep size: 1 = quick, 2 = full")
+	seeds := flag.Int("seeds", 3, "repetitions per cell")
+	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	parallel := flag.Bool("parallel", false, "run experiments concurrently (output order preserved)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	cfg := bench.Config{Seeds: *seeds, Scale: *scale}
+	var selected []bench.Experiment
+	if *only == "" {
+		selected = bench.Registry()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Printf("# Experiment suite — Õ(C+D) hot-potato routing on leveled networks\n")
+	fmt.Printf("# scale=%d seeds=%d, %d experiment(s)\n\n", cfg.Scale, cfg.Seeds, len(selected))
+	start := time.Now()
+	failures := 0
+
+	type outcome struct {
+		out     string
+		err     error
+		elapsed time.Duration
+	}
+	results := make([]outcome, len(selected))
+	if *parallel {
+		var wg sync.WaitGroup
+		for i := range selected {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				t0 := time.Now()
+				out, err := selected[i].Run(cfg)
+				results[i] = outcome{out, err, time.Since(t0)}
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range selected {
+			t0 := time.Now()
+			out, err := selected[i].Run(cfg)
+			results[i] = outcome{out, err, time.Since(t0)}
+		}
+	}
+	for i, e := range selected {
+		r := results[i]
+		if r.err != nil {
+			failures++
+			fmt.Printf("== %s: %s ==\nERROR: %v\n\n", e.ID, e.Title, r.err)
+			continue
+		}
+		fmt.Print(r.out)
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, r.elapsed.Round(time.Millisecond))
+	}
+	fmt.Printf("# suite finished in %v, %d failure(s)\n", time.Since(start).Round(time.Millisecond), failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,110 @@
+// Command figures writes SVG reproductions of the paper's figures:
+// Figure 1 (leveled networks: a generic leveled DAG, the butterfly and
+// the mesh) and Figure 2 (the frontier-frame pipeline).
+//
+// Usage:
+//
+//	figures -out ./figs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"hotpotato/internal/baselines"
+	"hotpotato/internal/core"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/svg"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/trace"
+	"hotpotato/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	write := func(name, doc string) {
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	// Figure 1: a generic leveled network, the butterfly, the mesh.
+	rng := rand.New(rand.NewSource(1))
+	generic, err := topo.Random(rng, 6, 2, 4, 0.5)
+	fatal(err)
+	write("figure1_leveled.svg", svg.RenderNetwork(generic))
+
+	bf, err := topo.Butterfly(3)
+	fatal(err)
+	write("figure1_butterfly.svg", svg.RenderNetwork(bf))
+
+	mesh, err := topo.Mesh(4, 4, topo.CornerNW)
+	fatal(err)
+	write("figure1_mesh.svg", svg.RenderNetwork(mesh))
+
+	// Figure 2: the frame pipeline mid-flight (three frames on screen,
+	// like the paper's drawing with L=11 and m=3).
+	sched := core.Schedule{P: core.Params{NumSets: 5, M: 3, W: 9, Q: 0.1}}
+	write("figure2_frames.svg", svg.RenderFramePipeline(sched, 11, 10, 0))
+	write("figure2_frames_round2.svg", svg.RenderFramePipeline(sched, 10, 10, 2))
+
+	// Bonus: a time-space diagram of a real frame-routing run — the
+	// wait-state oscillation shows as a one-level sawtooth while frames
+	// crawl forward.
+	rng2 := rand.New(rand.NewSource(2))
+	net, err := topo.Random(rng2, 18, 3, 5, 0.4)
+	fatal(err)
+	prob, err := workload.Random(net, rng2, 0.4)
+	fatal(err)
+	params := core.ParamsPractical(prob.C, prob.L(), prob.N(),
+		core.PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3})
+	router := core.NewFrame(params)
+	eng := sim.NewEngine(prob, router, 2)
+	ids := []sim.PacketID{0, 1, 2, 3}
+	if prob.N() < 4 {
+		ids = ids[:prob.N()]
+	}
+	every := params.TotalSteps(prob.L()) / 1200
+	if every < 1 {
+		every = 1
+	}
+	tracer := trace.NewPacketTracer(every, ids)
+	tracer.Attach(eng)
+	if _, done := eng.Run(4 * params.TotalSteps(prob.L())); !done {
+		fatal(fmt.Errorf("time-space run did not complete"))
+	}
+	series, stepOf := tracer.Series()
+	write("timespace.svg", svg.RenderTimeSpace(series, stepOf, prob.L()))
+
+	// Edge-utilization heat map of a congested greedy run.
+	heatNet, err := topo.Butterfly(4)
+	fatal(err)
+	rng3 := rand.New(rand.NewSource(3))
+	heatProb, err := workload.HotSpot(heatNet, rng3, 24, 1)
+	fatal(err)
+	heatEng := sim.NewEngine(heatProb, baselines.NewGreedy(), 3)
+	loads := trace.NewEdgeLoadRecorder()
+	loads.Attach(heatEng)
+	if _, done := heatEng.Run(1 << 20); !done {
+		fatal(fmt.Errorf("heat-map run did not complete"))
+	}
+	write("heatmap.svg", svg.RenderNetworkHeat(heatNet, loads.Total()))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}

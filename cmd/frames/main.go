@@ -1,0 +1,84 @@
+// Command frames animates the frontier-frame pipeline of the paper's
+// Figure 2: it prints the frame positions phase by phase, optionally
+// overlaid with the live per-level packet census of a real run.
+//
+// Usage:
+//
+//	frames                          # static pipeline, paper-style
+//	frames -live                    # overlay a real frame-routing run
+//	frames -sets 4 -m 3 -depth 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/trace"
+	"hotpotato/internal/workload"
+)
+
+func main() {
+	var (
+		sets  = flag.Int("sets", 3, "number of frontier-sets")
+		m     = flag.Int("m", 4, "frame size (levels per frame = rounds per phase)")
+		w     = flag.Int("w", 12, "steps per round")
+		depth = flag.Int("depth", 14, "network depth L")
+		live  = flag.Bool("live", false, "run the real router and overlay per-level occupancy")
+		seed  = flag.Int64("seed", 1, "random seed for -live")
+	)
+	flag.Parse()
+
+	params := core.Params{NumSets: *sets, M: *m, W: *w, Q: 0.1}
+	if err := params.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "frames:", err)
+		os.Exit(1)
+	}
+	sched := core.Schedule{P: params}
+
+	if !*live {
+		fmt.Printf("frontier-frame pipeline: %d sets, M=%d, depth L=%d\n", *sets, *m, *depth)
+		fmt.Printf("(F = frontier, = = frame body, T = round-0 target, . = outside)\n\n")
+		last := sched.LastFramePhase(*depth)
+		for ph := 0; ph <= last; ph += 2 {
+			fmt.Print(trace.RenderFrames(sched, *depth, ph, 0))
+			fmt.Println()
+		}
+		return
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	g, err := topo.Random(rng, *depth, 3, 5, 0.4)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "frames:", err)
+		os.Exit(1)
+	}
+	p, err := workload.Random(g, rng, 0.5)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "frames:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("live run: %s, params %s\n\n", p, params)
+
+	router := core.NewFrame(params)
+	eng := sim.NewEngine(p, router, *seed)
+	rec := trace.NewRecorder(1)
+	rec.Attach(eng)
+	eng.AddObserver(func(t int, e *sim.Engine) {
+		if !sched.IsPhaseEnd(t) {
+			return
+		}
+		ph := sched.PhaseOf(t)
+		fmt.Print(trace.RenderFrames(sched, p.L(), ph, sched.RoundOf(t)))
+		fmt.Println(trace.RenderOccupancy(rec.Snapshots[len(rec.Snapshots)-1]))
+		n, x, wt := router.StateCounts(e)
+		fmt.Printf("states: normal=%d excited=%d wait=%d\n\n", n, x, wt)
+	})
+	steps, done := eng.Run(4 * params.TotalSteps(p.L()))
+	fmt.Printf("finished: steps=%d done=%v absorbed=%d/%d deflections=%d\n",
+		steps, done, eng.M.Absorbed, p.N(), eng.M.TotalDeflections())
+}

@@ -1,0 +1,96 @@
+// Command montecarlo runs a parallel seed ensemble of the frame
+// algorithm on one problem and reports the empirical success
+// probability and latency distribution — the simulation-side view of
+// Theorem 4.26's "with probability at least 1 - 1/LN".
+//
+// Usage:
+//
+//	montecarlo -trials 256 -topo random -depth 32
+//	montecarlo -trials 64 -budget 1.0    # un-inflated schedule budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"hotpotato"
+	"hotpotato/internal/mc"
+)
+
+func main() {
+	var (
+		trials  = flag.Int("trials", 128, "number of seeds")
+		topoStr = flag.String("topo", "random", "topology: random|butterfly")
+		depth   = flag.Int("depth", 32, "depth for -topo random")
+		size    = flag.Int("size", 6, "dimension for -topo butterfly")
+		density = flag.Float64("density", 0.5, "workload source density")
+		budget  = flag.Float64("budget", 0, "step budget as a multiple of the schedule bound (0 = 4x)")
+		check   = flag.Bool("check", false, "run the invariant checker in every trial")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		seed    = flag.Int64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var (
+		net *hotpotato.Network
+		err error
+	)
+	switch *topoStr {
+	case "random":
+		net, err = hotpotato.RandomLeveled(rng, *depth, 3, 6, 0.4)
+	case "butterfly":
+		net, err = hotpotato.Butterfly(*size)
+	default:
+		err = fmt.Errorf("unknown topology %q", *topoStr)
+	}
+	fatal(err)
+	prob, err := hotpotato.RandomWorkload(net, rng, *density)
+	fatal(err)
+	params := hotpotato.PracticalParams(prob.C, prob.L(), prob.N())
+
+	maxSteps := 0
+	if *budget > 0 {
+		maxSteps = int(*budget * float64(params.TotalSteps(prob.L())))
+	}
+
+	fmt.Printf("problem: %s\nparams:  %s (schedule bound %d)\n",
+		prob, params, params.TotalSteps(prob.L()))
+	fmt.Printf("running %d trials on %d cores...\n", *trials, runtime.GOMAXPROCS(0))
+
+	start := time.Now()
+	ens := mc.Run(prob, params, mc.Options{
+		Trials:   *trials,
+		BaseSeed: *seed,
+		MaxSteps: maxSteps,
+		Check:    *check,
+		Workers:  *workers,
+	})
+	elapsed := time.Since(start)
+
+	fmt.Println()
+	fmt.Println(ens)
+	sum := ens.StepsSummary()
+	fmt.Printf("steps: %s\n", sum)
+	fmt.Printf("success %.4f vs paper bound %.4f; violation rate %.4f\n",
+		ens.SuccessRate(), ens.PaperSuccessBound(), ens.ViolationRate())
+	fmt.Printf("wall time %v (%.1f trials/s)\n", elapsed.Round(time.Millisecond),
+		float64(*trials)/elapsed.Seconds())
+
+	if ens.SuccessRate() < ens.PaperSuccessBound() {
+		fmt.Println("note: empirical success below the paper bound — expected only when the")
+		fmt.Println("budget multiplier or the practical parameters are set aggressively.")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "montecarlo:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,181 @@
+// Command selfcheck runs a condensed end-to-end validation of the
+// whole stack and prints one PASS/FAIL line per check — a smoke test
+// for CI or a fresh checkout, complementary to `go test ./...`.
+//
+// Exit status is nonzero if any check fails.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"hotpotato"
+)
+
+type check struct {
+	name string
+	f    func() error
+}
+
+func main() {
+	start := time.Now()
+	checks := []check{
+		{"topologies validate", topologies},
+		{"paths and workloads", workloads},
+		{"greedy hot-potato delivers", greedy},
+		{"frame router delivers with clean invariants", frame},
+		{"store-and-forward (incl. bounded buffers) delivers", storeForward},
+		{"Theorem 4.26 algebra holds", algebra},
+		{"problem persistence round-trips", persistence},
+	}
+	failures := 0
+	for _, c := range checks {
+		if err := c.f(); err != nil {
+			failures++
+			fmt.Printf("FAIL  %-50s %v\n", c.name, err)
+		} else {
+			fmt.Printf("ok    %s\n", c.name)
+		}
+	}
+	fmt.Printf("selfcheck: %d/%d passed in %v\n", len(checks)-failures, len(checks), time.Since(start).Round(time.Millisecond))
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func topologies() error {
+	gens := map[string]func() (*hotpotato.Network, error){
+		"butterfly": func() (*hotpotato.Network, error) { return hotpotato.Butterfly(5) },
+		"mesh":      func() (*hotpotato.Network, error) { return hotpotato.Mesh(6, 6, hotpotato.CornerSW) },
+		"hypercube": func() (*hotpotato.Network, error) { return hotpotato.Hypercube(5) },
+		"omega":     func() (*hotpotato.Network, error) { return hotpotato.Omega(5) },
+		"benes":     func() (*hotpotato.Network, error) { return hotpotato.Benes(4) },
+		"random": func() (*hotpotato.Network, error) {
+			return hotpotato.RandomLeveled(rand.New(rand.NewSource(1)), 20, 3, 6, 0.4)
+		},
+	}
+	for name, f := range gens {
+		g, err := f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func workloads() error {
+	net, err := hotpotato.Butterfly(5)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(2))
+	p, err := hotpotato.HotSpotWorkload(net, rng, 24, 2)
+	if err != nil {
+		return err
+	}
+	if p.C < 1 || p.D < 1 || p.N() != 24 {
+		return fmt.Errorf("degenerate problem %s", p)
+	}
+	return nil
+}
+
+func greedy() error {
+	net, err := hotpotato.Butterfly(5)
+	if err != nil {
+		return err
+	}
+	p, err := hotpotato.HotSpotWorkload(net, rand.New(rand.NewSource(3)), 24, 2)
+	if err != nil {
+		return err
+	}
+	res, err := hotpotato.RouteBaseline(p, hotpotato.GreedyHP, hotpotato.Options{Seed: 3})
+	if err != nil {
+		return err
+	}
+	if !res.Done {
+		return fmt.Errorf("did not complete")
+	}
+	if res.HP.UnsafeDeflections() != 0 {
+		return fmt.Errorf("%d unsafe deflections", res.HP.UnsafeDeflections())
+	}
+	return nil
+}
+
+func frame() error {
+	rng := rand.New(rand.NewSource(4))
+	net, err := hotpotato.RandomLeveled(rng, 24, 3, 5, 0.4)
+	if err != nil {
+		return err
+	}
+	p, err := hotpotato.RandomWorkload(net, rng, 0.5)
+	if err != nil {
+		return err
+	}
+	params := hotpotato.PracticalParams(p.C, p.L(), p.N())
+	res := hotpotato.RouteFrame(p, params, hotpotato.Options{Seed: 4, CheckInvariants: true})
+	if !res.Done {
+		return fmt.Errorf("did not complete in %d steps", res.Steps)
+	}
+	if !res.Invariants.Clean() {
+		return fmt.Errorf("invariants: %s", res.Invariants.String())
+	}
+	return nil
+}
+
+func storeForward() error {
+	net, err := hotpotato.Butterfly(5)
+	if err != nil {
+		return err
+	}
+	p, err := hotpotato.HotSpotWorkload(net, rand.New(rand.NewSource(5)), 24, 1)
+	if err != nil {
+		return err
+	}
+	for _, cap := range []int{0, 1} {
+		res, err := hotpotato.RouteBaseline(p, hotpotato.SFFifo, hotpotato.Options{Seed: 5, BufferCap: cap})
+		if err != nil {
+			return err
+		}
+		if !res.Done {
+			return fmt.Errorf("cap=%d did not complete", cap)
+		}
+	}
+	return nil
+}
+
+func algebra() error {
+	a := hotpotato.NewAnalysis(32, 64, 512)
+	if a.SuccessProbability() < a.TheoremFloor() {
+		return fmt.Errorf("success %v below floor %v", a.SuccessProbability(), a.TheoremFloor())
+	}
+	return nil
+}
+
+func persistence() error {
+	net, err := hotpotato.Butterfly(4)
+	if err != nil {
+		return err
+	}
+	p, err := hotpotato.HotSpotWorkload(net, rand.New(rand.NewSource(6)), 10, 2)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := hotpotato.SaveProblem(&buf, p); err != nil {
+		return err
+	}
+	p2, err := hotpotato.LoadProblem(&buf)
+	if err != nil {
+		return err
+	}
+	if p2.C != p.C || p2.N() != p.N() {
+		return fmt.Errorf("round trip mismatch")
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+// Command sweep runs a parameter sweep over one axis (congestion,
+// depth, or a frame parameter) and prints a CSV series suitable for
+// plotting — the raw data behind experiments E1, E2 and E8.
+//
+// Usage examples:
+//
+//	sweep -axis congestion -values 8,16,32,64,128
+//	sweep -axis depth -values 16,32,64,128
+//	sweep -axis slack -values 1,2,4,8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"hotpotato"
+	"hotpotato/internal/stats"
+)
+
+func main() {
+	var (
+		axis   = flag.String("axis", "congestion", "sweep axis: congestion|depth|slack|roundfactor|q")
+		values = flag.String("values", "8,16,32", "comma-separated axis values")
+		seeds  = flag.Int("seeds", 3, "repetitions per value")
+		k      = flag.Int("k", 6, "butterfly dimension for congestion sweeps")
+	)
+	flag.Parse()
+
+	var vals []float64
+	for _, s := range strings.Split(*values, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: bad value %q\n", s)
+			os.Exit(1)
+		}
+		vals = append(vals, v)
+	}
+
+	fmt.Println("axis,value,C,L,N,steps_mean,steps_std,ratio_mean,bound")
+	var xs, ys []float64
+	for _, v := range vals {
+		prob, params, err := buildCell(*axis, v, *k)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		var steps []float64
+		for s := 0; s < *seeds; s++ {
+			res := hotpotato.RouteFrame(prob, params, hotpotato.Options{Seed: int64(s)})
+			if !res.Done {
+				fmt.Fprintf(os.Stderr, "sweep: run did not complete at %s=%g seed %d\n", *axis, v, s)
+				os.Exit(1)
+			}
+			steps = append(steps, float64(res.Steps))
+		}
+		sum := stats.Summarize(steps)
+		cl := float64(prob.C + prob.L())
+		fmt.Printf("%s,%g,%d,%d,%d,%.1f,%.1f,%.2f,%d\n",
+			*axis, v, prob.C, prob.L(), prob.N(), sum.Mean, sum.Std, sum.Mean/cl, params.TotalSteps(prob.L()))
+		xs = append(xs, axisX(*axis, v, prob))
+		ys = append(ys, sum.Mean)
+	}
+	if len(xs) >= 2 {
+		fit := stats.FitLinear(xs, ys)
+		fmt.Printf("# linear fit vs %s: %s\n", fitAxisName(*axis), fit)
+	}
+}
+
+// buildCell constructs the problem and parameters for one sweep cell.
+func buildCell(axis string, v float64, k int) (*hotpotato.Problem, hotpotato.Params, error) {
+	rng := rand.New(rand.NewSource(int64(v*1000) + 7))
+	switch axis {
+	case "congestion":
+		net, err := hotpotato.Butterfly(k)
+		if err != nil {
+			return nil, hotpotato.Params{}, err
+		}
+		prob, err := hotpotato.HotSpotWorkload(net, rng, int(v), 2)
+		if err != nil {
+			return nil, hotpotato.Params{}, err
+		}
+		return prob, quick(prob), nil
+	case "depth":
+		net, err := hotpotato.Linear(int(v) + 1)
+		if err != nil {
+			return nil, hotpotato.Params{}, err
+		}
+		var reqs []hotpotato.Request
+		dst := net.Level(net.Depth())[0]
+		for i := 0; i < 6 && i < net.Depth(); i++ {
+			reqs = append(reqs, hotpotato.Request{Src: net.Level(i)[0], Dst: dst})
+		}
+		prob, err := hotpotato.CustomWorkload("singlefile", net, rng, reqs)
+		if err != nil {
+			return nil, hotpotato.Params{}, err
+		}
+		return prob, quick(prob), nil
+	case "slack", "roundfactor", "q":
+		net, err := hotpotato.RandomLeveled(rng, 32, 3, 5, 0.4)
+		if err != nil {
+			return nil, hotpotato.Params{}, err
+		}
+		prob, err := hotpotato.RandomWorkload(net, rng, 0.5)
+		if err != nil {
+			return nil, hotpotato.Params{}, err
+		}
+		cfg := hotpotato.PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3}
+		switch axis {
+		case "slack":
+			cfg.FrameSlack = int(v)
+		case "roundfactor":
+			cfg.RoundFactor = int(v)
+		case "q":
+			cfg.Q = v
+		}
+		return prob, hotpotato.PracticalParamsWith(prob.C, prob.L(), prob.N(), cfg), nil
+	}
+	return nil, hotpotato.Params{}, fmt.Errorf("unknown axis %q", axis)
+}
+
+func quick(p *hotpotato.Problem) hotpotato.Params {
+	return hotpotato.PracticalParamsWith(p.C, p.L(), p.N(),
+		hotpotato.PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3})
+}
+
+func axisX(axis string, v float64, p *hotpotato.Problem) float64 {
+	switch axis {
+	case "congestion":
+		return float64(p.C + p.L())
+	case "depth":
+		return float64(p.L())
+	}
+	return v
+}
+
+func fitAxisName(axis string) string {
+	switch axis {
+	case "congestion":
+		return "C+L"
+	case "depth":
+		return "L"
+	}
+	return axis
+}

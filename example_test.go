@@ -1,0 +1,60 @@
+package hotpotato_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hotpotato"
+)
+
+// ExampleRouteFrame routes a hot-spot workload on a butterfly with the
+// paper's algorithm and reports the outcome.
+func ExampleRouteFrame() {
+	net, _ := hotpotato.Butterfly(5)
+	rng := rand.New(rand.NewSource(7))
+	prob, _ := hotpotato.HotSpotWorkload(net, rng, 16, 2)
+	params := hotpotato.PracticalParams(prob.C, prob.L(), prob.N())
+	res := hotpotato.RouteFrame(prob, params, hotpotato.Options{Seed: 7, CheckInvariants: true})
+	fmt.Println("done:", res.Done)
+	fmt.Println("invariants clean:", res.Invariants.Clean())
+	fmt.Println("unsafe deflections:", res.Engine.UnsafeDeflections())
+	// Output:
+	// done: true
+	// invariants clean: true
+	// unsafe deflections: 0
+}
+
+// ExampleLowerBound shows the trivial Ω(max(C,D)) bound every router is
+// subject to.
+func ExampleLowerBound() {
+	prob, _ := hotpotato.MeshHardWorkload(6)
+	fmt.Println("C:", prob.C)
+	fmt.Println("D:", prob.D)
+	fmt.Println("lower bound:", hotpotato.LowerBound(prob))
+	// Output:
+	// C: 6
+	// D: 10
+	// lower bound: 10
+}
+
+// ExampleNewAnalysis evaluates Theorem 4.26's probability bound for an
+// instance.
+func ExampleNewAnalysis() {
+	a := hotpotato.NewAnalysis(32, 64, 512)
+	fmt.Printf("floor: %.6f\n", a.TheoremFloor())
+	fmt.Println("bound holds:", a.SuccessProbability() >= a.TheoremFloor())
+	// Output:
+	// floor: 0.999969
+	// bound holds: true
+}
+
+// ExamplePaperParams contrasts proof-grade and practical constants.
+func ExamplePaperParams() {
+	paper := hotpotato.PaperParams(16, 32, 128)
+	practical := hotpotato.PracticalParams(16, 32, 128)
+	fmt.Println("paper sets > practical sets:", paper.NumSets > practical.NumSets)
+	fmt.Println("paper W > 1000x practical W:", paper.W > 1000*practical.W)
+	// Output:
+	// paper sets > practical sets: true
+	// paper W > 1000x practical W: true
+}

@@ -1,0 +1,79 @@
+// Arbitrary topologies via levelization: the paper's Discussion asks
+// about extending the algorithm beyond leveled networks. This example
+// takes an arbitrary random DAG (think: a task graph, or an irregular
+// switch fabric), levelizes it (longest-path layering + relay nodes for
+// level-skipping edges), and routes two waves of traffic through it
+// with the frame algorithm — invariants checked throughout.
+//
+//	go run ./examples/dag
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hotpotato"
+	"hotpotato/internal/core"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/workload"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(21))
+
+	// An irregular DAG: 40 nodes, each ordered pair an edge w.p. 0.1.
+	const n = 40
+	edges := hotpotato.RandomDAG(rng, n, 0.1)
+	fmt.Printf("input DAG: %d nodes, %d edges\n", n, len(edges))
+
+	net, ids, err := hotpotato.Levelize("taskgraph", n, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	relays := net.NumNodes() - n
+	fmt.Printf("levelized: %s (%d relay nodes inserted)\n", net.ComputeStats(), relays)
+	_ = ids
+
+	// Two waves of traffic arriving one after the other, mapped onto
+	// consecutive frontier-set blocks so they pipeline.
+	wp, err := workload.Waves(net, rng, 2, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traffic: %s in %d waves (per-wave C: %v)\n", wp.Problem, wp.Waves, wp.PerWaveC)
+
+	const setsPerWave = 2
+	params := hotpotato.Params{NumSets: wp.Waves * setsPerWave, M: 8, W: 24, Q: 0.05}
+	assign := wp.SetAssignment(rng, setsPerWave)
+	router := core.NewFrameWithSets(params, assign)
+	eng := sim.NewEngine(wp.Problem, router, 21)
+	checker := core.NewInvariantChecker(router)
+	checker.Attach(eng)
+
+	steps, done := eng.Run(8 * params.TotalSteps(wp.L()))
+	if !done {
+		log.Fatalf("did not complete in %d steps", steps)
+	}
+
+	fmt.Println()
+	fmt.Printf("delivered %d packets in %d steps (schedule bound %d)\n",
+		wp.N(), steps, params.TotalSteps(wp.L()))
+	fmt.Printf("invariants on the levelized network: %s clean=%v\n",
+		checker.Report.String(), checker.Report.Clean())
+
+	// Wave separation: mean injection time per wave.
+	sums := make([]float64, wp.Waves)
+	counts := make([]int, wp.Waves)
+	for i := range eng.Packets {
+		sums[wp.WaveOf[i]] += float64(eng.Packets[i].InjectTime)
+		counts[wp.WaveOf[i]]++
+	}
+	for w := 0; w < wp.Waves; w++ {
+		fmt.Printf("wave %d: %d packets, mean injection step %.0f\n",
+			w, counts[w], sums[w]/float64(counts[w]))
+	}
+	fmt.Println()
+	fmt.Println("the waves pipeline through disjoint frontier-frame blocks — the paper's")
+	fmt.Println("machinery applies verbatim to any DAG once it is levelized.")
+}

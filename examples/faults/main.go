@@ -1,0 +1,69 @@
+// Fault tolerance: deflection routing is inherently adaptive — a packet
+// that cannot take its preferred link is deflected and retries, so
+// transient link outages slow delivery without losing packets. This
+// example sweeps the outage rate on a butterfly and contrasts greedy
+// hot-potato (graceful slowdown) with the frame algorithm (delivery
+// intact, invariants pay the price).
+//
+//	go run ./examples/faults
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hotpotato"
+	"hotpotato/internal/baselines"
+	"hotpotato/internal/core"
+	"hotpotato/internal/sim"
+)
+
+func main() {
+	net, err := hotpotato.Butterfly(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	prob, err := hotpotato.HotSpotWorkload(net, rng, 48, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("problem:", prob)
+	fmt.Println()
+	fmt.Printf("%-14s %12s %10s %8s %14s %10s\n",
+		"edge downtime", "greedy steps", "blocked", "stalls", "frame Ic/Id", "frame done")
+
+	for _, rate := range []float64{0, 0.01, 0.03, 0.05, 0.10} {
+		// Greedy hot-potato under outages.
+		ge := sim.NewEngine(prob, baselines.NewGreedy(), 5)
+		if rate > 0 {
+			ge.Faults = sim.HashFaults(99, rate, 12)
+		}
+		gSteps, gDone := ge.Run(1 << 21)
+		if !gDone {
+			log.Fatalf("greedy failed at rate %.2f", rate)
+		}
+
+		// Frame router under the same outages.
+		params := hotpotato.PracticalParamsWith(prob.C, prob.L(), prob.N(),
+			hotpotato.PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3})
+		router := core.NewFrame(params)
+		fe := sim.NewEngine(prob, router, 5)
+		if rate > 0 {
+			fe.Faults = sim.HashFaults(99, rate, 12)
+		}
+		checker := core.NewInvariantChecker(router)
+		checker.Attach(fe)
+		_, fDone := fe.Run(32 * params.TotalSteps(prob.L()))
+
+		fmt.Printf("%-14s %12d %10d %8d %7d/%-6d %10v\n",
+			fmt.Sprintf("%.0f%%", rate*100), gSteps, ge.M.FaultBlocked, ge.M.FaultStalls,
+			checker.Report.IcFrameEscapes, checker.Report.IdForeignMeetings, fDone)
+	}
+
+	fmt.Println()
+	fmt.Println("greedy reroutes around outages — steps rise smoothly, nothing is dropped.")
+	fmt.Println("the frame router still delivers (its retrace mechanics self-heal), but its")
+	fmt.Println("invariants assume healthy links: Ic/Id violations are the measurable cost.")
+}

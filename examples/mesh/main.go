@@ -1,0 +1,49 @@
+// The paper's Section 5 application: routing on the n x n mesh with
+// path sets of congestion and dilation Θ(n) (the optimal-path regime of
+// Leighton et al. [16]). The frame algorithm routes them in Θ(n) times
+// a polylog — this example sweeps n and shows the linear shape.
+//
+//	go run ./examples/mesh
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hotpotato"
+	"hotpotato/internal/stats"
+)
+
+func main() {
+	fmt.Println("n x n mesh, every packet through the shared middle column (C = n, D = 2(n-1)):")
+	fmt.Println()
+	fmt.Printf("%4s %4s %4s %4s %10s %12s %10s\n", "n", "C", "D", "L", "frame", "frame/(C+L)", "greedy")
+
+	var xs, ys []float64
+	for _, n := range []int{4, 6, 8, 10, 12} {
+		prob, err := hotpotato.MeshHardWorkload(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		params := hotpotato.PracticalParamsWith(prob.C, prob.L(), prob.N(),
+			hotpotato.PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3})
+		frame := hotpotato.RouteFrame(prob, params, hotpotato.Options{Seed: 3})
+		if !frame.Done {
+			log.Fatalf("frame did not complete at n=%d", n)
+		}
+		greedy, err := hotpotato.RouteBaseline(prob, hotpotato.GreedyHP, hotpotato.Options{Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d %4d %4d %4d %10d %12.1f %10d\n",
+			n, prob.C, prob.D, prob.L(), frame.Steps, frame.Ratio(), greedy.Steps)
+		xs = append(xs, float64(n))
+		ys = append(ys, float64(frame.Steps))
+	}
+
+	fit := stats.FitLinear(xs, ys)
+	fmt.Println()
+	fmt.Println("frame steps vs n:", fit)
+	fmt.Println("a high R² means the time is linear in n — optimal up to the polylog slope,")
+	fmt.Println("exactly the Section-5 claim for the mesh application.")
+}

@@ -1,0 +1,88 @@
+// Optical-fabric scenario: the paper's motivation is optical networks,
+// where buffering a message means converting light to electronics and
+// back, so switches are bufferless and every packet in a node must
+// leave on the next tick. This example models a multistage optical
+// switching fabric as a random leveled network, drives a bursty
+// workload through it, and checks the two facts a bufferless fabric
+// lives or dies by:
+//
+//  1. occupancy feasibility — no switch ever holds more packets than it
+//     has ports (or the fabric would have to drop light);
+//
+//  2. bounded delivery — every packet still arrives, within the
+//     Õ(C+L) schedule, despite deflections replacing buffers.
+//
+//     go run ./examples/optical
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hotpotato"
+	"hotpotato/internal/core"
+	"hotpotato/internal/sim"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(9))
+
+	// A 24-stage fabric with 4-8 switches per stage.
+	fabric, err := hotpotato.RandomLeveled(rng, 24, 4, 8, 0.35)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fabric:", fabric.ComputeStats())
+
+	// A bursty workload: 70% of switches source a flow.
+	prob, err := hotpotato.RandomWorkload(fabric, rng, 0.7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("traffic:", prob)
+
+	params := hotpotato.PracticalParams(prob.C, prob.L(), prob.N())
+	router := core.NewFrame(params)
+	eng := sim.NewEngine(prob, router, 9)
+
+	// Fact 1: port feasibility, observed every tick.
+	maxOcc, portViolations := 0, 0
+	eng.AddObserver(func(t int, e *sim.Engine) {
+		for v := 0; v < e.G.NumNodes(); v++ {
+			occ := len(e.At(hotpotato.NodeID(v)))
+			if occ > maxOcc {
+				maxOcc = occ
+			}
+			if occ > e.G.Node(hotpotato.NodeID(v)).Degree() {
+				portViolations++
+			}
+		}
+	})
+
+	steps, done := eng.Run(4 * params.TotalSteps(prob.L()))
+	if !done {
+		log.Fatalf("fabric failed to deliver all flows in %d ticks", steps)
+	}
+
+	fmt.Println()
+	fmt.Printf("delivered %d/%d flows in %d ticks (schedule bound %d)\n",
+		eng.M.Absorbed, prob.N(), steps, params.TotalSteps(prob.L()))
+	fmt.Printf("peak switch occupancy: %d packets (max ports %d) — port violations: %d\n",
+		maxOcc, fabric.MaxDegree(), portViolations)
+	fmt.Printf("deflections: %d total, %d unsafe — in an optical fabric every deflection\n",
+		eng.M.TotalDeflections(), eng.M.UnsafeDeflections())
+	fmt.Println("is an extra hop of light, never a dropped or buffered packet.")
+
+	// For contrast: what a buffered (electronic) fabric would need.
+	sf, err := hotpotato.RouteBaseline(prob, hotpotato.SFFifo, hotpotato.Options{Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("electronic reference (store-and-forward): %d ticks, peak queue %d packets\n",
+		sf.Steps, sf.SF.MaxQueueLen)
+	fmt.Printf("bufferless penalty: %.1fx ticks for zero buffer memory — the paper's\n",
+		float64(steps)/float64(sf.Steps))
+	fmt.Println("Õ(C+L) guarantee is what makes that trade predictable.")
+}

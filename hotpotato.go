@@ -1,0 +1,107 @@
+// Package hotpotato is a library for hot-potato (bufferless, deflection)
+// packet routing on leveled networks. It reproduces, as runnable code,
+// the algorithm and analysis of:
+//
+//	Costas Busch. Õ(Congestion + Dilation) Hot-Potato Routing on
+//	Leveled Networks. SPAA 2002.
+//
+// A leveled network partitions its nodes into levels 0..L with edges
+// only between consecutive levels. Given N packets with preselected
+// forward paths of congestion C (max packets per edge) and dilation D
+// (max path length), the paper's randomized algorithm delivers all
+// packets in O((C+L)·ln⁹(LN)) steps with probability at least 1-1/LN —
+// within polylog factors of the Ω(C+D) lower bound, even though no node
+// buffers packets.
+//
+// The package exposes:
+//
+//   - topology generators for the leveled networks of the paper's
+//     Figure 1 (butterfly, mesh in four orientations, hypercube, trees,
+//     arrays, random leveled DAGs);
+//   - workload generators with controlled C and D;
+//   - the frame-routing algorithm (the paper's contribution) with both
+//     proof-grade and simulation-grade parameters;
+//   - hot-potato and store-and-forward baselines;
+//   - a synchronous simulator with per-step observability and checkers
+//     for the paper's invariants Ia-If.
+//
+// Quick start:
+//
+//	net, _ := hotpotato.Butterfly(6)
+//	prob, _ := hotpotato.HotSpotWorkload(net, rand.New(rand.NewSource(1)), 64, 2)
+//	params := hotpotato.PracticalParams(prob.C, prob.L(), prob.N())
+//	res := hotpotato.RouteFrame(prob, params, hotpotato.Options{Seed: 1, CheckInvariants: true})
+//	fmt.Println(res) // steps, deflections, invariant report
+package hotpotato
+
+import (
+	"hotpotato/internal/core"
+	"hotpotato/internal/graph"
+	"hotpotato/internal/paths"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/workload"
+)
+
+// Core model types. These are aliases to the implementation packages,
+// so values flow freely between the façade and the lower-level APIs.
+type (
+	// Network is an immutable leveled network.
+	Network = graph.Leveled
+	// NetworkBuilder constructs custom leveled networks node by node.
+	NetworkBuilder = graph.Builder
+	// NodeID identifies a node.
+	NodeID = graph.NodeID
+	// EdgeID identifies an edge.
+	EdgeID = graph.EdgeID
+	// Path is a sequence of edges (a packet's preselected path).
+	Path = graph.Path
+	// PathSet is a set of preselected paths with congestion/dilation
+	// analysis.
+	PathSet = paths.PathSet
+	// Problem is a routing problem: network + one path per packet.
+	Problem = workload.Problem
+	// Params are the frame algorithm's tunables (sets, M, W, Q).
+	Params = core.Params
+	// PracticalConfig tunes PracticalParamsWith.
+	PracticalConfig = core.PracticalConfig
+	// Result is a completed frame-routing run.
+	Result = core.Result
+	// InvariantReport counts violations of the paper's invariants.
+	InvariantReport = core.InvariantReport
+	// Packet is the dynamic per-packet record during simulation.
+	Packet = sim.Packet
+	// Metrics are engine-level counters of a hot-potato run.
+	Metrics = sim.Metrics
+	// SFMetrics are counters of a store-and-forward run.
+	SFMetrics = sim.SFMetrics
+)
+
+// NewNetworkBuilder starts building a custom leveled network.
+func NewNetworkBuilder(name string) *NetworkBuilder {
+	return graph.NewBuilder(name)
+}
+
+// PaperParams returns the proof-grade constants of the paper's
+// Section 2.1 for congestion C, depth L and N packets. They are far too
+// large to simulate (w alone reaches millions of steps); use them to
+// report the theoretical schedule, and PracticalParams to run.
+func PaperParams(C, L, N int) Params { return core.ParamsFromPaper(C, L, N) }
+
+// PracticalParams returns simulation-grade parameters preserving the
+// algorithm's structure (per-set congestion Θ(ln LN), frame a small
+// multiple of it, rounds a small multiple of the frame).
+func PracticalParams(C, L, N int) Params { return core.DefaultPractical(C, L, N) }
+
+// PracticalParamsWith is PracticalParams with explicit knobs.
+func PracticalParamsWith(C, L, N int, cfg PracticalConfig) Params {
+	return core.ParamsPractical(C, L, N, cfg)
+}
+
+// Analysis reproduces the paper's probability algebra (p0, p1, the
+// per-phase recurrence p(k) and Theorem 4.26's final bound) for an
+// instance.
+type Analysis = core.Analysis
+
+// NewAnalysis builds the Theorem 4.26 analysis for congestion C, depth
+// L and N packets under the reconstructed proof-grade constants.
+func NewAnalysis(C, L, N int) Analysis { return core.NewAnalysis(C, L, N) }

@@ -1,0 +1,225 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/graph"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+func hotspotProblem(t *testing.T, seed int64) *workload.Problem {
+	t.Helper()
+	g, err := topo.Butterfly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p, err := workload.HotSpot(g, rng, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNames(t *testing.T) {
+	if NewGreedy().Name() != "greedy-hp" {
+		t.Error("greedy name")
+	}
+	if NewFarthestToGo().Name() != "greedy-ftg" {
+		t.Error("ftg name")
+	}
+	if NewOldestFirst().Name() != "greedy-oldest" {
+		t.Error("oldest name")
+	}
+	if NewRandGreedy(0).Name() != "rand-greedy-hp" {
+		t.Error("randgreedy name")
+	}
+	if NewFIFO().Name() != "sf-fifo" {
+		t.Error("fifo name")
+	}
+	if NewRandomDelay(5, 1).Name() != "sf-randdelay" {
+		t.Error("randdelay name")
+	}
+	if NewFarthestFirst().Name() != "sf-farthest" {
+		t.Error("farthest name")
+	}
+}
+
+func TestRandGreedyDefaults(t *testing.T) {
+	r := NewRandGreedy(0)
+	if r.Q != 0.05 {
+		t.Errorf("default Q = %g", r.Q)
+	}
+	r2 := NewRandGreedy(0.2)
+	if r2.Q != 0.2 {
+		t.Errorf("Q = %g", r2.Q)
+	}
+}
+
+func TestRandGreedyDemotionOnDeflect(t *testing.T) {
+	p := hotspotProblem(t, 1)
+	r := NewRandGreedy(1.0) // always excited
+	e := sim.NewEngine(p, r, 2)
+	if _, done := e.Run(100000); !done {
+		t.Fatal("did not complete")
+	}
+	// With Q=1 every packet excites every step; deflections demote and
+	// the next Request re-promotes, so excitations must exceed N.
+	if r.Excitations <= p.N() {
+		t.Errorf("excitations = %d, want > %d", r.Excitations, p.N())
+	}
+}
+
+func TestRandomDelayWindow(t *testing.T) {
+	p := hotspotProblem(t, 3)
+	s := NewRandomDelay(p.C, 2)
+	e := sim.NewSFEngine(p, s, 4)
+	window := 2 * p.C
+	for i := range e.Packets {
+		r := s.ReadyAt(&e.Packets[i])
+		if r < 0 || r >= window {
+			t.Errorf("packet %d delay %d outside [0,%d)", i, r, window)
+		}
+	}
+	if _, done := e.Run(100000); !done {
+		t.Fatal("did not complete")
+	}
+}
+
+func TestRandomDelayClamps(t *testing.T) {
+	s := NewRandomDelay(0, -1)
+	if s.C != 1 || s.Alpha != 1 {
+		t.Errorf("clamps failed: C=%d alpha=%g", s.C, s.Alpha)
+	}
+}
+
+func TestFIFOPicksHead(t *testing.T) {
+	f := NewFIFO()
+	q := []sim.PacketID{7, 3, 9}
+	if f.Pick(0, 0, q) != 7 {
+		t.Error("FIFO must pick the head")
+	}
+	if f.ReadyAt(nil) != 0 {
+		t.Error("FIFO ReadyAt must be 0")
+	}
+}
+
+func TestFarthestFirstPicksLongestPath(t *testing.T) {
+	p := hotspotProblem(t, 5)
+	s := NewFarthestFirst()
+	e := sim.NewSFEngine(p, s, 6)
+	// Before any step, path lists are not yet populated (packets are
+	// injected lazily); run one step to populate, then exercise Pick on
+	// a synthetic queue.
+	e.Step()
+	var ids []sim.PacketID
+	for i := range e.Packets {
+		if e.Packets[i].Active {
+			ids = append(ids, e.Packets[i].ID)
+		}
+	}
+	if len(ids) < 2 {
+		t.Skip("not enough active packets to compare")
+	}
+	pick := s.Pick(1, 0, ids)
+	for _, id := range ids {
+		if len(e.Packets[id].PathList) > len(e.Packets[pick].PathList) {
+			t.Errorf("picked %d (len %d) but %d has len %d", pick,
+				len(e.Packets[pick].PathList), id, len(e.Packets[id].PathList))
+		}
+	}
+}
+
+func TestGreedyBeatsScheduleBoundOnLightLoad(t *testing.T) {
+	// On a conflict-free single packet, greedy hot-potato is exactly
+	// the shortest path: steps == D.
+	g, err := topo.Linear(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := workload.SingleFile(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine(p, NewGreedy(), 7)
+	steps, done := e.Run(1000)
+	if !done || steps != p.D {
+		t.Errorf("steps = %d done=%v, want %d", steps, done, p.D)
+	}
+}
+
+func TestAllHotPotatoBaselinesComplete(t *testing.T) {
+	p := hotspotProblem(t, 8)
+	for _, r := range []sim.Router{NewGreedy(), NewFarthestToGo(), NewOldestFirst(), NewRandGreedy(0.1)} {
+		e := sim.NewEngine(p, r, 9)
+		if _, done := e.Run(200000); !done {
+			t.Errorf("%s did not complete", r.Name())
+		}
+		// All deflections must be backward for path validity.
+		if fw := e.M.Deflections[sim.DeflectForward]; fw != 0 {
+			t.Logf("%s: %d forward deflections (allowed but unusual)", r.Name(), fw)
+		}
+	}
+}
+
+func TestAllSchedulersComplete(t *testing.T) {
+	p := hotspotProblem(t, 10)
+	for _, s := range []sim.Scheduler{NewFIFO(), NewRandomDelay(p.C, 1), NewFarthestFirst()} {
+		e := sim.NewSFEngine(p, s, 11)
+		if _, done := e.Run(200000); !done {
+			t.Errorf("%s did not complete", s.Name())
+		}
+	}
+}
+
+func TestHeadRequestDirection(t *testing.T) {
+	g, err := topo.Linear(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := &sim.Packet{Cur: 0, PathList: []graph.EdgeID{0}}
+	req := headRequest(g, pkt, 5)
+	if req.Edge != 0 || req.Dir != graph.Forward || req.Priority != 5 {
+		t.Errorf("req = %+v", req)
+	}
+	// From the other endpoint the head is traversed backward.
+	pkt2 := &sim.Packet{Cur: 1, PathList: []graph.EdgeID{0}}
+	req2 := headRequest(g, pkt2, 0)
+	if req2.Dir != graph.Backward {
+		t.Errorf("req2 = %+v", req2)
+	}
+}
+
+func TestOldestFirstNeverStarves(t *testing.T) {
+	// The oldest active packet always has the highest priority, so it
+	// is never deflected: its latency equals its path length plus its
+	// injection wait... on a hotspot instance simply assert the first
+	// injected packet has zero deflections.
+	p := hotspotProblem(t, 20)
+	e := sim.NewEngine(p, NewOldestFirst(), 21)
+	if _, done := e.Run(200000); !done {
+		t.Fatal("did not complete")
+	}
+	oldest := 0
+	for i := range e.Packets {
+		if e.Packets[i].InjectTime < e.Packets[oldest].InjectTime {
+			oldest = i
+		}
+	}
+	// Ties at InjectTime 0 can deflect each other; find a strictly
+	// oldest packet if any, else check the global minimum-deflection
+	// property: at least one earliest packet goes deflection-free.
+	minInject := e.Packets[oldest].InjectTime
+	free := false
+	for i := range e.Packets {
+		if e.Packets[i].InjectTime == minInject && e.Packets[i].Deflections == 0 {
+			free = true
+		}
+	}
+	if !free {
+		t.Error("no earliest packet went deflection-free under oldest-first")
+	}
+}

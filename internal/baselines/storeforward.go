@@ -1,0 +1,111 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"hotpotato/internal/graph"
+	"hotpotato/internal/sim"
+)
+
+// FIFO is the first-in-first-out store-and-forward scheduler: packets
+// start immediately and each edge serves its queue in arrival order.
+type FIFO struct{}
+
+// NewFIFO returns the FIFO scheduler.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name implements sim.Scheduler.
+func (*FIFO) Name() string { return "sf-fifo" }
+
+// Init implements sim.Scheduler.
+func (*FIFO) Init(*sim.SFEngine) {}
+
+// ReadyAt implements sim.Scheduler.
+func (*FIFO) ReadyAt(*sim.Packet) int { return 0 }
+
+// Pick implements sim.Scheduler.
+func (*FIFO) Pick(t int, e graph.EdgeID, q []sim.PacketID) sim.PacketID {
+	return q[0]
+}
+
+// RandomDelay is the Leighton-Maggs-Rao-flavored scheduler [17]: each
+// packet waits an independent uniform initial delay in [0, Alpha*C)
+// and then proceeds FIFO. With a suitable constant the schedule length
+// is O(C + D) with high probability; this is the O(C+D) buffered
+// comparator for experiment E3.
+type RandomDelay struct {
+	// Alpha scales the delay window relative to the congestion C
+	// (default 1 if 0).
+	Alpha float64
+	// C is the congestion of the problem (required, >= 1).
+	C int
+
+	rng    *rand.Rand
+	delays []int
+}
+
+// NewRandomDelay returns a random-delay scheduler for a problem with
+// congestion c.
+func NewRandomDelay(c int, alpha float64) *RandomDelay {
+	if alpha <= 0 {
+		alpha = 1
+	}
+	if c < 1 {
+		c = 1
+	}
+	return &RandomDelay{Alpha: alpha, C: c}
+}
+
+// Name implements sim.Scheduler.
+func (*RandomDelay) Name() string { return "sf-randdelay" }
+
+// Init implements sim.Scheduler.
+func (s *RandomDelay) Init(e *sim.SFEngine) {
+	s.rng = e.Rng
+	s.delays = make([]int, len(e.Packets))
+	window := int(s.Alpha * float64(s.C))
+	if window < 1 {
+		window = 1
+	}
+	for i := range s.delays {
+		s.delays[i] = s.rng.Intn(window)
+	}
+}
+
+// ReadyAt implements sim.Scheduler.
+func (s *RandomDelay) ReadyAt(p *sim.Packet) int { return s.delays[p.ID] }
+
+// Pick implements sim.Scheduler.
+func (*RandomDelay) Pick(t int, e graph.EdgeID, q []sim.PacketID) sim.PacketID {
+	return q[0]
+}
+
+// FarthestFirst is store-and-forward with longest-remaining-path-first
+// service at every edge.
+type FarthestFirst struct {
+	e *sim.SFEngine
+}
+
+// NewFarthestFirst returns the farthest-first scheduler.
+func NewFarthestFirst() *FarthestFirst { return &FarthestFirst{} }
+
+// Name implements sim.Scheduler.
+func (*FarthestFirst) Name() string { return "sf-farthest" }
+
+// Init implements sim.Scheduler.
+func (s *FarthestFirst) Init(e *sim.SFEngine) { s.e = e }
+
+// ReadyAt implements sim.Scheduler.
+func (*FarthestFirst) ReadyAt(*sim.Packet) int { return 0 }
+
+// Pick implements sim.Scheduler.
+func (s *FarthestFirst) Pick(t int, e graph.EdgeID, q []sim.PacketID) sim.PacketID {
+	best := q[0]
+	bestLen := len(s.e.Packets[best].PathList)
+	for _, pid := range q[1:] {
+		if l := len(s.e.Packets[pid].PathList); l > bestLen {
+			best, bestLen = pid, l
+		}
+	}
+	return best
+}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E8",
+		Title: "Ablation of the design parameters (a, m, w, q)",
+		Claim: "Section 2.1: each parameter serves a distinct role — set count a controls per-set congestion, frame size m the drift headroom, round length w the retry budget, q the excitation rate; weakening any one degrades invariants or time",
+		Run:   runE8,
+	})
+}
+
+func runE8(cfg Config) (string, error) {
+	cfg = cfg.Normalize()
+	var b strings.Builder
+	b.WriteString(section("E8", "Parameter ablation", "Section 2.1 parameter roles"))
+
+	p, err := invariantProblem("E8", 0, 36)
+	if err != nil {
+		return "", err
+	}
+	base := core.PracticalConfig{SetCongestion: 4, FrameSlack: 4, RoundFactor: 4}
+
+	type variant struct {
+		name string
+		cfg  core.PracticalConfig
+	}
+	sweep := func(title string, variants []variant) error {
+		t := NewTable(title,
+			"variant", "sets", "M", "W", "Q", "steps", "done", "defl/pkt", "Ic+Id+If")
+		for _, v := range variants {
+			params := core.ParamsPractical(p.C, p.L(), p.N(), v.cfg)
+			res := core.Run(p, params, core.RunOptions{Seed: 8, Check: true, MaxSteps: 8 * params.TotalSteps(p.L())})
+			viol := res.Invariants.IcFrameEscapes + res.Invariants.IdForeignMeetings + res.Invariants.IfTailOccupied
+			t.AddRowf(v.name, params.NumSets, params.M, params.W,
+				fmt.Sprintf("%.3f", params.Q), res.Steps, res.Done,
+				fmt.Sprintf("%.2f", float64(res.Engine.TotalDeflections())/float64(p.N())), viol)
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+		return nil
+	}
+
+	// (a) set count via per-set congestion target.
+	scs := []float64{2, 4, 8}
+	if cfg.Scale >= 2 {
+		scs = []float64{1, 2, 4, 8, 16}
+	}
+	var vs []variant
+	for _, sc := range scs {
+		c := base
+		c.SetCongestion = sc
+		vs = append(vs, variant{fmt.Sprintf("per-set congestion %.0f", sc), c})
+	}
+	if err := sweep(fmt.Sprintf("(a) frontier-set count — %s:", p), vs); err != nil {
+		return "", err
+	}
+
+	// (m) frame slack.
+	slacks := []int{2, 4, 8}
+	if cfg.Scale >= 2 {
+		slacks = []int{1, 2, 4, 8, 12}
+	}
+	vs = vs[:0]
+	for _, sl := range slacks {
+		c := base
+		c.FrameSlack = sl
+		vs = append(vs, variant{fmt.Sprintf("frame slack %d", sl), c})
+	}
+	if err := sweep("(m) frame size:", vs); err != nil {
+		return "", err
+	}
+
+	// (w) round length.
+	rfs := []int{2, 4, 8}
+	if cfg.Scale >= 2 {
+		rfs = []int{1, 2, 4, 8, 12}
+	}
+	vs = vs[:0]
+	for _, rf := range rfs {
+		c := base
+		c.RoundFactor = rf
+		vs = append(vs, variant{fmt.Sprintf("round factor %d", rf), c})
+	}
+	if err := sweep("(w) round length:", vs); err != nil {
+		return "", err
+	}
+
+	// (q) excitation probability.
+	qs := []float64{0.005, 0.05, 0.5}
+	if cfg.Scale >= 2 {
+		qs = []float64{0.001, 0.01, 0.05, 0.2, 0.8}
+	}
+	vs = vs[:0]
+	for _, q := range qs {
+		c := base
+		c.Q = q
+		vs = append(vs, variant{fmt.Sprintf("q = %.3f", q), c})
+	}
+	if err := sweep("(q) excitation probability:", vs); err != nil {
+		return "", err
+	}
+
+	// (wait) the wait state itself: the parking mechanism that pins
+	// packets to their frames.
+	tw := NewTable("(wait) wait-state ablation:",
+		"variant", "steps", "done", "Ic escapes", "Id meets", "wait entries")
+	for _, disable := range []bool{false, true} {
+		params := core.ParamsPractical(p.C, p.L(), p.N(), base)
+		router := core.NewFrame(params)
+		router.DisableWait = disable
+		eng := sim.NewEngine(p, router, 9)
+		checker := core.NewInvariantChecker(router)
+		checker.Attach(eng)
+		steps, done := eng.Run(8 * params.TotalSteps(p.L()))
+		name := "wait enabled (paper)"
+		if disable {
+			name = "wait disabled"
+		}
+		tw.AddRowf(name, steps, done, checker.Report.IcFrameEscapes,
+			checker.Report.IdForeignMeetings, router.S.WaitEntries)
+	}
+	b.WriteString(tw.String())
+	b.WriteByte('\n')
+
+	// (inject) the staged injection schedule: what keeps frames
+	// disjoint.
+	ti := NewTable("(inject) injection-schedule ablation:",
+		"variant", "steps", "done", "Ic escapes", "Id meets")
+	for _, eager := range []bool{false, true} {
+		params := core.ParamsPractical(p.C, p.L(), p.N(), base)
+		router := core.NewFrame(params)
+		router.EagerInjection = eager
+		eng := sim.NewEngine(p, router, 10)
+		checker := core.NewInvariantChecker(router)
+		checker.Attach(eng)
+		steps, done := eng.Run(8 * params.TotalSteps(p.L()))
+		name := "scheduled (paper)"
+		if eager {
+			name = "eager (inject ASAP)"
+		}
+		ti.AddRowf(name, steps, done, checker.Report.IcFrameEscapes,
+			checker.Report.IdForeignMeetings)
+	}
+	b.WriteString(ti.String())
+	b.WriteByte('\n')
+
+	b.WriteString("expected: more sets / larger frames / longer rounds reduce violations at a\n")
+	b.WriteString("linear cost in steps (the schedule is (sets·M + L)·M·W); q trades conflict\n")
+	b.WriteString("breaking against excited-vs-excited collisions, flattest in the middle;\n")
+	b.WriteString("removing the wait state floods Ic/Id — parking is what keeps packets riding\n")
+	b.WriteString("their frames rather than outrunning them.\n")
+	return b.String(), nil
+}

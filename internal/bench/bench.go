@@ -1,0 +1,195 @@
+// Package bench is the experiment harness: it regenerates every figure
+// and theoretical claim of the paper as a formatted report
+// (see DESIGN.md's experiment index F1-F2, E1-E19, P1). cmd/experiments
+// drives the full suite; bench_test.go at the repository root runs
+// scaled-down versions as Go benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Config controls how heavy each experiment runs.
+type Config struct {
+	// Seeds is the number of repetitions averaged per cell (>=1).
+	Seeds int
+	// Scale selects the sweep size: 1 = quick (benchmarks), 2 = full
+	// (cmd/experiments).
+	Scale int
+}
+
+// Normalize fills defaults.
+func (c Config) Normalize() Config {
+	if c.Seeds < 1 {
+		c.Seeds = 1
+	}
+	if c.Scale < 1 {
+		c.Scale = 1
+	}
+	return c
+}
+
+// Experiment is one reproducible experiment.
+type Experiment struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "E1").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim is the paper claim being reproduced.
+	Claim string
+	// Run produces the report text.
+	Run func(cfg Config) (string, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Registry lists all experiments in ID order.
+func Registry() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return idKey(out[i].ID) < idKey(out[j].ID) })
+	return out
+}
+
+// idKey orders figures (F*) first, experiments (E*) numerically next,
+// and any other series (e.g. performance P*) last.
+func idKey(id string) string {
+	if len(id) < 2 {
+		return id
+	}
+	rank := '2'
+	switch id[0] {
+	case 'F':
+		rank = '0'
+	case 'E':
+		rank = '1'
+	}
+	return fmt.Sprintf("%c%02s", rank, id[1:])
+}
+
+// ByID fetches one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Table is a simple aligned-text table.
+type Table struct {
+	Title  string
+	Header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; missing cells render empty, extras panic.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Header) {
+		panic(fmt.Sprintf("bench: row has %d cells, table has %d columns", len(cells), len(t.Header)))
+	}
+	row := make([]string, len(t.Header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(cells ...interface{}) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			out[i] = v
+		case float64:
+			out[i] = fmt.Sprintf("%.2f", v)
+		case float32:
+			out[i] = fmt.Sprintf("%.2f", v)
+		default:
+			out[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(out...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the table as CSV (header row first). Cells containing
+// commas or quotes are quoted.
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// section formats an experiment report header.
+func section(id, title, claim string) string {
+	return fmt.Sprintf("== %s: %s ==\npaper claim: %s\n\n", id, title, claim)
+}

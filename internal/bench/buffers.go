@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"hotpotato/internal/baselines"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E14",
+		Title: "The buffer-size spectrum: unbounded -> constant -> zero",
+		Claim: "Section 1.3 / [16]: leveled networks route in O(C+L+log N) with constant-size buffers; the paper closes the gap at zero buffers with a polylog penalty — the spectrum between the regimes is smooth",
+		Run:   runE14,
+	})
+}
+
+func runE14(cfg Config) (string, error) {
+	cfg = cfg.Normalize()
+	var b strings.Builder
+	b.WriteString(section("E14", "Buffer-size spectrum", "constant-buffer routing [16] vs zero buffers"))
+
+	g, err := topo.Butterfly(6)
+	if err != nil {
+		return "", err
+	}
+	p, err := workload.HotSpot(g, rngFor("E14", 0), 48, 1)
+	if err != nil {
+		return "", err
+	}
+
+	caps := []int{0, 16, 4, 2, 1}
+	t := NewTable(fmt.Sprintf("%s — store-and-forward FIFO with bounded edge buffers:", p),
+		"buffer cap", "steps(mean)", "steps/(C+D)", "blocked moves", "max queue")
+	for _, cap := range caps {
+		var steps, blocked, maxq float64
+		for s := 0; s < cfg.Seeds; s++ {
+			e := sim.NewSFEngineBuffered(p, baselines.NewFIFO(), int64(4000+s), cap)
+			st, done := e.Run(greedyBudget(p))
+			if !done {
+				return "", fmt.Errorf("E14: cap=%d did not complete", cap)
+			}
+			steps += float64(st)
+			blocked += float64(e.M.Blocked)
+			maxq += float64(e.M.MaxQueueLen)
+		}
+		n := float64(cfg.Seeds)
+		label := fmt.Sprint(cap)
+		if cap == 0 {
+			label = "unbounded"
+		}
+		t.AddRowf(label, steps/n, (steps/n)/float64(p.C+p.D), blocked/n, maxq/n)
+	}
+	b.WriteString(t.String())
+
+	// The zero-buffer end of the spectrum: greedy hot-potato and the
+	// frame router.
+	t2 := NewTable("\nzero buffers (hot-potato):",
+		"algorithm", "steps(mean)", "steps/(C+D)")
+	gr, err := hotPotatoSteps(cfg, p, func() sim.Router { return baselines.NewGreedy() }, greedyBudget(p))
+	if err != nil {
+		return "", err
+	}
+	t2.AddRowf("greedy-hp", gr.Mean, gr.Mean/float64(p.C+p.D))
+	params := quickParams(cfg, p.C, p.L(), p.N())
+	fr, err := frameSteps(cfg, p, params)
+	if err != nil {
+		return "", err
+	}
+	t2.AddRowf("frame (paper)", fr.Mean, fr.Mean/float64(p.C+p.D))
+	b.WriteString(t2.String())
+
+	b.WriteString("\nexpected: shrinking buffers raises blocked moves but barely moves the\n")
+	b.WriteString("makespan — on leveled networks the top-level-first drain lets even cap-1\n")
+	b.WriteString("buffers sustain full bottleneck throughput, matching [16]'s constant-buffer\n")
+	b.WriteString("O(C+L+log N); backpressure cannot deadlock (forward-only waits on a DAG).\n")
+	b.WriteString("Zero-buffer greedy lands within a small factor of cap-1; the frame router\n")
+	b.WriteString("pays its schedule polylog for the guarantee without any buffers.\n")
+	return b.String(), nil
+}

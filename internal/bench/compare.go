@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E3",
+		Title: "Hot-potato vs store-and-forward: the cost of losing buffers",
+		Claim: "Section 1.2: the benefit from using buffers is no more than polylogarithmic on leveled networks",
+		Run:   runE3,
+	})
+}
+
+func runE3(cfg Config) (string, error) {
+	cfg = cfg.Normalize()
+	var b strings.Builder
+	b.WriteString(section("E3", "Algorithm comparison", "buffers buy at most a polylog factor"))
+
+	type workloadGen struct {
+		name string
+		f    func() (*workload.Problem, error)
+	}
+	k := 6
+	gens := []workloadGen{
+		{"bfly-transpose", func() (*workload.Problem, error) {
+			g, err := topo.Butterfly(k)
+			if err != nil {
+				return nil, err
+			}
+			return workload.ButterflyTranspose(g, k)
+		}},
+		{"bfly-hotspot", func() (*workload.Problem, error) {
+			g, err := topo.Butterfly(k)
+			if err != nil {
+				return nil, err
+			}
+			return workload.HotSpot(g, rngFor("E3", 1), 32, 2)
+		}},
+		{"mesh-hard(8)", func() (*workload.Problem, error) {
+			return workload.MeshHard(8)
+		}},
+		{"random-deep", func() (*workload.Problem, error) {
+			rng := rngFor("E3", 2)
+			g, err := topo.Random(rng, 24, 3, 5, 0.4)
+			if err != nil {
+				return nil, err
+			}
+			return workload.Random(g, rng, 0.5)
+		}},
+	}
+	if cfg.Scale >= 2 {
+		gens = append(gens,
+			workloadGen{"bfly-bitreversal", func() (*workload.Problem, error) {
+				g, err := topo.Butterfly(k)
+				if err != nil {
+					return nil, err
+				}
+				return workload.ButterflyBitReversal(g, k)
+			}},
+			workloadGen{"bfly-fullthroughput", func() (*workload.Problem, error) {
+				g, err := topo.Butterfly(k)
+				if err != nil {
+					return nil, err
+				}
+				return workload.FullThroughput(g, rngFor("E3", 3))
+			}},
+			workloadGen{"benes-valiant", func() (*workload.Problem, error) {
+				g, err := topo.Benes(5)
+				if err != nil {
+					return nil, err
+				}
+				return workload.BenesValiant(g, rngFor("E3", 4), 5)
+			}},
+		)
+	}
+
+	for _, gen := range gens {
+		p, err := gen.f()
+		if err != nil {
+			return "", fmt.Errorf("E3: %s: %w", gen.name, err)
+		}
+		results, err := compareAll(cfg, p)
+		if err != nil {
+			return "", fmt.Errorf("E3: %s: %w", gen.name, err)
+		}
+		t := NewTable(fmt.Sprintf("%s  (lower bound max(C,D)=%d):", p, max(p.C, p.D)),
+			"algorithm", "steps(mean)", "steps/(C+D)", "vs sf-fifo")
+		var sfFifo float64
+		for _, r := range results {
+			if r.Name == "sf-fifo" {
+				sfFifo = r.Steps.Mean
+			}
+		}
+		for _, r := range results {
+			ratio := ""
+			if sfFifo > 0 {
+				ratio = fmt.Sprintf("%.2fx", r.Steps.Mean/sfFifo)
+			}
+			t.AddRowf(r.Name, r.Steps.Mean, r.Steps.Mean/float64(p.C+p.D), ratio)
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	b.WriteString("expected: store-and-forward schedulers sit near the Ω(C+D) lower bound;\n")
+	b.WriteString("greedy hot-potato pays a small constant over them; the frame router pays its\n")
+	b.WriteString("structural polylog (pipelined frames dominate its time) — bounded, never the\n")
+	b.WriteString("unbounded blow-up a buffered-vs-bufferless gap could in principle show.\n")
+	return b.String(), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/mc"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E11",
+		Title: "Probabilistic guarantee: success rate and tail latency over seed ensembles",
+		Claim: "Theorem 4.26: all packets are absorbed within the bound with probability at least 1 - 1/LN; the failure probability is a tail event, not a typical case",
+		Run:   runE11,
+	})
+}
+
+func runE11(cfg Config) (string, error) {
+	cfg = cfg.Normalize()
+	var b strings.Builder
+	b.WriteString(section("E11", "Success probability and tail latency", "Theorem 4.26"))
+
+	trials := 32 * cfg.Seeds
+	if cfg.Scale >= 2 {
+		trials = 128 * cfg.Seeds
+	}
+	p, err := invariantProblem("E11", 0, 32)
+	if err != nil {
+		return "", err
+	}
+
+	t := NewTable(fmt.Sprintf("%s, %d seeds per row, parallel ensemble:", p, trials),
+		"parameters", "budget", "success", "paper bound", "p50 steps", "p99 steps", "p99/p50", "unsafe")
+	rows := []struct {
+		name   string
+		pc     core.PracticalConfig
+		budget float64 // multiple of the schedule bound (0 = default 4x)
+	}{
+		{"tight, 1.0x schedule budget", core.PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3}, 1.0},
+		{"tight, 4x schedule budget", core.PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3}, 0},
+		{"default, 1.0x schedule budget", core.PracticalConfig{}, 1.0},
+	}
+	for _, r := range rows {
+		params := core.ParamsPractical(p.C, p.L(), p.N(), r.pc)
+		maxSteps := 0
+		if r.budget > 0 {
+			maxSteps = int(r.budget * float64(params.TotalSteps(p.L())))
+		}
+		ens := mc.Run(p, params, mc.Options{Trials: trials, MaxSteps: maxSteps})
+		p99p50 := 0.0
+		if p50 := ens.StepsQuantile(0.5); p50 > 0 {
+			p99p50 = ens.StepsQuantile(0.99) / p50
+		}
+		t.AddRowf(r.name, fmtBudget(r.budget),
+			fmt.Sprintf("%.3f", ens.SuccessRate()),
+			fmt.Sprintf("%.4f", ens.PaperSuccessBound()),
+			ens.StepsQuantile(0.5), ens.StepsQuantile(0.99), p99p50,
+			ens.TotalUnsafe())
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nexpected: success rate at or above the paper's 1 - 1/LN bound even within the\n")
+	b.WriteString("un-inflated schedule budget, and a tight tail (p99/p50 near 1): the completion\n")
+	b.WriteString("time is schedule-dominated, so randomness moves it very little — the\n")
+	b.WriteString("probabilistic guarantee is conservative.\n")
+	return b.String(), nil
+}
+
+func fmtBudget(mult float64) string {
+	if mult <= 0 {
+		return "4x bound"
+	}
+	return fmt.Sprintf("%.1fx bound", mult)
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E19",
+		Title: "Excitation success probability (Lemma 4.3)",
+		Claim: "an excited packet reaches its target uninterrupted with probability at least 1/2e — excitation is the mechanism that guarantees per-round progress",
+		Run:   runE19,
+	})
+}
+
+func runE19(cfg Config) (string, error) {
+	cfg = cfg.Normalize()
+	var b strings.Builder
+	b.WriteString(section("E19", "Excitation success probability", "Lemma 4.3"))
+
+	floor := 1 / (2 * math.E)
+	gens := []struct {
+		name string
+		f    func() (*workload.Problem, error)
+	}{
+		{"random-deep", func() (*workload.Problem, error) { return invariantProblem("E19", 0, 32) }},
+		{"bfly-hotspot", func() (*workload.Problem, error) {
+			g, err := topo.Butterfly(6)
+			if err != nil {
+				return nil, err
+			}
+			return workload.HotSpot(g, rngFor("E19", 1), 32, 2)
+		}},
+		{"mesh-hard(8)", func() (*workload.Problem, error) { return workload.MeshHard(8) }},
+	}
+
+	t := NewTable(fmt.Sprintf("frame router; Lemma 4.3 floor = 1/2e = %.3f:", floor),
+		"workload", "excitations", "successes", "failures", "success rate", "above floor")
+	for _, gen := range gens {
+		p, err := gen.f()
+		if err != nil {
+			return "", err
+		}
+		params := quickParams(cfg, p.C, p.L(), p.N())
+		var exc, succ, fail int
+		for s := 0; s < cfg.Seeds; s++ {
+			res := core.Run(p, params, core.RunOptions{Seed: int64(1900 + s)})
+			if !res.Done {
+				return "", fmt.Errorf("E19: %s did not complete", gen.name)
+			}
+			exc += res.Router.Excitations
+			succ += res.Router.ExcitedSuccesses
+			fail += res.Router.ExcitedFailures
+		}
+		rate := 0.0
+		if exc > 0 {
+			rate = float64(succ) / float64(exc)
+		}
+		t.AddRowf(gen.name, exc, succ, fail,
+			fmt.Sprintf("%.3f", rate), rate >= floor)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nexpected: the measured per-episode success rate clears the 1/2e floor on\n")
+	b.WriteString("every workload — usually by a lot, since the floor is a worst case over all\n")
+	b.WriteString("in-frame conflict patterns; this is the engine behind Lemma 4.4's per-round\n")
+	b.WriteString("progress and, through Lemmas 4.19-4.21, invariant If.\n")
+	return b.String(), nil
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"hotpotato/internal/baselines"
+	"hotpotato/internal/core"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E16",
+		Title: "Transient link faults: delivery under edge outages",
+		Claim: "(robustness extension, no paper counterpart) deflection routing reroutes around transient outages with graceful slowdown; the frame router self-heals at the cost of invariant violations",
+		Run:   runE16,
+	})
+}
+
+func runE16(cfg Config) (string, error) {
+	cfg = cfg.Normalize()
+	var b strings.Builder
+	b.WriteString(section("E16", "Transient link faults", "robustness extension"))
+
+	rng := rngFor("E16", 0)
+	g, err := topo.Random(rng, 20, 3, 5, 0.4)
+	if err != nil {
+		return "", err
+	}
+	p, err := workload.Random(g, rng, 0.4)
+	if err != nil {
+		return "", err
+	}
+
+	rates := []float64{0, 0.02, 0.05}
+	if cfg.Scale >= 2 {
+		rates = []float64{0, 0.01, 0.02, 0.05, 0.1}
+	}
+
+	t := NewTable(fmt.Sprintf("%s, HashFaults with 10-step outage windows:", p),
+		"edge downtime", "greedy steps", "blocked", "stalls", "frame steps", "frame Ic", "frame done")
+	for _, rate := range rates {
+		// Greedy under faults.
+		ge := sim.NewEngine(p, baselines.NewGreedy(), 16)
+		if rate > 0 {
+			ge.Faults = sim.HashFaults(77, rate, 10)
+		}
+		gSteps, gDone := ge.Run(1 << 21)
+		if !gDone {
+			return "", fmt.Errorf("E16: greedy did not complete at rate %.2f", rate)
+		}
+
+		// Frame router under the same faults.
+		params := quickParams(cfg, p.C, p.L(), p.N())
+		router := core.NewFrame(params)
+		fe := sim.NewEngine(p, router, 16)
+		if rate > 0 {
+			fe.Faults = sim.HashFaults(77, rate, 10)
+		}
+		checker := core.NewInvariantChecker(router)
+		checker.Attach(fe)
+		fSteps, fDone := fe.Run(32 * params.TotalSteps(p.L()))
+
+		t.AddRowf(fmt.Sprintf("%.0f%%", rate*100), gSteps,
+			ge.M.FaultBlocked, ge.M.FaultStalls,
+			fSteps, checker.Report.IcFrameEscapes, fDone)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nexpected: greedy reroutes around outages with a mild step increase (deflection\n")
+	b.WriteString("routing is inherently adaptive); the frame router still delivers by retracing,\n")
+	b.WriteString("but faults knock packets out of their frames — the schedule's invariants assume\n")
+	b.WriteString("healthy links, so Ic grows with the fault rate. Stalls appear only when an\n")
+	b.WriteString("outage strands more packets at a node than it has healthy ports.\n")
+	return b.String(), nil
+}

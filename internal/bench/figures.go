@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/trace"
+	"hotpotato/internal/workload"
+
+	"hotpotato/internal/graph"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "F1",
+		Title: "Leveled-network gallery (Figure 1)",
+		Claim: "butterfly, mesh (four corner orientations) and general leveled DAGs are leveled networks; shuffle-exchange-class networks, hypercubes, arrays and fat-trees can be treated as leveled networks",
+		Run:   runF1,
+	})
+	register(Experiment{
+		ID:    "F2",
+		Title: "Frontier-frame pipeline (Figure 2)",
+		Claim: "frames of m consecutive levels are pipelined without overlapping and all shift forward one level per phase; the target level retreats one inner-level per round",
+		Run:   runF2,
+	})
+}
+
+func runF1(cfg Config) (string, error) {
+	cfg = cfg.Normalize()
+	var b strings.Builder
+	b.WriteString(section("F1", "Leveled-network gallery (Figure 1)",
+		"every generated topology is a valid leveled network"))
+
+	gens := []struct {
+		name string
+		f    func() (*graph.Leveled, error)
+	}{
+		{"butterfly(3)", func() (*graph.Leveled, error) { return topo.Butterfly(3) }},
+		{"butterfly(6)", func() (*graph.Leveled, error) { return topo.Butterfly(6) }},
+		{"mesh(6x6,NW)", func() (*graph.Leveled, error) { return topo.Mesh(6, 6, topo.CornerNW) }},
+		{"mesh(6x6,NE)", func() (*graph.Leveled, error) { return topo.Mesh(6, 6, topo.CornerNE) }},
+		{"mesh(6x6,SW)", func() (*graph.Leveled, error) { return topo.Mesh(6, 6, topo.CornerSW) }},
+		{"mesh(6x6,SE)", func() (*graph.Leveled, error) { return topo.Mesh(6, 6, topo.CornerSE) }},
+		{"hypercube(6)", func() (*graph.Leveled, error) { return topo.Hypercube(6) }},
+		{"array(4,4,4)", func() (*graph.Leveled, error) { return topo.Array(4, 4, 4) }},
+		{"bintree(5)", func() (*graph.Leveled, error) { return topo.BinaryTree(5) }},
+		{"fattree(5,8)", func() (*graph.Leveled, error) { return topo.FatTree(5, 8) }},
+		{"omega(5)", func() (*graph.Leveled, error) { return topo.Omega(5) }},
+		{"butterfly(k=3,r=4)", func() (*graph.Leveled, error) { return topo.ButterflyRadix(3, 4) }},
+		{"benes(4)", func() (*graph.Leveled, error) { return topo.Benes(4) }},
+		{"linear(32)", func() (*graph.Leveled, error) { return topo.Linear(32) }},
+		{"ladder(16)", func() (*graph.Leveled, error) { return topo.Ladder(16) }},
+		{"complete(8,4)", func() (*graph.Leveled, error) { return topo.Complete(8, 4) }},
+		{"random(L=24)", func() (*graph.Leveled, error) { return topo.Random(rngFor("F1", 0), 24, 2, 6, 0.35) }},
+	}
+
+	t := NewTable("", "topology", "nodes", "edges", "depth L", "width", "maxdeg", "leveled?")
+	for _, g := range gens {
+		net, err := g.f()
+		if err != nil {
+			return "", fmt.Errorf("F1: %s: %w", g.name, err)
+		}
+		st := net.ComputeStats()
+		ok := "yes"
+		if err := net.Validate(); err != nil {
+			ok = "NO: " + err.Error()
+		}
+		t.AddRowf(g.name, st.Nodes, st.Edges, st.Depth,
+			fmt.Sprintf("[%d,%d]", st.MinWidth, st.MaxWidth), st.MaxDegree, ok)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nexpected: all rows leveled (edges connect consecutive levels only); mesh depth\n")
+	b.WriteString("is rows+cols-2 in all four corner orientations, matching Figure 1.\n")
+	return b.String(), nil
+}
+
+func runF2(cfg Config) (string, error) {
+	cfg = cfg.Normalize()
+	var b strings.Builder
+	b.WriteString(section("F2", "Frontier-frame pipeline (Figure 2)",
+		"frames shift forward one level per phase without overlapping; packets ride inside their frames"))
+
+	// Static pipeline rendering at three consecutive phases (the moving
+	// Figure 2).
+	params := core.Params{NumSets: 3, M: 3, W: 9, Q: 0.1}
+	sched := core.Schedule{P: params}
+	L := 11
+	b.WriteString("frame pipeline over a depth-11 network (M=3, 3 frontier-sets):\n\n")
+	b.WriteString(trace.PipelineMovie(sched, L, []int{8, 9, 10}))
+
+	// Dynamic: run the real router and show that active packets of each
+	// set stay within their frame's level span.
+	rng := rngFor("F2", 1)
+	g, err := topo.Random(rng, 24, 3, 5, 0.4)
+	if err != nil {
+		return "", err
+	}
+	p, err := workload.Random(g, rng, 0.5)
+	if err != nil {
+		return "", err
+	}
+	fp := quickParams(cfg, p.C, p.L(), p.N())
+	router := core.NewFrame(fp)
+	eng := sim.NewEngine(p, router, 42)
+	rsched := router.Schedule()
+
+	type span struct{ lo, hi, frameLo, frameHi, active int }
+	var samples []span
+	eng.AddObserver(func(t int, e *sim.Engine) {
+		if !rsched.IsPhaseEnd(t) {
+			return
+		}
+		ph := rsched.PhaseOf(t)
+		lo, hi, n := 1<<30, -1<<30, 0
+		for i := range e.Packets {
+			pk := &e.Packets[i]
+			if !pk.Active || router.Set(pk.ID) != 0 {
+				continue
+			}
+			lvl := e.G.Node(pk.Cur).Level
+			if lvl < lo {
+				lo = lvl
+			}
+			if lvl > hi {
+				hi = lvl
+			}
+			n++
+		}
+		if n > 0 {
+			samples = append(samples, span{lo, hi, rsched.FrameBack(0, ph), rsched.Frontier(0, ph), n})
+		}
+	})
+	if _, done := eng.Run(4 * fp.TotalSteps(p.L())); !done {
+		return "", fmt.Errorf("F2: frame run did not complete")
+	}
+
+	t := NewTable(fmt.Sprintf("\nset-0 packet span vs frame span at each phase end (%s, params %s):", p, fp),
+		"phase-end #", "active", "packet levels", "frame levels", "inside?")
+	for i, s := range samples {
+		inside := "yes"
+		if s.lo < s.frameLo || s.hi > s.frameHi {
+			inside = "NO"
+		}
+		t.AddRowf(i, s.active,
+			fmt.Sprintf("[%d,%d]", s.lo, s.hi),
+			fmt.Sprintf("[%d,%d]", s.frameLo, s.frameHi), inside)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nexpected: every row 'inside?' = yes (invariant Ic), i.e. the packets shift\n")
+	b.WriteString("with their frame exactly as Figure 2 depicts.\n")
+	return b.String(), nil
+}

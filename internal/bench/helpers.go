@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hotpotato/internal/baselines"
+	"hotpotato/internal/core"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/stats"
+	"hotpotato/internal/workload"
+)
+
+// quickParams returns frame parameters tight enough to finish fast in
+// benchmark configs while keeping the full frame structure; at Scale>=2
+// the defaults (closer to the paper's shapes) are used instead.
+func quickParams(cfg Config, C, L, N int) core.Params {
+	if cfg.Scale >= 2 {
+		return core.DefaultPractical(C, L, N)
+	}
+	return core.ParamsPractical(C, L, N, core.PracticalConfig{
+		SetCongestion: 4,
+		FrameSlack:    3,
+		RoundFactor:   3,
+	})
+}
+
+// frameSteps runs the frame router over several seeds and returns the
+// step-count summary. It fails the run (returns an error) if any seed
+// does not complete within 4x the schedule bound.
+func frameSteps(cfg Config, p *workload.Problem, params core.Params) (stats.Summary, error) {
+	xs := make([]float64, 0, cfg.Seeds)
+	for s := 0; s < cfg.Seeds; s++ {
+		res := core.Run(p, params, core.RunOptions{Seed: int64(1000 + s)})
+		if !res.Done {
+			return stats.Summary{}, fmt.Errorf("frame did not complete on %s (seed %d, %d steps)", p.Name, s, res.Steps)
+		}
+		xs = append(xs, float64(res.Steps))
+	}
+	return stats.Summarize(xs), nil
+}
+
+// hotPotatoSteps runs a bufferless baseline over several seeds.
+func hotPotatoSteps(cfg Config, p *workload.Problem, mk func() sim.Router, budget int) (stats.Summary, error) {
+	xs := make([]float64, 0, cfg.Seeds)
+	for s := 0; s < cfg.Seeds; s++ {
+		e := sim.NewEngine(p, mk(), int64(2000+s))
+		steps, done := e.Run(budget)
+		if !done {
+			return stats.Summary{}, fmt.Errorf("%s did not complete on %s within %d steps", mk().Name(), p.Name, budget)
+		}
+		xs = append(xs, float64(steps))
+	}
+	return stats.Summarize(xs), nil
+}
+
+// sfSteps runs a store-and-forward scheduler over several seeds.
+func sfSteps(cfg Config, p *workload.Problem, mk func() sim.Scheduler, budget int) (stats.Summary, error) {
+	xs := make([]float64, 0, cfg.Seeds)
+	for s := 0; s < cfg.Seeds; s++ {
+		e := sim.NewSFEngine(p, mk(), int64(3000+s))
+		steps, done := e.Run(budget)
+		if !done {
+			return stats.Summary{}, fmt.Errorf("%s did not complete on %s within %d steps", mk().Name(), p.Name, budget)
+		}
+		xs = append(xs, float64(steps))
+	}
+	return stats.Summarize(xs), nil
+}
+
+// greedyBudget is a generous completion budget for baselines on a
+// problem: far above any observed greedy completion time.
+func greedyBudget(p *workload.Problem) int {
+	b := 200 * (p.C + p.D + p.L()) * (1 + p.N()/16)
+	if b < 100000 {
+		b = 100000
+	}
+	return b
+}
+
+// rngFor derives a deterministic RNG for an experiment cell.
+func rngFor(id string, cell int) *rand.Rand {
+	seed := int64(len(id)*7919 + cell*104729 + 17)
+	for _, c := range id {
+		seed = seed*31 + int64(c)
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// frameBaseline returns the canonical comparison set: the frame router
+// factory plus each baseline, with display names.
+type algoResult struct {
+	Name  string
+	Steps stats.Summary
+}
+
+// compareAll runs the frame algorithm and every baseline on the
+// problem.
+func compareAll(cfg Config, p *workload.Problem) ([]algoResult, error) {
+	var out []algoResult
+	params := quickParams(cfg, p.C, p.L(), p.N())
+	fr, err := frameSteps(cfg, p, params)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, algoResult{"frame (paper)", fr})
+	budget := greedyBudget(p)
+	for _, mk := range []struct {
+		name string
+		f    func() sim.Router
+	}{
+		{"greedy-hp", func() sim.Router { return baselines.NewGreedy() }},
+		{"greedy-ftg", func() sim.Router { return baselines.NewFarthestToGo() }},
+		{"greedy-oldest", func() sim.Router { return baselines.NewOldestFirst() }},
+		{"rand-greedy-hp", func() sim.Router { return baselines.NewRandGreedy(0.05) }},
+	} {
+		s, err := hotPotatoSteps(cfg, p, mk.f, budget)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, algoResult{mk.name, s})
+	}
+	for _, mk := range []struct {
+		name string
+		f    func() sim.Scheduler
+	}{
+		{"sf-fifo", func() sim.Scheduler { return baselines.NewFIFO() }},
+		{"sf-randdelay", func() sim.Scheduler { return baselines.NewRandomDelay(p.C, 1) }},
+		{"sf-farthest", func() sim.Scheduler { return baselines.NewFarthestFirst() }},
+	} {
+		s, err := sfSteps(cfg, p, mk.f, budget)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, algoResult{mk.name, s})
+	}
+	return out, nil
+}

@@ -1,0 +1,259 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/stats"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E4",
+		Title: "Frontier-set congestion bound (Lemma 2.2)",
+		Claim: "splitting packets uniformly over aC frontier-sets gives per-set congestion <= ln(LN) with probability >= p0",
+		Run:   runE4,
+	})
+	register(Experiment{
+		ID:    "E5",
+		Title: "Deflection audit (Lemma 2.1)",
+		Claim: "with injection in isolation, all deflections are backward and safe, and current paths stay valid",
+		Run:   runE5,
+	})
+	register(Experiment{
+		ID:    "E6",
+		Title: "Invariants Ic/Id/Ie/If vs parameter scale",
+		Claim: "Section 4: the per-phase invariants hold w.h.p. under the paper's constants; violation counts vanish as the scaled-down constants grow toward them",
+		Run:   runE6,
+	})
+	register(Experiment{
+		ID:    "E7",
+		Title: "Wait-state convergence within a phase (Lemmas 4.19-4.21)",
+		Claim: "each round, at least a 1/ln(LN) fraction of the non-waiting packets enters the wait state, so |B_j| decays geometrically and the high inner-levels drain",
+		Run:   runE7,
+	})
+}
+
+// invariantProblem builds the standard invariant-test instance.
+func invariantProblem(id string, cell int, depth int) (*workload.Problem, error) {
+	rng := rngFor(id, cell)
+	g, err := topo.Random(rng, depth, 3, 5, 0.4)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Random(g, rng, 0.6)
+}
+
+func runE4(cfg Config) (string, error) {
+	cfg = cfg.Normalize()
+	var b strings.Builder
+	b.WriteString(section("E4", "Frontier-set congestion bound", "Lemma 2.2"))
+
+	trials := 20 * cfg.Seeds
+	if cfg.Scale >= 2 {
+		trials = 100 * cfg.Seeds
+	}
+	p, err := invariantProblem("E4", 0, 30)
+	if err != nil {
+		return "", err
+	}
+	lnBound := math.Log(float64(p.L()) * float64(p.N()))
+
+	// Two set counts: the paper's aC = 2e³·C/ln(LN) (what Lemma 2.2 is
+	// about — the bound must then hold essentially always) and the
+	// practical C/ln(LN) (per-set congestion is *targeted* at ln(LN),
+	// so the maximum over sets hovers at and above the bound).
+	paperSets := core.ParamsFromPaper(p.C, p.L(), p.N()).NumSets
+	practSets := core.DefaultPractical(p.C, p.L(), p.N()).NumSets
+
+	measure := func(numSets int) (stats.Summary, int, []float64) {
+		// Only the set assignment matters here, so run zero steps with
+		// the checker attached (it snapshots congestion at Attach).
+		params := core.Params{NumSets: numSets, M: 6, W: 12, Q: 0.1}
+		var maxima []float64
+		within := 0
+		for s := 0; s < trials; s++ {
+			res := core.Run(p, params, core.RunOptions{Seed: int64(s), MaxSteps: 1, Check: true})
+			m := stats.MaxInt(res.Invariants.InitialSetCongestion)
+			maxima = append(maxima, float64(m))
+			if float64(m) <= lnBound {
+				within++
+			}
+		}
+		return stats.Summarize(maxima), within, maxima
+	}
+	paperSum, paperWithin, paperMax := measure(paperSets)
+	practSum, practWithin, _ := measure(practSets)
+
+	t := NewTable(fmt.Sprintf("%s, %d random partitions each (bound ln(LN) = %.2f):", p, trials, lnBound),
+		"set count", "sets", "max_i C_i mean", "p99", "max", "within bound")
+	t.AddRowf("paper aC = 2e³C/ln(LN)", paperSets, paperSum.Mean, paperSum.P99, paperSum.Max,
+		fmt.Sprintf("%d/%d", paperWithin, trials))
+	t.AddRowf("practical C/ln(LN)", practSets, practSum.Mean, practSum.P99, practSum.Max,
+		fmt.Sprintf("%d/%d", practWithin, trials))
+	b.WriteString(t.String())
+	b.WriteString("\ndistribution of max_i C_i under the paper's set count:\n")
+	b.WriteString(stats.NewHistogram(paperMax, 8).String())
+	b.WriteString("expected: under the paper's set count every partition satisfies\n")
+	b.WriteString("max_i C_i <= ln(LN) (Lemma 2.2: probability >= 1 - 1/(2LN)); the practical\n")
+	b.WriteString("count deliberately targets per-set congestion ~ ln(LN), so its maximum\n")
+	b.WriteString("hovers at the bound — the price of a 2e³-fold smaller schedule.\n")
+	return b.String(), nil
+}
+
+func runE5(cfg Config) (string, error) {
+	cfg = cfg.Normalize()
+	var b strings.Builder
+	b.WriteString(section("E5", "Deflection audit", "Lemma 2.1"))
+
+	t := NewTable("frame router, invariant checker attached:",
+		"workload", "deflections", "arrival-rev", "safe-backwd", "unsafe-backwd", "forward", "invalid paths")
+	gens := []struct {
+		name string
+		f    func() (*workload.Problem, error)
+	}{
+		{"random-deep", func() (*workload.Problem, error) { return invariantProblem("E5", 0, 30) }},
+		{"mesh-hard(6)", func() (*workload.Problem, error) { return workload.MeshHard(6) }},
+		{"bfly-hotspot", func() (*workload.Problem, error) {
+			g, err := topo.Butterfly(5)
+			if err != nil {
+				return nil, err
+			}
+			return workload.HotSpot(g, rngFor("E5", 1), 24, 2)
+		}},
+	}
+	for _, gen := range gens {
+		p, err := gen.f()
+		if err != nil {
+			return "", err
+		}
+		params := quickParams(cfg, p.C, p.L(), p.N())
+		res := core.Run(p, params, core.RunOptions{Seed: 5, Check: true})
+		if !res.Done {
+			return "", fmt.Errorf("E5: %s did not complete", gen.name)
+		}
+		d := res.Engine.Deflections
+		t.AddRowf(gen.name, res.Engine.TotalDeflections(),
+			d[sim.DeflectArrivalReverse], d[sim.DeflectSafeBackward],
+			d[sim.DeflectUnsafeBackward], d[sim.DeflectForward],
+			res.Invariants.IbPathInvalid)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nexpected: zero unsafe-backward, zero forward, zero invalid paths — every\n")
+	b.WriteString("deflection either reverses the loser's own arrival or recycles an edge another\n")
+	b.WriteString("packet traversed forward the step before (Lemma 2.1).\n")
+	return b.String(), nil
+}
+
+func runE6(cfg Config) (string, error) {
+	cfg = cfg.Normalize()
+	var b strings.Builder
+	b.WriteString(section("E6", "Invariants vs parameter scale", "Section 4 invariants Ia-If"))
+
+	p, err := invariantProblem("E6", 0, 40)
+	if err != nil {
+		return "", err
+	}
+	type knob struct {
+		name string
+		cfg  core.PracticalConfig
+	}
+	knobs := []knob{
+		{"tight (SC=3, slack=2, RF=3)", core.PracticalConfig{SetCongestion: 3, FrameSlack: 2, RoundFactor: 3}},
+		{"small (SC=4, slack=3, RF=3)", core.PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3}},
+		{"default (SC=ln, slack=6, RF=4)", core.PracticalConfig{}},
+	}
+	if cfg.Scale >= 2 {
+		knobs = append(knobs, knob{"roomy (SC=ln, slack=10, RF=6)", core.PracticalConfig{FrameSlack: 10, RoundFactor: 6}})
+	}
+
+	t := NewTable(fmt.Sprintf("%s:", p),
+		"parameters", "M", "W", "sets", "steps", "Ib invalid", "Ic escapes", "Id meets", "Ie grew", "If tail")
+	for _, k := range knobs {
+		params := core.ParamsPractical(p.C, p.L(), p.N(), k.cfg)
+		res := core.Run(p, params, core.RunOptions{Seed: 7, Check: true})
+		if !res.Done {
+			return "", fmt.Errorf("E6: %s did not complete", k.name)
+		}
+		iv := res.Invariants
+		t.AddRowf(k.name, params.M, params.W, params.NumSets, res.Steps,
+			iv.IbPathInvalid, iv.IcFrameEscapes, iv.IdForeignMeetings,
+			iv.IeCongestionExceeded, iv.IfTailOccupied)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nexpected: Ib and Ie hold at every scale (they are consequences of safe backward\n")
+	b.WriteString("deflections, Lemmas 2.1/4.10); Ic, Id and If violations shrink to zero as the\n")
+	b.WriteString("constants grow toward the paper's proof-grade values.\n")
+	return b.String(), nil
+}
+
+func runE7(cfg Config) (string, error) {
+	cfg = cfg.Normalize()
+	var b strings.Builder
+	b.WriteString(section("E7", "Wait-state convergence", "Lemmas 4.19-4.21"))
+
+	p, err := invariantProblem("E7", 0, 30)
+	if err != nil {
+		return "", err
+	}
+	params := quickParams(cfg, p.C, p.L(), p.N())
+	router := core.NewFrame(params)
+	eng := sim.NewEngine(p, router, 11)
+	sched := router.Schedule()
+
+	// For every round index j, average over phases the fraction of
+	// active packets not in wait at the round's end (a proxy for
+	// |B_{j+1}| / active).
+	sumFrac := make([]float64, params.M)
+	cnt := make([]int, params.M)
+	eng.AddObserver(func(t int, e *sim.Engine) {
+		if !sched.IsRoundEnd(t) {
+			return
+		}
+		j := sched.RoundOf(t)
+		active, nonWait := 0, 0
+		for i := range e.Packets {
+			if !e.Packets[i].Active {
+				continue
+			}
+			active++
+			if !router.IsWaiting(e.Packets[i].ID) {
+				nonWait++
+			}
+		}
+		if active > 0 {
+			sumFrac[j] += float64(nonWait) / float64(active)
+			cnt[j]++
+		}
+	})
+	if _, done := eng.Run(4 * params.TotalSteps(p.L())); !done {
+		return "", fmt.Errorf("E7: run did not complete")
+	}
+
+	t := NewTable(fmt.Sprintf("%s, params %s — non-waiting fraction at each round end (mean over phases):", p, params),
+		"round j", "phases sampled", "non-wait fraction")
+	prev := -1.0
+	decays := 0
+	for j := 0; j < params.M; j++ {
+		if cnt[j] == 0 {
+			continue
+		}
+		f := sumFrac[j] / float64(cnt[j])
+		if prev >= 0 && f <= prev {
+			decays++
+		}
+		prev = f
+		t.AddRowf(j, cnt[j], fmt.Sprintf("%.3f", f))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nmonotone-decay transitions: %d\n", decays)
+	b.WriteString("expected: the non-waiting fraction shrinks across rounds within a phase —\n")
+	b.WriteString("each round converts a Θ(1/ln LN) share of stragglers into waiters (Lemma 4.20),\n")
+	b.WriteString("which is what empties the high inner-levels by phase end (invariant If).\n")
+	return b.String(), nil
+}

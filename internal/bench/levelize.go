@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E13",
+		Title: "Arbitrary DAGs via levelization (Discussion)",
+		Claim: "Section 5: \"it is interesting to extend our work for arbitrary network topologies\" — levelizing a DAG (longest-path layering + relay subdivision) makes the algorithm and its invariants apply verbatim",
+		Run:   runE13,
+	})
+}
+
+func runE13(cfg Config) (string, error) {
+	cfg = cfg.Normalize()
+	var b strings.Builder
+	b.WriteString(section("E13", "Arbitrary DAGs via levelization", "Discussion (Section 5)"))
+
+	sizes := []int{24, 48}
+	if cfg.Scale >= 2 {
+		sizes = []int{24, 48, 96}
+	}
+	t := NewTable("random DAGs, levelized, frame router with default practical parameters:",
+		"DAG nodes", "DAG edges", "leveled nodes", "relays", "L", "N", "C", "steps", "done", "invariants clean")
+	for i, n := range sizes {
+		rng := rngFor("E13", i)
+		edges := topo.RandomDAG(rng, n, 0.12)
+		g, _, err := topo.Levelize(fmt.Sprintf("rdag(%d)", n), n, edges)
+		if err != nil {
+			return "", err
+		}
+		p, err := workload.Random(g, rng, 0.4)
+		if err != nil {
+			return "", err
+		}
+		params := quickParams(cfg, p.C, p.L(), p.N())
+		res := core.Run(p, params, core.RunOptions{Seed: int64(i), Check: true})
+		if !res.Done {
+			return "", fmt.Errorf("E13: n=%d did not complete", n)
+		}
+		t.AddRowf(n, len(edges), g.NumNodes(), g.NumNodes()-n, p.L(), p.N(), p.C,
+			res.Steps, res.Done, res.Invariants.Clean())
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nexpected: the algorithm runs unmodified on the levelized networks and the\n")
+	b.WriteString("invariants hold — levelization is a drop-in bridge from arbitrary DAG\n")
+	b.WriteString("topologies to the paper's model (relay nodes only stretch D, never C).\n")
+	return b.String(), nil
+}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"hotpotato/internal/exhaustive"
+	"hotpotato/internal/graph"
+	"hotpotato/internal/paths"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E17",
+		Title: "Model checking the deflection rules on tiny instances",
+		Claim: "Lemma 2.1's mechanism is choice-independent: for every resolution of every conflict and every deflection-slot assignment, all packets are delivered — verified exhaustively, not sampled",
+		Run:   runE17,
+	})
+}
+
+func runE17(cfg Config) (string, error) {
+	cfg = cfg.Normalize()
+	var b strings.Builder
+	b.WriteString(section("E17", "Exhaustive model checking", "Lemma 2.1, all branches"))
+
+	type instance struct {
+		name   string
+		mk     func() (*workload.Problem, error)
+		budget int
+	}
+	instances := []instance{
+		{"2-packet merge", mkMerge, 12},
+		{"3-packet funnel", func() (*workload.Problem, error) { return mkFunnel(3) }, 20},
+		{"2-packet ladder overlap", mkLadderPair, 16},
+		{"3-packet single-file line", func() (*workload.Problem, error) {
+			g, err := topo.Linear(6)
+			if err != nil {
+				return nil, err
+			}
+			return workload.SingleFile(g, 3)
+		}, 24},
+	}
+	if cfg.Scale >= 2 {
+		instances = append(instances,
+			instance{"4-packet funnel", func() (*workload.Problem, error) { return mkFunnel(4) }, 28},
+			instance{"4-packet single-file line", func() (*workload.Problem, error) {
+				g, err := topo.Linear(7)
+				if err != nil {
+					return nil, err
+				}
+				return workload.SingleFile(g, 4)
+			}, 32},
+		)
+	}
+
+	t := NewTable("greedy hot-potato dynamics, all nondeterministic branches explored:",
+		"instance", "N", "C", "budget", "states", "branches", "deepest", "all delivered")
+	for _, inst := range instances {
+		p, err := inst.mk()
+		if err != nil {
+			return "", fmt.Errorf("E17: %s: %w", inst.name, err)
+		}
+		res, err := exhaustive.Verify(p, inst.budget)
+		if err != nil {
+			return "", fmt.Errorf("E17: %s: %w", inst.name, err)
+		}
+		verdict := fmt.Sprint(res.Delivered)
+		if !res.Delivered {
+			verdict = "NO: " + res.Counterexample
+		}
+		t.AddRowf(inst.name, p.N(), p.C, inst.budget, res.States, res.Branches, res.MaxSteps, verdict)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nexpected: every instance delivers on every branch — Lemma 2.1's safety does\n")
+	b.WriteString("not depend on how ties are broken; the seeded engine's executions are single\n")
+	b.WriteString("paths through these verified trees.\n")
+	return b.String(), nil
+}
+
+func mkMerge() (*workload.Problem, error) {
+	b := graph.NewBuilder("merge")
+	a := b.AddNode(0, "a")
+	bb := b.AddNode(0, "b")
+	m := b.AddNode(1, "m")
+	x := b.AddNode(2, "x")
+	eam := b.AddEdge(a, m)
+	ebm := b.AddEdge(bb, m)
+	emx := b.AddEdge(m, x)
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	set := paths.NewPathSet(g, []graph.Path{{eam, emx}, {ebm, emx}})
+	return &workload.Problem{Name: "merge", G: g, Set: set, C: 2, D: 2}, nil
+}
+
+func mkFunnel(n int) (*workload.Problem, error) {
+	b := graph.NewBuilder("funnel")
+	var l0, l1 []graph.NodeID
+	for i := 0; i < n; i++ {
+		l0 = append(l0, b.AddNode(0, fmt.Sprintf("s%d", i)))
+	}
+	for i := 0; i < 2; i++ {
+		l1 = append(l1, b.AddNode(1, fmt.Sprintf("m%d", i)))
+	}
+	sink := b.AddNode(2, "t")
+	for _, u := range l0 {
+		for _, m := range l1 {
+			b.AddEdge(u, m)
+		}
+	}
+	for _, m := range l1 {
+		b.AddEdge(m, sink)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	ps := make([]graph.Path, n)
+	for k := 0; k < n; k++ {
+		mid := l1[k%2]
+		ps[k] = graph.Path{g.EdgeBetween(l0[k], mid), g.EdgeBetween(mid, sink)}
+	}
+	set := paths.NewPathSet(g, ps)
+	return &workload.Problem{Name: "funnel", G: g, Set: set, C: set.Congestion(), D: 2}, nil
+}
+
+func mkLadderPair() (*workload.Problem, error) {
+	g, err := topo.Ladder(3)
+	if err != nil {
+		return nil, err
+	}
+	var p0 graph.Path
+	for l := 0; l < 3; l++ {
+		p0 = append(p0, g.EdgeBetween(g.Level(l)[0], g.Level(l + 1)[0]))
+	}
+	p1 := append(graph.Path{g.EdgeBetween(g.Level(0)[1], g.Level(1)[0])}, p0[1:]...)
+	set := paths.NewPathSet(g, []graph.Path{p0, p1})
+	return &workload.Problem{Name: "ladderpair", G: g, Set: set, C: 2, D: 3}, nil
+}

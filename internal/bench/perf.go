@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hotpotato/internal/baselines"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "P1",
+		Title: "Simulator capacity: packet-steps per second vs network size",
+		Claim: "(systems table, no paper counterpart) the synchronous engine scales to full-throughput butterflies of thousands of nodes at millions of packet-steps per second on one core",
+		Run:   runP1,
+	})
+}
+
+func runP1(cfg Config) (string, error) {
+	cfg = cfg.Normalize()
+	var b strings.Builder
+	b.WriteString(section("P1", "Simulator capacity", "engine throughput (no paper counterpart)"))
+
+	dims := []int{6, 8}
+	if cfg.Scale >= 2 {
+		dims = []int{6, 8, 10}
+	}
+	t := NewTable("full-throughput butterfly workloads, greedy router, single run each:",
+		"network", "nodes", "edges", "packets", "steps", "wall time", "Mpkt-steps/s", "ns/packet-step")
+	for _, k := range dims {
+		g, err := topo.Butterfly(k)
+		if err != nil {
+			return "", err
+		}
+		p, err := workload.FullThroughput(g, rngFor("P1", k))
+		if err != nil {
+			return "", err
+		}
+		e := sim.NewEngine(p, baselines.NewGreedy(), 1)
+		// Packet-steps: each active packet costs one unit per step.
+		pktSteps := 0
+		e.AddObserver(func(tt int, en *sim.Engine) {
+			pktSteps += en.M.Injected - en.M.Absorbed
+		})
+		start := time.Now()
+		steps, done := e.Run(1 << 22)
+		wall := time.Since(start)
+		if !done {
+			return "", fmt.Errorf("P1: butterfly(%d) did not complete", k)
+		}
+		// Account for packets absorbed mid-run (the observer undercounts
+		// slightly at boundaries); it's a capacity estimate, not a
+		// ledger.
+		if pktSteps == 0 {
+			pktSteps = steps * p.N()
+		}
+		rate := float64(pktSteps) / wall.Seconds() / 1e6
+		nsPer := float64(wall.Nanoseconds()) / float64(pktSteps)
+		t.AddRowf(fmt.Sprintf("butterfly(%d)", k), g.NumNodes(), g.NumEdges(), p.N(),
+			steps, wall.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.2f", rate), fmt.Sprintf("%.0f", nsPer))
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nexpected: millions of packet-steps per second, roughly flat in network size\n")
+	b.WriteString("(per-step cost is linear in active packets plus touched nodes) — enough to\n")
+	b.WriteString("run every experiment in this suite in seconds on a laptop core.\n")
+	return b.String(), nil
+}

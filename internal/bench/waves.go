@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E12",
+		Title: "Online wave arrivals: batches pipelined through frontier-set blocks",
+		Claim: "Section 1.2: the algorithm is online — frames are pipelined one after the other, so successive arrival batches ride later frames and the makespan grows additively, one set-block per wave",
+		Run:   runE12,
+	})
+}
+
+func runE12(cfg Config) (string, error) {
+	cfg = cfg.Normalize()
+	var b strings.Builder
+	b.WriteString(section("E12", "Online wave arrivals", "pipelined frontier-frames (Section 1.2, 2.5)"))
+
+	waveCounts := []int{1, 2, 4}
+	if cfg.Scale >= 2 {
+		waveCounts = []int{1, 2, 4, 8}
+	}
+
+	t := NewTable("random(L=28) network, equal-density waves mapped to frontier-set blocks:",
+		"waves", "N", "C", "maxWaveC", "sets", "steps", "steps/wave-sets", "Id meets", "done")
+	var prevSteps float64
+	additive := true
+	for i, waves := range waveCounts {
+		rng := rngFor("E12", i)
+		g, err := topo.Random(rng, 28, 3, 5, 0.4)
+		if err != nil {
+			return "", err
+		}
+		wp, err := workload.Waves(g, rng, waves, 0.15)
+		if err != nil {
+			return "", err
+		}
+		setsPerWave := 2
+		params := core.Params{
+			NumSets: waves * setsPerWave,
+			M:       8,
+			W:       24,
+			Q:       0.05,
+		}
+		assign := wp.SetAssignment(rng, setsPerWave)
+		router := core.NewFrameWithSets(params, assign)
+		eng := sim.NewEngine(wp.Problem, router, int64(200+i))
+		checker := core.NewInvariantChecker(router)
+		checker.Attach(eng)
+		steps, done := eng.Run(8 * params.TotalSteps(wp.L()))
+		if !done {
+			return "", fmt.Errorf("E12: %d waves did not complete", waves)
+		}
+		maxWaveC := 0
+		for _, c := range wp.PerWaveC {
+			if c > maxWaveC {
+				maxWaveC = c
+			}
+		}
+		perSet := float64(steps) / float64(params.NumSets)
+		t.AddRowf(waves, wp.N(), wp.C, maxWaveC, params.NumSets, steps,
+			fmt.Sprintf("%.0f", perSet), checker.Report.IdForeignMeetings, done)
+		if i > 0 {
+			// Makespan must grow sub-linearly vs naive sequential runs:
+			// each extra wave adds one set-block of phases, not a full
+			// schedule.
+			growth := float64(steps) / prevSteps
+			if growth > 2.5*float64(waveCounts[i])/float64(waveCounts[i-1]) {
+				additive = false
+			}
+		}
+		prevSteps = float64(steps)
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nadditive pipelining observed: %v\n", additive)
+	b.WriteString("expected: steps grow by one set-block of phases per extra wave — the\n")
+	b.WriteString("schedule is (waves·setsPerWave·M + L)·M·W, linear in the wave count with\n")
+	b.WriteString("the L·M·W term amortized across waves; foreign-set meetings stay zero, so\n")
+	b.WriteString("waves never interfere.\n")
+	return b.String(), nil
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+)
+
+// Analysis reproduces the probability bookkeeping of Sections 2.1 and
+// 4.3-4.4 for a problem instance: the failure budgets p0 and p1, the
+// per-phase success recurrence p(k), and the final bound of
+// Theorem 4.26. All quantities use the reconstructed constants of
+// ParamsFromPaper.
+type Analysis struct {
+	C, L, N int
+	// A is the frontier-set density a = 2e³/ln(LN); the set count is
+	// ceil(A*C) (called aC or amC in the paper's phase arithmetic).
+	A float64
+	// M, W, Q echo the parameters.
+	P Params
+}
+
+// NewAnalysis builds the analysis for an instance.
+func NewAnalysis(C, L, N int) Analysis {
+	ln := lnLN(L, N)
+	return Analysis{
+		C: C, L: L, N: N,
+		A: 2 * math.E * math.E * math.E / ln,
+		P: ParamsFromPaper(C, L, N),
+	}
+}
+
+// P0 is the probability that the initial random partition satisfies
+// Lemma 2.2: p0 = 1 - 1/(2LN).
+func (a Analysis) P0() float64 {
+	return 1 - 1/(2*float64(a.L)*float64(a.N))
+}
+
+// P1 is the per-event failure budget of Section 2.1:
+// p1 = 1 / ((aCm + L) · 2aCm · L · N²), with aCm the set count times
+// the frame size as in the phase arithmetic.
+func (a Analysis) P1() float64 {
+	amc := float64(a.P.NumSets) * float64(a.P.M)
+	return 1 / ((amc + float64(a.L)) * 2 * amc * float64(a.L) * float64(a.N) * float64(a.N))
+}
+
+// PhaseFailure is the per-phase failure mass amCN·p1 subtracted in the
+// recurrence p(k) = p(k-1)·(1 - amCN·p1).
+func (a Analysis) PhaseFailure() float64 {
+	amc := float64(a.P.NumSets) * float64(a.P.M)
+	return amc * float64(a.N) * a.P1()
+}
+
+// PK evaluates the recurrence p(k) = p0 · (1 - amCN·p1)^k. The margin
+// of Theorem 4.26 is as thin as 1/(4L²N²), so the power is computed via
+// Log1p to keep full precision for large k and tiny failure mass.
+func (a Analysis) PK(k int) float64 {
+	return a.P0() * math.Exp(float64(k)*math.Log1p(-a.PhaseFailure()))
+}
+
+// FinalPhases is the phase count amC + L at which the last frame has
+// left the network (Proposition 4.25).
+func (a Analysis) FinalPhases() int {
+	return a.P.TotalPhases(a.L)
+}
+
+// SuccessProbability is the Theorem 4.26 lower bound on the probability
+// that all packets are absorbed by the schedule bound: p(amC + L),
+// which the theorem lower-bounds by 1 - 1/LN.
+func (a Analysis) SuccessProbability() float64 {
+	return a.PK(a.FinalPhases())
+}
+
+// TheoremFloor is the claimed floor 1 - 1/LN.
+func (a Analysis) TheoremFloor() float64 {
+	return 1 - 1/(float64(a.L)*float64(a.N))
+}
+
+// StepBound is the schedule bound (amC + L)·m·w of Proposition 4.25.
+func (a Analysis) StepBound() int {
+	return a.P.TotalSteps(a.L)
+}
+
+// PolylogFactor reports StepBound / (C + L) — the Õ(·) factor the title
+// hides, which Theorem 4.26 bounds by O(ln⁹(LN)).
+func (a Analysis) PolylogFactor() float64 {
+	return float64(a.StepBound()) / float64(a.C+a.L)
+}
+
+// Ln9 is ln⁹(LN), the paper's polylog exponent, for comparison with
+// PolylogFactor.
+func (a Analysis) Ln9() float64 {
+	return math.Pow(lnLN(a.L, a.N), 9)
+}

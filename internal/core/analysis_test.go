@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// The heart of Theorem 4.26's final computation: unfolding
+// p(amC + L) = p0 · (1 - amCN·p1)^(amC+L) must stay at or above
+// 1 - 1/LN for every instance, because (amC+L)·amCN·p1 <= 1/(2LN) by
+// the choice of p1. This test verifies the paper's probability algebra
+// over a grid of instances.
+func TestTheorem426ProbabilityAlgebra(t *testing.T) {
+	for _, C := range []int{1, 4, 16, 64, 256} {
+		for _, L := range []int{4, 16, 64, 256} {
+			for _, N := range []int{4, 32, 256, 2048} {
+				a := NewAnalysis(C, L, N)
+				got := a.SuccessProbability()
+				floor := a.TheoremFloor()
+				if got < floor {
+					t.Errorf("C=%d L=%d N=%d: p(final)=%.10f below floor %.10f", C, L, N, got, floor)
+				}
+				if got > 1 {
+					t.Errorf("C=%d L=%d N=%d: probability %v > 1", C, L, N, got)
+				}
+			}
+		}
+	}
+}
+
+// The aggregate per-phase failure mass over the whole schedule is at
+// most 1/(2LN), the budget Equation 2 converts into the final bound.
+func TestPhaseFailureBudget(t *testing.T) {
+	for _, C := range []int{2, 32} {
+		for _, L := range []int{8, 128} {
+			for _, N := range []int{16, 512} {
+				a := NewAnalysis(C, L, N)
+				total := float64(a.FinalPhases()) * a.PhaseFailure()
+				budget := 1 / (2 * float64(L) * float64(N))
+				if total > budget+1e-12 {
+					t.Errorf("C=%d L=%d N=%d: total failure mass %.3g exceeds budget %.3g",
+						C, L, N, total, budget)
+				}
+			}
+		}
+	}
+}
+
+func TestPKMonotoneDecreasing(t *testing.T) {
+	a := NewAnalysis(16, 64, 256)
+	prev := a.PK(0)
+	if math.Abs(prev-a.P0()) > 1e-12 {
+		t.Errorf("p(0) = %v, want p0 = %v", prev, a.P0())
+	}
+	for k := 1; k <= a.FinalPhases(); k += 50 {
+		cur := a.PK(k)
+		if cur > prev {
+			t.Errorf("p(%d)=%v > p(previous)=%v", k, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestP0P1Shapes(t *testing.T) {
+	a := NewAnalysis(8, 32, 128)
+	if p0 := a.P0(); p0 <= 0.999 || p0 >= 1 {
+		t.Errorf("p0 = %v", p0)
+	}
+	if p1 := a.P1(); p1 <= 0 || p1 > 1e-6 {
+		t.Errorf("p1 = %v", p1)
+	}
+	// p1 shrinks as the instance grows.
+	bigger := NewAnalysis(8, 32, 1024)
+	if bigger.P1() >= a.P1() {
+		t.Errorf("p1 not decreasing in N: %v vs %v", bigger.P1(), a.P1())
+	}
+}
+
+// The schedule's polylog factor is Θ(ln⁹ LN): the ratio
+// PolylogFactor/ln⁹ stays within a constant band — it neither blows up
+// (the bound really is Õ(C+L)) nor vanishes (ln⁹ is the true order of
+// the reconstructed constants, matching Theorem 4.26's exponent). The
+// constant is large (≈10³, driven by a = 2e³/ln and w's 4e·ln(1/p1)
+// factor), which is exactly the paper's "not really practical" caveat.
+func TestPolylogFactorIsThetaLn9(t *testing.T) {
+	var ratios []float64
+	for _, L := range []int{16, 64, 256, 1024} {
+		for _, N := range []int{64, 1024, 1 << 14} {
+			// D = Θ(L) regime: take C comparable to L.
+			a := NewAnalysis(L, L, N)
+			ratios = append(ratios, a.PolylogFactor()/a.Ln9())
+		}
+	}
+	for i, r := range ratios {
+		if r > 1e5 {
+			t.Errorf("instance %d: factor/ln⁹ = %.3g — super-polylog growth", i, r)
+		}
+		if r < 1 {
+			t.Errorf("instance %d: factor/ln⁹ = %.3g — ln⁹ overestimates the order", i, r)
+		}
+	}
+	// The band across two decades of instance size stays within ~100x,
+	// i.e. the ln⁹ order is right.
+	min, max := ratios[0], ratios[0]
+	for _, r := range ratios {
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	if max/min > 100 {
+		t.Errorf("factor/ln⁹ band too wide: [%.3g, %.3g]", min, max)
+	}
+}
+
+// The step bound is linear in C and in L once the polylog is factored
+// out: doubling C at most ~doubles the bound (plus the L term).
+func TestStepBoundLinearShape(t *testing.T) {
+	L, N := 64, 1024
+	b1 := NewAnalysis(16, L, N).StepBound()
+	b2 := NewAnalysis(32, L, N).StepBound()
+	b4 := NewAnalysis(64, L, N).StepBound()
+	// Slopes: (b2-b1)/(16) vs (b4-b2)/(32) should agree within 10%.
+	s1 := float64(b2-b1) / 16
+	s2 := float64(b4-b2) / 32
+	if math.Abs(s1-s2)/s1 > 0.1 {
+		t.Errorf("step bound not linear in C: slopes %.1f vs %.1f", s1, s2)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+// Golden regression pins: every run below is fully deterministic
+// (deterministic workload construction + seeded engine), so any change
+// in the engine's conflict resolution, deflection preferences, state
+// machine or schedule arithmetic shows up as a changed step count.
+// When a deliberate semantic change moves these numbers, re-derive them
+// with `go test -run TestGolden -v` and update — the point is that it
+// cannot happen silently.
+func TestGoldenFrameRuns(t *testing.T) {
+	cases := []struct {
+		name      string
+		mk        func() (*workload.Problem, error)
+		params    Params
+		seed      int64
+		wantSteps int
+	}{
+		{
+			name: "singlefile-linear",
+			mk: func() (*workload.Problem, error) {
+				g, err := topo.Linear(17)
+				if err != nil {
+					return nil, err
+				}
+				return workload.SingleFile(g, 4)
+			},
+			params:    Params{NumSets: 2, M: 5, W: 15, Q: 0.05},
+			seed:      1,
+			wantSteps: 1581,
+		},
+		{
+			name:      "meshhard-6",
+			mk:        func() (*workload.Problem, error) { return workload.MeshHard(6) },
+			params:    Params{NumSets: 2, M: 6, W: 18, Q: 0.05},
+			seed:      2,
+			wantSteps: 1086,
+		},
+		{
+			name:      "allcorners-8",
+			mk:        func() (*workload.Problem, error) { return workload.AllCorners(8) },
+			params:    Params{NumSets: 1, M: 6, W: 18, Q: 0.05},
+			seed:      3,
+			wantSteps: 1409,
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			p, err := c.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := Run(p, c.params, RunOptions{Seed: c.seed, Check: true})
+			if !res.Done {
+				t.Fatalf("did not complete: %s", res)
+			}
+			if c.wantSteps == 0 {
+				t.Logf("golden %s: steps=%d defl=%d", c.name, res.Steps, res.Engine.TotalDeflections())
+				return
+			}
+			if res.Steps != c.wantSteps {
+				t.Errorf("steps = %d, golden %d (engine semantics changed?)", res.Steps, c.wantSteps)
+			}
+			if res.Engine.UnsafeDeflections() != 0 {
+				t.Errorf("unsafe deflections: %v", res.Engine.Deflections)
+			}
+		})
+	}
+}

@@ -1,0 +1,186 @@
+// Package core implements the paper's contribution: the randomized
+// hot-potato routing algorithm for leveled networks with routing time
+// O((C+L)·ln⁹(LN)) w.h.p. (Busch, SPAA 2002, Sections 2–4).
+//
+// Packets are partitioned uniformly at random into frontier-sets; each
+// set rides a frontier-frame of M consecutive levels that shifts one
+// level forward per phase. A phase is M rounds of W steps. Within a
+// round, packets chase a target level that retreats toward the back of
+// the frame, enter a wait state at their target nodes, and oscillate
+// there until the phase ends. States carry priorities
+// (excited > normal > wait); deflections are backward and safe.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the algorithm's tunables. The paper fixes them as
+// functions of C, L and N (Section 2.1, reconstructed — see
+// ParamsFromPaper); ParamsPractical scales them down to
+// simulation-friendly values with the same structure.
+type Params struct {
+	// NumSets is the number of frontier-sets (the paper's aC).
+	NumSets int
+	// M is the number of levels in a frontier-frame, which also equals
+	// the number of rounds per phase (the paper's m).
+	M int
+	// W is the number of steps per round (the paper's w).
+	W int
+	// Q is the per-step probability that a normal packet turns excited
+	// (the paper's q).
+	Q float64
+}
+
+// Validate checks the parameters are usable.
+func (p Params) Validate() error {
+	if p.NumSets < 1 {
+		return fmt.Errorf("core: NumSets must be >= 1, got %d", p.NumSets)
+	}
+	if p.M < 4 {
+		return fmt.Errorf("core: M must be >= 4 (the last three inner-levels must be able to drain), got %d", p.M)
+	}
+	if p.W < 2 {
+		return fmt.Errorf("core: W must be >= 2, got %d", p.W)
+	}
+	if p.Q <= 0 || p.Q > 1 {
+		return fmt.Errorf("core: Q must be in (0,1], got %g", p.Q)
+	}
+	return nil
+}
+
+// StepsPerPhase returns M*W.
+func (p Params) StepsPerPhase() int { return p.M * p.W }
+
+// TotalPhases returns the phase at which the last frontier-frame has
+// fully left a depth-L network: frame NumSets-1 exits at phase
+// (NumSets-1)*M + L + M = NumSets*M + L (Proposition 4.25).
+func (p Params) TotalPhases(L int) int {
+	return p.NumSets*p.M + L
+}
+
+// TotalSteps returns the step bound of Proposition 4.25 for a depth-L
+// network: TotalPhases * M * W.
+func (p Params) TotalSteps(L int) int {
+	return p.TotalPhases(L) * p.StepsPerPhase()
+}
+
+// String renders the parameters.
+func (p Params) String() string {
+	return fmt.Sprintf("sets=%d M=%d W=%d Q=%.4g", p.NumSets, p.M, p.W, p.Q)
+}
+
+// lnLN returns ln(L*N) clamped below at 2 so tiny instances do not
+// degenerate the formulas.
+func lnLN(L, N int) float64 {
+	v := math.Log(float64(L) * float64(N))
+	if v < 2 {
+		v = 2
+	}
+	return v
+}
+
+// ParamsFromPaper returns the proof-grade constants of Section 2.1,
+// reconstructed from the proofs (the published text garbles the
+// parameter table; see DESIGN.md):
+//
+//	a  = 2e³ / ln(LN)            so that aC frontier-sets give per-set
+//	                             congestion ≤ ln(LN) w.h.p. (Lemma 2.2)
+//	m  = ln²(LN) + 5             (frame size; Invariant If needs slack)
+//	q  = 1 / (m² ln(LN))         (Lemma 4.3: (1-mq)^{m ln(LN)} ≥ 1/2e)
+//	p₁ = 1 / ((amC+L)·2amC·L·N²) (per-round failure budget)
+//	w  = 4e·m²·ln(LN)·ln(1/p₁) + 3m + 1
+//	                             (Lemma 4.5: enough deflection-retry
+//	                             chances per round)
+//
+// These are intended for the analysis, not for simulation: w runs to
+// millions of steps for modest LN. They are exposed so the experiment
+// suite can report the paper-faithful bound alongside practical runs.
+func ParamsFromPaper(C, L, N int) Params {
+	ln := lnLN(L, N)
+	a := 2 * math.E * math.E * math.E / ln
+	m := math.Ceil(ln*ln + 5)
+	q := 1 / (m * m * ln)
+	amC := math.Ceil(a * float64(C))
+	if amC < 1 {
+		amC = 1
+	}
+	p1 := 1 / ((amC*m + float64(L)) * 2 * amC * m * float64(L) * float64(N) * float64(N))
+	// Guard against overflow/degeneracy on absurd inputs.
+	if p1 <= 0 || math.IsInf(p1, 0) || math.IsNaN(p1) {
+		p1 = 1e-18
+	}
+	w := math.Ceil(4*math.E*m*m*ln*math.Log(1/p1) + 3*m + 1)
+	return Params{
+		NumSets: int(amC),
+		M:       int(m),
+		W:       int(w),
+		Q:       q,
+	}
+}
+
+// PracticalConfig scales the paper's constants down to values a
+// simulation can run while preserving the algorithm's structure. Zero
+// values select the defaults noted on each field.
+type PracticalConfig struct {
+	// SetCongestion is the per-frontier-set congestion target; the
+	// number of sets is ceil(C / SetCongestion). Default ln(LN).
+	SetCongestion float64
+	// FrameSlack is added to the frame size beyond what the congestion
+	// target needs; M = ceil(SetCongestion) + FrameSlack. Default 6.
+	FrameSlack int
+	// RoundFactor sets W = RoundFactor * M. Default 4.
+	RoundFactor int
+	// Q is the excitation probability. Default 1/(4·ln(LN)).
+	Q float64
+}
+
+// ParamsPractical derives simulation-grade parameters for a problem
+// with congestion C on a depth-L network with N packets. The defaults
+// follow the paper's shapes with the polylog exponents reduced:
+// per-set congestion stays Θ(ln LN), the frame is a small multiple of
+// that, and rounds are a small multiple of the frame, so the total time
+// remains O((C+L)·polylog) with far smaller constants. Experiment E8
+// sweeps these knobs.
+func ParamsPractical(C, L, N int, cfg PracticalConfig) Params {
+	ln := lnLN(L, N)
+	sc := cfg.SetCongestion
+	if sc <= 0 {
+		sc = ln
+	}
+	slack := cfg.FrameSlack
+	if slack <= 0 {
+		slack = 6
+	}
+	rf := cfg.RoundFactor
+	if rf <= 0 {
+		rf = 4
+	}
+	q := cfg.Q
+	if q <= 0 {
+		q = 1 / (4 * ln)
+	}
+	if q > 1 {
+		q = 1
+	}
+	sets := int(math.Ceil(float64(C) / sc))
+	if sets < 1 {
+		sets = 1
+	}
+	m := int(math.Ceil(sc)) + slack
+	if m < 4 {
+		m = 4
+	}
+	return Params{
+		NumSets: sets,
+		M:       m,
+		W:       rf * m,
+		Q:       q,
+	}
+}
+
+// DefaultPractical is ParamsPractical with all defaults.
+func DefaultPractical(C, L, N int) Params {
+	return ParamsPractical(C, L, N, PracticalConfig{})
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{NumSets: 2, M: 5, W: 10, Q: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good params rejected: %v", err)
+	}
+	bad := []Params{
+		{NumSets: 0, M: 5, W: 10, Q: 0.1},
+		{NumSets: 1, M: 3, W: 10, Q: 0.1},
+		{NumSets: 1, M: 5, W: 1, Q: 0.1},
+		{NumSets: 1, M: 5, W: 10, Q: 0},
+		{NumSets: 1, M: 5, W: 10, Q: 1.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestParamsArithmetic(t *testing.T) {
+	p := Params{NumSets: 3, M: 4, W: 10, Q: 0.1}
+	if p.StepsPerPhase() != 40 {
+		t.Errorf("StepsPerPhase = %d", p.StepsPerPhase())
+	}
+	// TotalPhases(L) = NumSets*M + L = 12 + 20 = 32.
+	if p.TotalPhases(20) != 32 {
+		t.Errorf("TotalPhases = %d", p.TotalPhases(20))
+	}
+	if p.TotalSteps(20) != 32*40 {
+		t.Errorf("TotalSteps = %d", p.TotalSteps(20))
+	}
+	if p.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestParamsFromPaperShapes(t *testing.T) {
+	C, L, N := 32, 64, 512
+	p := ParamsFromPaper(C, L, N)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("paper params invalid: %v", err)
+	}
+	ln := math.Log(float64(L) * float64(N))
+	// NumSets = ceil(2e^3 C / ln(LN)).
+	wantSets := int(math.Ceil(2 * math.E * math.E * math.E * float64(C) / ln))
+	if p.NumSets != wantSets {
+		t.Errorf("NumSets = %d, want %d", p.NumSets, wantSets)
+	}
+	// M = ceil(ln^2(LN) + 5).
+	if want := int(math.Ceil(ln*ln + 5)); p.M != want {
+		t.Errorf("M = %d, want %d", p.M, want)
+	}
+	// q = 1/(m^2 ln) within float tolerance.
+	if want := 1 / (float64(p.M) * float64(p.M) * ln); math.Abs(p.Q-want)/want > 0.2 {
+		t.Errorf("Q = %g, want about %g", p.Q, want)
+	}
+	// w is the dominant polylog: it must dwarf m.
+	if p.W < 100*p.M {
+		t.Errorf("W = %d suspiciously small vs M = %d", p.W, p.M)
+	}
+}
+
+func TestParamsFromPaperMonotoneInC(t *testing.T) {
+	l, n := 64, 256
+	prev := ParamsFromPaper(1, l, n)
+	for _, c := range []int{2, 8, 32, 128} {
+		cur := ParamsFromPaper(c, l, n)
+		if cur.NumSets < prev.NumSets {
+			t.Errorf("NumSets not monotone in C: C=%d gives %d < %d", c, cur.NumSets, prev.NumSets)
+		}
+		prev = cur
+	}
+}
+
+func TestParamsFromPaperTinyInstance(t *testing.T) {
+	// Degenerate inputs must still validate (ln clamp).
+	p := ParamsFromPaper(1, 1, 1)
+	if err := p.Validate(); err != nil {
+		t.Errorf("tiny instance params invalid: %v", err)
+	}
+}
+
+func TestParamsPracticalDefaults(t *testing.T) {
+	C, L, N := 20, 40, 100
+	p := DefaultPractical(C, L, N)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("practical params invalid: %v", err)
+	}
+	ln := lnLN(L, N)
+	wantSets := int(math.Ceil(float64(C) / ln))
+	if p.NumSets != wantSets {
+		t.Errorf("NumSets = %d, want %d", p.NumSets, wantSets)
+	}
+	if p.W != 4*p.M {
+		t.Errorf("W = %d, want 4*M = %d", p.W, 4*p.M)
+	}
+	if p.M != int(math.Ceil(ln))+6 {
+		t.Errorf("M = %d", p.M)
+	}
+}
+
+func TestParamsPracticalKnobs(t *testing.T) {
+	p := ParamsPractical(10, 20, 50, PracticalConfig{SetCongestion: 5, FrameSlack: 2, RoundFactor: 3, Q: 0.25})
+	if p.NumSets != 2 {
+		t.Errorf("NumSets = %d, want 2", p.NumSets)
+	}
+	if p.M != 7 {
+		t.Errorf("M = %d, want 7", p.M)
+	}
+	if p.W != 21 {
+		t.Errorf("W = %d, want 21", p.W)
+	}
+	if p.Q != 0.25 {
+		t.Errorf("Q = %g", p.Q)
+	}
+}
+
+func TestParamsPracticalClamps(t *testing.T) {
+	// M floor of 4 and Q cap of 1.
+	p := ParamsPractical(1, 2, 2, PracticalConfig{SetCongestion: 1, FrameSlack: 1, Q: 5})
+	if p.M < 4 {
+		t.Errorf("M = %d, want >= 4", p.M)
+	}
+	if p.Q > 1 {
+		t.Errorf("Q = %g", p.Q)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("clamped params invalid: %v", err)
+	}
+}
+
+func TestLnLNClamp(t *testing.T) {
+	if lnLN(1, 1) != 2 {
+		t.Errorf("lnLN(1,1) = %g, want clamp 2", lnLN(1, 1))
+	}
+	if v := lnLN(100, 100); math.Abs(v-math.Log(10000)) > 1e-9 {
+		t.Errorf("lnLN(100,100) = %g", v)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+// Property: across random networks, workloads and parameter draws, the
+// frame router always (a) completes within 4x its schedule bound,
+// (b) keeps every deflection safe (Lemma 2.1), and (c) never grows
+// frontier-set congestion (Lemma 4.10). These two lemmas are
+// deterministic consequences of the mechanism — not w.h.p. statements —
+// so they must hold on every draw.
+func TestFramePropertiesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property soak skipped in -short")
+	}
+	prop := func(seed int64, depthRaw, scRaw, slackRaw, rfRaw uint8) bool {
+		depth := int(depthRaw%24) + 8
+		rng := rand.New(rand.NewSource(seed))
+		g, err := topo.Random(rng, depth, 3, 5, 0.4)
+		if err != nil {
+			return false
+		}
+		p, err := workload.Random(g, rng, 0.4)
+		if err != nil {
+			return true // degenerate draw
+		}
+		params := ParamsPractical(p.C, p.L(), p.N(), PracticalConfig{
+			SetCongestion: float64(scRaw%6) + 2,
+			FrameSlack:    int(slackRaw%6) + 1,
+			RoundFactor:   int(rfRaw%4) + 2,
+		})
+		res := Run(p, params, RunOptions{Seed: seed, Check: true})
+		if !res.Done {
+			return false
+		}
+		if res.Engine.UnsafeDeflections() != 0 {
+			return false
+		}
+		if res.Invariants.IbPathInvalid != 0 {
+			return false
+		}
+		if res.Invariants.IeCongestionExceeded != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the schedule bound is respected — completion never exceeds
+// TotalSteps for clean (violation-free) runs at default parameters.
+func TestFrameWithinScheduleBoundQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property soak skipped in -short")
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := topo.Random(rng, 20, 3, 5, 0.4)
+		if err != nil {
+			return false
+		}
+		p, err := workload.Random(g, rng, 0.4)
+		if err != nil {
+			return true
+		}
+		params := DefaultPractical(p.C, p.L(), p.N())
+		res := Run(p, params, RunOptions{Seed: seed, Check: true})
+		if !res.Done {
+			return false
+		}
+		if res.Invariants.Clean() && res.Steps > res.PaperBound {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

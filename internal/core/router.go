@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hotpotato/internal/graph"
+	"hotpotato/internal/sim"
+)
+
+// Packet states (Section 3). Priorities order conflicts:
+// excited > normal > wait.
+type state int8
+
+const (
+	stateNormal state = iota
+	stateExcited
+	stateWait
+)
+
+// String implements fmt.Stringer.
+func (s state) String() string {
+	switch s {
+	case stateNormal:
+		return "normal"
+	case stateExcited:
+		return "excited"
+	case stateWait:
+		return "wait"
+	}
+	return fmt.Sprintf("state(%d)", int8(s))
+}
+
+// Engine priorities for each state.
+const (
+	prioWait    int64 = 0
+	prioNormal  int64 = 1
+	prioExcited int64 = 2
+)
+
+// Stats aggregates router-level counters for one run.
+type Stats struct {
+	// Excitations counts normal->excited promotions.
+	Excitations int
+	// WaitEntries counts normal/excited->wait transitions.
+	WaitEntries int
+	// WaitInterrupts counts wait packets deflected back to normal.
+	WaitInterrupts int
+	// LatePhaseInjections counts packets injected after the first step
+	// of their scheduled injection phase (the paper's "extreme case").
+	LatePhaseInjections int
+	// ExcitedSuccesses counts excitation episodes that ended with the
+	// packet reaching its target (entering wait or being absorbed);
+	// ExcitedFailures counts episodes ended by deflection or round end.
+	// Lemma 4.3 lower-bounds the per-episode success chance by 1/2e
+	// under the paper's q.
+	ExcitedSuccesses int
+	ExcitedFailures  int
+}
+
+// Frame is the paper's routing algorithm as a sim.Router.
+type Frame struct {
+	P Params
+
+	// DisableWait removes the wait state (ablation): packets keep
+	// chasing their targets instead of parking and oscillating. Set
+	// before the engine's first step. Expect invariant Ic to break —
+	// without parking, a packet that reaches the frontier keeps walking
+	// forward out of its frame; the wait state is what pins progress to
+	// the frame schedule.
+	DisableWait bool
+
+	// EagerInjection removes the staged injection schedule (ablation):
+	// packets enter at the first opportunity instead of waiting for
+	// their frame to reach their source. Expect invariants Ic and Id to
+	// break — early packets sit outside (ahead of) their frames and mix
+	// with other sets; the injection schedule is what keeps the frames
+	// disjoint.
+	EagerInjection bool
+
+	g     *graph.Leveled
+	rng   *rand.Rand
+	sched Schedule
+	S     Stats
+
+	// assign, when non-nil, is the caller-supplied frontier-set
+	// assignment applied at Init instead of the random one.
+	assign []int32
+
+	// Per-packet algorithm state, indexed by PacketID.
+	set      []int32
+	st       []state
+	waitNode []graph.NodeID
+	waitEdge []graph.EdgeID
+}
+
+// NewFrame returns a frame router with the given parameters. Packets
+// are assigned to frontier-sets uniformly at random from the engine's
+// seeded source at Init.
+func NewFrame(p Params) *Frame {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Frame{P: p, sched: Schedule{p}}
+}
+
+// NewFrameWithSets returns a frame router with an explicit frontier-set
+// assignment instead of the uniform random one: assign[i] is the set of
+// packet i, in [0, P.NumSets). This supports staged (wave) arrivals:
+// later sets have later injection phases, so mapping each arrival batch
+// to its own block of sets pipelines the batches through the network.
+// The slice length must match the packet count at Init.
+func NewFrameWithSets(p Params, assign []int32) *Frame {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	for i, s := range assign {
+		if s < 0 || int(s) >= p.NumSets {
+			panic(fmt.Sprintf("core: set assignment %d of packet %d out of range [0,%d)", s, i, p.NumSets))
+		}
+	}
+	return &Frame{P: p, sched: Schedule{p}, assign: assign}
+}
+
+// Name implements sim.Router.
+func (r *Frame) Name() string { return "frame" }
+
+// Schedule exposes the router's timetable (for observers and tests).
+func (r *Frame) Schedule() Schedule { return r.sched }
+
+// Set returns the frontier-set of a packet.
+func (r *Frame) Set(id sim.PacketID) int { return int(r.set[id]) }
+
+// State returns the current state name of a packet (for tracing).
+func (r *Frame) State(id sim.PacketID) string { return r.st[id].String() }
+
+// IsWaiting reports whether the packet is in the wait state.
+func (r *Frame) IsWaiting(id sim.PacketID) bool { return r.st[id] == stateWait }
+
+// StateCounts tallies the active packets by state (normal, excited,
+// wait) — a live-view census for tracing tools.
+func (r *Frame) StateCounts(e *sim.Engine) (normal, excited, wait int) {
+	for i := range e.Packets {
+		if !e.Packets[i].Active {
+			continue
+		}
+		switch r.st[i] {
+		case stateNormal:
+			normal++
+		case stateExcited:
+			excited++
+		case stateWait:
+			wait++
+		}
+	}
+	return
+}
+
+// Init implements sim.Router.
+func (r *Frame) Init(e *sim.Engine) {
+	r.g = e.G
+	r.rng = e.Rng
+	n := len(e.Packets)
+	r.set = make([]int32, n)
+	r.st = make([]state, n)
+	r.waitNode = make([]graph.NodeID, n)
+	r.waitEdge = make([]graph.EdgeID, n)
+	if r.assign != nil && len(r.assign) != n {
+		panic(fmt.Sprintf("core: set assignment covers %d packets, problem has %d", len(r.assign), n))
+	}
+	for i := range e.Packets {
+		if r.assign != nil {
+			r.set[i] = r.assign[i]
+		} else {
+			r.set[i] = int32(r.rng.Intn(r.P.NumSets))
+		}
+		e.Packets[i].Tag = r.set[i]
+		r.waitNode[i] = graph.NoNode
+		r.waitEdge[i] = graph.NoEdge
+	}
+}
+
+// WantInject implements sim.Router: a packet wants in from the start of
+// the phase in which its source sits at inner-level M-1 of its frame
+// (Section 3, Packet Injection). The engine enforces isolation; if the
+// source is occupied the packet retries every later step.
+func (r *Frame) WantInject(t int, p *sim.Packet) bool {
+	if r.EagerInjection {
+		return true
+	}
+	phase := r.sched.PhaseOf(t)
+	want := r.sched.InjectionPhase(int(r.set[p.ID]), r.g.Node(p.Src).Level)
+	return phase >= want
+}
+
+// TargetNode computes the packet's target node for the given step
+// (Section 2.5): the node of its current path at the frame's target
+// level, or the destination when the path does not cross that level.
+// Destination-chasing is clamped at the frontier: Lemma 4.5 states that
+// the rightmost target node of any packet is in level f_i, so a packet
+// whose destination lies beyond the frontier waits where its path
+// crosses the frontier instead of climbing out of its frame. (Without
+// the clamp, a packet that misses its round target under scaled-down
+// parameters would escape the frame forward.)
+func (r *Frame) TargetNode(t int, p *sim.Packet) graph.NodeID {
+	phase := r.sched.PhaseOf(t)
+	round := r.sched.RoundOf(t)
+	set := int(r.set[p.ID])
+	tl := r.sched.TargetLevel(set, phase, round)
+	if v, ok := r.g.PathContainsLevel(p.PathList, tl); ok && r.g.Node(v).Level == tl {
+		return v
+	}
+	if f := r.sched.Frontier(set, phase); r.g.Node(p.Dst).Level > f {
+		if v, ok := r.g.PathContainsLevel(p.PathList, f); ok && r.g.Node(v).Level == f {
+			return v
+		}
+	}
+	return p.Dst
+}
+
+// Request implements sim.Router.
+func (r *Frame) Request(t int, p *sim.Packet) sim.Request {
+	id := p.ID
+	// A packet's first request comes at its injection step; injection
+	// after the start of its scheduled phase is the paper's "extreme
+	// case" fallback, worth counting.
+	if p.InjectTime == t {
+		want := r.sched.InjectionPhase(int(r.set[id]), r.g.Node(p.Src).Level)
+		if t > r.sched.PhaseStart(want) {
+			r.S.LatePhaseInjections++
+		}
+	}
+	if r.st[id] == stateWait {
+		// Oscillate on the wait edge (Section 3, Wait state). The
+		// packet sits at one endpoint; move to the other.
+		e := r.waitEdge[id]
+		return sim.Request{Edge: e, Dir: r.g.DirectionFrom(e, p.Cur), Priority: prioWait}
+	}
+
+	// Normal packets attempt excitation each step with probability Q.
+	if r.st[id] == stateNormal && r.rng.Float64() < r.P.Q {
+		r.st[id] = stateExcited
+		r.S.Excitations++
+	}
+
+	// Reaching the target node begins the wait state, oscillating on
+	// the last traversed link.
+	if tgt := r.TargetNode(t, p); !r.DisableWait && p.Cur == tgt && p.ArrivalEdge != graph.NoEdge {
+		if r.st[id] == stateExcited {
+			r.S.ExcitedSuccesses++
+		}
+		r.st[id] = stateWait
+		r.waitNode[id] = p.Cur
+		r.waitEdge[id] = p.ArrivalEdge
+		r.S.WaitEntries++
+		e := p.ArrivalEdge
+		return sim.Request{Edge: e, Dir: r.g.DirectionFrom(e, p.Cur), Priority: prioWait}
+	}
+
+	// Chase the current path toward the target.
+	prio := prioNormal
+	if r.st[id] == stateExcited {
+		prio = prioExcited
+	}
+	head := p.PathList[0]
+	return sim.Request{Edge: head, Dir: r.g.DirectionFrom(head, p.Cur), Priority: prio}
+}
+
+// OnDeflect implements sim.Router: a deflected excited packet reverts
+// to normal; a deflected wait packet is interrupted and reverts to
+// normal (Section 3).
+func (r *Frame) OnDeflect(t int, p *sim.Packet, e graph.EdgeID, kind sim.DeflectKind) {
+	id := p.ID
+	if r.st[id] == stateWait {
+		r.S.WaitInterrupts++
+		r.clearWait(id)
+	}
+	if r.st[id] == stateExcited {
+		r.S.ExcitedFailures++
+	}
+	r.st[id] = stateNormal
+}
+
+// OnMove implements sim.Router.
+func (r *Frame) OnMove(int, *sim.Packet) {}
+
+// OnAbsorb implements sim.Router.
+func (r *Frame) OnAbsorb(t int, p *sim.Packet) {
+	if r.st[p.ID] == stateExcited {
+		r.S.ExcitedSuccesses++
+	}
+	r.clearWait(p.ID)
+	r.st[p.ID] = stateNormal
+}
+
+// EndStep implements sim.Router: at the end of each round excited
+// packets become normal; at the end of each phase wait packets become
+// normal (Section 3).
+func (r *Frame) EndStep(t int, e *sim.Engine) {
+	roundEnd := r.sched.IsRoundEnd(t)
+	phaseEnd := r.sched.IsPhaseEnd(t)
+	if !roundEnd && !phaseEnd {
+		return
+	}
+	for i := range r.st {
+		if !e.Packets[i].Active {
+			continue
+		}
+		switch {
+		case phaseEnd:
+			if r.st[i] == stateWait {
+				r.clearWait(sim.PacketID(i))
+			}
+			r.st[i] = stateNormal
+		case roundEnd:
+			if r.st[i] == stateExcited {
+				r.S.ExcitedFailures++
+				r.st[i] = stateNormal
+			}
+		}
+	}
+}
+
+func (r *Frame) clearWait(id sim.PacketID) {
+	r.waitNode[id] = graph.NoNode
+	r.waitEdge[id] = graph.NoEdge
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"hotpotato/internal/sim"
+	"hotpotato/internal/stats"
+	"hotpotato/internal/workload"
+)
+
+// Result is a completed (or budget-exhausted) frame-routing run.
+type Result struct {
+	// Steps is the number of executed steps; Done is whether every
+	// packet was absorbed.
+	Steps int
+	Done  bool
+
+	// Problem facts.
+	C, D, L, N int
+
+	// Params used.
+	Params Params
+
+	// Engine metrics, router stats and the invariant report (the
+	// report is zero-valued when the run was started without checking).
+	Engine     sim.Metrics
+	Router     Stats
+	Invariants InvariantReport
+
+	// PaperBound is the step bound of Proposition 4.25 for these
+	// parameters: (NumSets*M + L) * M * W.
+	PaperBound int
+
+	// Latency breakdown. A packet's completion splits into the wait for
+	// its frame to arrive (injection time) and the in-network transit
+	// (absorb - inject); the sum of the two maxima bounds Steps. The
+	// schedule dominates: transit is small compared to injection wait.
+	InjectWait stats.Summary // injection times
+	Transit    stats.Summary // absorb - inject, per packet
+
+	// Phases profiles the run phase by phase when RunOptions.Profile is
+	// set (nil otherwise).
+	Phases []PhaseStats
+}
+
+// PhaseStats is the per-phase slice of a profiled run.
+type PhaseStats struct {
+	Phase    int
+	Injected int // packets injected during this phase
+	Absorbed int // packets absorbed during this phase
+	Active   int // active packets at phase end
+	Waiting  int // of which in the wait state at phase end
+}
+
+// Ratio returns Steps normalized by C+L, the quantity Theorem 4.26
+// bounds by a polylog.
+func (r *Result) Ratio() float64 {
+	return float64(r.Steps) / float64(r.C+r.L)
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("frame: steps=%d done=%v C=%d D=%d L=%d N=%d steps/(C+L)=%.1f defl/pkt=%.2f",
+		r.Steps, r.Done, r.C, r.D, r.L, r.N, r.Ratio(),
+		float64(r.Engine.TotalDeflections())/float64(r.N))
+}
+
+// RunOptions configure Run.
+type RunOptions struct {
+	// Seed for the engine RNG (set assignment, tie-breaking,
+	// excitation).
+	Seed int64
+	// MaxSteps caps the run; 0 selects 4x the paper bound for the
+	// parameters (generous slack for practical-parameter stragglers).
+	MaxSteps int
+	// Check attaches an InvariantChecker.
+	Check bool
+	// CongestionEvery/PathCheckEvery tune the checker (see
+	// InvariantChecker); zero keeps its defaults.
+	CongestionEvery int
+	PathCheckEvery  int
+	// Observer, if non-nil, is attached to the engine (tracing).
+	Observer sim.Observer
+	// Profile records per-phase injection/absorption/wait counts into
+	// Result.Phases.
+	Profile bool
+}
+
+// Run executes the frame algorithm on the problem and returns the
+// result.
+func Run(p *workload.Problem, params Params, opt RunOptions) *Result {
+	router := NewFrame(params)
+	eng := sim.NewEngine(p, router, opt.Seed)
+	var checker *InvariantChecker
+	if opt.Check {
+		checker = NewInvariantChecker(router)
+		if opt.CongestionEvery > 0 {
+			checker.CongestionEvery = opt.CongestionEvery
+		}
+		if opt.PathCheckEvery > 0 {
+			checker.PathCheckEvery = opt.PathCheckEvery
+		}
+		checker.Attach(eng)
+	}
+	if opt.Observer != nil {
+		eng.AddObserver(opt.Observer)
+	}
+	var phases []PhaseStats
+	if opt.Profile {
+		sched := router.Schedule()
+		prevInjected, prevAbsorbed := 0, 0
+		eng.AddObserver(func(t int, e *sim.Engine) {
+			if !sched.IsPhaseEnd(t) {
+				return
+			}
+			_, _, waiting := router.StateCounts(e)
+			phases = append(phases, PhaseStats{
+				Phase:    sched.PhaseOf(t),
+				Injected: e.M.Injected - prevInjected,
+				Absorbed: e.M.Absorbed - prevAbsorbed,
+				Active:   e.M.Injected - e.M.Absorbed,
+				Waiting:  waiting,
+			})
+			prevInjected, prevAbsorbed = e.M.Injected, e.M.Absorbed
+		})
+	}
+	maxSteps := opt.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 4 * params.TotalSteps(p.L())
+	}
+	steps, done := eng.Run(maxSteps)
+	res := &Result{
+		Steps:      steps,
+		Done:       done,
+		C:          p.C,
+		D:          p.D,
+		L:          p.L(),
+		N:          p.N(),
+		Params:     params,
+		Engine:     eng.M,
+		Router:     router.S,
+		PaperBound: params.TotalSteps(p.L()),
+	}
+	if checker != nil {
+		res.Invariants = checker.Report
+	}
+	var waits, transits []float64
+	for i := range eng.Packets {
+		pk := &eng.Packets[i]
+		if pk.InjectTime >= 0 {
+			waits = append(waits, float64(pk.InjectTime))
+		}
+		if pk.Absorbed {
+			transits = append(transits, float64(pk.Latency()))
+		}
+	}
+	res.InjectWait = stats.Summarize(waits)
+	res.Transit = stats.Summarize(transits)
+	res.Phases = phases
+	return res
+}

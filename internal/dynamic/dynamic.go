@@ -1,0 +1,339 @@
+// Package dynamic runs continuous-arrival (open-system) hot-potato
+// simulations: packets arrive over time at rate lambda per node per
+// step rather than as one preselected batch. This is the dynamic
+// deflection-routing setting of Broder-Upfal [9] in the paper's
+// related work; the static Õ(C+L) result speaks to each batch, and the
+// open system exposes the stability threshold — the arrival rate beyond
+// which the bufferless network stops keeping up.
+package dynamic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hotpotato/internal/graph"
+	"hotpotato/internal/paths"
+	"hotpotato/internal/stats"
+)
+
+// Config parameterizes an open-system run.
+type Config struct {
+	// Lambda is the per-node per-step arrival probability at every
+	// eligible source node.
+	Lambda float64
+	// Steps is the simulated horizon.
+	Steps int
+	// Warmup steps are excluded from the reported statistics.
+	Warmup int
+	// Seed drives arrivals, destinations, path sampling and conflict
+	// tie-breaking.
+	Seed int64
+	// MaxInFlight caps the simultaneously active packets (0 = 4096); a
+	// run that hits the cap is saturated.
+	MaxInFlight int
+	// Window, when > 0, records per-window time series into
+	// Result.Windows (deliveries, mean latency and mean in-flight per
+	// window of that many steps).
+	Window int
+}
+
+// Result summarizes an open-system run.
+type Result struct {
+	Cfg Config
+	// Offered is the number of packets that arrived (wanted to enter).
+	Offered int
+	// Admitted is the number injected (source free at arrival or
+	// retry); Delivered the number absorbed within the horizon.
+	Admitted  int
+	Delivered int
+	// Latency summarizes absorb-inject over delivered packets
+	// (post-warmup injections only).
+	Latency stats.Summary
+	// AvgInFlight is the time-average number of active packets after
+	// warmup.
+	AvgInFlight float64
+	// PeakInFlight is the maximum active packets at any step.
+	PeakInFlight int
+	// Deflections counts all deflections over the horizon.
+	Deflections int
+	// Saturated reports whether the in-flight cap was hit.
+	Saturated bool
+	// Windows holds the per-window time series when Config.Window > 0.
+	Windows []WindowStats
+}
+
+// WindowStats is one slice of the open-system time series.
+type WindowStats struct {
+	// Start is the window's first step.
+	Start int
+	// Delivered is the number of packets absorbed during the window.
+	Delivered int
+	// MeanLatency averages the latency of those deliveries (0 if none).
+	MeanLatency float64
+	// MeanInFlight is the time-average of active packets over the
+	// window.
+	MeanInFlight float64
+}
+
+// Throughput is delivered packets per step (post-warmup measure over
+// the whole horizon; for a stable system it approaches the admitted
+// rate).
+func (r *Result) Throughput() float64 {
+	if r.Cfg.Steps == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.Cfg.Steps)
+}
+
+// AdmissionRate is Admitted/Offered (1.0 when sources are always free).
+func (r *Result) AdmissionRate() float64 {
+	if r.Offered == 0 {
+		return 1
+	}
+	return float64(r.Admitted) / float64(r.Offered)
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("dynamic(λ=%.3f, %d steps): offered=%d admitted=%d delivered=%d thpt=%.3f/step lat p50=%.0f avg-inflight=%.1f sat=%v",
+		r.Cfg.Lambda, r.Cfg.Steps, r.Offered, r.Admitted, r.Delivered,
+		r.Throughput(), r.Latency.Median, r.AvgInFlight, r.Saturated)
+}
+
+// pkt is a live packet of the open system.
+type pkt struct {
+	id          int
+	cur         graph.NodeID
+	dst         graph.NodeID
+	path        []graph.EdgeID
+	arrivalEdge graph.EdgeID
+	arrivalDir  graph.Direction
+	inject      int
+}
+
+// Run executes an open-system greedy hot-potato simulation. The router
+// is greedy (chase the path head, equal priorities, backward-safe
+// deflections) — the right baseline for dynamic traffic, since the
+// frame algorithm's frames presuppose a fixed batch.
+func Run(g *graph.Leveled, cfg Config) (*Result, error) {
+	if cfg.Lambda < 0 || cfg.Lambda > 1 {
+		return nil, fmt.Errorf("dynamic: lambda must be in [0,1], got %g", cfg.Lambda)
+	}
+	if cfg.Steps < 1 {
+		return nil, fmt.Errorf("dynamic: steps must be >= 1, got %d", cfg.Steps)
+	}
+	if cfg.Warmup >= cfg.Steps {
+		return nil, fmt.Errorf("dynamic: warmup %d >= steps %d", cfg.Warmup, cfg.Steps)
+	}
+	maxFly := cfg.MaxInFlight
+	if maxFly <= 0 {
+		maxFly = 4096
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &Result{Cfg: cfg}
+
+	// Eligible sources and their reachable destination lists.
+	var sources []graph.NodeID
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if g.Node(v).Level < g.Depth() && len(g.Node(v).Up) > 0 {
+			sources = append(sources, v)
+		}
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("dynamic: network has no eligible sources")
+	}
+	dstsOf := make(map[graph.NodeID][]graph.NodeID, len(sources))
+	for _, s := range sources {
+		reach := g.ForwardReachableFrom(s)
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			if v != s && reach[v] {
+				dstsOf[s] = append(dstsOf[s], v)
+			}
+		}
+	}
+
+	at := make(map[graph.NodeID][]*pkt, g.NumNodes())
+	var live []*pkt
+	nextID := 0
+	var latencies []float64
+	inFlightSum := 0.0
+	inFlightSamples := 0
+	var wDelivered int
+	var wLatSum, wFlySum float64
+
+	type slot struct {
+		e graph.EdgeID
+		d graph.Direction
+	}
+	prevForward := make([]*pkt, g.NumEdges())
+	curForward := make([]*pkt, g.NumEdges())
+
+	for t := 0; t < cfg.Steps; t++ {
+		// Arrivals: each source draws; blocked if occupied or at cap.
+		for _, s := range sources {
+			if rng.Float64() >= cfg.Lambda {
+				continue
+			}
+			res.Offered++
+			if len(at[s]) > 0 || len(live) >= maxFly {
+				if len(live) >= maxFly {
+					res.Saturated = true
+				}
+				continue
+			}
+			cands := dstsOf[s]
+			if len(cands) == 0 {
+				continue
+			}
+			dst := cands[rng.Intn(len(cands))]
+			path, err := paths.RandomForwardPath(g, rng, s, dst)
+			if err != nil {
+				return nil, err
+			}
+			p := &pkt{id: nextID, cur: s, dst: dst, path: path, arrivalEdge: graph.NoEdge, inject: t}
+			nextID++
+			at[s] = append(at[s], p)
+			live = append(live, p)
+			res.Admitted++
+		}
+
+		// Requests: every live packet chases its head.
+		winners := make(map[slot]*pkt, len(live))
+		for _, p := range live {
+			e := p.path[0]
+			s := slot{e, g.DirectionFrom(e, p.cur)}
+			if cur, ok := winners[s]; !ok || rng.Intn(2) == 0 {
+				_ = cur
+				winners[s] = p
+			}
+		}
+		used := make(map[slot]bool, len(winners))
+		granted := make(map[*pkt]slot, len(live))
+		for s, p := range winners {
+			used[s] = true
+			granted[p] = s
+		}
+		// Deflect losers per node.
+		for v, ps := range at {
+			if len(ps) == 0 {
+				continue
+			}
+			node := g.Node(v)
+			for _, p := range ps {
+				if _, ok := granted[p]; ok {
+					continue
+				}
+				assigned := false
+				if p.arrivalEdge != graph.NoEdge {
+					s := slot{p.arrivalEdge, p.arrivalDir.Reverse()}
+					if !used[s] {
+						granted[p], used[s] = s, true
+						assigned = true
+					}
+				}
+				if !assigned {
+					for _, ed := range node.Down {
+						s := slot{ed, graph.Backward}
+						if !used[s] && prevForward[ed] != nil {
+							granted[p], used[s] = s, true
+							assigned = true
+							break
+						}
+					}
+				}
+				if !assigned {
+					for _, ed := range node.Down {
+						s := slot{ed, graph.Backward}
+						if !used[s] {
+							granted[p], used[s] = s, true
+							assigned = true
+							break
+						}
+					}
+				}
+				if !assigned {
+					for _, ed := range node.Up {
+						s := slot{ed, graph.Forward}
+						if !used[s] {
+							granted[p], used[s] = s, true
+							assigned = true
+							break
+						}
+					}
+				}
+				if !assigned {
+					return nil, fmt.Errorf("dynamic: step %d: node %d over capacity", t, v)
+				}
+				res.Deflections++
+			}
+		}
+
+		// Commit.
+		for i := range curForward {
+			curForward[i] = nil
+		}
+		survivors := live[:0]
+		clear(at)
+		for _, p := range live {
+			s := granted[p]
+			dest := g.EndpointAt(s.e, s.d)
+			if len(p.path) > 0 && p.path[0] == s.e {
+				p.path = p.path[1:]
+			} else {
+				p.path = append([]graph.EdgeID{s.e}, p.path...)
+			}
+			p.cur = dest
+			p.arrivalEdge, p.arrivalDir = s.e, s.d
+			if s.d == graph.Forward {
+				curForward[s.e] = p
+			}
+			if p.cur == p.dst {
+				res.Delivered++
+				if p.inject >= cfg.Warmup {
+					latencies = append(latencies, float64(t+1-p.inject))
+				}
+				if cfg.Window > 0 {
+					wDelivered++
+					wLatSum += float64(t + 1 - p.inject)
+				}
+				continue
+			}
+			survivors = append(survivors, p)
+			at[p.cur] = append(at[p.cur], p)
+		}
+		live = survivors
+		prevForward, curForward = curForward, prevForward
+
+		if t >= cfg.Warmup {
+			inFlightSum += float64(len(live))
+			inFlightSamples++
+		}
+		if len(live) > res.PeakInFlight {
+			res.PeakInFlight = len(live)
+		}
+		if cfg.Window > 0 {
+			wFlySum += float64(len(live))
+			if (t+1)%cfg.Window == 0 || t == cfg.Steps-1 {
+				span := cfg.Window
+				if rem := (t + 1) % cfg.Window; rem != 0 {
+					span = rem
+				}
+				ws := WindowStats{
+					Start:        t + 1 - span,
+					Delivered:    wDelivered,
+					MeanInFlight: wFlySum / float64(span),
+				}
+				if wDelivered > 0 {
+					ws.MeanLatency = wLatSum / float64(wDelivered)
+				}
+				res.Windows = append(res.Windows, ws)
+				wDelivered, wLatSum, wFlySum = 0, 0, 0
+			}
+		}
+	}
+	res.Latency = stats.Summarize(latencies)
+	if inFlightSamples > 0 {
+		res.AvgInFlight = inFlightSum / float64(inFlightSamples)
+	}
+	return res, nil
+}

@@ -1,0 +1,184 @@
+package dynamic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hotpotato/internal/topo"
+)
+
+func TestDynamicLowLoadIsStable(t *testing.T) {
+	g, err := topo.Butterfly(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, Config{Lambda: 0.01, Steps: 2000, Warmup: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saturated {
+		t.Error("saturated at lambda=0.01")
+	}
+	if res.Admitted == 0 || res.Delivered == 0 {
+		t.Fatalf("no traffic: %s", res)
+	}
+	// At low load nearly everything offered is admitted and delivered.
+	if res.AdmissionRate() < 0.9 {
+		t.Errorf("admission rate %.3f at trivial load", res.AdmissionRate())
+	}
+	if float64(res.Delivered) < 0.9*float64(res.Admitted) {
+		t.Errorf("delivered %d of %d admitted", res.Delivered, res.Admitted)
+	}
+	// Mean latency near the path lengths (depth 5, so a few steps).
+	if res.Latency.Mean > 15 {
+		t.Errorf("mean latency %.1f at trivial load", res.Latency.Mean)
+	}
+	if !strings.Contains(res.String(), "dynamic") {
+		t.Error("String broken")
+	}
+}
+
+func TestDynamicThroughputMonotoneThenSaturates(t *testing.T) {
+	g, err := topo.Butterfly(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for _, lambda := range []float64{0.01, 0.05, 0.2} {
+		res, err := Run(g, Config{Lambda: lambda, Steps: 1500, Warmup: 100, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		thpt := res.Throughput()
+		if thpt < prev*0.8 {
+			t.Errorf("throughput collapsed at lambda=%g: %.3f after %.3f", lambda, thpt, prev)
+		}
+		prev = thpt
+	}
+	// Overload: admission throttles (sources occupied), rate < 1.
+	over, err := Run(g, Config{Lambda: 0.9, Steps: 1000, Warmup: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.AdmissionRate() > 0.9 {
+		t.Errorf("admission rate %.3f under overload; expected throttling", over.AdmissionRate())
+	}
+}
+
+func TestDynamicConservation(t *testing.T) {
+	g, err := topo.Butterfly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, Config{Lambda: 0.1, Steps: 800, Warmup: 0, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delivered <= admitted <= offered; stragglers may remain in
+	// flight.
+	if res.Delivered > res.Admitted || res.Admitted > res.Offered {
+		t.Errorf("conservation broken: %s", res)
+	}
+	if res.PeakInFlight == 0 {
+		t.Error("no packet was ever in flight")
+	}
+}
+
+func TestDynamicDeterministic(t *testing.T) {
+	g, err := topo.Butterfly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(g, Config{Lambda: 0.1, Steps: 500, Warmup: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, Config{Lambda: 0.1, Steps: 500, Warmup: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delivered != b.Delivered || a.Deflections != b.Deflections || a.Offered != b.Offered {
+		t.Errorf("same seed diverged: %s vs %s", a, b)
+	}
+}
+
+func TestDynamicConfigValidation(t *testing.T) {
+	g, err := topo.Linear(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(g, Config{Lambda: -1, Steps: 10}); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := Run(g, Config{Lambda: 0.5, Steps: 0}); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := Run(g, Config{Lambda: 0.5, Steps: 10, Warmup: 10}); err == nil {
+		t.Error("warmup >= steps accepted")
+	}
+}
+
+func TestDynamicOnRandomLeveled(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := topo.Random(rng, 16, 3, 5, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, Config{Lambda: 0.05, Steps: 1200, Warmup: 100, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatalf("nothing delivered: %s", res)
+	}
+}
+
+func TestDynamicWindows(t *testing.T) {
+	g, err := topo.Butterfly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, Config{Lambda: 0.1, Steps: 1000, Warmup: 0, Seed: 8, Window: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 10 {
+		t.Fatalf("windows = %d, want 10", len(res.Windows))
+	}
+	totDelivered := 0
+	for i, w := range res.Windows {
+		if w.Start != i*100 {
+			t.Errorf("window %d starts at %d", i, w.Start)
+		}
+		totDelivered += w.Delivered
+		if w.MeanInFlight < 0 {
+			t.Errorf("window %d mean in-flight %f", i, w.MeanInFlight)
+		}
+		if w.Delivered > 0 && w.MeanLatency <= 0 {
+			t.Errorf("window %d delivered %d with latency %f", i, w.Delivered, w.MeanLatency)
+		}
+	}
+	if totDelivered != res.Delivered {
+		t.Errorf("window deliveries sum to %d, total %d", totDelivered, res.Delivered)
+	}
+	// Partial final window.
+	res2, err := Run(g, Config{Lambda: 0.1, Steps: 250, Warmup: 0, Seed: 8, Window: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Windows) != 3 {
+		t.Fatalf("windows = %d, want 3 (two full + one partial)", len(res2.Windows))
+	}
+	if res2.Windows[2].Start != 200 {
+		t.Errorf("partial window starts at %d", res2.Windows[2].Start)
+	}
+	// Window disabled: no series.
+	res3, err := Run(g, Config{Lambda: 0.1, Steps: 100, Warmup: 0, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Windows != nil {
+		t.Error("windows recorded without Window set")
+	}
+}

@@ -1,0 +1,308 @@
+// Package exhaustive model-checks greedy hot-potato dynamics on tiny
+// instances: instead of sampling one seeded execution, it branches over
+// every nondeterministic choice — every same-priority conflict winner
+// and every deflection-slot assignment — and verifies that *all*
+// maximal executions deliver every packet within a step budget. The
+// seeded engine's behavior is one path through this tree, so a verified
+// instance certifies the deflection rules themselves, not a lucky
+// resolution (complementing Lemma 2.1's pen-and-paper argument with
+// machine-checked small cases).
+package exhaustive
+
+import (
+	"fmt"
+	"strings"
+
+	"hotpotato/internal/graph"
+	"hotpotato/internal/workload"
+)
+
+// Result summarizes a model-checking run.
+type Result struct {
+	// States is the number of distinct states proven safe.
+	States int
+	// Branches is the total number of successor transitions explored.
+	Branches int
+	// MaxSteps is the deepest execution explored.
+	MaxSteps int
+	// Delivered reports whether every execution delivered all packets
+	// within the budget (false => Counterexample describes a failure).
+	Delivered bool
+	// Counterexample holds a human-readable trace when Delivered is
+	// false.
+	Counterexample string
+}
+
+// pkt is the model's per-packet state: position plus the current path,
+// encoded as a retrace stack over a suffix of the preselected path
+// (deflections prepend edges that are later retraced, so the current
+// path list is always stack + preselected[suffix:]).
+type pkt struct {
+	cur    graph.NodeID
+	suffix int // index into the preselected path
+	stack  []graph.EdgeID
+	done   bool
+}
+
+type state struct {
+	pkts []pkt
+}
+
+// key serializes a state for memoization.
+func (s *state) key() string {
+	var b strings.Builder
+	for i := range s.pkts {
+		p := &s.pkts[i]
+		if p.done {
+			b.WriteString("D;")
+			continue
+		}
+		fmt.Fprintf(&b, "%d,%d,%v;", p.cur, p.suffix, p.stack)
+	}
+	return b.String()
+}
+
+// request is one packet's desired traversal at a step.
+type request struct {
+	id   int
+	e    graph.EdgeID
+	dir  graph.Direction
+	slot int32
+}
+
+// checker carries the exploration context.
+type checker struct {
+	g       *graph.Leveled
+	paths   []graph.Path
+	dsts    []graph.NodeID
+	budget  int
+	proven  map[string]int // state key -> budget at which it was proven safe
+	res     *Result
+	maxOuts int
+	deflect map[int]int32 // loser -> chosen slot during enumeration
+}
+
+// Verify explores every execution of greedy hot-potato dynamics on the
+// problem, starting from all packets injected simultaneously at their
+// sources, and reports whether every branch delivers within maxSteps.
+// Instance sizes must be tiny (≤ 4 packets recommended); the state
+// space is exponential.
+func Verify(p *workload.Problem, maxSteps int) (*Result, error) {
+	if p.N() > 5 {
+		return nil, fmt.Errorf("exhaustive: %d packets is too many for model checking (max 5)", p.N())
+	}
+	c := &checker{
+		g:       p.G,
+		paths:   p.Set.Paths,
+		dsts:    p.Set.Destinations(),
+		budget:  maxSteps,
+		proven:  make(map[string]int),
+		res:     &Result{Delivered: true},
+		deflect: make(map[int]int32),
+	}
+	init := &state{pkts: make([]pkt, p.N())}
+	for i := range init.pkts {
+		init.pkts[i] = pkt{cur: p.G.PathSource(p.Set.Paths[i])}
+	}
+	trace := c.explore(init, maxSteps, "")
+	if trace != "" {
+		c.res.Delivered = false
+		c.res.Counterexample = trace
+	}
+	return c.res, nil
+}
+
+// head returns the current head edge of a packet (the retrace stack
+// first, then the preselected suffix) and whether the packet has a
+// remaining path.
+func (c *checker) head(id int, p *pkt) (graph.EdgeID, bool) {
+	if len(p.stack) > 0 {
+		return p.stack[len(p.stack)-1], true
+	}
+	if p.suffix < len(c.paths[id]) {
+		return c.paths[id][p.suffix], true
+	}
+	return graph.NoEdge, false
+}
+
+// explore returns "" if every execution from s delivers within budget,
+// or a counterexample trace otherwise.
+func (c *checker) explore(s *state, budget int, depth string) string {
+	allDone := true
+	for i := range s.pkts {
+		if !s.pkts[i].done {
+			allDone = false
+			break
+		}
+	}
+	if allDone {
+		if d := len(strings.Split(depth, ">")) - 1; d > c.res.MaxSteps {
+			c.res.MaxSteps = d
+		}
+		return ""
+	}
+	if budget == 0 {
+		return depth + " [budget exhausted: " + s.key() + "]"
+	}
+	k := s.key()
+	if proved, ok := c.proven[k]; ok && budget >= proved {
+		return ""
+	}
+
+	// Requests: every live packet wants its head edge away from cur.
+	var reqs []request
+	for i := range s.pkts {
+		p := &s.pkts[i]
+		if p.done {
+			continue
+		}
+		e, ok := c.head(i, p)
+		if !ok {
+			return depth + fmt.Sprintf(" [packet %d stranded with empty path at %d]", i, p.cur)
+		}
+		dir := c.g.DirectionFrom(e, p.cur)
+		reqs = append(reqs, request{i, e, dir, int32(e)<<1 | int32(dir)})
+	}
+
+	// Group by slot and enumerate winner combinations.
+	bySlot := map[int32][]int{} // slot -> indices into reqs
+	var slots []int32
+	for ri, r := range reqs {
+		if _, ok := bySlot[r.slot]; !ok {
+			slots = append(slots, r.slot)
+		}
+		bySlot[r.slot] = append(bySlot[r.slot], ri)
+	}
+
+	// winnersChoice[j] = which contender of slots[j] wins.
+	choice := make([]int, len(slots))
+	fail := c.enumerateWinners(s, budget, depth, reqs, slots, bySlot, choice, 0)
+	if fail == "" {
+		c.proven[k] = budget
+	}
+	return fail
+}
+
+// enumerateWinners recursively fixes a winner per contested slot, then
+// hands off to deflection enumeration.
+func (c *checker) enumerateWinners(s *state, budget int, depth string,
+	reqs []request, slots []int32, bySlot map[int32][]int, choice []int, j int) string {
+	if j == len(slots) {
+		winner := make(map[int]bool)
+		used := make(map[int32]bool)
+		for jj, slot := range slots {
+			ri := bySlot[slot][choice[jj]]
+			winner[reqs[ri].id] = true
+			used[slot] = true
+		}
+		var losers []int
+		for _, r := range reqs {
+			if !winner[r.id] {
+				losers = append(losers, r.id)
+			}
+		}
+		return c.enumerateDeflections(s, budget, depth, reqs, winner, used, losers, 0)
+	}
+	var fail string
+	for pick := range bySlot[slots[j]] {
+		choice[j] = pick
+		if f := c.enumerateWinners(s, budget, depth, reqs, slots, bySlot, choice, j+1); f != "" {
+			fail = f
+			break
+		}
+	}
+	return fail
+}
+
+// enumerateDeflections assigns each loser, in order, every free slot at
+// its node (backward slots first; forward only if no backward is free —
+// mirroring the engine's tiers while branching within each tier).
+func (c *checker) enumerateDeflections(s *state, budget int, depth string,
+	reqs []request, winner map[int]bool, used map[int32]bool, losers []int, li int) string {
+	if li == len(losers) {
+		return c.commit(s, budget, depth, reqs, winner, used, losers)
+	}
+	id := losers[li]
+	p := &s.pkts[id]
+	node := c.g.Node(p.cur)
+	var cands []int32
+	for _, ed := range node.Down {
+		sl := int32(ed)<<1 | int32(graph.Backward)
+		if !used[sl] {
+			cands = append(cands, sl)
+		}
+	}
+	if len(cands) == 0 {
+		for _, ed := range node.Up {
+			sl := int32(ed)<<1 | int32(graph.Forward)
+			if !used[sl] {
+				cands = append(cands, sl)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return depth + fmt.Sprintf(" [capacity violated for packet %d at node %d]", id, p.cur)
+	}
+	if len(cands) > c.maxOuts {
+		c.maxOuts = len(cands)
+	}
+	var fail string
+	for _, sl := range cands {
+		used[sl] = true
+		c.deflect[id] = sl
+		if f := c.enumerateDeflections(s, budget, depth, reqs, winner, used, losers, li+1); f != "" {
+			fail = f
+		}
+		delete(c.deflect, id)
+		used[sl] = false
+		if fail != "" {
+			break
+		}
+	}
+	return fail
+}
+
+// commit applies one fully-resolved step and recurses.
+func (c *checker) commit(s *state, budget int, depth string,
+	reqs []request, winner map[int]bool, used map[int32]bool, losers []int) string {
+	next := &state{pkts: make([]pkt, len(s.pkts))}
+	for i := range s.pkts {
+		next.pkts[i] = s.pkts[i]
+		next.pkts[i].stack = append([]graph.EdgeID(nil), s.pkts[i].stack...)
+	}
+	apply := func(id int, e graph.EdgeID, d graph.Direction) {
+		p := &next.pkts[id]
+		dest := c.g.EndpointAt(e, d)
+		he, _ := c.head(id, p)
+		if he == e && ((len(p.stack) > 0) || p.suffix < len(c.paths[id])) {
+			// Traversing the head: pop stack or advance suffix.
+			if len(p.stack) > 0 {
+				p.stack = p.stack[:len(p.stack)-1]
+			} else {
+				p.suffix++
+			}
+		} else {
+			p.stack = append(p.stack, e)
+		}
+		p.cur = dest
+		if p.cur == c.dsts[id] {
+			p.done = true
+			p.stack = nil
+		}
+	}
+	for _, r := range reqs {
+		if winner[r.id] {
+			apply(r.id, r.e, r.dir)
+		}
+	}
+	for _, id := range losers {
+		sl := c.deflect[id]
+		apply(id, graph.EdgeID(sl>>1), graph.Direction(sl&1))
+	}
+	c.res.Branches++
+	f := c.explore(next, budget-1, depth+">")
+	if f == "" {
+		c.res.States++
+	}
+	return f
+}

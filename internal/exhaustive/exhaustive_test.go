@@ -1,0 +1,160 @@
+package exhaustive
+
+import (
+	"fmt"
+	"testing"
+
+	"hotpotato/internal/graph"
+	"hotpotato/internal/paths"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+// mergeProblem: two packets from distinct sources merging at a middle
+// node and sharing the final edge (the minimal conflict instance).
+func mergeProblem(t *testing.T) *workload.Problem {
+	t.Helper()
+	b := graph.NewBuilder("merge")
+	a := b.AddNode(0, "a")
+	bb := b.AddNode(0, "b")
+	m := b.AddNode(1, "m")
+	x := b.AddNode(2, "x")
+	eam := b.AddEdge(a, m)
+	ebm := b.AddEdge(bb, m)
+	emx := b.AddEdge(m, x)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := paths.NewPathSet(g, []graph.Path{{eam, emx}, {ebm, emx}})
+	return &workload.Problem{Name: "merge", G: g, Set: set, C: 2, D: 2}
+}
+
+func TestVerifyMergeAllBranchesDeliver(t *testing.T) {
+	p := mergeProblem(t)
+	res, err := Verify(p, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Fatalf("counterexample found:\n%s", res.Counterexample)
+	}
+	if res.Branches < 2 {
+		t.Errorf("only %d branches explored; the conflict should branch", res.Branches)
+	}
+	t.Logf("merge: %d states, %d branches, deepest %d steps", res.States, res.Branches, res.MaxSteps)
+}
+
+func TestVerifyFunnelThreePackets(t *testing.T) {
+	// Three packets into one sink through two middle nodes: heavy
+	// branching, all executions must still deliver.
+	b := graph.NewBuilder("funnel")
+	var l0, l1 []graph.NodeID
+	for i := 0; i < 3; i++ {
+		l0 = append(l0, b.AddNode(0, fmt.Sprintf("s%d", i)))
+	}
+	for i := 0; i < 2; i++ {
+		l1 = append(l1, b.AddNode(1, fmt.Sprintf("m%d", i)))
+	}
+	sink := b.AddNode(2, "t")
+	for _, u := range l0 {
+		for _, m := range l1 {
+			b.AddEdge(u, m)
+		}
+	}
+	for _, m := range l1 {
+		b.AddEdge(m, sink)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := make([]graph.Path, 3)
+	for k := 0; k < 3; k++ {
+		mid := l1[k%2]
+		ps[k] = graph.Path{g.EdgeBetween(l0[k], mid), g.EdgeBetween(mid, sink)}
+	}
+	set := paths.NewPathSet(g, ps)
+	p := &workload.Problem{Name: "funnel3", G: g, Set: set, C: set.Congestion(), D: 2}
+
+	res, err := Verify(p, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Fatalf("counterexample found:\n%s", res.Counterexample)
+	}
+	t.Logf("funnel3: %d states, %d branches, deepest %d steps", res.States, res.Branches, res.MaxSteps)
+}
+
+func TestVerifyLadderPair(t *testing.T) {
+	g, err := topo.Ladder(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two packets with fully overlapping column-0 paths.
+	var p0, p1 graph.Path
+	for l := 0; l < 3; l++ {
+		p0 = append(p0, g.EdgeBetween(g.Level(l)[0], g.Level(l + 1)[0]))
+	}
+	p1 = append(graph.Path{g.EdgeBetween(g.Level(0)[1], g.Level(1)[0])}, p0[1:]...)
+	set := paths.NewPathSet(g, []graph.Path{p0, p1})
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := &workload.Problem{Name: "ladderpair", G: g, Set: set, C: 2, D: 3}
+	res, err := Verify(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Fatalf("counterexample:\n%s", res.Counterexample)
+	}
+}
+
+func TestVerifyBudgetTooTightProducesCounterexample(t *testing.T) {
+	p := mergeProblem(t)
+	// The loser needs 4 steps; a budget of 3 must yield a trace.
+	res, err := Verify(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered {
+		t.Fatal("expected a budget-exhausted counterexample")
+	}
+	if res.Counterexample == "" {
+		t.Fatal("empty counterexample")
+	}
+}
+
+func TestVerifyRejectsLargeInstances(t *testing.T) {
+	g, err := topo.Linear(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := workload.SingleFile(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(p, 10); err == nil {
+		t.Error("6-packet instance accepted")
+	}
+}
+
+func TestVerifySinglePacketTrivial(t *testing.T) {
+	g, err := topo.Linear(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := workload.SingleFile(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Verify(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered || res.MaxSteps != 4 {
+		t.Errorf("single packet: %+v", res)
+	}
+}

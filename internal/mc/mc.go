@@ -1,0 +1,185 @@
+// Package mc runs Monte-Carlo ensembles of routing experiments in
+// parallel across CPU cores: many seeds of the same problem, aggregated
+// into completion-probability and latency-distribution estimates. The
+// paper's guarantee is probabilistic (success w.p. >= 1 - 1/LN);
+// ensembles are how a simulation speaks to such claims.
+package mc
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/stats"
+	"hotpotato/internal/workload"
+)
+
+// Trial is the outcome of one seeded run.
+type Trial struct {
+	Seed       int64
+	Steps      int
+	Done       bool
+	Deflects   int
+	Unsafe     int
+	Violations int // Ic + Id + If invariant violations (when checked)
+}
+
+// Ensemble aggregates many trials of the frame router on one problem.
+type Ensemble struct {
+	Problem *workload.Problem
+	Params  core.Params
+	Trials  []Trial
+}
+
+// Options configure an ensemble run.
+type Options struct {
+	// Trials is the number of seeds (>= 1; default 32).
+	Trials int
+	// BaseSeed offsets the seed sequence (trial i uses BaseSeed + i).
+	BaseSeed int64
+	// MaxSteps caps each run (0 = 4x schedule bound).
+	MaxSteps int
+	// Check attaches the invariant checker to every run (slower).
+	Check bool
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Run executes the ensemble, fanning trials out over a worker pool.
+// Trials are returned in seed order regardless of completion order.
+func Run(p *workload.Problem, params core.Params, opt Options) *Ensemble {
+	if opt.Trials < 1 {
+		opt.Trials = 32
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opt.Trials {
+		workers = opt.Trials
+	}
+
+	trials := make([]Trial, opt.Trials)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				seed := opt.BaseSeed + int64(i)
+				res := core.Run(p, params, core.RunOptions{
+					Seed:     seed,
+					MaxSteps: opt.MaxSteps,
+					Check:    opt.Check,
+				})
+				t := Trial{
+					Seed:     seed,
+					Steps:    res.Steps,
+					Done:     res.Done,
+					Deflects: res.Engine.TotalDeflections(),
+					Unsafe:   res.Engine.UnsafeDeflections(),
+				}
+				if opt.Check {
+					t.Violations = res.Invariants.IcFrameEscapes +
+						res.Invariants.IdForeignMeetings +
+						res.Invariants.IfTailOccupied
+				}
+				trials[i] = t
+			}
+		}()
+	}
+	for i := 0; i < opt.Trials; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return &Ensemble{Problem: p, Params: params, Trials: trials}
+}
+
+// SuccessRate returns the fraction of trials that delivered every
+// packet within budget.
+func (e *Ensemble) SuccessRate() float64 {
+	if len(e.Trials) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, t := range e.Trials {
+		if t.Done {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(e.Trials))
+}
+
+// PaperSuccessBound returns the paper's guarantee 1 - 1/LN for the
+// ensemble's problem (Theorem 4.26; the guarantee is for proof-grade
+// parameters — practical runs are compared against it in E11).
+func (e *Ensemble) PaperSuccessBound() float64 {
+	ln := float64(e.Problem.L()) * float64(e.Problem.N())
+	if ln <= 1 {
+		return 0
+	}
+	return 1 - 1/ln
+}
+
+// StepsSummary summarizes completion steps over successful trials.
+func (e *Ensemble) StepsSummary() stats.Summary {
+	var xs []float64
+	for _, t := range e.Trials {
+		if t.Done {
+			xs = append(xs, float64(t.Steps))
+		}
+	}
+	return stats.Summarize(xs)
+}
+
+// ViolationRate returns the fraction of checked trials with at least
+// one Ic/Id/If violation.
+func (e *Ensemble) ViolationRate() float64 {
+	if len(e.Trials) == 0 {
+		return 0
+	}
+	v := 0
+	for _, t := range e.Trials {
+		if t.Violations > 0 {
+			v++
+		}
+	}
+	return float64(v) / float64(len(e.Trials))
+}
+
+// TotalUnsafe sums unsafe deflections across all trials (Lemma 2.1
+// predicts zero).
+func (e *Ensemble) TotalUnsafe() int {
+	s := 0
+	for _, t := range e.Trials {
+		s += t.Unsafe
+	}
+	return s
+}
+
+// StepsQuantile returns the q-quantile of completion steps among
+// successful trials, or -1 if none succeeded.
+func (e *Ensemble) StepsQuantile(q float64) float64 {
+	var xs []float64
+	for _, t := range e.Trials {
+		if t.Done {
+			xs = append(xs, float64(t.Steps))
+		}
+	}
+	if len(xs) == 0 {
+		return -1
+	}
+	sort.Float64s(xs)
+	return stats.Quantile(xs, q)
+}
+
+// String summarizes the ensemble.
+func (e *Ensemble) String() string {
+	return fmt.Sprintf("ensemble(%s, %d trials): success=%.3f (paper bound %.4f) steps p50=%.0f p99=%.0f unsafe=%d",
+		e.Problem.Name, len(e.Trials), e.SuccessRate(), e.PaperSuccessBound(),
+		e.StepsQuantile(0.5), e.StepsQuantile(0.99), e.TotalUnsafe())
+}

@@ -1,0 +1,118 @@
+package mc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+func testProblem(t testing.TB) *workload.Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g, err := topo.Random(rng, 20, 3, 5, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := workload.Random(g, rng, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func quickParams(p *workload.Problem) core.Params {
+	return core.ParamsPractical(p.C, p.L(), p.N(),
+		core.PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3})
+}
+
+func TestEnsembleAllSucceed(t *testing.T) {
+	p := testProblem(t)
+	e := Run(p, quickParams(p), Options{Trials: 12, Check: true})
+	if len(e.Trials) != 12 {
+		t.Fatalf("trials = %d", len(e.Trials))
+	}
+	if got := e.SuccessRate(); got != 1.0 {
+		t.Errorf("success rate = %g, want 1.0", got)
+	}
+	if e.TotalUnsafe() != 0 {
+		t.Errorf("unsafe deflections = %d", e.TotalUnsafe())
+	}
+	sum := e.StepsSummary()
+	if sum.N != 12 || sum.Min <= 0 {
+		t.Errorf("steps summary = %+v", sum)
+	}
+	if e.StepsQuantile(0.5) <= 0 || e.StepsQuantile(0.99) < e.StepsQuantile(0.5) {
+		t.Errorf("quantiles inconsistent: p50=%g p99=%g", e.StepsQuantile(0.5), e.StepsQuantile(0.99))
+	}
+	if !strings.Contains(e.String(), "success=1.000") {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestEnsembleTrialsInSeedOrder(t *testing.T) {
+	p := testProblem(t)
+	e := Run(p, quickParams(p), Options{Trials: 8, BaseSeed: 100})
+	for i, tr := range e.Trials {
+		if tr.Seed != int64(100+i) {
+			t.Errorf("trial %d has seed %d", i, tr.Seed)
+		}
+	}
+}
+
+func TestEnsembleDeterministicAcrossWorkerCounts(t *testing.T) {
+	p := testProblem(t)
+	params := quickParams(p)
+	a := Run(p, params, Options{Trials: 6, Workers: 1})
+	b := Run(p, params, Options{Trials: 6, Workers: 4})
+	for i := range a.Trials {
+		if a.Trials[i] != b.Trials[i] {
+			t.Errorf("trial %d differs across worker counts: %+v vs %+v", i, a.Trials[i], b.Trials[i])
+		}
+	}
+}
+
+func TestEnsembleBudgetFailure(t *testing.T) {
+	p := testProblem(t)
+	e := Run(p, quickParams(p), Options{Trials: 4, MaxSteps: 5})
+	if e.SuccessRate() != 0 {
+		t.Errorf("success rate = %g with 5-step budget", e.SuccessRate())
+	}
+	if e.StepsQuantile(0.5) != -1 {
+		t.Errorf("quantile of empty successes = %g", e.StepsQuantile(0.5))
+	}
+	if e.StepsSummary().N != 0 {
+		t.Errorf("summary over failures = %+v", e.StepsSummary())
+	}
+}
+
+func TestEnsembleDefaults(t *testing.T) {
+	p := testProblem(t)
+	e := Run(p, quickParams(p), Options{Trials: 1})
+	if len(e.Trials) != 1 {
+		t.Errorf("trials = %d", len(e.Trials))
+	}
+	bound := e.PaperSuccessBound()
+	if bound <= 0.99 || bound >= 1 {
+		t.Errorf("paper bound = %g", bound)
+	}
+}
+
+func TestViolationRate(t *testing.T) {
+	p := testProblem(t)
+	// Tight parameters provoke at least occasional violations; default
+	// ones give zero. Either way the rate is within [0,1].
+	e := Run(p, quickParams(p), Options{Trials: 6, Check: true})
+	r := e.ViolationRate()
+	if r < 0 || r > 1 {
+		t.Errorf("violation rate = %g", r)
+	}
+	// Without checking, violations are not counted.
+	e2 := Run(p, quickParams(p), Options{Trials: 2})
+	if e2.ViolationRate() != 0 {
+		t.Errorf("unchecked violation rate = %g", e2.ViolationRate())
+	}
+}

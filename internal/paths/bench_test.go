@@ -1,0 +1,68 @@
+package paths
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/topo"
+)
+
+func BenchmarkRandomForwardPath(b *testing.B) {
+	g, err := topo.Butterfly(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	src := topo.ButterflyNode(g, 8, 0, 0)
+	dst := topo.ButterflyNode(g, 8, 255, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RandomForwardPath(g, rng, src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectMinCongestion(b *testing.B) {
+	g, err := topo.Butterfly(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	reqs := make([]Request, 64)
+	for i := range reqs {
+		reqs[i] = Request{
+			Src: topo.ButterflyNode(g, 6, i, 0),
+			Dst: topo.ButterflyNode(g, 6, (i*13)%64, 6),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelectMinCongestion(g, rng, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCongestion(b *testing.B) {
+	g, err := topo.Butterfly(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	reqs := make([]Request, 128)
+	for i := range reqs {
+		reqs[i] = Request{
+			Src: topo.ButterflyNode(g, 7, i, 0),
+			Dst: topo.ButterflyNode(g, 7, (i*29)%128, 7),
+		}
+	}
+	set, err := SelectRandom(g, rng, reqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set.Congestion()
+	}
+}

@@ -1,0 +1,269 @@
+package paths
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/graph"
+	"hotpotato/internal/topo"
+)
+
+func mustTopo(t *testing.T) func(*graph.Leveled, error) *graph.Leveled {
+	t.Helper()
+	return func(g *graph.Leveled, err error) *graph.Leveled {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("topo: %v", err)
+		}
+		return g
+	}
+}
+
+func TestPathSetMetrics(t *testing.T) {
+	g := mustTopo(t)(topo.Linear(5)) // 0-1-2-3-4 chain, 4 edges
+	full := graph.Path{0, 1, 2, 3}
+	half := graph.Path{0, 1}
+	s := NewPathSet(g, []graph.Path{full, half})
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if c := s.Congestion(); c != 2 {
+		t.Errorf("Congestion = %d, want 2", c)
+	}
+	if d := s.Dilation(); d != 4 {
+		t.Errorf("Dilation = %d, want 4", d)
+	}
+	if lb := s.LowerBound(); lb != 4 {
+		t.Errorf("LowerBound = %d, want 4", lb)
+	}
+	loads := s.EdgeLoads()
+	want := []int{2, 2, 1, 1}
+	for i, w := range want {
+		if loads[i] != w {
+			t.Errorf("load[%d] = %d, want %d", i, loads[i], w)
+		}
+	}
+	srcs, dsts := s.Sources(), s.Destinations()
+	if srcs[0] != 0 || srcs[1] != 0 {
+		t.Errorf("Sources = %v", srcs)
+	}
+	if dsts[0] != 4 || dsts[1] != 2 {
+		t.Errorf("Destinations = %v", dsts)
+	}
+}
+
+func TestPathSetValidateRejects(t *testing.T) {
+	g := mustTopo(t)(topo.Linear(4))
+	if err := NewPathSet(g, []graph.Path{{}}).Validate(); err == nil {
+		t.Error("empty path accepted")
+	}
+	if err := NewPathSet(g, []graph.Path{{2, 0}}).Validate(); err == nil {
+		t.Error("non-chaining path accepted")
+	}
+}
+
+func TestCheckOnePacketPerSource(t *testing.T) {
+	g := mustTopo(t)(topo.Linear(5))
+	ok := NewPathSet(g, []graph.Path{{0, 1}, {2, 3}})
+	if err := ok.CheckOnePacketPerSource(); err != nil {
+		t.Errorf("distinct sources rejected: %v", err)
+	}
+	dup := NewPathSet(g, []graph.Path{{0, 1}, {0, 1, 2}})
+	if err := dup.CheckOnePacketPerSource(); err == nil {
+		t.Error("duplicate source accepted")
+	}
+}
+
+func TestRandomForwardPath(t *testing.T) {
+	g := mustTopo(t)(topo.Butterfly(4))
+	rng := rand.New(rand.NewSource(1))
+	src := topo.ButterflyNode(g, 4, 3, 0)
+	dst := topo.ButterflyNode(g, 4, 12, 4)
+	for trial := 0; trial < 50; trial++ {
+		p, err := RandomForwardPath(g, rng, src, dst)
+		if err != nil {
+			t.Fatalf("RandomForwardPath: %v", err)
+		}
+		if len(p) != 4 {
+			t.Fatalf("path length = %d, want 4", len(p))
+		}
+		if err := g.ValidatePath(p); err != nil {
+			t.Fatalf("invalid: %v", err)
+		}
+		if g.PathSource(p) != src || g.PathDest(p) != dst {
+			t.Fatalf("wrong endpoints")
+		}
+	}
+}
+
+func TestRandomForwardPathUniformOnDiamond(t *testing.T) {
+	// Two forward paths exist on the ladder's diamond structure between
+	// fixed endpoints; sampling should hit both.
+	g := mustTopo(t)(topo.Ladder(2))
+	rng := rand.New(rand.NewSource(7))
+	src := g.Level(0)[0]
+	dst := g.Level(2)[0]
+	seen := map[graph.EdgeID]int{}
+	for trial := 0; trial < 200; trial++ {
+		p, err := RandomForwardPath(g, rng, src, dst)
+		if err != nil {
+			t.Fatalf("sample: %v", err)
+		}
+		seen[p[0]]++
+	}
+	if len(seen) != 2 {
+		t.Fatalf("expected 2 distinct first hops, got %d (%v)", len(seen), seen)
+	}
+	for e, n := range seen {
+		if n < 50 {
+			t.Errorf("first hop %d sampled only %d/200 times; want near-uniform", e, n)
+		}
+	}
+}
+
+func TestRandomForwardPathErrors(t *testing.T) {
+	g := mustTopo(t)(topo.Hypercube(3))
+	rng := rand.New(rand.NewSource(2))
+	if _, err := RandomForwardPath(g, rng, 1, 1); err == nil {
+		t.Error("src==dst accepted")
+	}
+	// 0b001 cannot reach 0b110 forward (not a superset).
+	if _, err := RandomForwardPath(g, rng, topo.HypercubeNode(0b001), topo.HypercubeNode(0b110)); err == nil {
+		t.Error("unreachable dst accepted")
+	}
+	// dst below src.
+	if _, err := RandomForwardPath(g, rng, topo.HypercubeNode(0b111), topo.HypercubeNode(0b001)); err == nil {
+		t.Error("downhill dst accepted")
+	}
+}
+
+func TestGreedyMinCongestionSpreadsLoad(t *testing.T) {
+	// On a complete leveled network, 8 identical src->dst requests
+	// should spread across parallel middle nodes; congestion must be
+	// well below 8.
+	g := mustTopo(t)(topo.Complete(2, 8))
+	rng := rand.New(rand.NewSource(3))
+	src := g.Level(0)[0]
+	dst := g.Level(2)[0]
+	reqs := make([]Request, 8)
+	for i := range reqs {
+		reqs[i] = Request{src, dst}
+	}
+	s, err := SelectMinCongestion(g, rng, reqs)
+	if err != nil {
+		t.Fatalf("SelectMinCongestion: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if c := s.Congestion(); c != 8 {
+		// All paths share the first node's up edges? No: src has 8 up
+		// edges, so each middle hop can be distinct: interior congestion 1.
+		// But all 8 paths end at dst, each middle node has 1 edge to dst,
+		// so final-edge congestion can be 1 too. Expect C == 1.. 8 shared
+		// source only. Since src has 8 distinct up edges, C should be 1.
+		if c != 1 {
+			t.Errorf("Congestion = %d, want 1", c)
+		}
+	}
+	if s.Congestion() > 2 {
+		t.Errorf("greedy congestion = %d; expected <= 2 on complete network", s.Congestion())
+	}
+}
+
+func TestGreedyMinCongestionErrors(t *testing.T) {
+	g := mustTopo(t)(topo.Linear(4))
+	rng := rand.New(rand.NewSource(4))
+	if _, err := GreedyMinCongestionPath(g, rng, make([]int, 1), 0, 3); err == nil {
+		t.Error("bad loads length accepted")
+	}
+	loads := make([]int, g.NumEdges())
+	if _, err := GreedyMinCongestionPath(g, rng, loads, 3, 0); err == nil {
+		t.Error("downhill accepted")
+	}
+	if p, err := GreedyMinCongestionPath(g, rng, loads, 0, 3); err != nil || len(p) != 3 {
+		t.Errorf("linear path: %v len=%d", err, len(p))
+	}
+}
+
+func TestSelectRandom(t *testing.T) {
+	g := mustTopo(t)(topo.Mesh(4, 4, topo.CornerNW))
+	rng := rand.New(rand.NewSource(5))
+	reqs := []Request{
+		{topo.MeshNode(4, 0, 0), topo.MeshNode(4, 3, 3)},
+		{topo.MeshNode(4, 0, 1), topo.MeshNode(4, 2, 3)},
+	}
+	s, err := SelectRandom(g, rng, reqs)
+	if err != nil {
+		t.Fatalf("SelectRandom: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(s.Paths[0]) != 6 || len(s.Paths[1]) != 4 {
+		t.Errorf("path lengths = %d,%d; want 6,4", len(s.Paths[0]), len(s.Paths[1]))
+	}
+	bad := []Request{{topo.MeshNode(4, 3, 3), topo.MeshNode(4, 0, 0)}}
+	if _, err := SelectRandom(g, rng, bad); err == nil {
+		t.Error("downhill request accepted")
+	}
+}
+
+func TestSelectValiantSpreadsTranspose(t *testing.T) {
+	// The butterfly is a banyan network (unique paths), so Valiant needs
+	// a network with mid-level diversity: on the Benes network every
+	// middle row is a feasible intermediate. Compare the transpose
+	// permutation routed (a) deterministically straight through the
+	// first half (mid = source row) and (b) with SelectValiant. At k=8
+	// the deterministic congestion is 2^(k/2-1) = 8 while Valiant's is
+	// balls-in-bins ~4.
+	k := 8
+	g := mustTopo(t)(topo.Benes(k))
+	rng := rand.New(rand.NewSource(8))
+	rows := 1 << k
+	half := k / 2
+	var reqs []Request
+	var det []graph.Path
+	for w := 0; w < rows; w++ {
+		dst := (w&(1<<half-1))<<half | w>>half
+		reqs = append(reqs, Request{
+			Src: topo.BenesNode(k, w, 0),
+			Dst: topo.BenesNode(k, dst, 2*k),
+		})
+		p, err := topo.BenesLoopbackPath(g, k, w, w, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		det = append(det, p)
+	}
+	cDet := NewPathSet(g, det).Congestion()
+
+	val, err := SelectValiant(g, rng, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := val.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cVal := val.Congestion()
+	if cVal >= cDet {
+		t.Errorf("Valiant congestion %d not below deterministic %d", cVal, cDet)
+	}
+	// Dilation unchanged: all forward paths on the Benes span 2k.
+	if val.Dilation() != 2*k {
+		t.Errorf("Valiant dilation = %d, want %d", val.Dilation(), 2*k)
+	}
+}
+
+func TestSelectValiantErrors(t *testing.T) {
+	g := mustTopo(t)(topo.Linear(4))
+	rng := rand.New(rand.NewSource(9))
+	if _, err := SelectValiant(g, rng, []Request{{Src: 3, Dst: 0}}); err == nil {
+		t.Error("downhill request accepted")
+	}
+	// Degenerate: src adjacent to dst still works (mid = one of them).
+	set, err := SelectValiant(g, rng, []Request{{Src: 0, Dst: 1}})
+	if err != nil || len(set.Paths[0]) != 1 {
+		t.Errorf("adjacent request: %v %v", err, set)
+	}
+}

@@ -1,0 +1,91 @@
+package persist
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+// FuzzReadProblem feeds arbitrary bytes to the problem decoder; it must
+// never panic, and whenever it accepts an input the resulting problem
+// must satisfy every validated property (so a malicious file cannot
+// smuggle an invalid instance past the loader).
+func FuzzReadProblem(f *testing.F) {
+	// Seed with a genuine serialized problem and some near-misses.
+	rng := rand.New(rand.NewSource(1))
+	g, err := topo.Random(rng, 8, 2, 4, 0.5)
+	if err != nil {
+		f.Fatal(err)
+	}
+	p, err := workload.Random(g, rng, 0.5)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteProblem(&buf, p); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"version":1,"name":"p","network":{"version":1,"name":"g","levels":[0,1],"edges":[[0,1]]},"paths":[[0]]}`)
+	f.Add(`{"version":1}`)
+	f.Add(`[]`)
+	f.Add(``)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		p, err := ReadProblem(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted problems must be internally consistent.
+		if err := p.G.Validate(); err != nil {
+			t.Fatalf("accepted invalid network: %v", err)
+		}
+		if err := p.Set.Validate(); err != nil {
+			t.Fatalf("accepted invalid paths: %v", err)
+		}
+		if err := p.Set.CheckOnePacketPerSource(); err != nil {
+			t.Fatalf("accepted source collision: %v", err)
+		}
+		if p.C != p.Set.Congestion() || p.D != p.Set.Dilation() {
+			t.Fatalf("cached C/D inconsistent")
+		}
+		// And must round-trip.
+		var out bytes.Buffer
+		if err := WriteProblem(&out, p); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		if _, err := ReadProblem(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("round-trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzReadNetwork mirrors FuzzReadProblem for bare networks.
+func FuzzReadNetwork(f *testing.F) {
+	g, err := topo.Butterfly(3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteNetwork(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"version":1,"name":"x","levels":[0],"edges":[]}`)
+	f.Add(`{"version":1,"name":"x","levels":[0,1],"edges":[[1,0]]}`)
+	f.Add(`null`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		g, err := ReadNetwork(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid network: %v", err)
+		}
+	})
+}

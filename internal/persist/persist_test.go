@@ -1,0 +1,145 @@
+package persist
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hotpotato/internal/graph"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+func TestNetworkRoundTrip(t *testing.T) {
+	gens := []func() (*graph.Leveled, error){
+		func() (*graph.Leveled, error) { return topo.Butterfly(4) },
+		func() (*graph.Leveled, error) { return topo.Mesh(4, 5, topo.CornerSE) },
+		func() (*graph.Leveled, error) { return topo.Hypercube(4) },
+		func() (*graph.Leveled, error) {
+			return topo.Random(rand.New(rand.NewSource(1)), 12, 2, 5, 0.4)
+		},
+	}
+	for _, gen := range gens {
+		g, err := gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteNetwork(&buf, g); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		g2, err := ReadNetwork(&buf)
+		if err != nil {
+			t.Fatalf("read %s: %v", g.Name(), err)
+		}
+		if g2.Name() != g.Name() || g2.NumNodes() != g.NumNodes() ||
+			g2.NumEdges() != g.NumEdges() || g2.Depth() != g.Depth() {
+			t.Fatalf("%s: round-trip mismatch: %v vs %v", g.Name(), g2.ComputeStats(), g.ComputeStats())
+		}
+		// Edge IDs and endpoints must round-trip exactly (paths index
+		// into them).
+		for i := 0; i < g.NumEdges(); i++ {
+			e1, e2 := g.Edge(graph.EdgeID(i)), g2.Edge(graph.EdgeID(i))
+			if e1.From != e2.From || e1.To != e2.To {
+				t.Fatalf("%s: edge %d differs: %v vs %v", g.Name(), i, e1, e2)
+			}
+		}
+		// Labels survive.
+		for i := 0; i < g.NumNodes(); i++ {
+			if g.Node(graph.NodeID(i)).Label != g2.Node(graph.NodeID(i)).Label {
+				t.Fatalf("%s: label of node %d differs", g.Name(), i)
+			}
+		}
+	}
+}
+
+func TestProblemRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := topo.Random(rng, 16, 3, 5, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := workload.Random(g, rng, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteProblem(&buf, p); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	p2, err := ReadProblem(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if p2.Name != p.Name || p2.N() != p.N() || p2.C != p.C || p2.D != p.D || p2.L() != p.L() {
+		t.Fatalf("round-trip mismatch: %s vs %s", p2, p)
+	}
+	for i := range p.Set.Paths {
+		if len(p.Set.Paths[i]) != len(p2.Set.Paths[i]) {
+			t.Fatalf("path %d length differs", i)
+		}
+		for j := range p.Set.Paths[i] {
+			if p.Set.Paths[i][j] != p2.Set.Paths[i][j] {
+				t.Fatalf("path %d edge %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReadNetworkRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"version":99,"name":"x","levels":[0],"edges":[]}`,
+		`{"version":1,"name":"x","levels":[0,1],"edges":[[0,5]]}`,
+		`{"version":1,"name":"x","levels":[0,2],"edges":[]}`,                // empty level 1
+		`{"version":1,"name":"x","levels":[0,1],"edges":[[1,0]]}`,           // reversed orientation
+		`{"version":1,"name":"x","levels":[0,1],"labels":["a"],"edges":[]}`, // label count
+	}
+	for i, c := range cases {
+		if _, err := ReadNetwork(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+func TestReadProblemRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`broken`,
+		`{"version":99}`,
+		// Path uses unknown edge.
+		`{"version":1,"name":"p","network":{"version":1,"name":"g","levels":[0,1],"edges":[[0,1]]},"paths":[[7]]}`,
+		// Two packets from the same source.
+		`{"version":1,"name":"p","network":{"version":1,"name":"g","levels":[0,1,1],"edges":[[0,1],[0,2]]},"paths":[[0],[1]]}`,
+		// Empty path.
+		`{"version":1,"name":"p","network":{"version":1,"name":"g","levels":[0,1],"edges":[[0,1]]},"paths":[[]]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadProblem(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestProblemJSONIsStable(t *testing.T) {
+	// Serializing twice produces identical bytes (map-free schema).
+	rng := rand.New(rand.NewSource(3))
+	g, err := topo.Random(rng, 8, 2, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := workload.Random(g, rng, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := WriteProblem(&a, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProblem(&b, p); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("serialization not deterministic")
+	}
+}

@@ -1,0 +1,132 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/baselines"
+	"hotpotato/internal/graph"
+	"hotpotato/internal/paths"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+func TestBoundedBuffersNeverExceedCap(t *testing.T) {
+	g, err := topo.Butterfly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	p, err := workload.HotSpot(g, rng, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cap := range []int{1, 2, 4} {
+		e := sim.NewSFEngineBuffered(p, baselines.NewFIFO(), 2, cap)
+		steps, done := e.Run(100000)
+		if !done {
+			t.Fatalf("cap=%d did not complete", cap)
+		}
+		if e.M.MaxQueueLen > cap {
+			t.Errorf("cap=%d: MaxQueueLen = %d", cap, e.M.MaxQueueLen)
+		}
+		if steps < p.C {
+			t.Errorf("cap=%d: steps %d < C %d", cap, steps, p.C)
+		}
+	}
+}
+
+func TestBoundedBuffersMonotoneInCap(t *testing.T) {
+	// Shrinking buffers can only slow things down (same scheduler,
+	// same seed): steps(cap=1) >= steps(cap=4) >= steps(unbounded).
+	g, err := topo.Butterfly(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	p, err := workload.HotSpot(g, rng, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cap int) int {
+		e := sim.NewSFEngineBuffered(p, baselines.NewFIFO(), 3, cap)
+		steps, done := e.Run(100000)
+		if !done {
+			t.Fatalf("cap=%d did not complete", cap)
+		}
+		return steps
+	}
+	s1, s4, sInf := run(1), run(4), run(0)
+	if s1 < s4 || s4 < sInf {
+		t.Errorf("steps not monotone in buffer size: cap1=%d cap4=%d unbounded=%d", s1, s4, sInf)
+	}
+}
+
+func TestBoundedBuffersBackpressureCounts(t *testing.T) {
+	// A tight funnel with cap 1 must record blocked moves.
+	g, err := topo.Butterfly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	p, err := workload.HotSpot(g, rng, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewSFEngineBuffered(p, baselines.NewFIFO(), 4, 1)
+	if _, done := e.Run(100000); !done {
+		t.Fatal("did not complete")
+	}
+	if e.M.Blocked == 0 {
+		t.Error("no blocked moves recorded on a congested cap-1 run")
+	}
+}
+
+func TestBoundedInjectionBlocked(t *testing.T) {
+	// Two packets share a first edge region on a linear network with
+	// cap 1: the later one cannot inject while the queue is full.
+	g, err := topo.Linear(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both packets start at node 0? Not allowed (many-to-one). Instead,
+	// saturate the first queue by a slow drain: single file with cap 1
+	// still drains 1/step, so injection blocking needs two packets
+	// wanting the same first edge — impossible under many-to-one on a
+	// line. Use a funnel: two sources share the next queue indirectly.
+	b := graph.NewBuilder("vee")
+	s1 := b.AddNode(0, "")
+	s2 := b.AddNode(0, "")
+	m := b.AddNode(1, "")
+	x := b.AddNode(2, "")
+	e1 := b.AddEdge(s1, m)
+	e2 := b.AddEdge(s2, m)
+	e3 := b.AddEdge(m, x)
+	gg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g
+	set := paths.NewPathSet(gg, []graph.Path{{e1, e3}, {e2, e3}})
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := &workload.Problem{Name: "vee", G: gg, Set: set, C: 2, D: 2}
+	e := sim.NewSFEngineBuffered(p, baselines.NewFIFO(), 5, 1)
+	steps, done := e.Run(100)
+	if !done {
+		t.Fatal("did not complete")
+	}
+	// Both inject at t=0 (distinct first edges) and contend for the
+	// cap-1 queue of e3: the loser is blocked at t=0 and crosses at
+	// t=1 into the slot e3 freed earlier in the same step (top levels
+	// drain first), finishing at t=3 — same makespan as unbounded, but
+	// with the block recorded.
+	if steps != 3 {
+		t.Errorf("steps = %d, want 3", steps)
+	}
+	if e.M.Blocked == 0 {
+		t.Error("expected blocked moves")
+	}
+}

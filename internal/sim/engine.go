@@ -1,0 +1,477 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hotpotato/internal/graph"
+	"hotpotato/internal/workload"
+)
+
+// Router is a hot-potato routing algorithm driven by the Engine. The
+// engine owns packet motion, conflict resolution and deflection; the
+// router owns injection timing, per-packet requests (edge + priority)
+// and its own state machine, advanced through the On* notifications.
+type Router interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+
+	// Init is called once before the first step.
+	Init(e *Engine)
+
+	// WantInject reports whether the (not yet injected) packet should
+	// be injected at step t. The engine additionally requires the
+	// source node to be free of active packets (injection in
+	// isolation); if it is not, the packet stays out regardless.
+	WantInject(t int, p *Packet) bool
+
+	// Request returns the desired traversal for active packet p at
+	// step t. The returned edge must leave p.Cur.
+	Request(t int, p *Packet) Request
+
+	// OnDeflect tells the router that p lost its request and was
+	// deflected along edge e (kind classifies the slot).
+	OnDeflect(t int, p *Packet, e graph.EdgeID, kind DeflectKind)
+
+	// OnMove tells the router that p's own request was granted.
+	OnMove(t int, p *Packet)
+
+	// OnAbsorb tells the router that p reached its destination.
+	OnAbsorb(t int, p *Packet)
+
+	// EndStep is called after every step commits.
+	EndStep(t int, e *Engine)
+}
+
+// Observer is a read-only per-step hook (tracing, invariant checking).
+// It runs after the step commits, before Router.EndStep.
+type Observer func(t int, e *Engine)
+
+// Metrics aggregates engine-level counters for one run.
+type Metrics struct {
+	Steps       int
+	Injected    int
+	Absorbed    int
+	Moves       int
+	Deflections [4]int // indexed by DeflectKind
+	// MaxInFlight is the peak number of simultaneously active packets.
+	MaxInFlight int
+	// InjectionWaits counts (packet, step) pairs in which a packet
+	// wanted in but its source node was occupied.
+	InjectionWaits int
+	// FaultBlocked counts (packet, step) pairs whose requested edge was
+	// down under the engine's fault model.
+	FaultBlocked int
+	// FaultStalls counts (packet, step) pairs in which an outage left a
+	// node with fewer healthy out-slots than occupants, forcing a
+	// packet to hold in place for one step (only possible under a fault
+	// model; pure hot-potato never stalls).
+	FaultStalls int
+}
+
+// TotalDeflections sums all deflection kinds.
+func (m *Metrics) TotalDeflections() int {
+	return m.Deflections[0] + m.Deflections[1] + m.Deflections[2] + m.Deflections[3]
+}
+
+// UnsafeDeflections counts deflections that are not safe in the paper's
+// sense; the frame router's Lemma 2.1 predicts zero.
+func (m *Metrics) UnsafeDeflections() int {
+	return m.Deflections[DeflectUnsafeBackward] + m.Deflections[DeflectForward]
+}
+
+// Engine is the synchronous bufferless (hot-potato) engine.
+type Engine struct {
+	G       *graph.Leveled
+	Packets []Packet
+	Rng     *rand.Rand
+	M       Metrics
+
+	// Faults, when non-nil, marks edges as down per step: requests for
+	// a downed edge lose (the packet is deflected among healthy slots)
+	// and deflections never use downed edges. Set before the first
+	// Step.
+	Faults FaultModel
+
+	router    Router
+	observers []Observer
+	now       int
+
+	// at[v] lists the active packets currently at node v.
+	at [][]PacketID
+
+	// prevForward[e] is the packet that traversed edge e forward during
+	// the previous step (NoPacket if none); such an edge is a safe
+	// backward deflection slot this step.
+	prevForward []PacketID
+	curForward  []PacketID
+
+	// Scratch reused across steps. Slots are indexed 2*edge+direction;
+	// epoch stamps avoid clearing the arrays every step.
+	epoch      uint32
+	slotEpoch  []uint32   // slot -> last epoch the slot was claimed or contested
+	slotWinner []PacketID // slot -> current winner (valid when slotEpoch matches)
+	slotPrio   []int64    // slot -> winner's priority
+	moveEpoch  []uint32   // packet -> epoch of its committed move
+	moveSlot   []int32    // packet -> committed slot
+	contested  []int32    // slots touched this step, for winner marking
+	loserBuf   []PacketID
+	requests   []Request // indexed by PacketID
+	granted    []bool
+}
+
+// stallSlot marks a packet that holds in place for one step because a
+// fault left its node without a healthy out-slot.
+const stallSlot int32 = -1
+
+// slotIndex packs an (edge, direction) capacity unit into an array
+// index.
+func slotIndex(e graph.EdgeID, d graph.Direction) int32 {
+	return int32(e)<<1 | int32(d)
+}
+
+// slotEdge and slotDir unpack a slot index.
+func slotEdge(s int32) graph.EdgeID   { return graph.EdgeID(s >> 1) }
+func slotDir(s int32) graph.Direction { return graph.Direction(s & 1) }
+
+// NewEngine builds an engine for the problem with the given router and
+// seed. Packet i corresponds to path i of the problem.
+func NewEngine(p *workload.Problem, r Router, seed int64) *Engine {
+	e := &Engine{
+		G:           p.G,
+		Rng:         rand.New(rand.NewSource(seed)),
+		router:      r,
+		at:          make([][]PacketID, p.G.NumNodes()),
+		prevForward: make([]PacketID, p.G.NumEdges()),
+		curForward:  make([]PacketID, p.G.NumEdges()),
+	}
+	e.slotEpoch = make([]uint32, 2*p.G.NumEdges())
+	e.slotWinner = make([]PacketID, 2*p.G.NumEdges())
+	e.slotPrio = make([]int64, 2*p.G.NumEdges())
+	e.moveEpoch = make([]uint32, p.N())
+	e.moveSlot = make([]int32, p.N())
+	for i := range e.prevForward {
+		e.prevForward[i] = NoPacket
+		e.curForward[i] = NoPacket
+	}
+	e.Packets = make([]Packet, p.N())
+	for i, path := range p.Set.Paths {
+		e.Packets[i] = Packet{
+			ID:          PacketID(i),
+			Src:         p.G.PathSource(path),
+			Dst:         p.G.PathDest(path),
+			Preselected: path,
+			Cur:         graph.NoNode,
+			InjectTime:  -1,
+			AbsorbTime:  -1,
+			ArrivalEdge: graph.NoEdge,
+		}
+	}
+	e.requests = make([]Request, p.N())
+	e.granted = make([]bool, p.N())
+	r.Init(e)
+	return e
+}
+
+// Now returns the current step number (the step about to execute, or
+// just executed inside observers).
+func (e *Engine) Now() int { return e.now }
+
+// At returns the active packets at node v (engine-owned; do not
+// mutate).
+func (e *Engine) At(v graph.NodeID) []PacketID { return e.at[v] }
+
+// AddObserver registers a per-step hook.
+func (e *Engine) AddObserver(o Observer) { e.observers = append(e.observers, o) }
+
+// Done reports whether every packet has been absorbed.
+func (e *Engine) Done() bool {
+	return e.M.Absorbed == len(e.Packets)
+}
+
+// Run executes steps until all packets are absorbed or maxSteps is
+// reached, and returns the number of steps executed and whether the run
+// completed.
+func (e *Engine) Run(maxSteps int) (int, bool) {
+	for e.now < maxSteps && !e.Done() {
+		e.Step()
+	}
+	return e.now, e.Done()
+}
+
+// Step executes one synchronous time step.
+func (e *Engine) Step() {
+	t := e.now
+
+	// Phase 1: injection in isolation. A packet enters only when its
+	// router wants it in and its source node holds no active packet.
+	inFlight := e.M.Injected - e.M.Absorbed
+	for i := range e.Packets {
+		p := &e.Packets[i]
+		if p.Active || p.Absorbed {
+			continue
+		}
+		if !e.router.WantInject(t, p) {
+			continue
+		}
+		if len(e.at[p.Src]) > 0 {
+			e.M.InjectionWaits++
+			continue
+		}
+		p.Active = true
+		p.Cur = p.Src
+		p.InjectTime = t
+		p.PathList = append(p.PathList[:0], p.Preselected...)
+		p.ArrivalEdge = graph.NoEdge
+		e.at[p.Src] = append(e.at[p.Src], p.ID)
+		e.M.Injected++
+		inFlight++
+	}
+	if inFlight > e.M.MaxInFlight {
+		e.M.MaxInFlight = inFlight
+	}
+
+	// Phase 2: collect requests and resolve per-slot winners.
+	e.epoch++
+	e.contested = e.contested[:0]
+	for i := range e.Packets {
+		p := &e.Packets[i]
+		if !p.Active {
+			continue
+		}
+		req := e.router.Request(t, p)
+		if err := e.checkRequest(p, req); err != nil {
+			panic(fmt.Sprintf("sim: step %d: %v", t, err))
+		}
+		e.requests[p.ID] = req
+		e.granted[p.ID] = false
+		if e.Faults != nil && e.Faults(req.Edge, t) {
+			e.M.FaultBlocked++
+			continue
+		}
+		s := slotIndex(req.Edge, req.Dir)
+		if e.slotEpoch[s] != e.epoch {
+			e.slotEpoch[s] = e.epoch
+			e.slotWinner[s] = p.ID
+			e.slotPrio[s] = req.Priority
+			e.contested = append(e.contested, s)
+			continue
+		}
+		if req.Priority > e.slotPrio[s] ||
+			(req.Priority == e.slotPrio[s] && e.Rng.Intn(2) == 0) {
+			e.slotWinner[s] = p.ID
+			e.slotPrio[s] = req.Priority
+		}
+	}
+
+	// Phase 3: record winner moves, then assign deflection slots to
+	// losers node by node; slotEpoch doubles as the used-slot marker.
+	for _, s := range e.contested {
+		w := e.slotWinner[s]
+		e.granted[w] = true
+		e.moveEpoch[w] = e.epoch
+		e.moveSlot[w] = s
+	}
+	for v := range e.at {
+		if len(e.at[v]) == 0 {
+			continue
+		}
+		e.deflectLosers(t, graph.NodeID(v))
+	}
+
+	// Phase 4: commit all moves simultaneously.
+	for i := range e.curForward {
+		e.curForward[i] = NoPacket
+	}
+	for i := range e.Packets {
+		p := &e.Packets[i]
+		if !p.Active {
+			continue
+		}
+		if e.moveEpoch[p.ID] != e.epoch {
+			panic(fmt.Sprintf("sim: step %d: active packet %d has no move (hot-potato requires all packets to leave)", t, p.ID))
+		}
+		if e.moveSlot[p.ID] == stallSlot {
+			continue
+		}
+		e.applyMove(t, p, e.moveSlot[p.ID])
+	}
+
+	// Phase 5: rebuild occupancy, roll forward-traversal memory.
+	for v := range e.at {
+		e.at[v] = e.at[v][:0]
+	}
+	for i := range e.Packets {
+		p := &e.Packets[i]
+		if p.Active {
+			e.at[p.Cur] = append(e.at[p.Cur], p.ID)
+		}
+	}
+	e.prevForward, e.curForward = e.curForward, e.prevForward
+
+	e.now++
+	e.M.Steps = e.now
+	for _, o := range e.observers {
+		o(t, e)
+	}
+	e.router.EndStep(t, e)
+}
+
+// checkRequest validates that a request leaves the packet's node.
+func (e *Engine) checkRequest(p *Packet, req Request) error {
+	if req.Edge < 0 || int(req.Edge) >= e.G.NumEdges() {
+		return fmt.Errorf("packet %d requested unknown edge %d", p.ID, req.Edge)
+	}
+	ed := e.G.Edge(req.Edge)
+	if ed.From != p.Cur && ed.To != p.Cur {
+		return fmt.Errorf("packet %d at node %d requested non-incident edge %d", p.ID, p.Cur, req.Edge)
+	}
+	if e.G.DirectionFrom(req.Edge, p.Cur) != req.Dir {
+		return fmt.Errorf("packet %d at node %d requested edge %d in direction %s which does not leave the node",
+			p.ID, p.Cur, req.Edge, req.Dir)
+	}
+	return nil
+}
+
+// deflectLosers assigns outgoing slots to the packets at node v whose
+// requests were not granted, preferring (1) the reverse of each
+// packet's own arrival, (2) safe backward slots recycled from the
+// previous step's forward traversals, (3) any backward slot, (4) any
+// forward slot. Under the paper's preconditions only (1) and (2) occur.
+func (e *Engine) deflectLosers(t int, v graph.NodeID) {
+	e.loserBuf = e.loserBuf[:0]
+	for _, pid := range e.at[v] {
+		if !e.granted[pid] {
+			e.loserBuf = append(e.loserBuf, pid)
+		}
+	}
+	if len(e.loserBuf) == 0 {
+		return
+	}
+	losers := e.loserBuf
+	node := e.G.Node(v)
+
+	free := func(s int32) bool {
+		if e.slotEpoch[s] == e.epoch {
+			return false
+		}
+		return e.Faults == nil || !e.Faults(slotEdge(s), t)
+	}
+	assign := func(pid PacketID, s int32, kind DeflectKind) {
+		e.slotEpoch[s] = e.epoch
+		e.moveEpoch[pid] = e.epoch
+		e.moveSlot[pid] = s
+		e.M.Deflections[kind]++
+		p := &e.Packets[pid]
+		p.Deflections++
+		e.router.OnDeflect(t, p, slotEdge(s), kind)
+	}
+
+	// Pass 1: own arrival reverse.
+	remaining := losers[:0]
+	for _, pid := range losers {
+		p := &e.Packets[pid]
+		if p.ArrivalEdge != graph.NoEdge {
+			d := p.ArrivalDir.Reverse()
+			s := slotIndex(p.ArrivalEdge, d)
+			if e.G.EndpointAt(p.ArrivalEdge, d.Reverse()) == v && free(s) {
+				assign(pid, s, DeflectArrivalReverse)
+				continue
+			}
+		}
+		remaining = append(remaining, pid)
+	}
+	losers = remaining
+
+	// Pass 2: safe backward (edges forward-traversed last step).
+	remaining = losers[:0]
+	for _, pid := range losers {
+		var chosen int32
+		found := false
+		for _, ed := range node.Down {
+			s := slotIndex(ed, graph.Backward)
+			if free(s) && e.prevForward[ed] != NoPacket {
+				chosen, found = s, true
+				break
+			}
+		}
+		if found {
+			assign(pid, chosen, DeflectSafeBackward)
+		} else {
+			remaining = append(remaining, pid)
+		}
+	}
+	losers = remaining
+
+	// Pass 3: any backward; Pass 4: any forward.
+	for _, pid := range losers {
+		assigned := false
+		for _, ed := range node.Down {
+			s := slotIndex(ed, graph.Backward)
+			if free(s) {
+				assign(pid, s, DeflectUnsafeBackward)
+				assigned = true
+				break
+			}
+		}
+		if assigned {
+			continue
+		}
+		for _, ed := range node.Up {
+			s := slotIndex(ed, graph.Forward)
+			if free(s) {
+				assign(pid, s, DeflectForward)
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			if e.Faults != nil {
+				// An outage consumed the node's slack: the packet holds
+				// for one step (stallSlot), the bufferless model's local
+				// escape hatch under faults.
+				e.moveEpoch[pid] = e.epoch
+				e.moveSlot[pid] = stallSlot
+				e.M.FaultStalls++
+				continue
+			}
+			panic(fmt.Sprintf("sim: step %d: node %d: no free slot for deflected packet %d (capacity violated)", t, v, pid))
+		}
+	}
+}
+
+// applyMove commits one traversal and updates path bookkeeping: a
+// traversal of the path head pops it, anything else prepends (the
+// paper's deflection rule, which also covers wait-state oscillation).
+func (e *Engine) applyMove(t int, p *Packet, s int32) {
+	ed, dir := slotEdge(s), slotDir(s)
+	dest := e.G.EndpointAt(ed, dir)
+	onHead := len(p.PathList) > 0 && p.PathList[0] == ed
+	if onHead {
+		p.PathList = p.PathList[1:]
+	} else {
+		p.PathList = append(p.PathList, 0)
+		copy(p.PathList[1:], p.PathList)
+		p.PathList[0] = ed
+	}
+	p.Cur = dest
+	p.ArrivalEdge = ed
+	p.ArrivalDir = dir
+	if dir == graph.Forward {
+		p.ForwardMoves++
+		e.curForward[ed] = p.ID
+	} else {
+		p.BackwardMoves++
+	}
+	e.M.Moves++
+	if e.granted[p.ID] {
+		e.router.OnMove(t, p)
+	}
+	if p.Cur == p.Dst {
+		p.Active = false
+		p.Absorbed = true
+		p.AbsorbTime = t + 1
+		e.M.Absorbed++
+		e.router.OnAbsorb(t, p)
+	}
+}

@@ -1,0 +1,152 @@
+package sim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/baselines"
+	"hotpotato/internal/graph"
+	"hotpotato/internal/paths"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+// TestExhaustiveTwoPacketLadder enumerates every ordered pair of
+// distinct (source, destination) requests on a small ladder and runs
+// the greedy router under several seeds. Every configuration must
+// complete with valid paths throughout and latencies bounded by a small
+// function of the network size — a miniature model check of the engine.
+func TestExhaustiveTwoPacketLadder(t *testing.T) {
+	g, err := topo.Ladder(3) // 8 nodes, depth 3, every node has an alternative link
+	if err != nil {
+		t.Fatal(err)
+	}
+	type req struct{ src, dst graph.NodeID }
+	var reqs []req
+	for s := graph.NodeID(0); int(s) < g.NumNodes(); s++ {
+		if len(g.Node(s).Up) == 0 {
+			continue
+		}
+		reach := g.ForwardReachableFrom(s)
+		for d := graph.NodeID(0); int(d) < g.NumNodes(); d++ {
+			if d != s && reach[d] && g.Node(d).Level > g.Node(s).Level {
+				reqs = append(reqs, req{s, d})
+			}
+		}
+	}
+	if len(reqs) < 10 {
+		t.Fatalf("only %d single requests enumerated", len(reqs))
+	}
+
+	configs := 0
+	for i, a := range reqs {
+		for _, bb := range reqs[i+1:] {
+			if a.src == bb.src {
+				continue // many-to-one: one packet per source
+			}
+			set, err := paths.SelectRandom(g, rand.New(rand.NewSource(12345)), []paths.Request{
+				{Src: a.src, Dst: a.dst}, {Src: bb.src, Dst: bb.dst},
+			})
+			if err != nil {
+				t.Fatalf("paths for %v/%v: %v", a, bb, err)
+			}
+			p := &workload.Problem{Name: "pair", G: g, Set: set,
+				C: set.Congestion(), D: set.Dilation()}
+			for seed := int64(0); seed < 3; seed++ {
+				e := sim.NewEngine(p, baselines.NewGreedy(), seed)
+				bad := false
+				e.AddObserver(func(step int, en *sim.Engine) {
+					for k := range en.Packets {
+						pk := &en.Packets[k]
+						if pk.Active && !pk.PathValid(en.G) {
+							bad = true
+						}
+					}
+				})
+				steps, done := e.Run(200)
+				if !done {
+					t.Fatalf("pair %v/%v seed %d did not complete", a, bb, seed)
+				}
+				if bad {
+					t.Fatalf("pair %v/%v seed %d produced an invalid path", a, bb, seed)
+				}
+				// Two packets on a depth-3 ladder: worst case is a
+				// handful of bounce-backs, never more than ~5x depth.
+				if steps > 20 {
+					t.Fatalf("pair %v/%v seed %d took %d steps", a, bb, seed, steps)
+				}
+			}
+			configs++
+		}
+	}
+	if configs < 100 {
+		t.Fatalf("only %d configurations exercised", configs)
+	}
+}
+
+// TestExhaustiveThreePacketMerge enumerates all assignments of three
+// packets over the four level-0 sources of a width-4 funnel into a
+// single sink, forcing maximal fan-in contention.
+func TestExhaustiveThreePacketMerge(t *testing.T) {
+	// Funnel: 4 sources at level 0, 2 mids at level 1, 1 sink... build
+	// levels 4-2-1 complete.
+	b := graph.NewBuilder("funnel")
+	var l0, l1 []graph.NodeID
+	for i := 0; i < 4; i++ {
+		l0 = append(l0, b.AddNode(0, fmt.Sprintf("s%d", i)))
+	}
+	for i := 0; i < 2; i++ {
+		l1 = append(l1, b.AddNode(1, fmt.Sprintf("m%d", i)))
+	}
+	sink := b.AddNode(2, "t")
+	for _, u := range l0 {
+		for _, m := range l1 {
+			b.AddEdge(u, m)
+		}
+	}
+	for _, m := range l1 {
+		b.AddEdge(m, sink)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// All 4-choose-3 source triples, all 2^3 mid choices per packet.
+	for mask := 0; mask < 4; mask++ { // excluded source
+		var srcs []graph.NodeID
+		for i, s := range l0 {
+			if i != mask {
+				srcs = append(srcs, s)
+			}
+		}
+		for mids := 0; mids < 8; mids++ {
+			ps := make([]graph.Path, 3)
+			for k := 0; k < 3; k++ {
+				mid := l1[(mids>>k)&1]
+				e1 := g.EdgeBetween(srcs[k], mid)
+				e2 := g.EdgeBetween(mid, sink)
+				ps[k] = graph.Path{e1, e2}
+			}
+			set := paths.NewPathSet(g, ps)
+			p := &workload.Problem{Name: "funnel3", G: g, Set: set,
+				C: set.Congestion(), D: set.Dilation()}
+			for seed := int64(0); seed < 2; seed++ {
+				e := sim.NewEngine(p, baselines.NewGreedy(), seed)
+				steps, done := e.Run(100)
+				if !done {
+					t.Fatalf("mask=%d mids=%b seed=%d stuck", mask, mids, seed)
+				}
+				if steps < 2 {
+					t.Fatalf("completed impossibly fast: %d", steps)
+				}
+				if e.M.UnsafeDeflections() != 0 {
+					t.Fatalf("mask=%d mids=%b seed=%d unsafe deflections %v",
+						mask, mids, seed, e.M.Deflections)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hotpotato/internal/baselines"
+	"hotpotato/internal/graph"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+// Property: for arbitrary random leveled networks and workloads, the
+// greedy hot-potato engine (a) completes, (b) never exceeds node
+// capacity, (c) keeps every current path valid whenever no forward
+// deflection occurred, and (d) reports per-packet latency at least the
+// preselected path length.
+func TestGreedyEngineProperties(t *testing.T) {
+	prop := func(seed int64, depthRaw, widthRaw uint8, densityRaw uint8) bool {
+		depth := int(depthRaw%20) + 4
+		width := int(widthRaw%4) + 2
+		density := 0.2 + float64(densityRaw%60)/100
+		rng := rand.New(rand.NewSource(seed))
+		g, err := topo.Random(rng, depth, width, width+2, 0.4)
+		if err != nil {
+			return false
+		}
+		p, err := workload.Random(g, rng, density)
+		if err != nil {
+			// Degenerate draws (no packets) are fine to skip.
+			return true
+		}
+		e := sim.NewEngine(p, baselines.NewGreedy(), seed)
+		capacityOK := true
+		pathsOK := true
+		e.AddObserver(func(step int, en *sim.Engine) {
+			for v := 0; v < en.G.NumNodes(); v++ {
+				n := en.G.Node(graph.NodeID(v))
+				if len(en.At(n.ID)) > n.Degree() {
+					capacityOK = false
+				}
+			}
+			if en.M.Deflections[sim.DeflectForward] == 0 {
+				for i := range en.Packets {
+					pk := &en.Packets[i]
+					if pk.Active && !pk.PathValid(en.G) {
+						pathsOK = false
+					}
+				}
+			}
+		})
+		_, done := e.Run(1 << 20)
+		if !done || !capacityOK || !pathsOK {
+			return false
+		}
+		for i := range e.Packets {
+			if e.Packets[i].Latency() < len(e.Packets[i].Preselected) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: store-and-forward FIFO completion time is at least
+// max(C, D) and every packet's latency is at least its path length.
+func TestSFEngineProperties(t *testing.T) {
+	prop := func(seed int64, depthRaw uint8) bool {
+		depth := int(depthRaw%16) + 4
+		rng := rand.New(rand.NewSource(seed))
+		g, err := topo.Random(rng, depth, 2, 5, 0.4)
+		if err != nil {
+			return false
+		}
+		p, err := workload.Random(g, rng, 0.5)
+		if err != nil {
+			return true
+		}
+		e := sim.NewSFEngine(p, baselines.NewFIFO(), seed)
+		steps, done := e.Run(1 << 20)
+		if !done {
+			return false
+		}
+		if steps < p.D {
+			return false
+		}
+		for i := range e.Packets {
+			pk := &e.Packets[i]
+			if pk.Latency() < len(pk.Preselected) {
+				return false
+			}
+			if pk.Deflections != 0 || pk.BackwardMoves != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hot-potato conservation — at every step, injected =
+// absorbed + active, and the census over nodes matches the active
+// count.
+func TestEngineConservationProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := topo.Random(rng, 12, 2, 4, 0.5)
+		if err != nil {
+			return false
+		}
+		p, err := workload.Random(g, rng, 0.5)
+		if err != nil {
+			return true
+		}
+		e := sim.NewEngine(p, baselines.NewRandGreedy(0.1), seed)
+		ok := true
+		e.AddObserver(func(step int, en *sim.Engine) {
+			active := 0
+			for i := range en.Packets {
+				if en.Packets[i].Active {
+					active++
+				}
+			}
+			if en.M.Injected != en.M.Absorbed+active {
+				ok = false
+			}
+			census := 0
+			for v := 0; v < en.G.NumNodes(); v++ {
+				census += len(en.At(graph.NodeID(v)))
+			}
+			if census != active {
+				ok = false
+			}
+		})
+		_, done := e.Run(1 << 20)
+		return done && ok
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hotpotato/internal/graph"
+	"hotpotato/internal/workload"
+)
+
+// Scheduler decides, for a store-and-forward run, when each packet may
+// start and which queued packet crosses each contended edge each step.
+type Scheduler interface {
+	// Name identifies the scheduler in reports.
+	Name() string
+	// Init is called once with the engine before the first step.
+	Init(e *SFEngine)
+	// ReadyAt returns the earliest step at which the packet may be
+	// injected (0 for immediate start; random initial delays implement
+	// Leighton-Maggs-Rao-style scheduling).
+	ReadyAt(p *Packet) int
+	// Pick selects which of the queued packets crosses edge e this
+	// step. queue is non-empty; the returned ID must be an element.
+	Pick(t int, e graph.EdgeID, queue []PacketID) PacketID
+}
+
+// SFMetrics aggregates store-and-forward run counters.
+type SFMetrics struct {
+	Steps       int
+	Injected    int
+	Absorbed    int
+	Moves       int
+	QueueDelay  int // total packet-steps spent waiting in queues
+	MaxQueueLen int // peak per-edge queue length
+	// Blocked counts (edge, step) pairs at which a picked packet could
+	// not advance because the downstream buffer was full (bounded mode
+	// only).
+	Blocked int
+	// InjectionBlocked counts (packet, step) pairs in which a ready
+	// packet could not enter its first queue for lack of buffer space.
+	InjectionBlocked int
+}
+
+// SFEngine is the synchronous store-and-forward engine: each edge holds
+// a queue of waiting packets at its From node and forwards one per step
+// (packets move only forward along their preselected paths). With
+// Cap == 0 buffers are unbounded, the classic O(C+D) setting; with
+// Cap > 0 each edge queue holds at most Cap packets and full buffers
+// exert backpressure — the constant-buffer regime of Leighton et al.
+// [16] that the paper cites for leveled networks. Forward-only paths on
+// a DAG make backpressure deadlock-free: the topmost occupied queue can
+// always drain.
+type SFEngine struct {
+	G       *graph.Leveled
+	Packets []Packet
+	Rng     *rand.Rand
+	M       SFMetrics
+	// Cap is the per-edge buffer capacity (0 = unbounded). Set before
+	// the first Step.
+	Cap int
+
+	sched Scheduler
+	now   int
+
+	// queue[e] lists packets waiting to cross edge e.
+	queue   [][]PacketID
+	readyAt []int
+	// edgesByLevelDesc lists edge IDs ordered by From-level descending,
+	// so draining the top first frees buffers for upstream moves within
+	// the same step.
+	edgesByLevelDesc []graph.EdgeID
+}
+
+// NewSFEngine builds a store-and-forward engine with unbounded buffers.
+func NewSFEngine(p *workload.Problem, s Scheduler, seed int64) *SFEngine {
+	return NewSFEngineBuffered(p, s, seed, 0)
+}
+
+// NewSFEngineBuffered builds a store-and-forward engine whose per-edge
+// queues hold at most cap packets (cap <= 0 means unbounded).
+func NewSFEngineBuffered(p *workload.Problem, s Scheduler, seed int64, cap int) *SFEngine {
+	if cap < 0 {
+		cap = 0
+	}
+	e := &SFEngine{
+		G:     p.G,
+		Rng:   rand.New(rand.NewSource(seed)),
+		Cap:   cap,
+		sched: s,
+		queue: make([][]PacketID, p.G.NumEdges()),
+	}
+	e.Packets = make([]Packet, p.N())
+	for i, path := range p.Set.Paths {
+		e.Packets[i] = Packet{
+			ID:          PacketID(i),
+			Src:         p.G.PathSource(path),
+			Dst:         p.G.PathDest(path),
+			Preselected: path,
+			Cur:         graph.NoNode,
+			InjectTime:  -1,
+			AbsorbTime:  -1,
+			ArrivalEdge: graph.NoEdge,
+		}
+	}
+	e.edgesByLevelDesc = make([]graph.EdgeID, p.G.NumEdges())
+	for i := range e.edgesByLevelDesc {
+		e.edgesByLevelDesc[i] = graph.EdgeID(i)
+	}
+	sort.SliceStable(e.edgesByLevelDesc, func(i, j int) bool {
+		li := p.G.Node(p.G.Edge(e.edgesByLevelDesc[i]).From).Level
+		lj := p.G.Node(p.G.Edge(e.edgesByLevelDesc[j]).From).Level
+		return li > lj
+	})
+	s.Init(e)
+	e.readyAt = make([]int, p.N())
+	for i := range e.Packets {
+		r := s.ReadyAt(&e.Packets[i])
+		if r < 0 {
+			r = 0
+		}
+		e.readyAt[i] = r
+	}
+	return e
+}
+
+// Now returns the current step number.
+func (e *SFEngine) Now() int { return e.now }
+
+// Done reports whether every packet has been absorbed.
+func (e *SFEngine) Done() bool { return e.M.Absorbed == len(e.Packets) }
+
+// Run executes steps until completion or maxSteps; it returns the steps
+// executed and whether the run completed.
+func (e *SFEngine) Run(maxSteps int) (int, bool) {
+	for e.now < maxSteps && !e.Done() {
+		e.Step()
+	}
+	return e.now, e.Done()
+}
+
+// hasRoom reports whether queue q can accept one more packet.
+func (e *SFEngine) hasRoom(q graph.EdgeID) bool {
+	return e.Cap == 0 || len(e.queue[q]) < e.Cap
+}
+
+// Step executes one synchronous store-and-forward step: inject newly
+// ready packets into their first edge's queue (if it has room), then
+// move one packet across every non-empty edge, draining top levels
+// first so that freed buffer slots become available upstream within the
+// same step.
+func (e *SFEngine) Step() {
+	t := e.now
+
+	// Injection: a ready packet joins the queue of its first edge.
+	for i := range e.Packets {
+		p := &e.Packets[i]
+		if p.Active || p.Absorbed || t < e.readyAt[i] {
+			continue
+		}
+		first := p.Preselected[0]
+		if !e.hasRoom(first) {
+			e.M.InjectionBlocked++
+			continue
+		}
+		p.Active = true
+		p.Cur = p.Src
+		p.InjectTime = t
+		p.PathList = append(p.PathList[:0], p.Preselected...)
+		e.queue[first] = append(e.queue[first], p.ID)
+		e.M.Injected++
+	}
+
+	// Moves, top levels first. A packet granted a move commits
+	// immediately; because levels are processed in descending order no
+	// packet can be granted twice in a step (its new queue sits at a
+	// level already processed).
+	for _, eid := range e.edgesByLevelDesc {
+		q := e.queue[eid]
+		if len(q) == 0 {
+			continue
+		}
+		if len(q) > e.M.MaxQueueLen {
+			e.M.MaxQueueLen = len(q)
+		}
+		pick := e.sched.Pick(t, eid, q)
+		found := false
+		for _, pid := range q {
+			if pid == pick {
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("sim: scheduler %s picked packet %d not in queue of edge %d", e.sched.Name(), pick, eid))
+		}
+		p := &e.Packets[pick]
+		// Downstream room check: absorption needs none; otherwise the
+		// next edge's queue must accept the packet.
+		if len(p.PathList) > 1 && !e.hasRoom(p.PathList[1]) {
+			e.M.Blocked++
+			e.M.QueueDelay += len(q)
+			continue
+		}
+		e.M.QueueDelay += len(q) - 1 // everyone else waits this step
+
+		// Remove from queue preserving order, then advance.
+		for i, pid := range q {
+			if pid == pick {
+				e.queue[eid] = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+		p.PathList = p.PathList[1:]
+		p.Cur = e.G.Edge(eid).To
+		p.ForwardMoves++
+		e.M.Moves++
+		if len(p.PathList) == 0 {
+			if p.Cur != p.Dst {
+				panic(fmt.Sprintf("sim: packet %d exhausted path at node %d != dst %d", p.ID, p.Cur, p.Dst))
+			}
+			p.Active = false
+			p.Absorbed = true
+			p.AbsorbTime = t + 1
+			e.M.Absorbed++
+		} else {
+			e.queue[p.PathList[0]] = append(e.queue[p.PathList[0]], p.ID)
+		}
+	}
+
+	e.now++
+	e.M.Steps = e.now
+}

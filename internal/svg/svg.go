@@ -1,0 +1,290 @@
+// Package svg renders leveled networks and the frontier-frame pipeline
+// as standalone SVG documents — graphical reproductions of the paper's
+// Figure 1 (leveled networks) and Figure 2 (frontier-frames). Stdlib
+// only: documents are built as strings and are well-formed XML.
+package svg
+
+import (
+	"fmt"
+	"strings"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/graph"
+)
+
+// Doc accumulates SVG elements.
+type Doc struct {
+	W, H int
+	b    strings.Builder
+}
+
+// New starts a document of the given pixel size.
+func New(w, h int) *Doc {
+	d := &Doc{W: w, H: h}
+	fmt.Fprintf(&d.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	d.b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	return d
+}
+
+// Line draws a line.
+func (d *Doc) Line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&d.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		x1, y1, x2, y2, stroke, width)
+}
+
+// Circle draws a filled circle with a thin outline.
+func (d *Doc) Circle(cx, cy, r float64, fill string) {
+	fmt.Fprintf(&d.b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" stroke="black" stroke-width="0.5"/>`+"\n",
+		cx, cy, r, fill)
+}
+
+// Rect draws a rectangle.
+func (d *Doc) Rect(x, y, w, h float64, fill, stroke string) {
+	fmt.Fprintf(&d.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="%s"/>`+"\n",
+		x, y, w, h, fill, stroke)
+}
+
+// Text places a label (escaped).
+func (d *Doc) Text(x, y float64, size int, s string) {
+	fmt.Fprintf(&d.b, `<text x="%.1f" y="%.1f" font-size="%d" font-family="sans-serif">%s</text>`+"\n",
+		x, y, size, escape(s))
+}
+
+// String finalizes and returns the document.
+func (d *Doc) String() string {
+	return d.b.String() + "</svg>\n"
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// RenderNetwork draws a leveled network with levels as columns (level 0
+// leftmost, as in Figure 1) and nodes stacked vertically within each
+// level; every edge is a straight segment between consecutive columns.
+func RenderNetwork(g *graph.Leveled) string {
+	const (
+		margin = 40.0
+		colGap = 70.0
+		rowGap = 26.0
+		radius = 5.0
+	)
+	maxW := g.MaxLevelWidth()
+	w := int(2*margin + colGap*float64(g.Depth()))
+	h := int(2*margin + rowGap*float64(maxW-1) + 30)
+	d := New(w, h)
+	d.Text(margin, 20, 13, fmt.Sprintf("%s — levels 0..%d (Figure 1 style)", g.Name(), g.Depth()))
+
+	pos := make([]struct{ x, y float64 }, g.NumNodes())
+	for l := 0; l <= g.Depth(); l++ {
+		ids := g.Level(l)
+		span := rowGap * float64(len(ids)-1)
+		top := margin + (rowGap*float64(maxW-1)-span)/2 + 20
+		for i, id := range ids {
+			pos[id] = struct{ x, y float64 }{
+				x: margin + colGap*float64(l),
+				y: top + rowGap*float64(i),
+			}
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(graph.EdgeID(e))
+		p1, p2 := pos[ed.From], pos[ed.To]
+		d.Line(p1.x, p1.y, p2.x, p2.y, "#888888", 1)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		p := pos[v]
+		d.Circle(p.x, p.y, radius, "#4477cc")
+	}
+	for l := 0; l <= g.Depth(); l++ {
+		p := pos[g.Level(l)[0]]
+		d.Text(p.x-4, float64(h)-12, 11, fmt.Sprint(l))
+	}
+	return d.String()
+}
+
+// RenderNetworkHeat draws the network like RenderNetwork but colors and
+// thickens each edge by its load (loads[e], e.g. traversal counts from
+// a trace.EdgeLoadRecorder): cold gray for idle edges through warm reds
+// for the busiest — a utilization heat map.
+func RenderNetworkHeat(g *graph.Leveled, loads []int) string {
+	const (
+		margin = 40.0
+		colGap = 70.0
+		rowGap = 26.0
+		radius = 4.0
+	)
+	maxLoad := 0
+	for _, l := range loads {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	maxW := g.MaxLevelWidth()
+	w := int(2*margin + colGap*float64(g.Depth()))
+	h := int(2*margin + rowGap*float64(maxW-1) + 30)
+	d := New(w, h)
+	d.Text(margin, 20, 13, fmt.Sprintf("%s — edge utilization (max %d traversals)", g.Name(), maxLoad))
+
+	pos := make([]struct{ x, y float64 }, g.NumNodes())
+	for l := 0; l <= g.Depth(); l++ {
+		ids := g.Level(l)
+		span := rowGap * float64(len(ids)-1)
+		top := margin + (rowGap*float64(maxW-1)-span)/2 + 20
+		for i, id := range ids {
+			pos[id] = struct{ x, y float64 }{margin + colGap*float64(l), top + rowGap*float64(i)}
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(graph.EdgeID(e))
+		p1, p2 := pos[ed.From], pos[ed.To]
+		load := 0
+		if e < len(loads) {
+			load = loads[e]
+		}
+		color, width := heatStyle(load, maxLoad)
+		d.Line(p1.x, p1.y, p2.x, p2.y, color, width)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		p := pos[v]
+		d.Circle(p.x, p.y, radius, "#dddddd")
+	}
+	return d.String()
+}
+
+// heatStyle maps a load fraction to a stroke color and width.
+func heatStyle(load, max int) (string, float64) {
+	if max == 0 || load == 0 {
+		return "#dddddd", 0.8
+	}
+	f := float64(load) / float64(max)
+	switch {
+	case f < 0.25:
+		return "#9999bb", 1.0
+	case f < 0.5:
+		return "#7777dd", 1.6
+	case f < 0.75:
+		return "#dd7744", 2.2
+	default:
+		return "#cc2222", 3.0
+	}
+}
+
+// RenderTimeSpace draws packet trajectories as a time-space diagram:
+// x = step, y = network level (level 0 at the bottom). Waiting packets
+// show as a one-level sawtooth (the oscillation on the wait edge);
+// deflections as downward spikes; absorption ends the polyline. Series
+// is one row per packet: series[p][i] is the packet's level at sample i
+// (-1 when not active); stepOf maps sample index to step number.
+func RenderTimeSpace(series [][]int8, stepOf func(int) int, L int) string {
+	const (
+		margin = 46.0
+		wPer   = 3.0
+		hPer   = 14.0
+	)
+	samples := 0
+	for _, s := range series {
+		if len(s) > samples {
+			samples = len(s)
+		}
+	}
+	w := int(2*margin + wPer*float64(samples))
+	h := int(2*margin + hPer*float64(L))
+	d := New(w, h)
+	d.Text(margin, 20, 13, "time-space diagram: x = step, y = level")
+	y := func(level int8) float64 { return float64(h) - margin - hPer*float64(level) }
+	x := func(i int) float64 { return margin + wPer*float64(i) }
+
+	// Level gridlines.
+	for l := 0; l <= L; l++ {
+		d.Line(margin, y(int8(l)), float64(w)-margin, y(int8(l)), "#eeeeee", 1)
+		d.Text(8, y(int8(l))+4, 9, fmt.Sprint(l))
+	}
+
+	colors := []string{"#4477cc", "#cc4444", "#44aa66", "#aa7722", "#8844aa", "#22aaaa"}
+	for pi, s := range series {
+		color := colors[pi%len(colors)]
+		var pts []string
+		flush := func() {
+			if len(pts) >= 2 {
+				fmt.Fprintf(&d.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.2"/>`+"\n",
+					strings.Join(pts, " "), color)
+			}
+			pts = pts[:0]
+		}
+		for i, lvl := range s {
+			if lvl < 0 {
+				flush()
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(i), y(lvl)))
+		}
+		flush()
+	}
+	if samples > 0 {
+		d.Text(margin, float64(h)-8, 10,
+			fmt.Sprintf("steps %d..%d, %d packets", stepOf(0), stepOf(samples-1), len(series)))
+	}
+	return d.String()
+}
+
+// RenderFramePipeline draws the frontier-frame pipeline at a phase:
+// the level axis runs left to right, each frontier-set's frame is a
+// shaded band with its frontier edge emphasized and the round's target
+// level marked — the paper's Figure 2.
+func RenderFramePipeline(sched core.Schedule, L, phase, round int) string {
+	const (
+		margin = 40.0
+		cell   = 28.0
+		rowH   = 34.0
+	)
+	sets := sched.P.NumSets
+	w := int(2*margin + cell*float64(L+1))
+	h := int(2*margin + rowH*float64(sets) + 40)
+	d := New(w, h)
+	d.Text(margin, 20, 13, fmt.Sprintf("frontier-frames at phase %d, round %d (M=%d, %d sets) — Figure 2 style",
+		phase, round, sched.P.M, sets))
+
+	// Level axis.
+	axisY := margin + 20.0
+	for l := 0; l <= L; l++ {
+		x := margin + cell*float64(l)
+		d.Text(x+cell*0.3, axisY, 10, fmt.Sprint(l))
+	}
+
+	drawn := 0
+	for set := 0; set < sets; set++ {
+		f := sched.Frontier(set, phase)
+		back := sched.FrameBack(set, phase)
+		if f < 0 || back > L {
+			continue
+		}
+		y := axisY + 14 + rowH*float64(drawn)
+		drawn++
+		lo, hi := back, f
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > L {
+			hi = L
+		}
+		x0 := margin + cell*float64(lo)
+		x1 := margin + cell*float64(hi+1)
+		d.Rect(x0, y, x1-x0, rowH-10, "#cfe3ff", "#4477cc")
+		// Frontier marker (right edge of frame when inside the axis).
+		if f <= L {
+			fx := margin + cell*float64(f+1)
+			d.Line(fx, y-2, fx, y+rowH-8, "#d33", 2.5)
+		}
+		// Target level marker.
+		tl := sched.TargetLevel(set, phase, round)
+		if tl >= lo && tl <= hi {
+			tx := margin + cell*(float64(tl)+0.5)
+			d.Circle(tx, y+(rowH-10)/2, 5, "#d33")
+		}
+		d.Text(8, y+(rowH-10)/2+4, 11, fmt.Sprintf("F%d", set))
+	}
+	d.Text(margin, float64(h)-10, 10, "band = frame; red line = frontier; red dot = round target level")
+	return d.String()
+}

@@ -1,0 +1,132 @@
+package svg
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/topo"
+)
+
+// wellFormed checks the output parses as XML end to end.
+func wellFormed(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("not well-formed XML: %v\n%s", err, doc[:min(300, len(doc))])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestDocPrimitives(t *testing.T) {
+	d := New(100, 50)
+	d.Line(0, 0, 10, 10, "black", 1)
+	d.Circle(5, 5, 2, "red")
+	d.Rect(1, 1, 8, 8, "none", "blue")
+	d.Text(2, 2, 10, `a<b>&"c"`)
+	out := d.String()
+	wellFormed(t, out)
+	for _, want := range []string{"<line", "<circle", "<rect", "<text", "&lt;b&gt;", "&quot;c&quot;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRenderNetworkButterfly(t *testing.T) {
+	g, err := topo.Butterfly(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderNetwork(g)
+	wellFormed(t, out)
+	if n := strings.Count(out, "<circle"); n != g.NumNodes() {
+		t.Errorf("circles = %d, want %d nodes", n, g.NumNodes())
+	}
+	if n := strings.Count(out, "<line"); n != g.NumEdges() {
+		t.Errorf("lines = %d, want %d edges", n, g.NumEdges())
+	}
+}
+
+func TestRenderNetworkMesh(t *testing.T) {
+	g, err := topo.Mesh(4, 4, topo.CornerNW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderNetwork(g)
+	wellFormed(t, out)
+	if !strings.Contains(out, "mesh(4x4,NW)") {
+		t.Error("title missing")
+	}
+}
+
+func TestRenderFramePipeline(t *testing.T) {
+	sched := core.Schedule{P: core.Params{NumSets: 3, M: 4, W: 8, Q: 0.1}}
+	out := RenderFramePipeline(sched, 14, 9, 2)
+	wellFormed(t, out)
+	// Frames 0 and 1 are on screen at phase 9; frame 2 starts at level
+	// 9-8=1... frontier(2,9) = 9-8 = 1 >= 0, so all three render.
+	if n := strings.Count(out, "<rect"); n < 3 {
+		t.Errorf("frame bands = %d, want >= 3", n)
+	}
+	if !strings.Contains(out, "F0") || !strings.Contains(out, "F1") {
+		t.Error("frame labels missing")
+	}
+	// Offscreen frames are skipped.
+	early := RenderFramePipeline(sched, 14, 0, 0)
+	wellFormed(t, early)
+	if strings.Contains(early, "F2") {
+		t.Error("offscreen frame rendered")
+	}
+}
+
+func TestRenderTimeSpace(t *testing.T) {
+	series := [][]int8{
+		{-1, 0, 1, 2, 2, 1, 2, 3, -1}, // climbs, oscillates, absorbed
+		{0, 1, -1, -1, 2, 3, 4, -1, -1},
+	}
+	out := RenderTimeSpace(series, func(i int) int { return 10 + i }, 5)
+	wellFormed(t, out)
+	// Two packets, second one has a gap -> at least 3 polylines.
+	if n := strings.Count(out, "<polyline"); n < 3 {
+		t.Errorf("polylines = %d, want >= 3", n)
+	}
+	if !strings.Contains(out, "steps 10..18") {
+		t.Errorf("missing step range:\n%s", out)
+	}
+	// Empty input renders without panicking.
+	wellFormed(t, RenderTimeSpace(nil, func(int) int { return 0 }, 3))
+}
+
+func TestRenderNetworkHeat(t *testing.T) {
+	g, err := topo.Butterfly(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]int, g.NumEdges())
+	loads[0] = 10
+	loads[1] = 5
+	out := RenderNetworkHeat(g, loads)
+	wellFormed(t, out)
+	if !strings.Contains(out, "#cc2222") {
+		t.Error("hottest edge not rendered red")
+	}
+	if !strings.Contains(out, "#dddddd") {
+		t.Error("idle edges not rendered gray")
+	}
+	// Zero loads degrade gracefully.
+	wellFormed(t, RenderNetworkHeat(g, make([]int, g.NumEdges())))
+}

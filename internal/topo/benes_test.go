@@ -1,0 +1,89 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBenesStructure(t *testing.T) {
+	k := 3
+	g := mustValidate(t)(Benes(k))
+	rows := 1 << k
+	if g.NumNodes() != (2*k+1)*rows {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != 2*k*rows*2 {
+		t.Errorf("edges = %d", g.NumEdges())
+	}
+	if g.Depth() != 2*k {
+		t.Errorf("depth = %d", g.Depth())
+	}
+	if _, err := Benes(0); err == nil {
+		t.Error("Benes(0) accepted")
+	}
+	if _, err := Benes(99); err == nil {
+		t.Error("Benes(99) accepted")
+	}
+}
+
+func TestBenesLoopbackPathAllPairsViaRandomMid(t *testing.T) {
+	k := 3
+	g := mustValidate(t)(Benes(k))
+	rows := 1 << k
+	rng := rand.New(rand.NewSource(1))
+	for src := 0; src < rows; src++ {
+		for dst := 0; dst < rows; dst++ {
+			mid := rng.Intn(rows)
+			p, err := BenesLoopbackPath(g, k, src, mid, dst)
+			if err != nil {
+				t.Fatalf("path(%d,%d,%d): %v", src, mid, dst, err)
+			}
+			if len(p) != 2*k {
+				t.Fatalf("length %d, want %d", len(p), 2*k)
+			}
+			if err := g.ValidatePath(p); err != nil {
+				t.Fatalf("invalid: %v", err)
+			}
+			if g.PathSource(p) != BenesNode(k, src, 0) || g.PathDest(p) != BenesNode(k, dst, 2*k) {
+				t.Fatalf("endpoints wrong for (%d,%d,%d)", src, mid, dst)
+			}
+			// The path passes through the chosen intermediate row at the
+			// middle level.
+			nodes := g.PathNodes(p)
+			if nodes[k] != BenesNode(k, mid, k) {
+				t.Fatalf("middle node %d, want row %d", nodes[k], mid)
+			}
+		}
+	}
+	if _, err := BenesLoopbackPath(g, k, -1, 0, 0); err == nil {
+		t.Error("bad row accepted")
+	}
+}
+
+func TestBenesValiantPermutationLowCongestion(t *testing.T) {
+	// Random-intermediate (Valiant) routing of a permutation on the
+	// Beneš network yields low congestion w.h.p.; with 2^k packets over
+	// 2^(k+1)k edges expect C well below k.
+	k := 5
+	g := mustValidate(t)(Benes(k))
+	rows := 1 << k
+	rng := rand.New(rand.NewSource(2))
+	perm := rng.Perm(rows)
+	loads := make([]int, g.NumEdges())
+	maxLoad := 0
+	for src, dst := range perm {
+		p, err := BenesLoopbackPath(g, k, src, rng.Intn(rows), dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range p {
+			loads[e]++
+			if loads[e] > maxLoad {
+				maxLoad = loads[e]
+			}
+		}
+	}
+	if maxLoad > k {
+		t.Errorf("Valiant congestion %d > k = %d (unlikely)", maxLoad, k)
+	}
+}

@@ -1,0 +1,77 @@
+package topo
+
+import (
+	"fmt"
+
+	"hotpotato/internal/graph"
+)
+
+// Butterfly returns the k-dimensional butterfly: levels 0..k, each with
+// 2^k nodes indexed by a k-bit row word. Node (w, l) at level l<k
+// connects to (w, l+1) (the "straight" edge) and (w XOR 2^(k-1-l), l+1)
+// (the "cross" edge, flipping bit l counted from the most significant
+// bit). Depth L = k; this is the canonical leveled network of Figure 1.
+func Butterfly(k int) (*graph.Leveled, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("topo: Butterfly needs k >= 1, got %d", k)
+	}
+	if k > 20 {
+		return nil, fmt.Errorf("topo: Butterfly k=%d too large (max 20)", k)
+	}
+	rows := 1 << k
+	b := graph.NewBuilder(fmt.Sprintf("butterfly(%d)", k))
+	ids := make([][]graph.NodeID, k+1)
+	for l := 0; l <= k; l++ {
+		ids[l] = make([]graph.NodeID, rows)
+		for w := 0; w < rows; w++ {
+			ids[l][w] = b.AddNode(l, fmt.Sprintf("w%0*b.l%d", k, w, l))
+		}
+	}
+	for l := 0; l < k; l++ {
+		bit := 1 << (k - 1 - l)
+		for w := 0; w < rows; w++ {
+			b.AddEdge(ids[l][w], ids[l+1][w])
+			b.AddEdge(ids[l][w], ids[l+1][w^bit])
+		}
+	}
+	return b.Build()
+}
+
+// ButterflyNode returns the NodeID of row w at level l in a butterfly
+// built by Butterfly(k). It relies on the generator's construction
+// order (level-major, then row).
+func ButterflyNode(g *graph.Leveled, k, w, l int) graph.NodeID {
+	return graph.NodeID(l*(1<<k) + w)
+}
+
+// ButterflyRow recovers the row word of a butterfly node.
+func ButterflyRow(g *graph.Leveled, k int, id graph.NodeID) int {
+	return int(id) % (1 << k)
+}
+
+// ButterflyBitFixPath returns the unique forward path from row src at
+// level 0 to row dst at level k that fixes bits most-significant-first:
+// at level l it takes the straight edge if bit l of src and dst agree,
+// else the cross edge. This is the standard greedy butterfly path.
+func ButterflyBitFixPath(g *graph.Leveled, k, src, dst int) (graph.Path, error) {
+	rows := 1 << k
+	if src < 0 || src >= rows || dst < 0 || dst >= rows {
+		return nil, fmt.Errorf("topo: butterfly rows out of range: src=%d dst=%d rows=%d", src, dst, rows)
+	}
+	p := make(graph.Path, 0, k)
+	w := src
+	for l := 0; l < k; l++ {
+		bit := 1 << (k - 1 - l)
+		next := w
+		if (w^dst)&bit != 0 {
+			next = w ^ bit
+		}
+		e := g.EdgeBetween(ButterflyNode(g, k, w, l), ButterflyNode(g, k, next, l+1))
+		if e == graph.NoEdge {
+			return nil, fmt.Errorf("topo: missing butterfly edge at level %d rows %d->%d", l, w, next)
+		}
+		p = append(p, e)
+		w = next
+	}
+	return p, nil
+}

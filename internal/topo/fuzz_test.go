@@ -1,0 +1,46 @@
+package topo
+
+import (
+	"testing"
+)
+
+// FuzzLevelize feeds arbitrary edge lists to the levelizer; it must
+// never panic, and every accepted result must be a valid leveled
+// network whose original nodes keep forward connectivity along every
+// input edge.
+func FuzzLevelize(f *testing.F) {
+	f.Add(4, []byte{0, 1, 1, 2, 2, 3, 0, 3})
+	f.Add(2, []byte{0, 1, 1, 0}) // cycle
+	f.Add(3, []byte{0, 0})       // self-loop
+	f.Add(1, []byte{})
+	f.Add(5, []byte{0, 9}) // out of range
+
+	f.Fuzz(func(t *testing.T, n int, raw []byte) {
+		if n < 0 || n > 64 {
+			return
+		}
+		if len(raw) > 256 {
+			raw = raw[:256]
+		}
+		edges := make([][2]int, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, [2]int{int(raw[i]), int(raw[i+1])})
+		}
+		g, ids, err := Levelize("fuzz", n, edges)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid network: %v", err)
+		}
+		if len(ids) != n {
+			t.Fatalf("mapped %d of %d nodes", len(ids), n)
+		}
+		for _, e := range edges {
+			reach := g.Reachable(ids[e[1]])
+			if !reach[ids[e[0]]] {
+				t.Fatalf("edge (%d,%d) lost in levelization", e[0], e[1])
+			}
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package topo
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hotpotato/internal/graph"
+)
+
+// Hypercube returns the d-dimensional hypercube leveled by Hamming
+// weight: node x sits at level popcount(x), and every hypercube edge
+// (x, x|2^b with bit b clear in x) connects consecutive levels. Depth
+// L = d. Forward paths exist from x to y exactly when x's bit set is a
+// subset of y's; workload generators respect this.
+func Hypercube(d int) (*graph.Leveled, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("topo: Hypercube needs d >= 1, got %d", d)
+	}
+	if d > 20 {
+		return nil, fmt.Errorf("topo: Hypercube d=%d too large (max 20)", d)
+	}
+	n := 1 << d
+	b := graph.NewBuilder(fmt.Sprintf("hypercube(%d)", d))
+	ids := make([]graph.NodeID, n)
+	for x := 0; x < n; x++ {
+		ids[x] = b.AddNode(bits.OnesCount(uint(x)), fmt.Sprintf("%0*b", d, x))
+	}
+	for x := 0; x < n; x++ {
+		for bit := 0; bit < d; bit++ {
+			if x&(1<<bit) == 0 {
+				b.AddEdge(ids[x], ids[x|(1<<bit)])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// HypercubeNode returns the NodeID of the vertex with the given word in
+// a hypercube built by Hypercube(d) (construction order is word order).
+func HypercubeNode(x int) graph.NodeID { return graph.NodeID(x) }
+
+// HypercubeBitFixPath returns the forward path from src to dst that
+// sets missing bits lowest-first. dst must be a bit-superset of src.
+func HypercubeBitFixPath(g *graph.Leveled, d, src, dst int) (graph.Path, error) {
+	if src&^dst != 0 {
+		return nil, fmt.Errorf("topo: hypercube forward path needs src subset of dst: %b vs %b", src, dst)
+	}
+	p := make(graph.Path, 0, bits.OnesCount(uint(dst^src)))
+	x := src
+	for bit := 0; bit < d; bit++ {
+		mask := 1 << bit
+		if dst&mask != 0 && x&mask == 0 {
+			e := g.EdgeBetween(HypercubeNode(x), HypercubeNode(x|mask))
+			if e == graph.NoEdge {
+				return nil, fmt.Errorf("topo: missing hypercube edge %b-%b", x, x|mask)
+			}
+			p = append(p, e)
+			x |= mask
+		}
+	}
+	return p, nil
+}
+
+// BinaryTree returns the complete binary tree of the given height,
+// leveled by depth (root at level 0). Depth L = height. Forward paths
+// run root-to-leaves only, so workloads route downward.
+func BinaryTree(height int) (*graph.Leveled, error) {
+	if height < 1 {
+		return nil, fmt.Errorf("topo: BinaryTree needs height >= 1, got %d", height)
+	}
+	if height > 22 {
+		return nil, fmt.Errorf("topo: BinaryTree height=%d too large (max 22)", height)
+	}
+	b := graph.NewBuilder(fmt.Sprintf("bintree(%d)", height))
+	// Node i (1-based heap index) at level floor(log2(i)).
+	n := (1 << (height + 1)) - 1
+	ids := make([]graph.NodeID, n+1)
+	for i := 1; i <= n; i++ {
+		ids[i] = b.AddNode(bits.Len(uint(i))-1, fmt.Sprintf("t%d", i))
+	}
+	for i := 1; i <= n; i++ {
+		if 2*i <= n {
+			b.AddEdge(ids[i], ids[2*i])
+			b.AddEdge(ids[i], ids[2*i+1])
+		}
+	}
+	return b.Build()
+}
+
+// FatTree returns a fat-tree of the given height, leveled by depth with
+// the root at level 0: a complete binary tree in which the link
+// multiplicity doubles toward the root (capacity c at depth l is
+// 2^(height-l), capped at maxMult). Multiplicity is modeled with
+// parallel edges, which the graph package permits.
+func FatTree(height, maxMult int) (*graph.Leveled, error) {
+	if height < 1 {
+		return nil, fmt.Errorf("topo: FatTree needs height >= 1, got %d", height)
+	}
+	if height > 16 {
+		return nil, fmt.Errorf("topo: FatTree height=%d too large (max 16)", height)
+	}
+	if maxMult < 1 {
+		return nil, fmt.Errorf("topo: FatTree needs maxMult >= 1, got %d", maxMult)
+	}
+	b := graph.NewBuilder(fmt.Sprintf("fattree(%d,%d)", height, maxMult))
+	n := (1 << (height + 1)) - 1
+	ids := make([]graph.NodeID, n+1)
+	for i := 1; i <= n; i++ {
+		ids[i] = b.AddNode(bits.Len(uint(i))-1, fmt.Sprintf("f%d", i))
+	}
+	for i := 1; i <= n; i++ {
+		if 2*i > n {
+			continue
+		}
+		depth := bits.Len(uint(i)) - 1 // parent depth
+		mult := 1 << (height - 1 - depth)
+		if mult > maxMult {
+			mult = maxMult
+		}
+		if mult < 1 {
+			mult = 1
+		}
+		for m := 0; m < mult; m++ {
+			b.AddEdge(ids[i], ids[2*i])
+			b.AddEdge(ids[i], ids[2*i+1])
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,146 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/graph"
+)
+
+func TestLevelizeChain(t *testing.T) {
+	// 0 -> 1 -> 2: already leveled, no relays.
+	g, ids, err := Levelize("chain", 3, [][2]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 || g.Depth() != 2 {
+		t.Errorf("chain: %v", g.ComputeStats())
+	}
+	for v := 0; v < 3; v++ {
+		if g.Node(ids[v]).Level != v {
+			t.Errorf("node %d at level %d", v, g.Node(ids[v]).Level)
+		}
+	}
+}
+
+func TestLevelizeSubdividesLongEdges(t *testing.T) {
+	// Diamond with a shortcut: 0->1->2->3 and 0->3. The shortcut spans
+	// 3 levels and needs 2 relays.
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}}
+	g, ids, err := Levelize("shortcut", 4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4+2 {
+		t.Errorf("nodes = %d, want 6", g.NumNodes())
+	}
+	if g.NumEdges() != 3+3 {
+		t.Errorf("edges = %d, want 6", g.NumEdges())
+	}
+	if g.Node(ids[3]).Level != 3 {
+		t.Errorf("sink at level %d", g.Node(ids[3]).Level)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// The shortcut must still be traversable: a forward path 0 -> 3 of
+	// length 3 through the relays exists.
+	reach := g.Reachable(ids[3])
+	if !reach[ids[0]] {
+		t.Error("source cannot reach sink after levelization")
+	}
+}
+
+func TestLevelizeErrors(t *testing.T) {
+	if _, _, err := Levelize("bad", 0, nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, _, err := Levelize("bad", 2, [][2]int{{0, 5}}); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if _, _, err := Levelize("bad", 2, [][2]int{{0, 0}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, _, err := Levelize("bad", 2, [][2]int{{0, 1}, {1, 0}}); err == nil {
+		t.Error("cycle accepted")
+	}
+}
+
+func TestLevelizeRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(20)
+		edges := RandomDAG(rng, n, 0.25)
+		if len(edges) == 0 {
+			continue
+		}
+		g, ids, err := Levelize("rdag", n, edges)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Every original edge is realizable as a forward path.
+		for _, e := range edges {
+			reach := g.Reachable(ids[e[1]])
+			if !reach[ids[e[0]]] {
+				t.Fatalf("trial %d: original edge (%d,%d) lost", trial, e[0], e[1])
+			}
+		}
+		// Levelization preserves originals: every original node mapped.
+		if len(ids) != n {
+			t.Fatalf("trial %d: %d mapped nodes, want %d", trial, len(ids), n)
+		}
+	}
+}
+
+func TestRandomDAGAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	edges := RandomDAG(rng, 30, 0.3)
+	for _, e := range edges {
+		if e[0] >= e[1] {
+			t.Fatalf("edge %v not low-to-high", e)
+		}
+	}
+	// p=1 gives the complete DAG.
+	full := RandomDAG(rng, 5, 1)
+	if len(full) != 10 {
+		t.Errorf("complete DAG edges = %d, want 10", len(full))
+	}
+	if RandomDAG(rng, 5, 0) != nil {
+		t.Error("p=0 should give no edges")
+	}
+}
+
+// Levelized networks must be routable end to end.
+func TestLevelizeRoutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	edges := RandomDAG(rng, 24, 0.2)
+	g, _, err := Levelize("route", 24, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample a forward path between some reachable pair.
+	var src, dst graph.NodeID = graph.NoNode, graph.NoNode
+	for v := 0; v < g.NumNodes() && src == graph.NoNode; v++ {
+		id := graph.NodeID(v)
+		if g.Node(id).Level != 0 {
+			continue
+		}
+		reach := g.ForwardReachableFrom(id)
+		for w := 0; w < g.NumNodes(); w++ {
+			if reach[w] && g.Node(graph.NodeID(w)).Level >= 2 {
+				src, dst = id, graph.NodeID(w)
+				break
+			}
+		}
+	}
+	if src == graph.NoNode {
+		t.Skip("no deep pair in this draw")
+	}
+	cnt := g.CountForwardPaths(dst, 0)
+	if cnt[src] < 1 {
+		t.Error("no forward path despite reachability")
+	}
+}

@@ -1,0 +1,182 @@
+package topo
+
+import (
+	"fmt"
+
+	"hotpotato/internal/graph"
+)
+
+// MeshCorner selects which corner of the mesh is level 0; the paper
+// notes the mesh can be viewed in four different ways as a leveled
+// network according to which corner node is level 0 (Section 1.1).
+type MeshCorner int
+
+const (
+	// CornerNW puts (0,0) at level 0; level(i,j) = i + j.
+	CornerNW MeshCorner = iota
+	// CornerNE puts (0,cols-1) at level 0; level(i,j) = i + (cols-1-j).
+	CornerNE
+	// CornerSW puts (rows-1,0) at level 0; level(i,j) = (rows-1-i) + j.
+	CornerSW
+	// CornerSE puts (rows-1,cols-1) at level 0.
+	CornerSE
+)
+
+// String implements fmt.Stringer.
+func (c MeshCorner) String() string {
+	switch c {
+	case CornerNW:
+		return "NW"
+	case CornerNE:
+		return "NE"
+	case CornerSW:
+		return "SW"
+	case CornerSE:
+		return "SE"
+	}
+	return fmt.Sprintf("MeshCorner(%d)", int(c))
+}
+
+// meshLevel computes the anti-diagonal level of cell (i,j) for the
+// chosen corner.
+func meshLevel(c MeshCorner, rows, cols, i, j int) int {
+	switch c {
+	case CornerNW:
+		return i + j
+	case CornerNE:
+		return i + (cols - 1 - j)
+	case CornerSW:
+		return (rows - 1 - i) + j
+	default: // CornerSE
+		return (rows - 1 - i) + (cols - 1 - j)
+	}
+}
+
+// Mesh returns the rows x cols grid leveled by anti-diagonals from the
+// chosen corner. Depth L = rows + cols - 2. Grid edges connect cells
+// whose levels differ by exactly one, so every mesh edge is a legal
+// leveled edge.
+func Mesh(rows, cols int, corner MeshCorner) (*graph.Leveled, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("topo: Mesh needs rows,cols >= 1, got %d,%d", rows, cols)
+	}
+	b := graph.NewBuilder(fmt.Sprintf("mesh(%dx%d,%s)", rows, cols, corner))
+	ids := make([]graph.NodeID, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			ids[i*cols+j] = b.AddNode(meshLevel(corner, rows, cols, i, j), fmt.Sprintf("r%dc%d", i, j))
+		}
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if i+1 < rows {
+				b.AddEdge(ids[i*cols+j], ids[(i+1)*cols+j])
+			}
+			if j+1 < cols {
+				b.AddEdge(ids[i*cols+j], ids[i*cols+j+1])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// MeshNode returns the NodeID of cell (i,j) in a mesh built by Mesh.
+// It relies on the generator's row-major construction order.
+func MeshNode(cols, i, j int) graph.NodeID {
+	return graph.NodeID(i*cols + j)
+}
+
+// MeshCell recovers (row, col) of a mesh node.
+func MeshCell(cols int, id graph.NodeID) (int, int) {
+	return int(id) / cols, int(id) % cols
+}
+
+// MeshDimOrderPath returns the row-first dimension-order path from
+// (si,sj) to (di,dj) on a CornerNW-leveled mesh: first walk rows, then
+// columns. Both coordinates of the destination must be >= the source's
+// (the path must be level-monotone toward higher levels).
+func MeshDimOrderPath(g *graph.Leveled, cols int, si, sj, di, dj int) (graph.Path, error) {
+	if di < si || dj < sj {
+		return nil, fmt.Errorf("topo: dim-order path needs di>=si and dj>=sj, got (%d,%d)->(%d,%d)", si, sj, di, dj)
+	}
+	p := make(graph.Path, 0, (di-si)+(dj-sj))
+	i, j := si, sj
+	for i < di {
+		e := g.EdgeBetween(MeshNode(cols, i, j), MeshNode(cols, i+1, j))
+		if e == graph.NoEdge {
+			return nil, fmt.Errorf("topo: missing mesh edge (%d,%d)-(%d,%d)", i, j, i+1, j)
+		}
+		p = append(p, e)
+		i++
+	}
+	for j < dj {
+		e := g.EdgeBetween(MeshNode(cols, i, j), MeshNode(cols, i, j+1))
+		if e == graph.NoEdge {
+			return nil, fmt.Errorf("topo: missing mesh edge (%d,%d)-(%d,%d)", i, j, i, j+1)
+		}
+		p = append(p, e)
+		j++
+	}
+	return p, nil
+}
+
+// Array returns the d-dimensional array (multidimensional mesh) with
+// the given side lengths, leveled by coordinate sum (the origin corner
+// is level 0). Depth L = sum(sides[i]-1). Generalizes Mesh/CornerNW.
+func Array(sides ...int) (*graph.Leveled, error) {
+	if len(sides) == 0 {
+		return nil, fmt.Errorf("topo: Array needs at least one dimension")
+	}
+	total := 1
+	for _, s := range sides {
+		if s < 1 {
+			return nil, fmt.Errorf("topo: Array sides must be >= 1, got %v", sides)
+		}
+		total *= s
+		if total > 1<<22 {
+			return nil, fmt.Errorf("topo: Array too large: %v", sides)
+		}
+	}
+	b := graph.NewBuilder(fmt.Sprintf("array%v", sides))
+	ids := make([]graph.NodeID, total)
+	coord := make([]int, len(sides))
+	for idx := 0; idx < total; idx++ {
+		lvl := 0
+		for _, c := range coord {
+			lvl += c
+		}
+		ids[idx] = b.AddNode(lvl, fmt.Sprintf("%v", append([]int(nil), coord...)))
+		incCoord(coord, sides)
+	}
+	// Edges: +1 in each dimension.
+	for i := range coord {
+		coord[i] = 0
+	}
+	stride := make([]int, len(sides))
+	s := 1
+	for d := len(sides) - 1; d >= 0; d-- {
+		stride[d] = s
+		s *= sides[d]
+	}
+	for idx := 0; idx < total; idx++ {
+		for d := 0; d < len(sides); d++ {
+			if coord[d]+1 < sides[d] {
+				b.AddEdge(ids[idx], ids[idx+stride[d]])
+			}
+		}
+		incCoord(coord, sides)
+	}
+	return b.Build()
+}
+
+// incCoord advances a mixed-radix counter (last dimension fastest),
+// matching row-major index order.
+func incCoord(coord, sides []int) {
+	for d := len(coord) - 1; d >= 0; d-- {
+		coord[d]++
+		if coord[d] < sides[d] {
+			return
+		}
+		coord[d] = 0
+	}
+}

@@ -1,0 +1,97 @@
+package topo
+
+import (
+	"testing"
+)
+
+func TestOmegaStructure(t *testing.T) {
+	k := 4
+	g := mustValidate(t)(Omega(k))
+	rows := 1 << k
+	if g.NumNodes() != (k+1)*rows {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != k*rows*2 {
+		t.Errorf("edges = %d", g.NumEdges())
+	}
+	if g.Depth() != k {
+		t.Errorf("depth = %d", g.Depth())
+	}
+	if _, err := Omega(0); err == nil {
+		t.Error("Omega(0) accepted")
+	}
+	if _, err := Omega(25); err == nil {
+		t.Error("Omega(25) accepted")
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	// k=3: 0b110 -> 0b101 (rotate left).
+	if shuffle(0b110, 3) != 0b101 {
+		t.Errorf("shuffle(110) = %03b", shuffle(0b110, 3))
+	}
+	if shuffle(0b001, 3) != 0b010 {
+		t.Errorf("shuffle(001) = %03b", shuffle(0b001, 3))
+	}
+	// Rotating k times is the identity.
+	w := 0b1011
+	x := w
+	for i := 0; i < 4; i++ {
+		x = shuffle(x, 4)
+	}
+	if x != w {
+		t.Errorf("shuffle^4 != id: %04b", x)
+	}
+}
+
+func TestOmegaRoutePathAllPairs(t *testing.T) {
+	k := 4
+	g := mustValidate(t)(Omega(k))
+	rows := 1 << k
+	for src := 0; src < rows; src++ {
+		for dst := 0; dst < rows; dst++ {
+			p, err := OmegaRoutePath(g, k, src, dst)
+			if err != nil {
+				t.Fatalf("route(%d,%d): %v", src, dst, err)
+			}
+			if len(p) != k {
+				t.Fatalf("route length %d", len(p))
+			}
+			if err := g.ValidatePath(p); err != nil {
+				t.Fatalf("invalid path: %v", err)
+			}
+			if g.PathSource(p) != OmegaNode(k, src, 0) {
+				t.Fatalf("wrong source")
+			}
+			if g.PathDest(p) != OmegaNode(k, dst, k) {
+				t.Fatalf("route(%d,%d) ends at %d, want %d", src, dst, g.PathDest(p), OmegaNode(k, dst, k))
+			}
+		}
+	}
+	if _, err := OmegaRoutePath(g, k, -1, 0); err == nil {
+		t.Error("negative row accepted")
+	}
+}
+
+func TestOmegaSelfRoutingIsUnique(t *testing.T) {
+	// The Omega network is blocking: identity routing uses each
+	// straight wire once, giving congestion exactly 1.
+	k := 3
+	g := mustValidate(t)(Omega(k))
+	rows := 1 << k
+	loads := make(map[int32]int)
+	for w := 0; w < rows; w++ {
+		p, err := OmegaRoutePath(g, k, w, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range p {
+			loads[int32(e)]++
+		}
+	}
+	for e, c := range loads {
+		if c != 1 {
+			t.Errorf("identity permutation loads edge %d with %d", e, c)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package topo
+
+import (
+	"fmt"
+
+	"hotpotato/internal/graph"
+)
+
+// ButterflyRadix returns the radix-r, k-digit butterfly: levels 0..k,
+// each with r^k nodes indexed by a k-digit base-r word; node (w, l)
+// connects to the r nodes at level l+1 whose words agree with w except
+// possibly at digit l (most-significant first). The binary butterfly is
+// the r=2 case; higher radices model switches with more ports per
+// stage (fewer, fatter stages for the same endpoint count).
+func ButterflyRadix(k, r int) (*graph.Leveled, error) {
+	if k < 1 || r < 2 {
+		return nil, fmt.Errorf("topo: ButterflyRadix needs k >= 1, r >= 2, got k=%d r=%d", k, r)
+	}
+	rows := 1
+	for i := 0; i < k; i++ {
+		rows *= r
+		if rows > 1<<20 {
+			return nil, fmt.Errorf("topo: ButterflyRadix(%d,%d) too large", k, r)
+		}
+	}
+	b := graph.NewBuilder(fmt.Sprintf("butterfly(k=%d,r=%d)", k, r))
+	ids := make([][]graph.NodeID, k+1)
+	for l := 0; l <= k; l++ {
+		ids[l] = make([]graph.NodeID, rows)
+		for w := 0; w < rows; w++ {
+			ids[l][w] = b.AddNode(l, fmt.Sprintf("w%d.l%d", w, l))
+		}
+	}
+	// digitStride[d] is r^(k-1-d): the place value of digit d
+	// (most-significant first).
+	stride := make([]int, k)
+	s := 1
+	for d := k - 1; d >= 0; d-- {
+		stride[d] = s
+		s *= r
+	}
+	for l := 0; l < k; l++ {
+		for w := 0; w < rows; w++ {
+			cur := (w / stride[l]) % r
+			for digit := 0; digit < r; digit++ {
+				next := w + (digit-cur)*stride[l]
+				b.AddEdge(ids[l][w], ids[l+1][next])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ButterflyRadixNode returns the NodeID of row w at level l of a
+// ButterflyRadix(k, r) network with the given row count r^k.
+func ButterflyRadixNode(rows, w, l int) graph.NodeID {
+	return graph.NodeID(l*rows + w)
+}
+
+// ButterflyRadixPath returns the unique digit-fixing path from row src
+// at level 0 to row dst at level k: at level l the path fixes digit l
+// of the row word to dst's digit.
+func ButterflyRadixPath(g *graph.Leveled, k, r, src, dst int) (graph.Path, error) {
+	rows := 1
+	for i := 0; i < k; i++ {
+		rows *= r
+	}
+	if src < 0 || src >= rows || dst < 0 || dst >= rows {
+		return nil, fmt.Errorf("topo: rows out of range: src=%d dst=%d rows=%d", src, dst, rows)
+	}
+	stride := make([]int, k)
+	s := 1
+	for d := k - 1; d >= 0; d-- {
+		stride[d] = s
+		s *= r
+	}
+	p := make(graph.Path, 0, k)
+	w := src
+	for l := 0; l < k; l++ {
+		cur := (w / stride[l]) % r
+		want := (dst / stride[l]) % r
+		next := w + (want-cur)*stride[l]
+		e := g.EdgeBetween(ButterflyRadixNode(rows, w, l), ButterflyRadixNode(rows, next, l+1))
+		if e == graph.NoEdge {
+			return nil, fmt.Errorf("topo: missing radix-butterfly edge at level %d", l)
+		}
+		p = append(p, e)
+		w = next
+	}
+	return p, nil
+}

@@ -1,0 +1,50 @@
+package topo_test
+
+import (
+	"testing"
+
+	"hotpotato/internal/baselines"
+	"hotpotato/internal/graph"
+	"hotpotato/internal/paths"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+// TestButterflyRadixEndToEndRouting routes a full permutation on a
+// radix-4 butterfly with digit-fixing paths through the hot-potato
+// engine — structural generators must also be routable. (External test
+// package: workload imports topo, so this cannot live inside it.)
+func TestButterflyRadixEndToEndRouting(t *testing.T) {
+	k, r := 2, 4
+	g, err := topo.ButterflyRadix(k, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 16
+	ps := make([]graph.Path, 0, rows)
+	for w := 0; w < rows; w++ {
+		p, err := topo.ButterflyRadixPath(g, k, r, w, (w*5+3)%rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	set := paths.NewPathSet(g, ps)
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.CheckOnePacketPerSource(); err != nil {
+		t.Fatal(err)
+	}
+	prob := &workload.Problem{Name: "radix-perm", G: g, Set: set,
+		C: set.Congestion(), D: set.Dilation()}
+	e := sim.NewEngine(prob, baselines.NewGreedy(), 1)
+	steps, done := e.Run(10000)
+	if !done {
+		t.Fatalf("did not complete in %d steps", steps)
+	}
+	if e.M.UnsafeDeflections() != 0 {
+		t.Errorf("unsafe deflections: %v", e.M.Deflections)
+	}
+}

@@ -1,0 +1,145 @@
+// Package topo provides generators for the leveled-network families the
+// paper names (Section 1.1 and Figure 1): butterfly, mesh (in its four
+// leveled orientations), hypercube (leveled by Hamming weight),
+// multidimensional array, trees and fat-trees, plus linear arrays,
+// complete leveled networks and random leveled networks used for
+// stress-testing generality.
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hotpotato/internal/graph"
+)
+
+// Generator constructs a leveled network from a compact parameter set.
+// All generators are deterministic except Random*, which take an
+// explicit *rand.Rand.
+type Generator func() (*graph.Leveled, error)
+
+// Linear returns the path graph with n nodes: levels 0..n-1 with one
+// node per level. The simplest leveled network; depth L = n-1.
+func Linear(n int) (*graph.Leveled, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topo: Linear needs n >= 1, got %d", n)
+	}
+	b := graph.NewBuilder(fmt.Sprintf("linear(%d)", n))
+	prev := graph.NoNode
+	for i := 0; i < n; i++ {
+		v := b.AddNode(i, fmt.Sprintf("v%d", i))
+		if i > 0 {
+			b.AddEdge(prev, v)
+		}
+		prev = v
+	}
+	return b.Build()
+}
+
+// Ladder returns a 2-wide leveled network of the given depth: two nodes
+// per level, fully bipartitely connected between consecutive levels.
+// Depth L = depth. Handy for deflection tests: every node has an
+// alternative link.
+func Ladder(depth int) (*graph.Leveled, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("topo: Ladder needs depth >= 1, got %d", depth)
+	}
+	b := graph.NewBuilder(fmt.Sprintf("ladder(%d)", depth))
+	var prev [2]graph.NodeID
+	for l := 0; l <= depth; l++ {
+		var cur [2]graph.NodeID
+		for r := 0; r < 2; r++ {
+			cur[r] = b.AddNode(l, fmt.Sprintf("l%dr%d", l, r))
+		}
+		if l > 0 {
+			for _, u := range prev {
+				for _, w := range cur {
+					b.AddEdge(u, w)
+				}
+			}
+		}
+		prev = cur
+	}
+	return b.Build()
+}
+
+// Complete returns a leveled network with `width` nodes at each of the
+// levels 0..depth and a complete bipartite graph between consecutive
+// levels. Maximum path diversity; useful as a best-case substrate.
+func Complete(depth, width int) (*graph.Leveled, error) {
+	if depth < 1 || width < 1 {
+		return nil, fmt.Errorf("topo: Complete needs depth,width >= 1, got %d,%d", depth, width)
+	}
+	b := graph.NewBuilder(fmt.Sprintf("complete(%d,%d)", depth, width))
+	prev := make([]graph.NodeID, 0, width)
+	cur := make([]graph.NodeID, 0, width)
+	for l := 0; l <= depth; l++ {
+		cur = cur[:0]
+		for r := 0; r < width; r++ {
+			cur = append(cur, b.AddNode(l, fmt.Sprintf("l%dr%d", l, r)))
+		}
+		if l > 0 {
+			for _, u := range prev {
+				for _, w := range cur {
+					b.AddEdge(u, w)
+				}
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return b.Build()
+}
+
+// Random returns a random leveled network with the given depth, level
+// widths drawn uniformly from [minWidth, maxWidth], and each
+// consecutive-level node pair connected independently with probability
+// p. Connectivity is repaired afterwards: every node is guaranteed at
+// least one Up edge (unless at the last level) and one Down edge
+// (unless at level 0), so no packet can be stranded.
+func Random(rng *rand.Rand, depth, minWidth, maxWidth int, p float64) (*graph.Leveled, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("topo: Random needs depth >= 1, got %d", depth)
+	}
+	if minWidth < 1 || maxWidth < minWidth {
+		return nil, fmt.Errorf("topo: Random needs 1 <= minWidth <= maxWidth, got %d,%d", minWidth, maxWidth)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("topo: Random needs p in [0,1], got %g", p)
+	}
+	b := graph.NewBuilder(fmt.Sprintf("random(L=%d,w=[%d,%d],p=%.2f)", depth, minWidth, maxWidth, p))
+	levels := make([][]graph.NodeID, depth+1)
+	for l := 0; l <= depth; l++ {
+		w := minWidth + rng.Intn(maxWidth-minWidth+1)
+		levels[l] = make([]graph.NodeID, w)
+		for r := 0; r < w; r++ {
+			levels[l][r] = b.AddNode(l, fmt.Sprintf("l%dr%d", l, r))
+		}
+	}
+	for l := 0; l < depth; l++ {
+		lo, hi := levels[l], levels[l+1]
+		hasUp := make([]bool, len(lo))
+		hasDown := make([]bool, len(hi))
+		for i, u := range lo {
+			for j, w := range hi {
+				if rng.Float64() < p {
+					b.AddEdge(u, w)
+					hasUp[i] = true
+					hasDown[j] = true
+				}
+			}
+		}
+		for i, u := range lo {
+			if !hasUp[i] {
+				j := rng.Intn(len(hi))
+				b.AddEdge(u, hi[j])
+				hasDown[j] = true
+			}
+		}
+		for j, w := range hi {
+			if !hasDown[j] {
+				b.AddEdge(lo[rng.Intn(len(lo))], w)
+			}
+		}
+	}
+	return b.Build()
+}

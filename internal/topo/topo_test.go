@@ -1,0 +1,359 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/graph"
+)
+
+func mustValidate(t *testing.T) func(*graph.Leveled, error) *graph.Leveled {
+	t.Helper()
+	return func(g *graph.Leveled, err error) *graph.Leveled {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("generator error: %v", err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Validate(%s): %v", g.Name(), err)
+		}
+		return g
+	}
+}
+
+func TestLinear(t *testing.T) {
+	g := mustValidate(t)(Linear(5))
+	if g.NumNodes() != 5 || g.NumEdges() != 4 || g.Depth() != 4 {
+		t.Errorf("linear(5): nodes=%d edges=%d depth=%d", g.NumNodes(), g.NumEdges(), g.Depth())
+	}
+	if _, err := Linear(0); err == nil {
+		t.Error("Linear(0) accepted")
+	}
+}
+
+func TestLadder(t *testing.T) {
+	g := mustValidate(t)(Ladder(3))
+	if g.NumNodes() != 8 || g.NumEdges() != 12 || g.Depth() != 3 {
+		t.Errorf("ladder(3): nodes=%d edges=%d depth=%d", g.NumNodes(), g.NumEdges(), g.Depth())
+	}
+	if _, err := Ladder(0); err == nil {
+		t.Error("Ladder(0) accepted")
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := mustValidate(t)(Complete(3, 4))
+	if g.NumNodes() != 16 || g.NumEdges() != 3*16 || g.Depth() != 3 {
+		t.Errorf("complete(3,4): nodes=%d edges=%d depth=%d", g.NumNodes(), g.NumEdges(), g.Depth())
+	}
+	if _, err := Complete(0, 4); err == nil {
+		t.Error("Complete(0,4) accepted")
+	}
+	if _, err := Complete(3, 0); err == nil {
+		t.Error("Complete(3,0) accepted")
+	}
+}
+
+func TestButterfly(t *testing.T) {
+	k := 3
+	g := mustValidate(t)(Butterfly(k))
+	rows := 1 << k
+	if g.NumNodes() != (k+1)*rows {
+		t.Errorf("butterfly nodes = %d, want %d", g.NumNodes(), (k+1)*rows)
+	}
+	if g.NumEdges() != k*rows*2 {
+		t.Errorf("butterfly edges = %d, want %d", g.NumEdges(), k*rows*2)
+	}
+	if g.Depth() != k {
+		t.Errorf("butterfly depth = %d, want %d", g.Depth(), k)
+	}
+	// Every non-boundary node has degree 4 (2 up + 2 down).
+	id := ButterflyNode(g, k, 0, 1)
+	if g.Node(id).Degree() != 4 {
+		t.Errorf("interior butterfly degree = %d, want 4", g.Node(id).Degree())
+	}
+	if _, err := Butterfly(0); err == nil {
+		t.Error("Butterfly(0) accepted")
+	}
+	if _, err := Butterfly(99); err == nil {
+		t.Error("Butterfly(99) accepted")
+	}
+}
+
+func TestButterflyBitFixPath(t *testing.T) {
+	k := 4
+	g := mustValidate(t)(Butterfly(k))
+	for src := 0; src < 1<<k; src += 3 {
+		for dst := 0; dst < 1<<k; dst += 5 {
+			p, err := ButterflyBitFixPath(g, k, src, dst)
+			if err != nil {
+				t.Fatalf("bitfix(%d,%d): %v", src, dst, err)
+			}
+			if len(p) != k {
+				t.Fatalf("bitfix path length = %d, want %d", len(p), k)
+			}
+			if err := g.ValidatePath(p); err != nil {
+				t.Fatalf("bitfix path invalid: %v", err)
+			}
+			if g.PathSource(p) != ButterflyNode(g, k, src, 0) {
+				t.Fatalf("bitfix source wrong")
+			}
+			if g.PathDest(p) != ButterflyNode(g, k, dst, k) {
+				t.Fatalf("bitfix dest wrong: got %d want %d", g.PathDest(p), ButterflyNode(g, k, dst, k))
+			}
+		}
+	}
+	if _, err := ButterflyBitFixPath(g, k, -1, 0); err == nil {
+		t.Error("negative row accepted")
+	}
+}
+
+func TestButterflyRowRoundTrip(t *testing.T) {
+	k := 3
+	g := mustValidate(t)(Butterfly(k))
+	for l := 0; l <= k; l++ {
+		for w := 0; w < 1<<k; w++ {
+			id := ButterflyNode(g, k, w, l)
+			if g.Node(id).Level != l {
+				t.Fatalf("ButterflyNode(%d,%d) at level %d", w, l, g.Node(id).Level)
+			}
+			if ButterflyRow(g, k, id) != w {
+				t.Fatalf("ButterflyRow mismatch")
+			}
+		}
+	}
+}
+
+func TestMeshAllCorners(t *testing.T) {
+	for _, c := range []MeshCorner{CornerNW, CornerNE, CornerSW, CornerSE} {
+		g := mustValidate(t)(Mesh(4, 5, c))
+		if g.NumNodes() != 20 {
+			t.Errorf("%s: nodes = %d", c, g.NumNodes())
+		}
+		if g.NumEdges() != 3*5+4*4 {
+			t.Errorf("%s: edges = %d, want %d", c, g.NumEdges(), 3*5+4*4)
+		}
+		if g.Depth() != 4+5-2 {
+			t.Errorf("%s: depth = %d, want 7", c, g.Depth())
+		}
+	}
+	if _, err := Mesh(0, 3, CornerNW); err == nil {
+		t.Error("Mesh(0,3) accepted")
+	}
+}
+
+func TestMeshCornerLevels(t *testing.T) {
+	rows, cols := 3, 4
+	cases := []struct {
+		c          MeshCorner
+		i, j, want int
+	}{
+		{CornerNW, 0, 0, 0},
+		{CornerNW, 2, 3, 5},
+		{CornerNE, 0, 3, 0},
+		{CornerNE, 2, 0, 5},
+		{CornerSW, 2, 0, 0},
+		{CornerSE, 2, 3, 0},
+		{CornerSE, 0, 0, 5},
+	}
+	for _, cse := range cases {
+		g := mustValidate(t)(Mesh(rows, cols, cse.c))
+		id := MeshNode(cols, cse.i, cse.j)
+		if got := g.Node(id).Level; got != cse.want {
+			t.Errorf("%s (%d,%d): level = %d, want %d", cse.c, cse.i, cse.j, got, cse.want)
+		}
+	}
+}
+
+func TestMeshCellRoundTrip(t *testing.T) {
+	cols := 7
+	for i := 0; i < 5; i++ {
+		for j := 0; j < cols; j++ {
+			r, c := MeshCell(cols, MeshNode(cols, i, j))
+			if r != i || c != j {
+				t.Fatalf("MeshCell round-trip (%d,%d) -> (%d,%d)", i, j, r, c)
+			}
+		}
+	}
+}
+
+func TestMeshDimOrderPath(t *testing.T) {
+	g := mustValidate(t)(Mesh(5, 5, CornerNW))
+	p, err := MeshDimOrderPath(g, 5, 1, 1, 3, 4)
+	if err != nil {
+		t.Fatalf("dim-order: %v", err)
+	}
+	if len(p) != (3-1)+(4-1) {
+		t.Errorf("dim-order length = %d, want 5", len(p))
+	}
+	if err := g.ValidatePath(p); err != nil {
+		t.Errorf("dim-order invalid: %v", err)
+	}
+	if g.PathDest(p) != MeshNode(5, 3, 4) {
+		t.Errorf("dim-order dest wrong")
+	}
+	if _, err := MeshDimOrderPath(g, 5, 3, 3, 1, 4); err == nil {
+		t.Error("non-monotone dim-order accepted")
+	}
+}
+
+func TestMeshCornerString(t *testing.T) {
+	if CornerNW.String() != "NW" || CornerSE.String() != "SE" {
+		t.Error("MeshCorner.String broken")
+	}
+	if MeshCorner(9).String() == "" {
+		t.Error("unknown corner should still render")
+	}
+}
+
+func TestArray(t *testing.T) {
+	g := mustValidate(t)(Array(3, 3, 3))
+	if g.NumNodes() != 27 {
+		t.Errorf("array nodes = %d", g.NumNodes())
+	}
+	if g.Depth() != 6 {
+		t.Errorf("array depth = %d, want 6", g.Depth())
+	}
+	// edges: 3 dims * 2*3*3 per dim = 54
+	if g.NumEdges() != 54 {
+		t.Errorf("array edges = %d, want 54", g.NumEdges())
+	}
+	// Array(rows, cols) must agree with Mesh CornerNW shape.
+	m := mustValidate(t)(Mesh(4, 6, CornerNW))
+	a := mustValidate(t)(Array(4, 6))
+	if a.NumNodes() != m.NumNodes() || a.NumEdges() != m.NumEdges() || a.Depth() != m.Depth() {
+		t.Errorf("Array(4,6) != Mesh(4,6): %v vs %v", a.ComputeStats(), m.ComputeStats())
+	}
+	if _, err := Array(); err == nil {
+		t.Error("Array() accepted")
+	}
+	if _, err := Array(0, 3); err == nil {
+		t.Error("Array(0,3) accepted")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	d := 4
+	g := mustValidate(t)(Hypercube(d))
+	if g.NumNodes() != 1<<d {
+		t.Errorf("hypercube nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != d*(1<<(d-1)) {
+		t.Errorf("hypercube edges = %d, want %d", g.NumEdges(), d*(1<<(d-1)))
+	}
+	if g.Depth() != d {
+		t.Errorf("hypercube depth = %d", g.Depth())
+	}
+	// Level widths are binomial coefficients.
+	want := []int{1, 4, 6, 4, 1}
+	for l, w := range want {
+		if g.LevelWidth(l) != w {
+			t.Errorf("level %d width = %d, want %d", l, g.LevelWidth(l), w)
+		}
+	}
+	if _, err := Hypercube(0); err == nil {
+		t.Error("Hypercube(0) accepted")
+	}
+}
+
+func TestHypercubeBitFixPath(t *testing.T) {
+	d := 5
+	g := mustValidate(t)(Hypercube(d))
+	src, dst := 0b00101, 0b10111
+	p, err := HypercubeBitFixPath(g, d, src, dst)
+	if err != nil {
+		t.Fatalf("bitfix: %v", err)
+	}
+	if len(p) != 2 {
+		t.Errorf("path length = %d, want 2", len(p))
+	}
+	if err := g.ValidatePath(p); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+	if g.PathSource(p) != HypercubeNode(src) || g.PathDest(p) != HypercubeNode(dst) {
+		t.Errorf("endpoints wrong")
+	}
+	if _, err := HypercubeBitFixPath(g, d, 0b11, 0b01); err == nil {
+		t.Error("non-superset dst accepted")
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	g := mustValidate(t)(BinaryTree(3))
+	if g.NumNodes() != 15 || g.NumEdges() != 14 || g.Depth() != 3 {
+		t.Errorf("bintree(3): %v", g.ComputeStats())
+	}
+	if g.LevelWidth(0) != 1 || g.LevelWidth(3) != 8 {
+		t.Errorf("bintree widths wrong")
+	}
+	if _, err := BinaryTree(0); err == nil {
+		t.Error("BinaryTree(0) accepted")
+	}
+}
+
+func TestFatTree(t *testing.T) {
+	g := mustValidate(t)(FatTree(3, 4))
+	// Depth-0 parent multiplicity = min(2^(3-1-0), 4) = 4 -> 8 edges at top tier.
+	// Depth-1: mult 2, 4 parents? depth-1 has 2 nodes, each 2 children * 2 mult = 8.
+	// Depth-2: mult 1, 4 nodes * 2 children = 8.
+	if g.NumEdges() != 8+8+8 {
+		t.Errorf("fattree edges = %d, want 24", g.NumEdges())
+	}
+	if g.Depth() != 3 {
+		t.Errorf("fattree depth = %d", g.Depth())
+	}
+	if _, err := FatTree(0, 1); err == nil {
+		t.Error("FatTree(0,1) accepted")
+	}
+	if _, err := FatTree(3, 0); err == nil {
+		t.Error("FatTree(3,0) accepted")
+	}
+}
+
+func TestRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := mustValidate(t)(Random(rng, 10, 2, 6, 0.3))
+	if g.Depth() != 10 {
+		t.Errorf("random depth = %d", g.Depth())
+	}
+	// Connectivity repair: every non-sink has an Up edge, every non-source
+	// a Down edge.
+	for id := graph.NodeID(0); int(id) < g.NumNodes(); id++ {
+		n := g.Node(id)
+		if n.Level < g.Depth() && len(n.Up) == 0 {
+			t.Errorf("node %d at level %d has no Up edge", id, n.Level)
+		}
+		if n.Level > 0 && len(n.Down) == 0 {
+			t.Errorf("node %d at level %d has no Down edge", id, n.Level)
+		}
+	}
+	if _, err := Random(rng, 0, 1, 2, 0.5); err == nil {
+		t.Error("Random depth 0 accepted")
+	}
+	if _, err := Random(rng, 3, 0, 2, 0.5); err == nil {
+		t.Error("Random minWidth 0 accepted")
+	}
+	if _, err := Random(rng, 3, 3, 2, 0.5); err == nil {
+		t.Error("Random maxWidth < minWidth accepted")
+	}
+	if _, err := Random(rng, 3, 1, 2, 1.5); err == nil {
+		t.Error("Random p>1 accepted")
+	}
+}
+
+func TestRandomExtremeProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// p=0: repair must still connect everything.
+	g := mustValidate(t)(Random(rng, 5, 2, 3, 0))
+	for id := graph.NodeID(0); int(id) < g.NumNodes(); id++ {
+		n := g.Node(id)
+		if n.Level < g.Depth() && len(n.Up) == 0 {
+			t.Fatalf("p=0: node %d stranded", id)
+		}
+	}
+	// p=1: complete bipartite between levels.
+	g1 := mustValidate(t)(Random(rng, 4, 2, 2, 1))
+	if g1.NumEdges() != 4*2*2 {
+		t.Errorf("p=1 edges = %d, want 16", g1.NumEdges())
+	}
+}

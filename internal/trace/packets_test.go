@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"hotpotato/internal/baselines"
+	"hotpotato/internal/sim"
+)
+
+func TestPacketTracerAll(t *testing.T) {
+	p := testProblem(t)
+	e := sim.NewEngine(p, baselines.NewGreedy(), 5)
+	tr := NewPacketTracer(1, nil)
+	tr.Attach(e)
+	steps, done := e.Run(100000)
+	if !done {
+		t.Fatal("run did not complete")
+	}
+	if tr.Samples() != steps {
+		t.Errorf("samples = %d, steps = %d", tr.Samples(), steps)
+	}
+	var csv strings.Builder
+	if err := tr.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != steps+1 {
+		t.Errorf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "step,p0") {
+		t.Errorf("header = %q", lines[0])
+	}
+	g := tr.Gantt()
+	if strings.Count(g, "\n") != p.N() {
+		t.Errorf("gantt rows = %d, want %d", strings.Count(g, "\n"), p.N())
+	}
+	// A packet that was absorbed shows '.' at the end of its row.
+	row := strings.SplitN(g, "\n", 2)[0]
+	if !strings.HasSuffix(row, ".") {
+		t.Errorf("absorbed packet row should end inactive: %q", row)
+	}
+}
+
+func TestPacketTracerSubset(t *testing.T) {
+	p := testProblem(t)
+	e := sim.NewEngine(p, baselines.NewGreedy(), 6)
+	tr := NewPacketTracer(2, []sim.PacketID{0, 2})
+	tr.Attach(e)
+	if _, done := e.Run(100000); !done {
+		t.Fatal("run did not complete")
+	}
+	var csv strings.Builder
+	if err := tr.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(csv.String(), "\n", 2)[0]
+	if header != "step,p0,p2" {
+		t.Errorf("header = %q", header)
+	}
+	if NewPacketTracer(0, nil).Every != 1 {
+		t.Error("Every not clamped")
+	}
+}
+
+func TestWriteLatenciesCSV(t *testing.T) {
+	p := testProblem(t)
+	e := sim.NewEngine(p, baselines.NewGreedy(), 7)
+	if _, done := e.Run(100000); !done {
+		t.Fatal("run did not complete")
+	}
+	var b strings.Builder
+	if err := WriteLatenciesCSV(&b, e); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != p.N()+1 {
+		t.Errorf("lines = %d, want %d", len(lines), p.N()+1)
+	}
+	if !strings.HasPrefix(lines[0], "packet,src,dst") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Each data row has 10 fields.
+	for _, ln := range lines[1:] {
+		if strings.Count(ln, ",") != 9 {
+			t.Errorf("row %q has %d commas", ln, strings.Count(ln, ","))
+		}
+	}
+}
+
+func TestEdgeLoadRecorder(t *testing.T) {
+	p := testProblem(t)
+	e := sim.NewEngine(p, baselines.NewGreedy(), 8)
+	r := NewEdgeLoadRecorder()
+	r.Attach(e)
+	if _, done := e.Run(100000); !done {
+		t.Fatal("run did not complete")
+	}
+	// Total traversals equal the engine's move count.
+	sum := 0
+	for _, v := range r.Total() {
+		sum += v
+	}
+	if sum != e.M.Moves {
+		t.Errorf("recorded %d traversals, engine moved %d", sum, e.M.Moves)
+	}
+	// Forward dominates (greedy deflects rarely on this instance).
+	fwd, back := 0, 0
+	for i := range r.Forward {
+		fwd += r.Forward[i]
+		back += r.Backward[i]
+	}
+	if fwd <= back {
+		t.Errorf("forward=%d backward=%d; forward should dominate", fwd, back)
+	}
+}

@@ -1,0 +1,149 @@
+// Package trace records and renders what a routing run looks like:
+// per-level occupancy time series, CSV export, and an ASCII rendering
+// of the frontier-frame pipeline that reproduces the paper's Figure 2.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/graph"
+	"hotpotato/internal/sim"
+)
+
+// Snapshot is the per-level active-packet census at one step.
+type Snapshot struct {
+	Step     int
+	PerLevel []int
+	Active   int
+}
+
+// Recorder samples level occupancy from an engine every Every steps.
+type Recorder struct {
+	Every     int
+	Snapshots []Snapshot
+	g         *graph.Leveled
+}
+
+// NewRecorder builds a recorder sampling every `every` steps (min 1).
+func NewRecorder(every int) *Recorder {
+	if every < 1 {
+		every = 1
+	}
+	return &Recorder{Every: every}
+}
+
+// Attach registers the recorder on an engine.
+func (r *Recorder) Attach(e *sim.Engine) {
+	r.g = e.G
+	e.AddObserver(r.observe)
+}
+
+func (r *Recorder) observe(t int, e *sim.Engine) {
+	if t%r.Every != 0 {
+		return
+	}
+	s := Snapshot{Step: t, PerLevel: make([]int, e.G.Depth()+1)}
+	for i := range e.Packets {
+		p := &e.Packets[i]
+		if p.Active {
+			s.PerLevel[e.G.Node(p.Cur).Level]++
+			s.Active++
+		}
+	}
+	r.Snapshots = append(r.Snapshots, s)
+}
+
+// WriteCSV emits the recorded series as CSV: step, active, level0..L.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if len(r.Snapshots) == 0 {
+		_, err := fmt.Fprintln(w, "step,active")
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("step,active")
+	for l := range r.Snapshots[0].PerLevel {
+		fmt.Fprintf(&b, ",l%d", l)
+	}
+	b.WriteByte('\n')
+	for _, s := range r.Snapshots {
+		fmt.Fprintf(&b, "%d,%d", s.Step, s.Active)
+		for _, c := range s.PerLevel {
+			fmt.Fprintf(&b, ",%d", c)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderFrames draws the frontier-frame pipeline at the given phase,
+// reproducing Figure 2: one row per frontier-set, columns are network
+// levels 0..L; 'F' marks the frontier, '=' the rest of the frame, 'T'
+// the round's target level, '.' everything else. Only in-network
+// portions are drawn (partial frames appear truncated, as in the
+// figure).
+func RenderFrames(sched core.Schedule, L, phase, round int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "phase %d, round %d (target inner-level %d)\n", phase, round, sched.TargetInner(round))
+	b.WriteString("level    ")
+	for l := 0; l <= L; l++ {
+		b.WriteByte("0123456789"[l%10])
+	}
+	b.WriteByte('\n')
+	for set := 0; set < sched.P.NumSets; set++ {
+		f := sched.Frontier(set, phase)
+		back := sched.FrameBack(set, phase)
+		tl := sched.TargetLevel(set, phase, round)
+		if f < 0 || back > L {
+			continue // frame entirely outside the network
+		}
+		fmt.Fprintf(&b, "frame %-3d", set)
+		for l := 0; l <= L; l++ {
+			switch {
+			case l == tl && l >= back && l <= f:
+				b.WriteByte('T')
+			case l == f:
+				b.WriteByte('F')
+			case l >= back && l < f:
+				b.WriteByte('=')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderOccupancy draws packet counts per level as a single row of
+// digits ('.' for zero, '9'-capped counts, '*' for >=10).
+func RenderOccupancy(s Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%-6d ", s.Step)
+	for _, c := range s.PerLevel {
+		switch {
+		case c == 0:
+			b.WriteByte('.')
+		case c < 10:
+			b.WriteByte(byte('0' + c))
+		default:
+			b.WriteByte('*')
+		}
+	}
+	fmt.Fprintf(&b, "  (%d active)", s.Active)
+	return b.String()
+}
+
+// PipelineMovie renders the frame pipeline at the start of each of the
+// given phases — the moving version of Figure 2.
+func PipelineMovie(sched core.Schedule, L int, phases []int) string {
+	var b strings.Builder
+	for _, ph := range phases {
+		b.WriteString(RenderFrames(sched, L, ph, 0))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

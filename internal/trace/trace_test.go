@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hotpotato/internal/baselines"
+	"hotpotato/internal/core"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+func testProblem(t *testing.T) *workload.Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g, err := topo.Random(rng, 15, 2, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := workload.Random(g, rng, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRecorderSamples(t *testing.T) {
+	p := testProblem(t)
+	e := sim.NewEngine(p, baselines.NewGreedy(), 2)
+	r := NewRecorder(1)
+	r.Attach(e)
+	steps, done := e.Run(100000)
+	if !done {
+		t.Fatal("run did not complete")
+	}
+	if len(r.Snapshots) != steps {
+		t.Errorf("snapshots = %d, steps = %d", len(r.Snapshots), steps)
+	}
+	// Final snapshot has no active packets... the last step absorbs the
+	// last packet, so its snapshot shows 0 active.
+	last := r.Snapshots[len(r.Snapshots)-1]
+	if last.Active != 0 {
+		t.Errorf("final active = %d", last.Active)
+	}
+	// Census adds up.
+	for _, s := range r.Snapshots {
+		sum := 0
+		for _, c := range s.PerLevel {
+			sum += c
+		}
+		if sum != s.Active {
+			t.Fatalf("snapshot %d: per-level sum %d != active %d", s.Step, sum, s.Active)
+		}
+	}
+}
+
+func TestRecorderEvery(t *testing.T) {
+	p := testProblem(t)
+	e := sim.NewEngine(p, baselines.NewGreedy(), 3)
+	r := NewRecorder(10)
+	r.Attach(e)
+	steps, _ := e.Run(100000)
+	want := (steps + 9) / 10
+	if len(r.Snapshots) != want {
+		t.Errorf("snapshots = %d, want %d", len(r.Snapshots), want)
+	}
+	if NewRecorder(0).Every != 1 {
+		t.Error("Every not clamped")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	p := testProblem(t)
+	e := sim.NewEngine(p, baselines.NewGreedy(), 4)
+	r := NewRecorder(5)
+	r.Attach(e)
+	e.Run(100000)
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(r.Snapshots)+1 {
+		t.Errorf("csv lines = %d, want %d", len(lines), len(r.Snapshots)+1)
+	}
+	if !strings.HasPrefix(lines[0], "step,active,l0,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Empty recorder still writes a header.
+	var eb strings.Builder
+	if err := NewRecorder(1).WriteCSV(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(eb.String(), "step") {
+		t.Error("empty CSV lacks header")
+	}
+}
+
+func TestRenderFrames(t *testing.T) {
+	sched := core.Schedule{P: core.Params{NumSets: 2, M: 4, W: 8, Q: 0.1}}
+	L := 12
+	// Phase 8: frontier 0 at level 8 (frame 5..8), frontier 1 at level
+	// 4 (frame 1..4).
+	out := RenderFrames(sched, L, 8, 0)
+	if !strings.Contains(out, "frame 0") || !strings.Contains(out, "frame 1") {
+		t.Fatalf("missing frames:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var f0 string
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "frame 0") {
+			f0 = ln[9:]
+		}
+	}
+	if len(f0) != L+1 {
+		t.Fatalf("frame row length %d, want %d: %q", len(f0), L+1, f0)
+	}
+	// Round 0 target = frontier, so level 8 renders 'T', 5..7 '='.
+	if f0[8] != 'T' {
+		t.Errorf("frontier cell = %c, want T (target at frontier in round 0)", f0[8])
+	}
+	if f0[5] != '=' || f0[7] != '=' {
+		t.Errorf("frame body wrong: %q", f0)
+	}
+	if f0[0] != '.' || f0[12] != '.' {
+		t.Errorf("outside-frame cells wrong: %q", f0)
+	}
+	// Round 2 target shifts back one level.
+	out2 := RenderFrames(sched, L, 8, 2)
+	for _, ln := range strings.Split(out2, "\n") {
+		if strings.HasPrefix(ln, "frame 0") {
+			row := ln[9:]
+			if row[7] != 'T' || row[8] != 'F' {
+				t.Errorf("round 2 row wrong: %q", row)
+			}
+		}
+	}
+}
+
+func TestRenderFramesSkipsOffscreen(t *testing.T) {
+	sched := core.Schedule{P: core.Params{NumSets: 3, M: 4, W: 8, Q: 0.1}}
+	// Phase 0: frame 0 partially entering at level 0; frames 1,2 fully
+	// below level 0.
+	out := RenderFrames(sched, 10, 0, 0)
+	if strings.Contains(out, "frame 1") || strings.Contains(out, "frame 2") {
+		t.Errorf("offscreen frames rendered:\n%s", out)
+	}
+}
+
+func TestRenderOccupancy(t *testing.T) {
+	s := Snapshot{Step: 7, PerLevel: []int{0, 3, 12}, Active: 15}
+	out := RenderOccupancy(s)
+	if !strings.Contains(out, ".3*") {
+		t.Errorf("occupancy render = %q", out)
+	}
+	if !strings.Contains(out, "15 active") {
+		t.Errorf("missing census: %q", out)
+	}
+}
+
+func TestPipelineMovie(t *testing.T) {
+	sched := core.Schedule{P: core.Params{NumSets: 2, M: 4, W: 8, Q: 0.1}}
+	out := PipelineMovie(sched, 10, []int{4, 5, 6})
+	if strings.Count(out, "phase") != 3 {
+		t.Errorf("movie frames = %d, want 3", strings.Count(out, "phase"))
+	}
+}

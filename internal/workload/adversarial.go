@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hotpotato/internal/graph"
+	"hotpotato/internal/paths"
+	"hotpotato/internal/topo"
+)
+
+// Concentrator builds a workload with congestion at least c on a
+// chosen bottleneck edge: c packets from distinct upstream sources
+// whose paths all cross the middle-level edge with the richest
+// upstream. This is the controlled-C instrument — C is guaranteed by
+// construction, not measured after the fact.
+func Concentrator(g *graph.Leveled, rng *rand.Rand, c int) (*Problem, error) {
+	if c < 1 {
+		return nil, fmt.Errorf("workload: Concentrator needs c >= 1, got %d", c)
+	}
+	mid := g.Depth() / 2
+	// Choose the middle-level edge with the most forward-reachable
+	// sources upstream of it.
+	var best graph.EdgeID = graph.NoEdge
+	bestSrcs := 0
+	var bestList []graph.NodeID
+	for e := graph.EdgeID(0); int(e) < g.NumEdges(); e++ {
+		ed := g.Edge(e)
+		if g.Node(ed.From).Level != mid {
+			continue
+		}
+		reach := g.Reachable(ed.From)
+		var srcs []graph.NodeID
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			if reach[v] && g.Node(v).Level < mid {
+				srcs = append(srcs, v)
+			}
+		}
+		if g.Node(ed.From).Level == 0 {
+			srcs = append(srcs, ed.From)
+		}
+		if len(srcs) > bestSrcs {
+			best, bestSrcs, bestList = e, len(srcs), srcs
+		}
+	}
+	if best == graph.NoEdge || bestSrcs == 0 {
+		return nil, fmt.Errorf("workload: no usable bottleneck edge at level %d", mid)
+	}
+	if c > bestSrcs {
+		c = bestSrcs
+	}
+	ed := g.Edge(best)
+	// Destinations: any node forward-reachable from the bottleneck's
+	// head.
+	fromHead := g.ForwardReachableFrom(ed.To)
+	var dsts []graph.NodeID
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if fromHead[v] {
+			dsts = append(dsts, v)
+		}
+	}
+	perm := rng.Perm(len(bestList))
+	ps := make([]graph.Path, 0, c)
+	for i := 0; i < c; i++ {
+		src := bestList[perm[i]]
+		// Path: src -> ed.From (random forward), the bottleneck edge,
+		// then ed.To -> random dst (random forward).
+		var pre graph.Path
+		if src != ed.From {
+			p1, err := paths.RandomForwardPath(g, rng, src, ed.From)
+			if err != nil {
+				return nil, err
+			}
+			pre = p1
+		}
+		dst := dsts[rng.Intn(len(dsts))]
+		var post graph.Path
+		if dst != ed.To {
+			p2, err := paths.RandomForwardPath(g, rng, ed.To, dst)
+			if err != nil {
+				return nil, err
+			}
+			post = p2
+		}
+		full := make(graph.Path, 0, len(pre)+1+len(post))
+		full = append(full, pre...)
+		full = append(full, best)
+		full = append(full, post...)
+		ps = append(ps, full)
+	}
+	set := paths.NewPathSet(g, ps)
+	prob, err := finish(fmt.Sprintf("concentrator(c=%d)", c), g, set)
+	if err != nil {
+		return nil, err
+	}
+	if prob.C < c {
+		return nil, fmt.Errorf("workload: concentrator achieved C=%d < requested %d", prob.C, c)
+	}
+	return prob, nil
+}
+
+// LongThin builds the worst D/C ratio instance: a single packet walking
+// the full depth of the network plus c-1 short packets crossing its
+// path's middle edge — D = L while C = c concentrates at one point.
+func LongThin(g *graph.Leveled, rng *rand.Rand, c int) (*Problem, error) {
+	if c < 1 {
+		return nil, fmt.Errorf("workload: LongThin needs c >= 1, got %d", c)
+	}
+	// The long packet: from a level-0 node to a top-level node.
+	var long graph.Path
+	var err error
+	for _, src := range g.Level(0) {
+		reach := g.ForwardReachableFrom(src)
+		for _, dst := range g.Level(g.Depth()) {
+			if reach[dst] {
+				long, err = paths.RandomForwardPath(g, rng, src, dst)
+				if err == nil {
+					break
+				}
+			}
+		}
+		if long != nil {
+			break
+		}
+	}
+	if long == nil {
+		return nil, fmt.Errorf("workload: no full-depth path exists")
+	}
+	midEdge := long[len(long)/2]
+	ed := g.Edge(midEdge)
+	// Short packets: sources one level below the middle edge, crossing
+	// it, absorbed right above.
+	reach := g.Reachable(ed.From)
+	var srcs []graph.NodeID
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if reach[v] && g.Node(v).Level == g.Node(ed.From).Level-1 && v != g.PathSource(long) {
+			srcs = append(srcs, v)
+		}
+	}
+	ps := []graph.Path{long}
+	for i := 0; i < c-1 && i < len(srcs); i++ {
+		p1, err := paths.RandomForwardPath(g, rng, srcs[i], ed.From)
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, append(append(graph.Path{}, p1...), midEdge))
+	}
+	set := paths.NewPathSet(g, ps)
+	return finish(fmt.Sprintf("longthin(c=%d)", c), g, set)
+}
+
+// BenesValiant routes a random permutation on the k-dimensional Beneš
+// network with Valiant's trick: each packet goes through a uniformly
+// random middle row, which on the rearrangeable Beneš network yields
+// congestion O(1) w.h.p. — the low-C extreme for the paper's bound,
+// where routing time is dominated by L alone.
+func BenesValiant(g *graph.Leveled, rng *rand.Rand, k int) (*Problem, error) {
+	rows := 1 << k
+	if g.Depth() != 2*k || g.NumNodes() != (2*k+1)*rows {
+		return nil, fmt.Errorf("workload: network is not Benes(%d)", k)
+	}
+	perm := rng.Perm(rows)
+	ps := make([]graph.Path, 0, rows)
+	for src, dst := range perm {
+		p, err := topo.BenesLoopbackPath(g, k, src, rng.Intn(rows), dst)
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, p)
+	}
+	set := paths.NewPathSet(g, ps)
+	return finish(fmt.Sprintf("benes-valiant(%d)", k), g, set)
+}
+
+// AllCorners builds the mesh instance routing one packet from each of
+// the four quadrant centers to the opposite quadrant on an n x n
+// CornerNW mesh — small, fully deterministic, handy for golden tests.
+func AllCorners(n int) (*Problem, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("workload: AllCorners needs n >= 4, got %d", n)
+	}
+	g, err := topo.Mesh(n, n, topo.CornerNW)
+	if err != nil {
+		return nil, err
+	}
+	q := n / 4
+	type pair struct{ si, sj, di, dj int }
+	reqs := []pair{
+		{q, q, 3 * q, 3 * q},
+		{q, 3 * q, 3 * q, 3*q + 1},
+		{3 * q, q, 3*q + 1, 3 * q},
+		{q, q + 1, 3 * q, 3*q - 1},
+	}
+	ps := make([]graph.Path, 0, len(reqs))
+	for _, r := range reqs {
+		p, err := topo.MeshDimOrderPath(g, n, r.si, r.sj, r.di, r.dj)
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, p)
+	}
+	set := paths.NewPathSet(g, ps)
+	return finish(fmt.Sprintf("allcorners(%d)", n), g, set)
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/topo"
+)
+
+func TestConcentratorControlsCongestion(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	g := mustG(t)(topo.Butterfly(6))
+	// A level-3 node of butterfly(6) has 8+4+2 = 14 strict ancestors,
+	// so up to c=14 the congestion is exactly controlled; beyond that
+	// the generator clamps.
+	for _, c := range []int{2, 8, 14} {
+		p := must(t)(Concentrator(g, rng, c))
+		if p.C < c {
+			t.Errorf("requested C>=%d, got %d", c, p.C)
+		}
+		if p.N() != c {
+			t.Errorf("N = %d, want %d", p.N(), c)
+		}
+		if err := p.Set.CheckOnePacketPerSource(); err != nil {
+			t.Errorf("source reuse: %v", err)
+		}
+	}
+	clamped := must(t)(Concentrator(g, rng, 100))
+	if clamped.N() != 14 {
+		t.Errorf("clamped N = %d, want 14", clamped.N())
+	}
+	if _, err := Concentrator(g, rng, 0); err == nil {
+		t.Error("c=0 accepted")
+	}
+}
+
+func TestConcentratorClampsToSources(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := mustG(t)(topo.Linear(8))
+	// Only mid/2... a linear array has exactly (mid) upstream sources.
+	p := must(t)(Concentrator(g, rng, 100))
+	if p.N() > 8 {
+		t.Errorf("N = %d on a tiny line", p.N())
+	}
+	if p.C != p.N() {
+		t.Errorf("line concentrator: C=%d N=%d", p.C, p.N())
+	}
+}
+
+func TestLongThin(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := mustG(t)(topo.Butterfly(6))
+	p := must(t)(LongThin(g, rng, 3))
+	if p.D != g.Depth() {
+		t.Errorf("D = %d, want full depth %d", p.D, g.Depth())
+	}
+	if p.C < 2 {
+		t.Errorf("C = %d, want >= 2 at the pinch", p.C)
+	}
+	if _, err := LongThin(g, rng, 0); err == nil {
+		t.Error("c=0 accepted")
+	}
+}
+
+func TestAllCorners(t *testing.T) {
+	p := must(t)(AllCorners(8))
+	if p.N() != 4 {
+		t.Errorf("N = %d", p.N())
+	}
+	if err := p.Set.Validate(); err != nil {
+		t.Errorf("paths invalid: %v", err)
+	}
+	// Deterministic: two builds agree exactly.
+	p2 := must(t)(AllCorners(8))
+	if p.C != p2.C || p.D != p2.D {
+		t.Error("AllCorners not deterministic")
+	}
+	if _, err := AllCorners(3); err == nil {
+		t.Error("n=3 accepted")
+	}
+}
+
+func TestBenesValiant(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	k := 4
+	g := mustG(t)(topo.Benes(k))
+	p := must(t)(BenesValiant(g, rng, k))
+	if p.N() != 1<<k {
+		t.Errorf("N = %d", p.N())
+	}
+	if p.D != 2*k {
+		t.Errorf("D = %d, want %d", p.D, 2*k)
+	}
+	// Valiant routing keeps congestion small on the rearrangeable
+	// Benes network.
+	if p.C > k {
+		t.Errorf("C = %d > k = %d (unlikely under Valiant routing)", p.C, k)
+	}
+	// Wrong network rejected.
+	bf := mustG(t)(topo.Butterfly(4))
+	if _, err := BenesValiant(bf, rng, 4); err == nil {
+		t.Error("butterfly accepted as Benes")
+	}
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hotpotato/internal/graph"
+	"hotpotato/internal/paths"
+)
+
+// WaveProblem is a Problem whose packets arrive in successive waves —
+// the online/dynamic extension of the paper's one-shot setting. WaveOf
+// records each packet's wave index; routed with
+// core.NewFrameWithSets, wave k is mapped onto frontier-set block k so
+// the batches pipeline through the network back to back.
+type WaveProblem struct {
+	*Problem
+	// WaveOf[i] is the wave index of packet i.
+	WaveOf []int
+	// Waves is the number of waves.
+	Waves int
+	// PerWaveC[k] is the congestion of wave k's paths alone.
+	PerWaveC []int
+}
+
+// SetAssignment maps packets to frontier sets so that wave k occupies
+// sets [k*setsPerWave, (k+1)*setsPerWave), assigning uniformly within
+// the block. The total set count is Waves*setsPerWave.
+func (w *WaveProblem) SetAssignment(rng *rand.Rand, setsPerWave int) []int32 {
+	out := make([]int32, w.N())
+	for i, wave := range w.WaveOf {
+		out[i] = int32(wave*setsPerWave + rng.Intn(setsPerWave))
+	}
+	return out
+}
+
+// Waves builds a wave workload: `waves` batches of random many-to-one
+// traffic on the same network, with globally distinct sources (the
+// paper's one-packet-per-node restriction applies across the whole
+// run). density is the per-wave fraction of eligible nodes sourcing a
+// packet; it is capped so that all waves fit.
+func Waves(g *graph.Leveled, rng *rand.Rand, waves int, density float64) (*WaveProblem, error) {
+	if waves < 1 {
+		return nil, fmt.Errorf("workload: Waves needs waves >= 1, got %d", waves)
+	}
+	if density <= 0 || density > 1 {
+		return nil, fmt.Errorf("workload: density must be in (0,1], got %g", density)
+	}
+	// Eligible sources: below top level with at least one up edge.
+	var eligible []graph.NodeID
+	for id := graph.NodeID(0); int(id) < g.NumNodes(); id++ {
+		n := g.Node(id)
+		if n.Level < g.Depth() && len(n.Up) > 0 {
+			eligible = append(eligible, id)
+		}
+	}
+	perWave := int(density * float64(len(eligible)))
+	if perWave < 1 {
+		perWave = 1
+	}
+	if perWave*waves > len(eligible) {
+		perWave = len(eligible) / waves
+		if perWave < 1 {
+			return nil, fmt.Errorf("workload: %d waves cannot fit on %d eligible sources", waves, len(eligible))
+		}
+	}
+	perm := rng.Perm(len(eligible))
+	var reqs []paths.Request
+	var waveOf []int
+	idx := 0
+	for k := 0; k < waves; k++ {
+		placed := 0
+		for placed < perWave && idx < len(perm) {
+			src := eligible[perm[idx]]
+			idx++
+			reach := g.ForwardReachableFrom(src)
+			var cands []graph.NodeID
+			for w := graph.NodeID(0); int(w) < g.NumNodes(); w++ {
+				if w != src && reach[w] {
+					cands = append(cands, w)
+				}
+			}
+			if len(cands) == 0 {
+				continue
+			}
+			reqs = append(reqs, paths.Request{Src: src, Dst: cands[rng.Intn(len(cands))]})
+			waveOf = append(waveOf, k)
+			placed++
+		}
+		if placed == 0 {
+			return nil, fmt.Errorf("workload: wave %d placed no packets", k)
+		}
+	}
+	set, err := paths.SelectRandom(g, rng, reqs)
+	if err != nil {
+		return nil, err
+	}
+	base, err := finish(fmt.Sprintf("waves(%d,d=%.2f)", waves, density), g, set)
+	if err != nil {
+		return nil, err
+	}
+	wp := &WaveProblem{Problem: base, WaveOf: waveOf, Waves: waves}
+	wp.PerWaveC = make([]int, waves)
+	loads := make([]int, g.NumEdges())
+	for k := 0; k < waves; k++ {
+		for i := range loads {
+			loads[i] = 0
+		}
+		m := 0
+		for i, p := range set.Paths {
+			if waveOf[i] != k {
+				continue
+			}
+			for _, e := range p {
+				loads[e]++
+				if loads[e] > m {
+					m = loads[e]
+				}
+			}
+		}
+		wp.PerWaveC[k] = m
+	}
+	return wp, nil
+}

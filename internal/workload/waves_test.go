@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/topo"
+)
+
+func TestWavesBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := mustG(t)(topo.Random(rng, 20, 3, 5, 0.4))
+	wp, err := Waves(g, rng, 3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wp.Waves != 3 {
+		t.Errorf("Waves = %d", wp.Waves)
+	}
+	if len(wp.WaveOf) != wp.N() {
+		t.Fatalf("WaveOf length %d, N %d", len(wp.WaveOf), wp.N())
+	}
+	// Wave indices in range; every wave nonempty.
+	seen := make([]int, 3)
+	for _, w := range wp.WaveOf {
+		if w < 0 || w >= 3 {
+			t.Fatalf("wave index %d out of range", w)
+		}
+		seen[w]++
+	}
+	for k, n := range seen {
+		if n == 0 {
+			t.Errorf("wave %d empty", k)
+		}
+	}
+	// Many-to-one across all waves.
+	if err := wp.Set.CheckOnePacketPerSource(); err != nil {
+		t.Errorf("source reuse across waves: %v", err)
+	}
+	// Per-wave congestion never exceeds total.
+	for k, c := range wp.PerWaveC {
+		if c > wp.C || c < 1 {
+			t.Errorf("wave %d congestion %d vs total %d", k, c, wp.C)
+		}
+	}
+}
+
+func TestWavesSetAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := mustG(t)(topo.Random(rng, 16, 3, 5, 0.4))
+	wp, err := Waves(g, rng, 2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := wp.SetAssignment(rng, 3)
+	if len(assign) != wp.N() {
+		t.Fatalf("assignment length %d", len(assign))
+	}
+	for i, s := range assign {
+		lo := int32(wp.WaveOf[i] * 3)
+		if s < lo || s >= lo+3 {
+			t.Errorf("packet %d (wave %d) assigned set %d outside block [%d,%d)",
+				i, wp.WaveOf[i], s, lo, lo+3)
+		}
+	}
+}
+
+func TestWavesErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := mustG(t)(topo.Linear(4))
+	if _, err := Waves(g, rng, 0, 0.5); err == nil {
+		t.Error("waves=0 accepted")
+	}
+	if _, err := Waves(g, rng, 1, 0); err == nil {
+		t.Error("density=0 accepted")
+	}
+	if _, err := Waves(g, rng, 1, 2); err == nil {
+		t.Error("density=2 accepted")
+	}
+	// More waves than eligible sources.
+	if _, err := Waves(g, rng, 50, 0.9); err == nil {
+		t.Error("oversubscribed waves accepted")
+	}
+}

@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hotpotato/internal/graph"
+	"hotpotato/internal/topo"
+)
+
+func must(t *testing.T) func(*Problem, error) *Problem {
+	t.Helper()
+	return func(p *Problem, err error) *Problem {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("workload: %v", err)
+		}
+		return p
+	}
+}
+
+func mustG(t *testing.T) func(*graph.Leveled, error) *graph.Leveled {
+	t.Helper()
+	return func(g *graph.Leveled, err error) *graph.Leveled {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("topo: %v", err)
+		}
+		return g
+	}
+}
+
+func TestRandomWorkload(t *testing.T) {
+	g := mustG(t)(topo.Butterfly(4))
+	rng := rand.New(rand.NewSource(11))
+	p := must(t)(Random(g, rng, 0.5))
+	if p.N() == 0 {
+		t.Fatal("no packets")
+	}
+	if p.C < 1 || p.D < 1 {
+		t.Errorf("C=%d D=%d", p.C, p.D)
+	}
+	if p.D > g.Depth() {
+		t.Errorf("D=%d exceeds L=%d", p.D, g.Depth())
+	}
+	if p.L() != g.Depth() {
+		t.Errorf("L() = %d", p.L())
+	}
+	if !strings.Contains(p.String(), "random") {
+		t.Errorf("String() = %q", p.String())
+	}
+	if _, err := Random(g, rng, 0); err == nil {
+		t.Error("density 0 accepted")
+	}
+	if _, err := Random(g, rng, 1.5); err == nil {
+		t.Error("density > 1 accepted")
+	}
+}
+
+func TestRandomManyToOneConstraint(t *testing.T) {
+	g := mustG(t)(topo.Mesh(5, 5, topo.CornerNW))
+	rng := rand.New(rand.NewSource(13))
+	p := must(t)(Random(g, rng, 1.0))
+	if err := p.Set.CheckOnePacketPerSource(); err != nil {
+		t.Errorf("many-to-one violated: %v", err)
+	}
+}
+
+func TestHotSpot(t *testing.T) {
+	g := mustG(t)(topo.Butterfly(4))
+	rng := rand.New(rand.NewSource(17))
+	p := must(t)(HotSpot(g, rng, 30, 2))
+	if p.N() != 30 {
+		t.Errorf("N = %d, want 30", p.N())
+	}
+	// All destinations at top level, at most 2 distinct.
+	dsts := map[graph.NodeID]bool{}
+	for _, d := range p.Set.Destinations() {
+		dsts[d] = true
+		if g.Node(d).Level != g.Depth() {
+			t.Errorf("destination %d not at top level", d)
+		}
+	}
+	if len(dsts) > 2 {
+		t.Errorf("%d distinct destinations, want <= 2", len(dsts))
+	}
+	// Fan-in of 30 packets into <=2 top nodes with in-degree 2 forces
+	// last-edge congestion >= ceil(30/4).
+	if p.C < 8 {
+		t.Errorf("hotspot C = %d, want >= 8", p.C)
+	}
+	if _, err := HotSpot(g, rng, 0, 1); err == nil {
+		t.Error("count 0 accepted")
+	}
+}
+
+func TestHotSpotClampsCount(t *testing.T) {
+	g := mustG(t)(topo.Linear(4))
+	rng := rand.New(rand.NewSource(19))
+	p := must(t)(HotSpot(g, rng, 100, 5))
+	if p.N() > 3 {
+		t.Errorf("N = %d on a 4-node line, want <= 3", p.N())
+	}
+}
+
+func TestFullThroughput(t *testing.T) {
+	g := mustG(t)(topo.Butterfly(3))
+	rng := rand.New(rand.NewSource(23))
+	p := must(t)(FullThroughput(g, rng))
+	if p.N() != 8 {
+		t.Errorf("N = %d, want 8", p.N())
+	}
+	for _, pp := range p.Set.Paths {
+		if len(pp) != 3 {
+			t.Errorf("path length %d, want 3", len(pp))
+		}
+	}
+}
+
+func TestButterflyTranspose(t *testing.T) {
+	k := 4
+	g := mustG(t)(topo.Butterfly(k))
+	p := must(t)(ButterflyTranspose(g, k))
+	if p.N() != 1<<k {
+		t.Errorf("N = %d", p.N())
+	}
+	if p.D != k {
+		t.Errorf("D = %d, want %d", p.D, k)
+	}
+	// Transpose concentrates paths: C must exceed 1.
+	if p.C < 2 {
+		t.Errorf("C = %d, want >= 2", p.C)
+	}
+	if _, err := ButterflyTranspose(g, 3); err == nil {
+		t.Error("odd k accepted")
+	}
+}
+
+func TestButterflyBitReversal(t *testing.T) {
+	k := 4
+	g := mustG(t)(topo.Butterfly(k))
+	p := must(t)(ButterflyBitReversal(g, k))
+	if p.N() != 1<<k {
+		t.Errorf("N = %d", p.N())
+	}
+	// Bit reversal on bit-fixing paths has edge congestion
+	// 2^(k/2-1) = sqrt(rows)/2 (node congestion sqrt(rows), split over
+	// the node's two in-edges).
+	if want := 1 << (k/2 - 1); p.C != want {
+		t.Errorf("C = %d, want %d", p.C, want)
+	}
+	// And the congestion grows with k as sqrt(rows).
+	g6 := mustG(t)(topo.Butterfly(6))
+	p6 := must(t)(ButterflyBitReversal(g6, 6))
+	if p6.C <= p.C {
+		t.Errorf("C(k=6) = %d not > C(k=4) = %d", p6.C, p.C)
+	}
+	// Fixed points (palindromic rows) keep length k paths too.
+	for _, pp := range p.Set.Paths {
+		if len(pp) != k {
+			t.Errorf("path length %d, want %d", len(pp), k)
+		}
+	}
+}
+
+func TestMeshHard(t *testing.T) {
+	n := 6
+	p := must(t)(MeshHard(n))
+	if p.N() != n {
+		t.Errorf("N = %d, want %d", p.N(), n)
+	}
+	if p.C != n {
+		t.Errorf("C = %d, want %d", p.C, n)
+	}
+	if p.D != 2*(n-1) {
+		t.Errorf("D = %d, want %d", p.D, 2*(n-1))
+	}
+	if p.L() != 2*(n-1) {
+		t.Errorf("L = %d, want %d", p.L(), 2*(n-1))
+	}
+	if _, err := MeshHard(1); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestSingleFile(t *testing.T) {
+	g := mustG(t)(topo.Linear(6))
+	p := must(t)(SingleFile(g, 3))
+	if p.N() != 3 {
+		t.Errorf("N = %d", p.N())
+	}
+	if p.C != 3 {
+		t.Errorf("C = %d, want 3 (all paths share the last edge)", p.C)
+	}
+	if p.D != 5 {
+		t.Errorf("D = %d, want 5", p.D)
+	}
+	if _, err := SingleFile(g, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := SingleFile(g, 99); err == nil {
+		t.Error("k too large accepted")
+	}
+	wide := mustG(t)(topo.Ladder(3))
+	if _, err := SingleFile(wide, 1); err == nil {
+		t.Error("non-linear network accepted")
+	}
+}
+
+// Property: every generator yields a structurally valid many-to-one
+// problem for arbitrary seeds.
+func TestGeneratorsValidQuick(t *testing.T) {
+	gens := []struct {
+		name string
+		f    func(seed int64) (*Problem, error)
+	}{
+		{"random", func(seed int64) (*Problem, error) {
+			rng := rand.New(rand.NewSource(seed))
+			g, err := topo.Random(rng, 12+int(seed%8), 2, 5, 0.4)
+			if err != nil {
+				return nil, err
+			}
+			return Random(g, rng, 0.4)
+		}},
+		{"hotspot", func(seed int64) (*Problem, error) {
+			rng := rand.New(rand.NewSource(seed))
+			g, err := topo.Butterfly(4 + int(seed%2))
+			if err != nil {
+				return nil, err
+			}
+			return HotSpot(g, rng, 10+int(seed%20), 1+int(seed%3))
+		}},
+		{"fullthroughput", func(seed int64) (*Problem, error) {
+			rng := rand.New(rand.NewSource(seed))
+			g, err := topo.Omega(4)
+			if err != nil {
+				return nil, err
+			}
+			return FullThroughput(g, rng)
+		}},
+		{"concentrator", func(seed int64) (*Problem, error) {
+			rng := rand.New(rand.NewSource(seed))
+			g, err := topo.Butterfly(5)
+			if err != nil {
+				return nil, err
+			}
+			return Concentrator(g, rng, 4+int(seed%8))
+		}},
+		{"waves", func(seed int64) (*Problem, error) {
+			rng := rand.New(rand.NewSource(seed))
+			g, err := topo.Random(rng, 16, 3, 5, 0.4)
+			if err != nil {
+				return nil, err
+			}
+			wp, err := Waves(g, rng, 2, 0.2)
+			if err != nil {
+				return nil, err
+			}
+			return wp.Problem, nil
+		}},
+	}
+	for _, gen := range gens {
+		for seed := int64(0); seed < 8; seed++ {
+			p, err := gen.f(seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", gen.name, seed, err)
+			}
+			if err := p.Set.Validate(); err != nil {
+				t.Errorf("%s seed %d: invalid paths: %v", gen.name, seed, err)
+			}
+			if err := p.Set.CheckOnePacketPerSource(); err != nil {
+				t.Errorf("%s seed %d: %v", gen.name, seed, err)
+			}
+			if p.C != p.Set.Congestion() || p.D != p.Set.Dilation() {
+				t.Errorf("%s seed %d: cached C/D stale", gen.name, seed)
+			}
+			if p.D > p.L() {
+				t.Errorf("%s seed %d: D %d exceeds L %d", gen.name, seed, p.D, p.L())
+			}
+		}
+	}
+}

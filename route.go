@@ -1,0 +1,135 @@
+package hotpotato
+
+import (
+	"fmt"
+
+	"hotpotato/internal/baselines"
+	"hotpotato/internal/core"
+	"hotpotato/internal/sim"
+)
+
+// Options configure a routing run.
+type Options struct {
+	// Seed drives all randomness (set assignment, excitation,
+	// tie-breaking); runs with equal seeds are identical.
+	Seed int64
+	// MaxSteps caps the run (0 = a generous multiple of the schedule
+	// bound for the frame router, or of C+D+L for baselines).
+	MaxSteps int
+	// CheckInvariants attaches the Ia-If invariant checker (frame
+	// router only).
+	CheckInvariants bool
+	// BufferCap bounds each edge queue for store-and-forward baselines
+	// (0 = unbounded). Full buffers exert backpressure; hot-potato
+	// baselines ignore it (they have no buffers at all).
+	BufferCap int
+	// Profile records per-phase progress into Result.Phases (frame
+	// router only).
+	Profile bool
+}
+
+// RouteFrame runs the paper's frame algorithm on the problem.
+func RouteFrame(p *Problem, params Params, opt Options) *Result {
+	return core.Run(p, params, core.RunOptions{
+		Seed:     opt.Seed,
+		MaxSteps: opt.MaxSteps,
+		Check:    opt.CheckInvariants,
+		Profile:  opt.Profile,
+	})
+}
+
+// BaselineKind names a comparison algorithm.
+type BaselineKind string
+
+// Available baselines. The Greedy* kinds are bufferless (hot-potato);
+// the SF* kinds are store-and-forward with unbounded buffers.
+const (
+	GreedyHP       BaselineKind = "greedy-hp"
+	GreedyFTG      BaselineKind = "greedy-ftg"
+	RandGreedyHP   BaselineKind = "rand-greedy-hp"
+	SFFifo         BaselineKind = "sf-fifo"
+	SFRandomDelay  BaselineKind = "sf-randdelay"
+	SFFarthestToGo BaselineKind = "sf-farthest"
+)
+
+// BaselineResult is a completed baseline run.
+type BaselineResult struct {
+	Kind  BaselineKind
+	Steps int
+	Done  bool
+	// HP holds engine metrics for hot-potato baselines (nil for SF*).
+	HP *Metrics
+	// SF holds metrics for store-and-forward baselines (nil for HP*).
+	SF *SFMetrics
+	// PerPacketLatency lists absorb-inject per packet (-1 if unabsorbed).
+	PerPacketLatency []int
+}
+
+// String renders a one-line summary.
+func (r *BaselineResult) String() string {
+	return fmt.Sprintf("%s: steps=%d done=%v", r.Kind, r.Steps, r.Done)
+}
+
+// RouteBaseline runs one of the comparison algorithms on the problem.
+func RouteBaseline(p *Problem, kind BaselineKind, opt Options) (*BaselineResult, error) {
+	maxSteps := opt.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 200 * (p.C + p.D + p.L()) * (1 + p.N()/16)
+		if maxSteps < 100000 {
+			maxSteps = 100000
+		}
+	}
+	res := &BaselineResult{Kind: kind}
+	switch kind {
+	case GreedyHP, GreedyFTG, RandGreedyHP:
+		var r sim.Router
+		switch kind {
+		case GreedyHP:
+			r = baselines.NewGreedy()
+		case GreedyFTG:
+			r = baselines.NewFarthestToGo()
+		default:
+			r = baselines.NewRandGreedy(0.05)
+		}
+		e := sim.NewEngine(p, r, opt.Seed)
+		res.Steps, res.Done = e.Run(maxSteps)
+		m := e.M
+		res.HP = &m
+		res.PerPacketLatency = latencies(e.Packets)
+	case SFFifo, SFRandomDelay, SFFarthestToGo:
+		var s sim.Scheduler
+		switch kind {
+		case SFFifo:
+			s = baselines.NewFIFO()
+		case SFRandomDelay:
+			s = baselines.NewRandomDelay(p.C, 1)
+		default:
+			s = baselines.NewFarthestFirst()
+		}
+		e := sim.NewSFEngineBuffered(p, s, opt.Seed, opt.BufferCap)
+		res.Steps, res.Done = e.Run(maxSteps)
+		m := e.M
+		res.SF = &m
+		res.PerPacketLatency = latencies(e.Packets)
+	default:
+		return nil, fmt.Errorf("hotpotato: unknown baseline %q", kind)
+	}
+	return res, nil
+}
+
+func latencies(pkts []sim.Packet) []int {
+	out := make([]int, len(pkts))
+	for i := range pkts {
+		out[i] = pkts[i].Latency()
+	}
+	return out
+}
+
+// LowerBound returns the trivial Ω-bound max(C, D) for the problem; any
+// routing algorithm, buffered or not, needs at least this many steps.
+func LowerBound(p *Problem) int {
+	if p.C > p.D {
+		return p.C
+	}
+	return p.D
+}

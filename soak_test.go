@@ -1,0 +1,92 @@
+package hotpotato_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpotato"
+)
+
+// TestSoakLargeInstances drives the whole stack at sizes an order of
+// magnitude above the unit tests: hundreds of packets on thousands of
+// nodes, invariants checked throughout. Skipped under -short.
+func TestSoakLargeInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short")
+	}
+
+	t.Run("frame-deep-random", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(70))
+		net, err := hotpotato.RandomLeveled(rng, 80, 6, 10, 0.35)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prob, err := hotpotato.RandomWorkload(net, rng, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prob.N() < 200 {
+			t.Fatalf("instance too small: %s", prob)
+		}
+		params := hotpotato.PracticalParamsWith(prob.C, prob.L(), prob.N(),
+			hotpotato.PracticalConfig{SetCongestion: 5, FrameSlack: 4, RoundFactor: 3})
+		res := hotpotato.RouteFrame(prob, params, hotpotato.Options{Seed: 70, CheckInvariants: true})
+		if !res.Done {
+			t.Fatalf("did not complete: %s", res)
+		}
+		if res.Invariants.IbPathInvalid != 0 || res.Invariants.IeCongestionExceeded != 0 {
+			t.Errorf("deterministic invariants broke at scale: %s", res.Invariants.String())
+		}
+		if res.Engine.UnsafeDeflections() != 0 {
+			t.Errorf("unsafe deflections at scale: %v", res.Engine.Deflections)
+		}
+		t.Logf("soak frame: %s; invariants %s", res, res.Invariants.String())
+	})
+
+	t.Run("greedy-butterfly-9", func(t *testing.T) {
+		net, err := hotpotato.Butterfly(9) // 5120 nodes
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(71))
+		prob, err := hotpotato.FullThroughputWorkload(net, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := hotpotato.RouteBaseline(prob, hotpotato.GreedyHP, hotpotato.Options{Seed: 71})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Done {
+			t.Fatalf("greedy did not complete on butterfly(9)")
+		}
+		for i, lat := range res.PerPacketLatency {
+			if lat < 9 {
+				t.Fatalf("packet %d latency %d below depth", i, lat)
+			}
+		}
+		t.Logf("soak greedy: %d packets in %d steps", prob.N(), res.Steps)
+	})
+
+	t.Run("sf-bounded-butterfly-8", func(t *testing.T) {
+		net, err := hotpotato.Butterfly(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(72))
+		prob, err := hotpotato.HotSpotWorkload(net, rng, 200, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := hotpotato.RouteBaseline(prob, hotpotato.SFFifo, hotpotato.Options{Seed: 72, BufferCap: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Done {
+			t.Fatal("bounded SF did not complete at scale")
+		}
+		if res.SF.MaxQueueLen > 2 {
+			t.Errorf("queue cap violated: %d", res.SF.MaxQueueLen)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package hotpotato
+
+import (
+	"math/rand"
+
+	"hotpotato/internal/graph"
+	"hotpotato/internal/topo"
+)
+
+// MeshCorner selects which mesh corner is level 0 (the paper notes the
+// mesh is a leveled network in four ways).
+type MeshCorner = topo.MeshCorner
+
+// Mesh corner orientations.
+const (
+	CornerNW = topo.CornerNW
+	CornerNE = topo.CornerNE
+	CornerSW = topo.CornerSW
+	CornerSE = topo.CornerSE
+)
+
+// Butterfly returns the k-dimensional butterfly network (depth k,
+// (k+1)·2^k nodes) — the canonical leveled network of Figure 1.
+func Butterfly(k int) (*Network, error) { return topo.Butterfly(k) }
+
+// Mesh returns the rows x cols mesh leveled by anti-diagonals from the
+// chosen corner (depth rows+cols-2).
+func Mesh(rows, cols int, corner MeshCorner) (*Network, error) {
+	return topo.Mesh(rows, cols, corner)
+}
+
+// Hypercube returns the d-dimensional hypercube leveled by Hamming
+// weight (depth d).
+func Hypercube(d int) (*Network, error) { return topo.Hypercube(d) }
+
+// Array returns the multidimensional array with the given side lengths,
+// leveled by coordinate sum.
+func Array(sides ...int) (*Network, error) { return topo.Array(sides...) }
+
+// BinaryTree returns the complete binary tree of the given height,
+// leveled by depth.
+func BinaryTree(height int) (*Network, error) { return topo.BinaryTree(height) }
+
+// FatTree returns a fat-tree of the given height whose link
+// multiplicity doubles toward the root (capped at maxMult).
+func FatTree(height, maxMult int) (*Network, error) { return topo.FatTree(height, maxMult) }
+
+// Linear returns the n-node path graph (depth n-1).
+func Linear(n int) (*Network, error) { return topo.Linear(n) }
+
+// Ladder returns the 2-wide fully-connected leveled network of the
+// given depth.
+func Ladder(depth int) (*Network, error) { return topo.Ladder(depth) }
+
+// CompleteLeveled returns a leveled network with `width` nodes per
+// level and complete bipartite connections between consecutive levels.
+func CompleteLeveled(depth, width int) (*Network, error) { return topo.Complete(depth, width) }
+
+// RandomLeveled returns a random leveled network of the given depth
+// with level widths in [minWidth, maxWidth] and edge probability p;
+// connectivity is repaired so no node is stranded.
+func RandomLeveled(rng *rand.Rand, depth, minWidth, maxWidth int, p float64) (*Network, error) {
+	return topo.Random(rng, depth, minWidth, maxWidth, p)
+}
+
+// Omega returns the k-stage Omega (unrolled shuffle-exchange) network,
+// the shuffle-exchange family the paper lists among leveled networks.
+func Omega(k int) (*Network, error) { return topo.Omega(k) }
+
+// Benes returns the k-dimensional Beneš network (a butterfly followed
+// by its mirror, depth 2k) — rearrangeable, so every permutation
+// admits congestion-1 paths.
+func Benes(k int) (*Network, error) { return topo.Benes(k) }
+
+// ButterflyRadix returns the radix-r, k-digit butterfly (r^k rows,
+// depth k); the binary butterfly is the r=2 case.
+func ButterflyRadix(k, r int) (*Network, error) { return topo.ButterflyRadix(k, r) }
+
+// Levelize converts an arbitrary DAG (edge list over nodes 0..n-1)
+// into a leveled network by longest-path layering, subdividing
+// multi-level edges with relay nodes — the route to "arbitrary network
+// topologies" the paper's Discussion suggests. The map gives the
+// leveled node of each original DAG node.
+func Levelize(name string, n int, dagEdges [][2]int) (*Network, map[int]NodeID, error) {
+	return topo.Levelize(name, n, dagEdges)
+}
+
+// RandomDAG draws a random DAG edge list over n nodes (each low-to-high
+// index pair present with probability p), suitable for Levelize.
+func RandomDAG(rng *rand.Rand, n int, p float64) [][2]int {
+	return topo.RandomDAG(rng, n, p)
+}
+
+// ButterflyNode returns the node at (row w, level l) of a butterfly
+// built by Butterfly(k).
+func ButterflyNode(g *Network, k, w, l int) NodeID { return topo.ButterflyNode(g, k, w, l) }
+
+// MeshNode returns the node at cell (i, j) of a mesh built with the
+// given column count.
+func MeshNode(cols, i, j int) NodeID { return topo.MeshNode(cols, i, j) }
+
+// Forward and Backward are the two traversal directions of an edge.
+const (
+	Forward  = graph.Forward
+	Backward = graph.Backward
+)

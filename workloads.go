@@ -1,0 +1,119 @@
+package hotpotato
+
+import (
+	"io"
+	"math/rand"
+
+	"hotpotato/internal/paths"
+	"hotpotato/internal/persist"
+	"hotpotato/internal/workload"
+)
+
+// Request is a (source, destination) routing request for custom
+// workloads.
+type Request = paths.Request
+
+// RandomWorkload draws a many-to-one problem: each eligible node
+// sources a packet with the given density, destinations are uniform
+// over forward-reachable nodes, and paths are uniform random forward
+// paths.
+func RandomWorkload(g *Network, rng *rand.Rand, density float64) (*Problem, error) {
+	return workload.Random(g, rng, density)
+}
+
+// HotSpotWorkload routes count packets from distinct sources into a
+// small set of top-level destination nodes — the workhorse for driving
+// congestion up at fixed depth.
+func HotSpotWorkload(g *Network, rng *rand.Rand, count, spots int) (*Problem, error) {
+	return workload.HotSpot(g, rng, count, spots)
+}
+
+// FullThroughputWorkload sends one packet from every level-0 node to a
+// random top-level node.
+func FullThroughputWorkload(g *Network, rng *rand.Rand) (*Problem, error) {
+	return workload.FullThroughput(g, rng)
+}
+
+// TransposeWorkload routes the transpose permutation on a k-dimensional
+// butterfly with bit-fixing paths (k must be even).
+func TransposeWorkload(g *Network, k int) (*Problem, error) {
+	return workload.ButterflyTranspose(g, k)
+}
+
+// BitReversalWorkload routes the bit-reversal permutation on a
+// k-dimensional butterfly with bit-fixing paths (edge congestion
+// 2^(k/2-1)).
+func BitReversalWorkload(g *Network, k int) (*Problem, error) {
+	return workload.ButterflyBitReversal(g, k)
+}
+
+// MeshHardWorkload builds the Section-5 application instance: an n x n
+// mesh with path congestion and dilation Θ(n).
+func MeshHardWorkload(n int) (*Problem, error) {
+	return workload.MeshHard(n)
+}
+
+// CustomWorkload builds a problem from explicit requests, choosing
+// uniform random forward paths. Each node may source at most one packet
+// (the paper's many-to-one class).
+func CustomWorkload(name string, g *Network, rng *rand.Rand, reqs []Request) (*Problem, error) {
+	set, err := paths.SelectRandom(g, rng, reqs)
+	if err != nil {
+		return nil, err
+	}
+	return ProblemFromPaths(name, g, set)
+}
+
+// ValiantWorkload builds a problem from explicit requests with
+// Valiant's random-intermediate path selection: each packet routes
+// through a uniform random mid-level node, spreading structured
+// workloads on networks with path diversity (e.g. the Beneš network).
+func ValiantWorkload(name string, g *Network, rng *rand.Rand, reqs []Request) (*Problem, error) {
+	set, err := paths.SelectValiant(g, rng, reqs)
+	if err != nil {
+		return nil, err
+	}
+	return ProblemFromPaths(name, g, set)
+}
+
+// MinCongestionWorkload builds a problem from explicit requests,
+// greedily minimizing path congestion.
+func MinCongestionWorkload(name string, g *Network, rng *rand.Rand, reqs []Request) (*Problem, error) {
+	set, err := paths.SelectMinCongestion(g, rng, reqs)
+	if err != nil {
+		return nil, err
+	}
+	return ProblemFromPaths(name, g, set)
+}
+
+// SaveProblem serializes a problem (network + preselected paths) as
+// JSON for bit-exact replay elsewhere.
+func SaveProblem(w io.Writer, p *Problem) error { return persist.WriteProblem(w, p) }
+
+// LoadProblem deserializes a problem saved with SaveProblem,
+// re-validating the network and paths and recomputing C and D.
+func LoadProblem(r io.Reader) (*Problem, error) { return persist.ReadProblem(r) }
+
+// SaveNetwork serializes a network as JSON.
+func SaveNetwork(w io.Writer, g *Network) error { return persist.WriteNetwork(w, g) }
+
+// LoadNetwork deserializes a network saved with SaveNetwork.
+func LoadNetwork(r io.Reader) (*Network, error) { return persist.ReadNetwork(r) }
+
+// ProblemFromPaths wraps explicit preselected paths as a Problem after
+// validating them (forward paths, one packet per source).
+func ProblemFromPaths(name string, g *Network, set *PathSet) (*Problem, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if err := set.CheckOnePacketPerSource(); err != nil {
+		return nil, err
+	}
+	return &Problem{
+		Name: name,
+		G:    g,
+		Set:  set,
+		C:    set.Congestion(),
+		D:    set.Dilation(),
+	}, nil
+}
