@@ -1,0 +1,62 @@
+package hotpotato
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// budgetProblem builds one small real problem whose C/D fields the
+// tests then override to probe the budget arithmetic.
+func budgetProblem(t *testing.T) *Problem {
+	t.Helper()
+	net, err := Butterfly(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := HotSpotWorkload(net, rand.New(rand.NewSource(5)), 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDefaultBaselineBudgetFloor(t *testing.T) {
+	p := budgetProblem(t)
+	// A tiny problem lands on the 100000-step floor: 200*(C+D+L)*(1+N/16)
+	// is well under it here.
+	if got := defaultBaselineBudget(p); got != 100000 {
+		t.Errorf("budget for %s = %d, want the 100000 floor", p, got)
+	}
+}
+
+func TestDefaultBaselineBudgetFormula(t *testing.T) {
+	p := budgetProblem(t)
+	p.C, p.D = 5000, 3000
+	want := 200 * (5000 + 3000 + p.L()) * (1 + p.N()/16)
+	if want <= 100000 {
+		t.Fatalf("test instance too small to clear the floor: %d", want)
+	}
+	if got := defaultBaselineBudget(p); got != want {
+		t.Errorf("budget = %d, want 200*(C+D+L)*(1+N/16) = %d", got, want)
+	}
+}
+
+// TestDefaultBaselineBudgetSaturates pins the overflow guard: with C
+// and D in the overflow range the naive int multiplication wraps
+// negative, which would make RouteBaseline's Run(maxSteps) return
+// instantly as a spurious failure. The budget must instead clamp to
+// the maximum int and stay positive.
+func TestDefaultBaselineBudgetSaturates(t *testing.T) {
+	const maxInt = int(^uint(0) >> 1)
+	p := budgetProblem(t)
+	for _, c := range []int{1 << 60, maxInt, maxInt / 200} {
+		p.C, p.D = c, c
+		got := defaultBaselineBudget(p)
+		if got != maxInt {
+			t.Errorf("C=D=%d: budget = %d, want saturation at %d", c, got, maxInt)
+		}
+		if got <= 0 {
+			t.Errorf("C=D=%d: budget %d is not positive", c, got)
+		}
+	}
+}

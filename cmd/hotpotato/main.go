@@ -13,8 +13,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"hotpotato"
+	"hotpotato/internal/bench"
 )
 
 func main() {
@@ -34,8 +37,39 @@ func main() {
 		paper    = flag.Bool("paper-params", false, "print the paper's proof-grade parameters for this instance")
 		saveTo   = flag.String("save", "", "save the generated problem (network + paths) to this JSON file and continue")
 		loadFrom = flag.String("load", "", "load the problem from this JSON file instead of generating one")
+
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchEngine = flag.String("bench-engine", "", "write the engine hot-path benchmark (BENCH_engine.json) to this file and exit")
+		benchScale  = flag.Int("bench-scale", 1, "engine benchmark scale: 1 = quick, 2 = full")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		fatal(err)
+		fatal(pprof.StartCPUProfile(f))
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			fatal(err)
+			runtime.GC()
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			fatal(err)
+		}()
+	}
+
+	if *benchEngine != "" {
+		fatal(bench.WriteEngineBench(*benchEngine, *benchScale))
+		fmt.Printf("wrote engine benchmark to %s\n", *benchEngine)
+		return
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	var prob *hotpotato.Problem

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hotpotato/internal/baselines"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+// EngineBenchRow is one topology's hot-path measurement.
+type EngineBenchRow struct {
+	Topology    string  `json:"topology"`
+	Nodes       int     `json:"nodes"`
+	Edges       int     `json:"edges"`
+	Packets     int     `json:"packets"`
+	Steps       int     `json:"steps"`
+	WallNS      int64   `json:"wall_ns"`
+	NsPerStep   float64 `json:"ns_per_step"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	// AllocsPerStep averages heap allocations over the whole run
+	// (construction excluded). The steady state allocates nothing, so
+	// the value is the startup transient amortized over the run; the
+	// sim package's TestStepSteadyStateAllocs* pin the exact zero.
+	AllocsPerStep float64 `json:"allocs_per_step"`
+	MaxInFlight   int     `json:"max_in_flight"`
+}
+
+// EngineBench is the BENCH_engine.json document: engine hot-path
+// throughput across representative topologies and load shapes.
+type EngineBench struct {
+	GoVersion string           `json:"go_version"`
+	GOOS      string           `json:"goos"`
+	GOARCH    string           `json:"goarch"`
+	Scale     int              `json:"scale"`
+	Rows      []EngineBenchRow `json:"rows"`
+}
+
+// staggeredGreedy admits packet i only from step i/rate, keeping a few
+// percent of a large workload in flight at once — the sparse regime the
+// active-set bookkeeping exists for (a full sweep would pay for every
+// node and packet per step regardless of activity).
+type staggeredGreedy struct {
+	*baselines.Greedy
+	rate int
+}
+
+func (s *staggeredGreedy) WantInject(t int, p *sim.Packet) bool {
+	return t >= int(p.ID)/s.rate
+}
+
+// RunEngineBench measures the hot-potato engine's per-step cost on
+// dense and sparse butterflies, the hard mesh workload, and a random
+// leveled network. Scale 1 is the quick CI shape; scale 2 grows the
+// butterflies to the sizes quoted in docs/ALGORITHM.md.
+func RunEngineBench(scale int) (*EngineBench, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	denseK, sparseK, meshN := 7, 10, 12
+	if scale >= 2 {
+		denseK, sparseK, meshN = 8, 12, 16
+	}
+
+	out := &EngineBench{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Scale:     scale,
+	}
+
+	type bcase struct {
+		name  string
+		build func() (*workload.Problem, error)
+		route func() sim.Router
+	}
+	cases := []bcase{
+		{
+			name: fmt.Sprintf("butterfly(%d)-dense", denseK),
+			build: func() (*workload.Problem, error) {
+				g, err := topo.Butterfly(denseK)
+				if err != nil {
+					return nil, err
+				}
+				return workload.FullThroughput(g, rngFor("bench-engine-dense", denseK))
+			},
+			route: func() sim.Router { return baselines.NewGreedy() },
+		},
+		{
+			name: fmt.Sprintf("butterfly(%d)-sparse", sparseK),
+			build: func() (*workload.Problem, error) {
+				g, err := topo.Butterfly(sparseK)
+				if err != nil {
+					return nil, err
+				}
+				return workload.FullThroughput(g, rngFor("bench-engine-sparse", sparseK))
+			},
+			route: func() sim.Router { return &staggeredGreedy{Greedy: baselines.NewGreedy(), rate: 16} },
+		},
+		{
+			name:  fmt.Sprintf("mesh(%d)-hard", meshN),
+			build: func() (*workload.Problem, error) { return workload.MeshHard(meshN) },
+			route: func() sim.Router { return baselines.NewGreedy() },
+		},
+		{
+			name: "random(depth=24)",
+			build: func() (*workload.Problem, error) {
+				g, err := topo.Random(rngFor("bench-engine-random", 0), 24, 4, 8, 0.5)
+				if err != nil {
+					return nil, err
+				}
+				return workload.Random(g, rngFor("bench-engine-random", 1), 0.5)
+			},
+			route: func() sim.Router { return baselines.NewGreedy() },
+		},
+	}
+
+	for _, c := range cases {
+		p, err := c.build()
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", c.name, err)
+		}
+		e := sim.NewEngine(p, c.route(), 1)
+
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		steps, done := e.Run(1 << 22)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if !done {
+			return nil, fmt.Errorf("bench: %s did not complete within budget", c.name)
+		}
+
+		out.Rows = append(out.Rows, EngineBenchRow{
+			Topology:      c.name,
+			Nodes:         p.G.NumNodes(),
+			Edges:         p.G.NumEdges(),
+			Packets:       p.N(),
+			Steps:         steps,
+			WallNS:        wall.Nanoseconds(),
+			NsPerStep:     float64(wall.Nanoseconds()) / float64(steps),
+			StepsPerSec:   float64(steps) / wall.Seconds(),
+			AllocsPerStep: float64(after.Mallocs-before.Mallocs) / float64(steps),
+			MaxInFlight:   e.M.MaxInFlight,
+		})
+	}
+	return out, nil
+}
+
+// WriteEngineBench runs the engine benchmark and writes the JSON
+// document to path.
+func WriteEngineBench(path string, scale int) error {
+	b, err := RunEngineBench(scale)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

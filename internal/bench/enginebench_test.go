@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEngineBenchQuick(t *testing.T) {
+	b, err := RunEngineBench(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (dense, sparse, mesh, random)", len(b.Rows))
+	}
+	if b.GoVersion == "" || b.GOOS == "" || b.GOARCH == "" {
+		t.Errorf("missing environment header: %+v", b)
+	}
+	for _, r := range b.Rows {
+		if r.Steps <= 0 || r.WallNS <= 0 || r.NsPerStep <= 0 || r.StepsPerSec <= 0 {
+			t.Errorf("%s: non-positive measurement: %+v", r.Topology, r)
+		}
+		if r.AllocsPerStep < 0 {
+			t.Errorf("%s: negative allocs/step %g", r.Topology, r.AllocsPerStep)
+		}
+		if r.MaxInFlight <= 0 || r.MaxInFlight > r.Packets {
+			t.Errorf("%s: max in flight %d outside (0, %d]", r.Topology, r.MaxInFlight, r.Packets)
+		}
+	}
+}
+
+func TestWriteEngineBenchRoundTrips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_engine.json")
+	if err := WriteEngineBench(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b EngineBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("BENCH_engine.json is not valid JSON: %v", err)
+	}
+	if b.Scale != 1 || len(b.Rows) == 0 {
+		t.Errorf("round-tripped document: %+v", b)
+	}
+}

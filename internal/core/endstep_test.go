@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"hotpotato/internal/graph"
+	"hotpotato/internal/paths"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/workload"
+)
+
+// endStepFixture builds a one-packet line problem with an eagerly
+// injected frame router and steps the engine once, so packet 0 is
+// active and the router's per-packet state can be poked directly.
+func endStepFixture(t *testing.T) (*Frame, *sim.Engine) {
+	t.Helper()
+	b := graph.NewBuilder("line6")
+	nodes := make([]graph.NodeID, 6)
+	for i := range nodes {
+		nodes[i] = b.AddNode(i, "")
+	}
+	var path graph.Path
+	for i := 0; i+1 < len(nodes); i++ {
+		path = append(path, b.AddEdge(nodes[i], nodes[i+1]))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := paths.NewPathSet(g, []graph.Path{path})
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := &workload.Problem{Name: "line6", G: g, Set: set, C: 1, D: len(path)}
+
+	// Q is effectively zero so the only excited packets are the ones the
+	// test plants by hand.
+	r := NewFrame(Params{NumSets: 1, M: 4, W: 2, Q: 1e-12})
+	r.EagerInjection = true
+	e := sim.NewEngine(p, r, 7)
+	e.Step()
+	if got := e.InFlight(); got != 1 {
+		t.Fatalf("in flight after one step = %d, want 1", got)
+	}
+	return r, e
+}
+
+// TestEndStepPhaseEndCountsExcitedFailure pins the phase-boundary
+// accounting: an excitation episode that survives to a phase end fails
+// there exactly as at a plain round end, so ExcitedFailures must be
+// incremented before the blanket reset to normal. The seed reset the
+// state without counting, skewing the Lemma 4.3 success-rate estimate
+// high at every phase boundary.
+func TestEndStepPhaseEndCountsExcitedFailure(t *testing.T) {
+	r, e := endStepFixture(t)
+	phaseEnd := r.sched.P.StepsPerPhase() - 1
+	if !r.sched.IsPhaseEnd(phaseEnd) || !r.sched.IsRoundEnd(phaseEnd) {
+		t.Fatalf("step %d should end both its round and its phase", phaseEnd)
+	}
+
+	r.st[0] = stateExcited
+	before := r.S.ExcitedFailures
+	r.EndStep(phaseEnd, e)
+	if r.S.ExcitedFailures != before+1 {
+		t.Errorf("ExcitedFailures = %d after phase end, want %d", r.S.ExcitedFailures, before+1)
+	}
+	if r.st[0] != stateNormal {
+		t.Errorf("state after phase end = %v, want normal", r.st[0])
+	}
+}
+
+// TestEndStepRoundEndCountsExcitedFailure covers the plain round-end
+// arm of the same reset for symmetry with the phase-end regression.
+func TestEndStepRoundEndCountsExcitedFailure(t *testing.T) {
+	r, e := endStepFixture(t)
+	roundEnd := r.sched.P.W - 1
+	if !r.sched.IsRoundEnd(roundEnd) || r.sched.IsPhaseEnd(roundEnd) {
+		t.Fatalf("step %d should end its round but not its phase", roundEnd)
+	}
+
+	r.st[0] = stateExcited
+	before := r.S.ExcitedFailures
+	r.EndStep(roundEnd, e)
+	if r.S.ExcitedFailures != before+1 {
+		t.Errorf("ExcitedFailures = %d after round end, want %d", r.S.ExcitedFailures, before+1)
+	}
+	if r.st[0] != stateNormal {
+		t.Errorf("state after round end = %v, want normal", r.st[0])
+	}
+}
+
+// TestEndStepPhaseEndClearsWaitWithoutFailure: a waiting packet reset
+// at a phase end is neither an excitation failure nor a wait interrupt
+// — it is the scheduled end of the parking period.
+func TestEndStepPhaseEndClearsWaitWithoutFailure(t *testing.T) {
+	r, e := endStepFixture(t)
+	phaseEnd := r.sched.P.StepsPerPhase() - 1
+
+	r.st[0] = stateWait
+	r.waitNode[0] = e.Packets[0].Cur
+	r.waitEdge[0] = 0
+	failures, interrupts := r.S.ExcitedFailures, r.S.WaitInterrupts
+	r.EndStep(phaseEnd, e)
+	if r.st[0] != stateNormal {
+		t.Errorf("state after phase end = %v, want normal", r.st[0])
+	}
+	if r.waitNode[0] != graph.NoNode || r.waitEdge[0] != graph.NoEdge {
+		t.Errorf("wait anchor not cleared: node=%d edge=%d", r.waitNode[0], r.waitEdge[0])
+	}
+	if r.S.ExcitedFailures != failures || r.S.WaitInterrupts != interrupts {
+		t.Errorf("phase-end wait reset changed counters: failures %d->%d, interrupts %d->%d",
+			failures, r.S.ExcitedFailures, interrupts, r.S.WaitInterrupts)
+	}
+}
+
+// TestEndStepMidRoundIsNoop: away from round and phase boundaries the
+// reset must not fire at all.
+func TestEndStepMidRoundIsNoop(t *testing.T) {
+	r, e := endStepFixture(t)
+	mid := 0 // W=2: step 0 is mid-round, step 1 ends round 0
+	if r.sched.IsRoundEnd(mid) || r.sched.IsPhaseEnd(mid) {
+		t.Fatalf("step %d should be a plain mid-round step", mid)
+	}
+
+	r.st[0] = stateExcited
+	before := r.S
+	r.EndStep(mid, e)
+	if r.st[0] != stateExcited {
+		t.Errorf("state after mid-round EndStep = %v, want excited (untouched)", r.st[0])
+	}
+	if r.S != before {
+		t.Errorf("mid-round EndStep changed stats: %+v -> %+v", before, r.S)
+	}
+}

@@ -140,10 +140,7 @@ func (r *Frame) IsWaiting(id sim.PacketID) bool { return r.st[id] == stateWait }
 // StateCounts tallies the active packets by state (normal, excited,
 // wait) — a live-view census for tracing tools.
 func (r *Frame) StateCounts(e *sim.Engine) (normal, excited, wait int) {
-	for i := range e.Packets {
-		if !e.Packets[i].Active {
-			continue
-		}
+	for _, i := range e.Active() {
 		switch r.st[i] {
 		case stateNormal:
 			normal++
@@ -257,7 +254,14 @@ func (r *Frame) Request(t int, p *sim.Packet) sim.Request {
 		return sim.Request{Edge: e, Dir: r.g.DirectionFrom(e, p.Cur), Priority: prioWait}
 	}
 
-	// Chase the current path toward the target.
+	// Chase the current path toward the target. An empty path list
+	// cannot happen for an active packet — the engine absorbs
+	// zero-length-path (source == destination) packets at injection and
+	// absorbs en route the moment Cur reaches Dst — so guard with a
+	// descriptive panic rather than an index error.
+	if len(p.PathList) == 0 {
+		panic(fmt.Sprintf("core: packet %d active at node %d with empty path list (source==destination workloads are absorbed at injection)", id, p.Cur))
+	}
 	prio := prioNormal
 	if r.st[id] == stateExcited {
 		prio = prioExcited
@@ -302,14 +306,19 @@ func (r *Frame) EndStep(t int, e *sim.Engine) {
 	if !roundEnd && !phaseEnd {
 		return
 	}
-	for i := range r.st {
-		if !e.Packets[i].Active {
-			continue
-		}
+	for _, i := range e.Active() {
 		switch {
 		case phaseEnd:
+			// A phase end is also a round end: an excitation episode
+			// that survives to the boundary fails here exactly as at a
+			// plain round end, so it must be counted before the blanket
+			// reset (otherwise Lemma 4.3's success-rate estimate is
+			// skewed high at every phase boundary).
 			if r.st[i] == stateWait {
 				r.clearWait(sim.PacketID(i))
+			}
+			if r.st[i] == stateExcited {
+				r.S.ExcitedFailures++
 			}
 			r.st[i] = stateNormal
 		case roundEnd:

@@ -24,6 +24,12 @@ type Trial struct {
 	Deflects   int
 	Unsafe     int
 	Violations int // Ic + Id + If invariant violations (when checked)
+	// ExcitedSuccesses / ExcitedFailures split the run's excitation
+	// episodes by outcome (reached target vs deflected or timed out at a
+	// round/phase boundary). Lemma 4.3 lower-bounds the per-episode
+	// success chance by 1/2e under the paper's q.
+	ExcitedSuccesses int
+	ExcitedFailures  int
 }
 
 // Ensemble aggregates many trials of the frame router on one problem.
@@ -76,11 +82,13 @@ func Run(p *workload.Problem, params core.Params, opt Options) *Ensemble {
 					Check:    opt.Check,
 				})
 				t := Trial{
-					Seed:     seed,
-					Steps:    res.Steps,
-					Done:     res.Done,
-					Deflects: res.Engine.TotalDeflections(),
-					Unsafe:   res.Engine.UnsafeDeflections(),
+					Seed:             seed,
+					Steps:            res.Steps,
+					Done:             res.Done,
+					Deflects:         res.Engine.TotalDeflections(),
+					Unsafe:           res.Engine.UnsafeDeflections(),
+					ExcitedSuccesses: res.Router.ExcitedSuccesses,
+					ExcitedFailures:  res.Router.ExcitedFailures,
 				}
 				if opt.Check {
 					t.Violations = res.Invariants.IcFrameEscapes +
@@ -159,6 +167,24 @@ func (e *Ensemble) TotalUnsafe() int {
 		s += t.Unsafe
 	}
 	return s
+}
+
+// ExcitedSuccessRate returns the fraction of excitation episodes
+// across all trials that ended in success, or -1 if no episodes
+// occurred. Lemma 4.3 predicts at least 1/2e ≈ 0.184 under the
+// paper's q; a phase-boundary accounting bug that drops failures
+// inflates this estimate, which is why the counters are carried
+// per-trial.
+func (e *Ensemble) ExcitedSuccessRate() float64 {
+	succ, total := 0, 0
+	for _, t := range e.Trials {
+		succ += t.ExcitedSuccesses
+		total += t.ExcitedSuccesses + t.ExcitedFailures
+	}
+	if total == 0 {
+		return -1
+	}
+	return float64(succ) / float64(total)
 }
 
 // StepsQuantile returns the q-quantile of completion steps among

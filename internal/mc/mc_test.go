@@ -101,6 +101,28 @@ func TestEnsembleDefaults(t *testing.T) {
 	}
 }
 
+func TestExcitedSuccessRate(t *testing.T) {
+	p := testProblem(t)
+	e := Run(p, quickParams(p), Options{Trials: 8})
+	episodes := 0
+	for _, tr := range e.Trials {
+		if tr.ExcitedSuccesses < 0 || tr.ExcitedFailures < 0 {
+			t.Fatalf("negative excitation counters: %+v", tr)
+		}
+		episodes += tr.ExcitedSuccesses + tr.ExcitedFailures
+	}
+	r := e.ExcitedSuccessRate()
+	if episodes == 0 {
+		if r != -1 {
+			t.Errorf("rate with no episodes = %g, want -1", r)
+		}
+		return
+	}
+	if r < 0 || r > 1 {
+		t.Errorf("excited success rate = %g, want within [0,1]", r)
+	}
+}
+
 func TestViolationRate(t *testing.T) {
 	p := testProblem(t)
 	// Tight parameters provoke at least occasional violations; default

@@ -1,0 +1,182 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hotpotato/internal/baselines"
+	"hotpotato/internal/graph"
+	"hotpotato/internal/paths"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/workload"
+)
+
+// fanProblem builds a k-fan: k sources at level 0 feed a single middle
+// node whose only exit is one edge to the destination. All k packets
+// meet at the middle on step 1 and contend for the same slot with equal
+// priority — the smallest instance of a k-way tie.
+//
+//	s0..s{k-1}(0) -> m(1) -> x(2)
+func fanProblem(t *testing.T, k int) *workload.Problem {
+	t.Helper()
+	b := graph.NewBuilder(fmt.Sprintf("fan%d", k))
+	srcs := make([]graph.NodeID, k)
+	for i := range srcs {
+		srcs[i] = b.AddNode(0, fmt.Sprintf("s%d", i))
+	}
+	m := b.AddNode(1, "m")
+	x := b.AddNode(2, "x")
+	ins := make([]graph.EdgeID, k)
+	for i, s := range srcs {
+		ins[i] = b.AddEdge(s, m)
+	}
+	emx := b.AddEdge(m, x)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := make([]graph.Path, k)
+	for i := range ps {
+		ps[i] = graph.Path{ins[i], emx}
+	}
+	set := paths.NewPathSet(g, ps)
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return &workload.Problem{Name: set.G.Name(), G: g, Set: set, C: k, D: 2}
+}
+
+// contestWinner runs one seeded k-fan instance long enough for the
+// first slot arbitration to resolve and returns the packet that won it
+// (the unique packet absorbed at step 2).
+func contestWinner(t *testing.T, p *workload.Problem, seed int64) int {
+	t.Helper()
+	e := sim.NewEngine(p, baselines.NewGreedy(), seed)
+	e.Step() // all packets advance to m
+	e.Step() // the k-way tie resolves; the winner reaches x
+	winner := -1
+	for i := range e.Packets {
+		if e.Packets[i].Absorbed {
+			if winner != -1 {
+				t.Fatalf("seed %d: two packets absorbed after the contested step", seed)
+			}
+			winner = i
+		}
+	}
+	if winner == -1 {
+		t.Fatalf("seed %d: no packet won the contested slot", seed)
+	}
+	return winner
+}
+
+// TestTieBreakUniform verifies that a k-way equal-priority tie is won
+// by each contender with probability 1/k. The seed engine's pairwise
+// coin (Intn(2) against the incumbent) gave the last requester
+// probability 1/2 regardless of k; with k=4 and 4000 trials that skew
+// yields a chi-square statistic over 1300, against a 0.001-significance
+// cutoff of 16.27 for 3 degrees of freedom. Reservoir selection passes.
+func TestTieBreakUniform(t *testing.T) {
+	cutoff := map[int]float64{ // chi-square upper critical values by df, p=0.001
+		2: 13.816,
+		3: 16.266,
+	}
+	for _, k := range []int{3, 4} {
+		k := k
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			p := fanProblem(t, k)
+			const trials = 4000
+			counts := make([]int, k)
+			for seed := int64(0); seed < trials; seed++ {
+				counts[contestWinner(t, p, seed)]++
+			}
+			expected := float64(trials) / float64(k)
+			chi2 := 0.0
+			for _, c := range counts {
+				d := float64(c) - expected
+				chi2 += d * d / expected
+			}
+			if crit := cutoff[k-1]; chi2 > crit {
+				t.Errorf("winner counts %v: chi-square %.2f exceeds %.2f (df=%d, p=0.001); arbitration is biased",
+					counts, chi2, crit, k-1)
+			} else {
+				t.Logf("winner counts %v: chi-square %.2f (df=%d cutoff %.2f)", counts, chi2, k-1, crit)
+			}
+		})
+	}
+}
+
+// TestTieBreakDeterministicPerSeed pins that the fast arbitration RNG
+// keeps runs byte-for-byte reproducible: the same seed must always
+// crown the same winner.
+func TestTieBreakDeterministicPerSeed(t *testing.T) {
+	p := fanProblem(t, 4)
+	for seed := int64(0); seed < 32; seed++ {
+		w1 := contestWinner(t, p, seed)
+		w2 := contestWinner(t, p, seed)
+		if w1 != w2 {
+			t.Fatalf("seed %d: winner %d then %d; arbitration is not deterministic", seed, w1, w2)
+		}
+	}
+}
+
+// TestZeroLengthPathAbsorbedAtInjection covers source==destination
+// workloads: a packet with an empty preselected path is absorbed
+// immediately at construction, never activates, and never reaches the
+// router — so no Request can index an empty PathList.
+func TestZeroLengthPathAbsorbedAtInjection(t *testing.T) {
+	g, err := buildLinear3(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := paths.NewPathSet(g, []graph.Path{{}, {0, 1}})
+	p := &workload.Problem{Name: "self", G: g, Set: set, C: 1, D: 2}
+
+	e := sim.NewEngine(p, baselines.NewGreedy(), 1)
+	pk := &e.Packets[0]
+	if !pk.Absorbed || pk.Active {
+		t.Fatalf("zero-length-path packet not pre-absorbed: %+v", pk)
+	}
+	if pk.Latency() != 0 {
+		t.Errorf("latency = %d, want 0", pk.Latency())
+	}
+	steps, done := e.Run(100)
+	if !done {
+		t.Fatal("run did not complete")
+	}
+	if steps != 2 {
+		t.Errorf("steps = %d, want 2 (the real packet's path)", steps)
+	}
+	if e.M.Injected != 2 || e.M.Absorbed != 2 {
+		t.Errorf("metrics = %+v, want both packets accounted", e.M)
+	}
+}
+
+// TestZeroLengthPathSFEngine covers the same degenerate workload in the
+// store-and-forward engine.
+func TestZeroLengthPathSFEngine(t *testing.T) {
+	g, err := buildLinear3(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := paths.NewPathSet(g, []graph.Path{{}, {0, 1}})
+	p := &workload.Problem{Name: "self-sf", G: g, Set: set, C: 1, D: 2}
+
+	e := sim.NewSFEngine(p, baselines.NewFIFO(), 1)
+	if !e.Packets[0].Absorbed {
+		t.Fatal("zero-length-path packet not pre-absorbed in SF engine")
+	}
+	if _, done := e.Run(100); !done {
+		t.Fatal("SF run did not complete")
+	}
+}
+
+func buildLinear3(t *testing.T) (*graph.Leveled, error) {
+	t.Helper()
+	b := graph.NewBuilder("linear3")
+	n0 := b.AddNode(0, "n0")
+	n1 := b.AddNode(1, "n1")
+	n2 := b.AddNode(2, "n2")
+	b.AddEdge(n0, n1)
+	b.AddEdge(n1, n2)
+	return b.Build()
+}

@@ -81,6 +81,18 @@ func (m *Metrics) UnsafeDeflections() int {
 }
 
 // Engine is the synchronous bufferless (hot-potato) engine.
+//
+// The step loop is organized around *live* state only: an active-packet
+// list, a pending-injection list and an occupied-node list replace full
+// rescans of the packet and node arrays, so a step costs O(active
+// packets + occupied nodes + pending injections) rather than O(N +
+// nodes + edges). In the large-N / sparse-activity regime (thousands of
+// packets, a few percent in flight) this is the difference between the
+// engine spending its time routing and spending it skipping absorbed
+// packets. The hot path is also allocation-free in steady state: slot
+// scratch, loser buffers, occupancy lists and forward-memory dirty
+// lists are all reused, and PathList backing arrays of absorbed packets
+// are pooled for later injections.
 type Engine struct {
 	G       *graph.Leveled
 	Packets []Packet
@@ -97,14 +109,30 @@ type Engine struct {
 	observers []Observer
 	now       int
 
-	// at[v] lists the active packets currently at node v.
-	at [][]PacketID
+	// arb is the fast generator for conflict tie-breaking; all other
+	// randomness (router-level coins) comes from Rng. See rng.go.
+	arb splitMix64
+
+	// active lists the in-flight packets; pending lists the packets not
+	// yet injected. Both preserve relative packet order (pending starts
+	// in ID order; active in injection order) so runs are deterministic
+	// per seed.
+	active  []PacketID
+	pending []PacketID
+
+	// at[v] lists the active packets currently at node v; occupied
+	// lists the nodes v with len(at[v]) > 0, each exactly once.
+	at       [][]PacketID
+	occupied []graph.NodeID
 
 	// prevForward[e] is the packet that traversed edge e forward during
 	// the previous step (NoPacket if none); such an edge is a safe
-	// backward deflection slot this step.
+	// backward deflection slot this step. prevTouched/curTouched list
+	// the dirty entries of each array so resets touch only those edges.
 	prevForward []PacketID
 	curForward  []PacketID
+	prevTouched []graph.EdgeID
+	curTouched  []graph.EdgeID
 
 	// Scratch reused across steps. Slots are indexed 2*edge+direction;
 	// epoch stamps avoid clearing the arrays every step.
@@ -112,12 +140,18 @@ type Engine struct {
 	slotEpoch  []uint32   // slot -> last epoch the slot was claimed or contested
 	slotWinner []PacketID // slot -> current winner (valid when slotEpoch matches)
 	slotPrio   []int64    // slot -> winner's priority
+	slotCount  []int32    // slot -> contenders seen at the winning priority
 	moveEpoch  []uint32   // packet -> epoch of its committed move
 	moveSlot   []int32    // packet -> committed slot
 	contested  []int32    // slots touched this step, for winner marking
 	loserBuf   []PacketID
 	requests   []Request // indexed by PacketID
 	granted    []bool
+
+	// pathPool holds PathList backing arrays surrendered by absorbed
+	// packets, reused by later injections so steady-state injection
+	// allocates nothing.
+	pathPool [][]graph.EdgeID
 }
 
 // stallSlot marks a packet that holds in place for one step because a
@@ -135,37 +169,79 @@ func slotEdge(s int32) graph.EdgeID   { return graph.EdgeID(s >> 1) }
 func slotDir(s int32) graph.Direction { return graph.Direction(s & 1) }
 
 // NewEngine builds an engine for the problem with the given router and
-// seed. Packet i corresponds to path i of the problem.
+// seed. Packet i corresponds to path i of the problem. A packet with an
+// empty preselected path (source == destination) is absorbed
+// immediately at step 0 without ever becoming active: it occupies no
+// node and the router never sees a Request for it.
 func NewEngine(p *workload.Problem, r Router, seed int64) *Engine {
 	e := &Engine{
 		G:           p.G,
 		Rng:         rand.New(rand.NewSource(seed)),
+		arb:         newSplitMix64(seed),
 		router:      r,
-		at:          make([][]PacketID, p.G.NumNodes()),
 		prevForward: make([]PacketID, p.G.NumEdges()),
 		curForward:  make([]PacketID, p.G.NumEdges()),
+	}
+	// Node occupancy is bounded by degree (at most one arrival per
+	// incident edge per step; injection requires an empty node), so
+	// every per-node occupancy list is carved out of one flat backing
+	// array of total size 2|E|. Lists then never grow beyond their
+	// segment and the hot path never allocates for a newly visited
+	// node.
+	e.at = make([][]PacketID, p.G.NumNodes())
+	occBacking := make([]PacketID, 2*p.G.NumEdges())
+	for v, off := 0, 0; v < p.G.NumNodes(); v++ {
+		d := p.G.Node(graph.NodeID(v)).Degree()
+		e.at[v] = occBacking[off : off : off+d]
+		off += d
 	}
 	e.slotEpoch = make([]uint32, 2*p.G.NumEdges())
 	e.slotWinner = make([]PacketID, 2*p.G.NumEdges())
 	e.slotPrio = make([]int64, 2*p.G.NumEdges())
+	e.slotCount = make([]int32, 2*p.G.NumEdges())
 	e.moveEpoch = make([]uint32, p.N())
 	e.moveSlot = make([]int32, p.N())
+	// Scratch lists are preallocated at their tight bounds so steady
+	// state performs no growth reallocations at all.
+	e.active = make([]PacketID, 0, p.N())
+	e.occupied = make([]graph.NodeID, 0, min(p.N(), p.G.NumNodes()))
+	e.contested = make([]int32, 0, min(p.N(), 2*p.G.NumEdges()))
+	e.curTouched = make([]graph.EdgeID, 0, min(p.N(), p.G.NumEdges()))
+	e.prevTouched = make([]graph.EdgeID, 0, min(p.N(), p.G.NumEdges()))
+	e.loserBuf = make([]PacketID, 0, p.G.MaxDegree())
+	e.pathPool = make([][]graph.EdgeID, 0, p.N())
 	for i := range e.prevForward {
 		e.prevForward[i] = NoPacket
 		e.curForward[i] = NoPacket
 	}
 	e.Packets = make([]Packet, p.N())
+	e.pending = make([]PacketID, 0, p.N())
 	for i, path := range p.Set.Paths {
-		e.Packets[i] = Packet{
+		pk := Packet{
 			ID:          PacketID(i),
-			Src:         p.G.PathSource(path),
-			Dst:         p.G.PathDest(path),
-			Preselected: path,
 			Cur:         graph.NoNode,
+			Src:         graph.NoNode,
+			Dst:         graph.NoNode,
+			Preselected: path,
 			InjectTime:  -1,
 			AbsorbTime:  -1,
 			ArrivalEdge: graph.NoEdge,
 		}
+		if len(path) > 0 {
+			pk.Src = p.G.PathSource(path)
+			pk.Dst = p.G.PathDest(path)
+			e.pending = append(e.pending, pk.ID)
+		} else {
+			// Zero-length path: the packet is already where it is
+			// going. Absorb it up front so no Request can ever index an
+			// empty PathList.
+			pk.Absorbed = true
+			pk.InjectTime = 0
+			pk.AbsorbTime = 0
+			e.M.Injected++
+			e.M.Absorbed++
+		}
+		e.Packets[i] = pk
 	}
 	e.requests = make([]Request, p.N())
 	e.granted = make([]bool, p.N())
@@ -180,6 +256,15 @@ func (e *Engine) Now() int { return e.now }
 // At returns the active packets at node v (engine-owned; do not
 // mutate).
 func (e *Engine) At(v graph.NodeID) []PacketID { return e.at[v] }
+
+// InFlight returns the number of currently active packets.
+func (e *Engine) InFlight() int { return len(e.active) }
+
+// Active returns the in-flight packets in injection order
+// (engine-owned; do not mutate). Routers and observers should iterate
+// this instead of the full packet array when they only care about live
+// packets.
+func (e *Engine) Active() []PacketID { return e.active }
 
 // AddObserver registers a per-step hook.
 func (e *Engine) AddObserver(o Observer) { e.observers = append(e.observers, o) }
@@ -199,52 +284,76 @@ func (e *Engine) Run(maxSteps int) (int, bool) {
 	return e.now, e.Done()
 }
 
+// addAt places an active packet at node v, keeping the occupied-node
+// list consistent.
+func (e *Engine) addAt(v graph.NodeID, pid PacketID) {
+	if len(e.at[v]) == 0 {
+		e.occupied = append(e.occupied, v)
+	}
+	e.at[v] = append(e.at[v], pid)
+}
+
+// borrowPath returns a buffer holding a copy of pre, reusing the
+// packet's previous buffer or one pooled from an absorbed packet.
+func (e *Engine) borrowPath(buf []graph.EdgeID, pre graph.Path) []graph.EdgeID {
+	if buf == nil && len(e.pathPool) > 0 {
+		buf = e.pathPool[len(e.pathPool)-1]
+		e.pathPool = e.pathPool[:len(e.pathPool)-1]
+	}
+	return append(buf[:0], pre...)
+}
+
 // Step executes one synchronous time step.
 func (e *Engine) Step() {
 	t := e.now
 
 	// Phase 1: injection in isolation. A packet enters only when its
 	// router wants it in and its source node holds no active packet.
-	inFlight := e.M.Injected - e.M.Absorbed
-	for i := range e.Packets {
-		p := &e.Packets[i]
-		if p.Active || p.Absorbed {
-			continue
+	// Only never-injected packets are scanned; injected ones leave the
+	// pending list for good.
+	if len(e.pending) > 0 {
+		keep := e.pending[:0]
+		for _, pid := range e.pending {
+			p := &e.Packets[pid]
+			if !e.router.WantInject(t, p) {
+				keep = append(keep, pid)
+				continue
+			}
+			if len(e.at[p.Src]) > 0 {
+				e.M.InjectionWaits++
+				keep = append(keep, pid)
+				continue
+			}
+			p.Active = true
+			p.Cur = p.Src
+			p.InjectTime = t
+			p.PathList = e.borrowPath(p.PathList, p.Preselected)
+			p.ArrivalEdge = graph.NoEdge
+			e.addAt(p.Src, pid)
+			e.active = append(e.active, pid)
+			e.M.Injected++
 		}
-		if !e.router.WantInject(t, p) {
-			continue
-		}
-		if len(e.at[p.Src]) > 0 {
-			e.M.InjectionWaits++
-			continue
-		}
-		p.Active = true
-		p.Cur = p.Src
-		p.InjectTime = t
-		p.PathList = append(p.PathList[:0], p.Preselected...)
-		p.ArrivalEdge = graph.NoEdge
-		e.at[p.Src] = append(e.at[p.Src], p.ID)
-		e.M.Injected++
-		inFlight++
+		e.pending = keep
 	}
-	if inFlight > e.M.MaxInFlight {
-		e.M.MaxInFlight = inFlight
+	if len(e.active) > e.M.MaxInFlight {
+		e.M.MaxInFlight = len(e.active)
 	}
 
-	// Phase 2: collect requests and resolve per-slot winners.
+	// Phase 2: collect requests and resolve per-slot winners. Ties at
+	// equal priority are broken by reservoir selection — the i-th
+	// contender replaces the current winner with probability 1/i — so
+	// each of k contenders wins with probability exactly 1/k
+	// (a pairwise coin flip would give the last requester 1/2).
 	e.epoch++
 	e.contested = e.contested[:0]
-	for i := range e.Packets {
-		p := &e.Packets[i]
-		if !p.Active {
-			continue
-		}
+	for _, pid := range e.active {
+		p := &e.Packets[pid]
 		req := e.router.Request(t, p)
 		if err := e.checkRequest(p, req); err != nil {
 			panic(fmt.Sprintf("sim: step %d: %v", t, err))
 		}
-		e.requests[p.ID] = req
-		e.granted[p.ID] = false
+		e.requests[pid] = req
+		e.granted[pid] = false
 		if e.Faults != nil && e.Faults(req.Edge, t) {
 			e.M.FaultBlocked++
 			continue
@@ -252,15 +361,22 @@ func (e *Engine) Step() {
 		s := slotIndex(req.Edge, req.Dir)
 		if e.slotEpoch[s] != e.epoch {
 			e.slotEpoch[s] = e.epoch
-			e.slotWinner[s] = p.ID
+			e.slotWinner[s] = pid
 			e.slotPrio[s] = req.Priority
+			e.slotCount[s] = 1
 			e.contested = append(e.contested, s)
 			continue
 		}
-		if req.Priority > e.slotPrio[s] ||
-			(req.Priority == e.slotPrio[s] && e.Rng.Intn(2) == 0) {
-			e.slotWinner[s] = p.ID
+		switch {
+		case req.Priority > e.slotPrio[s]:
+			e.slotWinner[s] = pid
 			e.slotPrio[s] = req.Priority
+			e.slotCount[s] = 1
+		case req.Priority == e.slotPrio[s]:
+			e.slotCount[s]++
+			if e.arb.intn(e.slotCount[s]) == 0 {
+				e.slotWinner[s] = pid
+			}
 		}
 	}
 
@@ -272,42 +388,45 @@ func (e *Engine) Step() {
 		e.moveEpoch[w] = e.epoch
 		e.moveSlot[w] = s
 	}
-	for v := range e.at {
-		if len(e.at[v]) == 0 {
-			continue
-		}
-		e.deflectLosers(t, graph.NodeID(v))
+	for _, v := range e.occupied {
+		e.deflectLosers(t, v)
 	}
 
-	// Phase 4: commit all moves simultaneously.
-	for i := range e.curForward {
-		e.curForward[i] = NoPacket
+	// Phase 4: commit all moves simultaneously. Forward-memory entries
+	// from the previous use of the curForward array are cleared via its
+	// dirty list instead of a full edge sweep.
+	for _, ed := range e.curTouched {
+		e.curForward[ed] = NoPacket
 	}
-	for i := range e.Packets {
-		p := &e.Packets[i]
-		if !p.Active {
+	e.curTouched = e.curTouched[:0]
+	for _, pid := range e.active {
+		if e.moveEpoch[pid] != e.epoch {
+			panic(fmt.Sprintf("sim: step %d: active packet %d has no move (hot-potato requires all packets to leave)", t, pid))
+		}
+		if e.moveSlot[pid] == stallSlot {
 			continue
 		}
-		if e.moveEpoch[p.ID] != e.epoch {
-			panic(fmt.Sprintf("sim: step %d: active packet %d has no move (hot-potato requires all packets to leave)", t, p.ID))
-		}
-		if e.moveSlot[p.ID] == stallSlot {
-			continue
-		}
-		e.applyMove(t, p, e.moveSlot[p.ID])
+		e.applyMove(t, &e.Packets[pid], e.moveSlot[pid])
 	}
 
-	// Phase 5: rebuild occupancy, roll forward-traversal memory.
-	for v := range e.at {
+	// Phase 5: rebuild occupancy from the surviving actives and roll
+	// forward-traversal memory, touching only live nodes.
+	for _, v := range e.occupied {
 		e.at[v] = e.at[v][:0]
 	}
-	for i := range e.Packets {
-		p := &e.Packets[i]
-		if p.Active {
-			e.at[p.Cur] = append(e.at[p.Cur], p.ID)
+	e.occupied = e.occupied[:0]
+	keep := e.active[:0]
+	for _, pid := range e.active {
+		p := &e.Packets[pid]
+		if !p.Active {
+			continue // absorbed this step
 		}
+		keep = append(keep, pid)
+		e.addAt(p.Cur, pid)
 	}
+	e.active = keep
 	e.prevForward, e.curForward = e.curForward, e.prevForward
+	e.prevTouched, e.curTouched = e.curTouched, e.prevTouched
 
 	e.now++
 	e.M.Steps = e.now
@@ -443,12 +562,16 @@ func (e *Engine) deflectLosers(t int, v graph.NodeID) {
 // applyMove commits one traversal and updates path bookkeeping: a
 // traversal of the path head pops it, anything else prepends (the
 // paper's deflection rule, which also covers wait-state oscillation).
+// Pops shift in place rather than re-slicing so the backing array's
+// origin is stable and the full capacity returns to the pool on
+// absorption.
 func (e *Engine) applyMove(t int, p *Packet, s int32) {
 	ed, dir := slotEdge(s), slotDir(s)
 	dest := e.G.EndpointAt(ed, dir)
 	onHead := len(p.PathList) > 0 && p.PathList[0] == ed
 	if onHead {
-		p.PathList = p.PathList[1:]
+		n := copy(p.PathList, p.PathList[1:])
+		p.PathList = p.PathList[:n]
 	} else {
 		p.PathList = append(p.PathList, 0)
 		copy(p.PathList[1:], p.PathList)
@@ -460,6 +583,7 @@ func (e *Engine) applyMove(t int, p *Packet, s int32) {
 	if dir == graph.Forward {
 		p.ForwardMoves++
 		e.curForward[ed] = p.ID
+		e.curTouched = append(e.curTouched, ed)
 	} else {
 		p.BackwardMoves++
 	}
@@ -472,6 +596,10 @@ func (e *Engine) applyMove(t int, p *Packet, s int32) {
 		p.Absorbed = true
 		p.AbsorbTime = t + 1
 		e.M.Absorbed++
+		if cap(p.PathList) > 0 {
+			e.pathPool = append(e.pathPool, p.PathList[:0])
+			p.PathList = nil
+		}
 		e.router.OnAbsorb(t, p)
 	}
 }

@@ -51,6 +51,12 @@ type SFMetrics struct {
 // [16] that the paper cites for leveled networks. Forward-only paths on
 // a DAG make backpressure deadlock-free: the topmost occupied queue can
 // always drain.
+//
+// Like the hot-potato Engine, the step loop touches only live state: a
+// pending-injection list replaces the full packet rescan, and the move
+// loop visits only edges with non-empty queues (in the same
+// From-level-descending order as before) instead of sweeping every
+// edge.
 type SFEngine struct {
 	G       *graph.Leveled
 	Packets []Packet
@@ -66,10 +72,22 @@ type SFEngine struct {
 	// queue[e] lists packets waiting to cross edge e.
 	queue   [][]PacketID
 	readyAt []int
+	// pendingInject lists never-injected packets in ID order.
+	pendingInject []PacketID
 	// edgesByLevelDesc lists edge IDs ordered by From-level descending,
 	// so draining the top first frees buffers for upstream moves within
 	// the same step.
 	edgesByLevelDesc []graph.EdgeID
+	// descPos[e] is edge e's position in edgesByLevelDesc. activePos
+	// lists, in ascending order, the positions of edges with non-empty
+	// queues; newPos stages positions of edges that just went
+	// empty->non-empty, merged (and re-sorted) at the top of each step.
+	// Ascending position order equals descending From-level order, so
+	// iterating activePos drains top levels first exactly as a full
+	// sweep of edgesByLevelDesc did.
+	descPos   []int32
+	activePos []int32
+	newPos    []int32
 }
 
 // NewSFEngine builds a store-and-forward engine with unbounded buffers.
@@ -78,7 +96,9 @@ func NewSFEngine(p *workload.Problem, s Scheduler, seed int64) *SFEngine {
 }
 
 // NewSFEngineBuffered builds a store-and-forward engine whose per-edge
-// queues hold at most cap packets (cap <= 0 means unbounded).
+// queues hold at most cap packets (cap <= 0 means unbounded). As in
+// NewEngine, a packet with an empty preselected path is absorbed
+// immediately at step 0.
 func NewSFEngineBuffered(p *workload.Problem, s Scheduler, seed int64, cap int) *SFEngine {
 	if cap < 0 {
 		cap = 0
@@ -91,17 +111,30 @@ func NewSFEngineBuffered(p *workload.Problem, s Scheduler, seed int64, cap int) 
 		queue: make([][]PacketID, p.G.NumEdges()),
 	}
 	e.Packets = make([]Packet, p.N())
+	e.pendingInject = make([]PacketID, 0, p.N())
 	for i, path := range p.Set.Paths {
-		e.Packets[i] = Packet{
+		pk := Packet{
 			ID:          PacketID(i),
-			Src:         p.G.PathSource(path),
-			Dst:         p.G.PathDest(path),
-			Preselected: path,
 			Cur:         graph.NoNode,
+			Src:         graph.NoNode,
+			Dst:         graph.NoNode,
+			Preselected: path,
 			InjectTime:  -1,
 			AbsorbTime:  -1,
 			ArrivalEdge: graph.NoEdge,
 		}
+		if len(path) > 0 {
+			pk.Src = p.G.PathSource(path)
+			pk.Dst = p.G.PathDest(path)
+			e.pendingInject = append(e.pendingInject, pk.ID)
+		} else {
+			pk.Absorbed = true
+			pk.InjectTime = 0
+			pk.AbsorbTime = 0
+			e.M.Injected++
+			e.M.Absorbed++
+		}
+		e.Packets[i] = pk
 	}
 	e.edgesByLevelDesc = make([]graph.EdgeID, p.G.NumEdges())
 	for i := range e.edgesByLevelDesc {
@@ -112,9 +145,16 @@ func NewSFEngineBuffered(p *workload.Problem, s Scheduler, seed int64, cap int) 
 		lj := p.G.Node(p.G.Edge(e.edgesByLevelDesc[j]).From).Level
 		return li > lj
 	})
+	e.descPos = make([]int32, p.G.NumEdges())
+	for pos, eid := range e.edgesByLevelDesc {
+		e.descPos[eid] = int32(pos)
+	}
 	s.Init(e)
 	e.readyAt = make([]int, p.N())
 	for i := range e.Packets {
+		if e.Packets[i].Absorbed {
+			continue
+		}
 		r := s.ReadyAt(&e.Packets[i])
 		if r < 0 {
 			r = 0
@@ -144,6 +184,36 @@ func (e *SFEngine) hasRoom(q graph.EdgeID) bool {
 	return e.Cap == 0 || len(e.queue[q]) < e.Cap
 }
 
+// enqueue appends a packet to an edge queue, staging the edge for the
+// active list if its queue was empty.
+func (e *SFEngine) enqueue(eid graph.EdgeID, pid PacketID) {
+	if len(e.queue[eid]) == 0 {
+		e.newPos = append(e.newPos, e.descPos[eid])
+	}
+	e.queue[eid] = append(e.queue[eid], pid)
+}
+
+// mergeActive folds the staged newly-non-empty edge positions into the
+// sorted active list. The active list is nearly sorted already (new
+// positions arrive in processing order), so an insertion sort is
+// effectively linear.
+func (e *SFEngine) mergeActive() {
+	if len(e.newPos) == 0 {
+		return
+	}
+	e.activePos = append(e.activePos, e.newPos...)
+	e.newPos = e.newPos[:0]
+	for i := 1; i < len(e.activePos); i++ {
+		v := e.activePos[i]
+		j := i - 1
+		for j >= 0 && e.activePos[j] > v {
+			e.activePos[j+1] = e.activePos[j]
+			j--
+		}
+		e.activePos[j+1] = v
+	}
+}
+
 // Step executes one synchronous store-and-forward step: inject newly
 // ready packets into their first edge's queue (if it has room), then
 // move one packet across every non-empty edge, draining top levels
@@ -153,29 +223,39 @@ func (e *SFEngine) Step() {
 	t := e.now
 
 	// Injection: a ready packet joins the queue of its first edge.
-	for i := range e.Packets {
-		p := &e.Packets[i]
-		if p.Active || p.Absorbed || t < e.readyAt[i] {
-			continue
+	if len(e.pendingInject) > 0 {
+		keep := e.pendingInject[:0]
+		for _, pid := range e.pendingInject {
+			p := &e.Packets[pid]
+			if t < e.readyAt[pid] {
+				keep = append(keep, pid)
+				continue
+			}
+			first := p.Preselected[0]
+			if !e.hasRoom(first) {
+				e.M.InjectionBlocked++
+				keep = append(keep, pid)
+				continue
+			}
+			p.Active = true
+			p.Cur = p.Src
+			p.InjectTime = t
+			p.PathList = append(p.PathList[:0], p.Preselected...)
+			e.enqueue(first, pid)
+			e.M.Injected++
 		}
-		first := p.Preselected[0]
-		if !e.hasRoom(first) {
-			e.M.InjectionBlocked++
-			continue
-		}
-		p.Active = true
-		p.Cur = p.Src
-		p.InjectTime = t
-		p.PathList = append(p.PathList[:0], p.Preselected...)
-		e.queue[first] = append(e.queue[first], p.ID)
-		e.M.Injected++
+		e.pendingInject = keep
 	}
 
 	// Moves, top levels first. A packet granted a move commits
 	// immediately; because levels are processed in descending order no
 	// packet can be granted twice in a step (its new queue sits at a
-	// level already processed).
-	for _, eid := range e.edgesByLevelDesc {
+	// level already processed, and an edge newly occupied this step
+	// joins the active list only at the next step's merge).
+	e.mergeActive()
+	keep := e.activePos[:0]
+	for _, pos := range e.activePos {
+		eid := e.edgesByLevelDesc[pos]
 		q := e.queue[eid]
 		if len(q) == 0 {
 			continue
@@ -200,6 +280,7 @@ func (e *SFEngine) Step() {
 		if len(p.PathList) > 1 && !e.hasRoom(p.PathList[1]) {
 			e.M.Blocked++
 			e.M.QueueDelay += len(q)
+			keep = append(keep, pos)
 			continue
 		}
 		e.M.QueueDelay += len(q) - 1 // everyone else waits this step
@@ -211,7 +292,8 @@ func (e *SFEngine) Step() {
 				break
 			}
 		}
-		p.PathList = p.PathList[1:]
+		n := copy(p.PathList, p.PathList[1:])
+		p.PathList = p.PathList[:n]
 		p.Cur = e.G.Edge(eid).To
 		p.ForwardMoves++
 		e.M.Moves++
@@ -224,9 +306,13 @@ func (e *SFEngine) Step() {
 			p.AbsorbTime = t + 1
 			e.M.Absorbed++
 		} else {
-			e.queue[p.PathList[0]] = append(e.queue[p.PathList[0]], p.ID)
+			e.enqueue(p.PathList[0], pick)
+		}
+		if len(e.queue[eid]) > 0 {
+			keep = append(keep, pos)
 		}
 	}
+	e.activePos = keep
 
 	e.now++
 	e.M.Steps = e.now

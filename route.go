@@ -2,6 +2,7 @@ package hotpotato
 
 import (
 	"fmt"
+	"math"
 
 	"hotpotato/internal/baselines"
 	"hotpotato/internal/core"
@@ -46,6 +47,7 @@ type BaselineKind string
 const (
 	GreedyHP       BaselineKind = "greedy-hp"
 	GreedyFTG      BaselineKind = "greedy-ftg"
+	GreedyOldest   BaselineKind = "greedy-oldest"
 	RandGreedyHP   BaselineKind = "rand-greedy-hp"
 	SFFifo         BaselineKind = "sf-fifo"
 	SFRandomDelay  BaselineKind = "sf-randdelay"
@@ -74,20 +76,19 @@ func (r *BaselineResult) String() string {
 func RouteBaseline(p *Problem, kind BaselineKind, opt Options) (*BaselineResult, error) {
 	maxSteps := opt.MaxSteps
 	if maxSteps <= 0 {
-		maxSteps = 200 * (p.C + p.D + p.L()) * (1 + p.N()/16)
-		if maxSteps < 100000 {
-			maxSteps = 100000
-		}
+		maxSteps = defaultBaselineBudget(p)
 	}
 	res := &BaselineResult{Kind: kind}
 	switch kind {
-	case GreedyHP, GreedyFTG, RandGreedyHP:
+	case GreedyHP, GreedyFTG, GreedyOldest, RandGreedyHP:
 		var r sim.Router
 		switch kind {
 		case GreedyHP:
 			r = baselines.NewGreedy()
 		case GreedyFTG:
 			r = baselines.NewFarthestToGo()
+		case GreedyOldest:
+			r = baselines.NewOldestFirst()
 		default:
 			r = baselines.NewRandGreedy(0.05)
 		}
@@ -115,6 +116,37 @@ func RouteBaseline(p *Problem, kind BaselineKind, opt Options) (*BaselineResult,
 		return nil, fmt.Errorf("hotpotato: unknown baseline %q", kind)
 	}
 	return res, nil
+}
+
+// defaultBaselineBudget returns the default step budget
+// 200*(C+D+L)*(1+N/16), computed in int64 and saturated to the
+// platform's int range: on large problems (C, D, N in the millions) the
+// product overflows int, and a wrapped-negative budget would make
+// Run(maxSteps) return instantly as a spurious failure.
+func defaultBaselineBudget(p *Problem) int {
+	const maxInt = int(^uint(0) >> 1)
+	sum := addSat64(addSat64(int64(p.C), int64(p.D)), int64(p.L()))
+	scale := 1 + int64(p.N())/16
+	if sum > 0 && scale > math.MaxInt64/200/sum {
+		return maxInt // the product itself would overflow int64
+	}
+	b := 200 * sum * scale
+	if b < 100000 {
+		b = 100000
+	}
+	if b > int64(maxInt) {
+		return maxInt
+	}
+	return int(b)
+}
+
+// addSat64 adds two non-negative int64s, saturating at MaxInt64 (on
+// 64-bit platforms C+D+L alone can wrap the accumulator).
+func addSat64(a, b int64) int64 {
+	if s := a + b; s >= 0 {
+		return s
+	}
+	return math.MaxInt64
 }
 
 func latencies(pkts []sim.Packet) []int {
