@@ -42,6 +42,9 @@ func main() {
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		benchEngine = flag.String("bench-engine", "", "write the engine hot-path benchmark (BENCH_engine.json) to this file and exit")
 		benchScale  = flag.Int("bench-scale", 1, "engine benchmark scale: 1 = quick, 2 = full")
+		benchStrict = flag.Bool("bench-strict-allocs", false, "fail the engine benchmark if any steady-state row allocates")
+		workers     = flag.Int("workers", 1, "parallel-step worker goroutines (1 = sequential; trace is identical either way)")
+		shards      = flag.Int("shards", 0, "parallel-step node shards (0 = workers x 8)")
 	)
 	flag.Parse()
 
@@ -66,7 +69,7 @@ func main() {
 	}
 
 	if *benchEngine != "" {
-		fatal(bench.WriteEngineBench(*benchEngine, *benchScale))
+		fatal(bench.WriteEngineBench(*benchEngine, *benchScale, *benchStrict))
 		fmt.Printf("wrote engine benchmark to %s\n", *benchEngine)
 		return
 	}
@@ -108,22 +111,24 @@ func main() {
 			an.SuccessProbability(), an.TheoremFloor(), an.PolylogFactor(), an.Ln9())
 	}
 
-	runOne(prob, *algo, *seed, *check, *profile)
+	runOne(prob, *algo, *seed, *check, *profile, *workers, *shards)
 	if *compare {
 		for _, k := range []string{"frame", "greedy-hp", "greedy-ftg", "greedy-oldest", "rand-greedy-hp", "sf-fifo", "sf-randdelay", "sf-farthest"} {
 			if k == *algo {
 				continue
 			}
-			runOne(prob, k, *seed, false, false)
+			runOne(prob, k, *seed, false, false, *workers, *shards)
 		}
 	}
 }
 
-func runOne(prob *hotpotato.Problem, algo string, seed int64, check, profile bool) {
+func runOne(prob *hotpotato.Problem, algo string, seed int64, check, profile bool, workers, shards int) {
+	opts := hotpotato.Options{Seed: seed, Workers: workers, Shards: shards}
 	if algo == "frame" {
 		params := hotpotato.PracticalParams(prob.C, prob.L(), prob.N())
 		fmt.Printf("frame parameters: %s (schedule bound %d steps)\n", params, params.TotalSteps(prob.L()))
-		res := hotpotato.RouteFrame(prob, params, hotpotato.Options{Seed: seed, CheckInvariants: check, Profile: profile})
+		opts.CheckInvariants, opts.Profile = check, profile
+		res := hotpotato.RouteFrame(prob, params, opts)
 		fmt.Printf("%s\n", res)
 		fmt.Printf("  deflections by kind [arrival-rev safe-backwd unsafe-backwd forward]: %v\n", res.Engine.Deflections)
 		fmt.Printf("  excitations=%d wait-entries=%d wait-interrupts=%d late-injections=%d\n",
@@ -139,7 +144,7 @@ func runOne(prob *hotpotato.Problem, algo string, seed int64, check, profile boo
 		}
 		return
 	}
-	res, err := hotpotato.RouteBaseline(prob, hotpotato.BaselineKind(algo), hotpotato.Options{Seed: seed})
+	res, err := hotpotato.RouteBaseline(prob, hotpotato.BaselineKind(algo), opts)
 	fatal(err)
 	fmt.Printf("%s", res)
 	if res.HP != nil {

@@ -63,13 +63,14 @@ func main() {
 	fmt.Printf("running %d trials on %d cores...\n", *trials, runtime.GOMAXPROCS(0))
 
 	start := time.Now()
-	ens := mc.Run(prob, params, mc.Options{
+	ens, err := mc.Run(prob, params, mc.Options{
 		Trials:   *trials,
 		BaseSeed: *seed,
 		MaxSteps: maxSteps,
 		Check:    *check,
 		Workers:  *workers,
 	})
+	fatal(err)
 	elapsed := time.Since(start)
 
 	fmt.Println()

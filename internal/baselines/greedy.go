@@ -40,6 +40,11 @@ func (r *Greedy) Request(t int, p *sim.Packet) sim.Request {
 	return headRequest(r.g, p, 0)
 }
 
+// ConcurrentRequests implements sim.ConcurrentRouter: WantInject and
+// Request are pure functions of the packet and the immutable graph, so
+// the engine's sharded step may call them concurrently.
+func (*Greedy) ConcurrentRequests() bool { return true }
+
 // OnDeflect implements sim.Router.
 func (*Greedy) OnDeflect(int, *sim.Packet, graph.EdgeID, sim.DeflectKind) {}
 
@@ -87,6 +92,10 @@ func (r *OldestFirst) Request(t int, p *sim.Packet) sim.Request {
 	return headRequest(r.g, p, int64(-p.InjectTime))
 }
 
+// ConcurrentRequests implements sim.ConcurrentRouter (pure Request, as
+// for Greedy).
+func (*OldestFirst) ConcurrentRequests() bool { return true }
+
 // OnDeflect implements sim.Router.
 func (*OldestFirst) OnDeflect(int, *sim.Packet, graph.EdgeID, sim.DeflectKind) {}
 
@@ -123,6 +132,10 @@ func (*FarthestToGo) WantInject(int, *sim.Packet) bool { return true }
 func (r *FarthestToGo) Request(t int, p *sim.Packet) sim.Request {
 	return headRequest(r.g, p, int64(len(p.PathList)))
 }
+
+// ConcurrentRequests implements sim.ConcurrentRouter (pure Request, as
+// for Greedy).
+func (*FarthestToGo) ConcurrentRequests() bool { return true }
 
 // OnDeflect implements sim.Router.
 func (*FarthestToGo) OnDeflect(int, *sim.Packet, graph.EdgeID, sim.DeflectKind) {}

@@ -8,37 +8,72 @@ import (
 	"time"
 
 	"hotpotato/internal/baselines"
+	"hotpotato/internal/core"
+	"hotpotato/internal/mc"
 	"hotpotato/internal/sim"
 	"hotpotato/internal/topo"
 	"hotpotato/internal/workload"
 )
 
-// EngineBenchRow is one topology's hot-path measurement.
+// EngineBenchRow is one (topology, parallelism) measurement of the
+// hot-potato engine's stepping cost.
 type EngineBenchRow struct {
-	Topology    string  `json:"topology"`
-	Nodes       int     `json:"nodes"`
-	Edges       int     `json:"edges"`
-	Packets     int     `json:"packets"`
+	Topology string `json:"topology"`
+	Nodes    int    `json:"nodes"`
+	Edges    int    `json:"edges"`
+	Packets  int    `json:"packets"`
+	// Workers and Shards are the engine's parallel-step configuration
+	// (1/1 = the plain sequential path). The committed trace is
+	// identical across configurations; only wall-clock differs.
+	Workers     int     `json:"workers"`
+	Shards      int     `json:"shards"`
 	Steps       int     `json:"steps"`
 	WallNS      int64   `json:"wall_ns"`
 	NsPerStep   float64 `json:"ns_per_step"`
 	StepsPerSec float64 `json:"steps_per_sec"`
-	// AllocsPerStep averages heap allocations over the whole run
-	// (construction excluded). The steady state allocates nothing, so
-	// the value is the startup transient amortized over the run; the
-	// sim package's TestStepSteadyStateAllocs* pin the exact zero.
+	// AllocsPerStep averages heap allocations over a full run of a
+	// warmed, Reset-rewound engine — the steady state, with the startup
+	// transient (scratch growth, pool goroutines) paid by a prior
+	// unmeasured run. Sequential rows must record exactly 0 (the
+	// CheckStrictAllocs CI gate); parallel rows are reported but not
+	// gated, since scheduler activity on loaded CI machines can charge
+	// stray runtime allocations to the process.
 	AllocsPerStep float64 `json:"allocs_per_step"`
-	MaxInFlight   int     `json:"max_in_flight"`
+	// SteadyState marks rows subject to the zero-alloc gate.
+	SteadyState bool `json:"steady_state"`
+	MaxInFlight int  `json:"max_in_flight"`
+}
+
+// EnsembleBenchRow compares Monte-Carlo ensemble throughput with
+// per-worker engine reuse (core.Runner, the default) against rebuilding
+// every engine from scratch (mc.Options.FreshEngines) on the same
+// trials.
+type EnsembleBenchRow struct {
+	Problem            string  `json:"problem"`
+	Trials             int     `json:"trials"`
+	Workers            int     `json:"workers"`
+	FreshWallNS        int64   `json:"fresh_wall_ns"`
+	ReusedWallNS       int64   `json:"reused_wall_ns"`
+	FreshTrialsPerSec  float64 `json:"fresh_trials_per_sec"`
+	ReusedTrialsPerSec float64 `json:"reused_trials_per_sec"`
+	ReuseSpeedup       float64 `json:"reuse_speedup"`
 }
 
 // EngineBench is the BENCH_engine.json document: engine hot-path
-// throughput across representative topologies and load shapes.
+// throughput across representative topologies and load shapes, the
+// sharded parallel step at increasing worker counts, and ensemble
+// throughput with and without engine reuse. NumCPU and GOMAXPROCS
+// record the machine the numbers were taken on — single-core hosts
+// cannot show parallel speedup, only the (small) coordination overhead.
 type EngineBench struct {
-	GoVersion string           `json:"go_version"`
-	GOOS      string           `json:"goos"`
-	GOARCH    string           `json:"goarch"`
-	Scale     int              `json:"scale"`
-	Rows      []EngineBenchRow `json:"rows"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	NumCPU     int               `json:"num_cpu"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Scale      int               `json:"scale"`
+	Rows       []EngineBenchRow  `json:"rows"`
+	Ensemble   *EnsembleBenchRow `json:"ensemble,omitempty"`
 }
 
 // staggeredGreedy admits packet i only from step i/rate, keeping a few
@@ -54,10 +89,20 @@ func (s *staggeredGreedy) WantInject(t int, p *sim.Packet) bool {
 	return t >= int(p.ID)/s.rate
 }
 
+// ConcurrentRequests certifies the wrapper like the wrapped Greedy:
+// the admission schedule is a pure function of (t, packet ID).
+func (s *staggeredGreedy) ConcurrentRequests() bool { return true }
+
+// engineWorkerCounts is the parallel-step sweep recorded for the sparse
+// butterfly: sequential, then 2/4/8 workers.
+var engineWorkerCounts = []int{1, 2, 4, 8}
+
 // RunEngineBench measures the hot-potato engine's per-step cost on
 // dense and sparse butterflies, the hard mesh workload, and a random
-// leveled network. Scale 1 is the quick CI shape; scale 2 grows the
-// butterflies to the sizes quoted in docs/ALGORITHM.md.
+// leveled network; sweeps the sparse butterfly over 1/2/4/8 workers;
+// and measures ensemble throughput with vs without engine reuse.
+// Scale 1 is the quick CI shape; scale 2 grows the butterflies to the
+// sizes quoted in docs/ALGORITHM.md.
 func RunEngineBench(scale int) (*EngineBench, error) {
 	if scale < 1 {
 		scale = 1
@@ -68,16 +113,21 @@ func RunEngineBench(scale int) (*EngineBench, error) {
 	}
 
 	out := &EngineBench{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Scale:     scale,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      scale,
 	}
 
 	type bcase struct {
 		name  string
 		build func() (*workload.Problem, error)
 		route func() sim.Router
+		// workerSweep additionally records the row at each worker
+		// count beyond 1, reusing the engine via Reset.
+		workerSweep bool
 	}
 	cases := []bcase{
 		{
@@ -100,7 +150,8 @@ func RunEngineBench(scale int) (*EngineBench, error) {
 				}
 				return workload.FullThroughput(g, rngFor("bench-engine-sparse", sparseK))
 			},
-			route: func() sim.Router { return &staggeredGreedy{Greedy: baselines.NewGreedy(), rate: 16} },
+			route:       func() sim.Router { return &staggeredGreedy{Greedy: baselines.NewGreedy(), rate: 16} },
+			workerSweep: true,
 		},
 		{
 			name:  fmt.Sprintf("mesh(%d)-hard", meshN),
@@ -126,40 +177,142 @@ func RunEngineBench(scale int) (*EngineBench, error) {
 			return nil, fmt.Errorf("bench: %s: %w", c.name, err)
 		}
 		e := sim.NewEngine(p, c.route(), 1)
-
-		runtime.GC()
-		var before, after runtime.MemStats
-		runtime.ReadMemStats(&before)
-		start := time.Now()
-		steps, done := e.Run(1 << 22)
-		wall := time.Since(start)
-		runtime.ReadMemStats(&after)
-		if !done {
-			return nil, fmt.Errorf("bench: %s did not complete within budget", c.name)
+		workerCounts := []int{1}
+		if c.workerSweep {
+			workerCounts = engineWorkerCounts
 		}
-
-		out.Rows = append(out.Rows, EngineBenchRow{
-			Topology:      c.name,
-			Nodes:         p.G.NumNodes(),
-			Edges:         p.G.NumEdges(),
-			Packets:       p.N(),
-			Steps:         steps,
-			WallNS:        wall.Nanoseconds(),
-			NsPerStep:     float64(wall.Nanoseconds()) / float64(steps),
-			StepsPerSec:   float64(steps) / wall.Seconds(),
-			AllocsPerStep: float64(after.Mallocs-before.Mallocs) / float64(steps),
-			MaxInFlight:   e.M.MaxInFlight,
-		})
+		for _, w := range workerCounts {
+			if w > 1 {
+				e.SetParallelism(w, 0)
+			}
+			row, err := measureEngineRun(c.name, p, e)
+			if err != nil {
+				e.Close()
+				return nil, err
+			}
+			out.Rows = append(out.Rows, row)
+		}
+		e.Close()
 	}
+
+	ens, err := measureEnsembleReuse(scale)
+	if err != nil {
+		return nil, err
+	}
+	out.Ensemble = ens
 	return out, nil
 }
 
+// measureEngineRun times one full run of the engine at its current
+// parallelism. The engine is warmed with an unmeasured run first, then
+// rewound with Reset, so the measured run sees only steady-state work —
+// no scratch growth, no pool spin-up, no first-touch allocation.
+func measureEngineRun(name string, p *workload.Problem, e *sim.Engine) (EngineBenchRow, error) {
+	workers, shards := e.Parallelism()
+
+	e.Reset(1)
+	if _, done := e.Run(1 << 22); !done {
+		return EngineBenchRow{}, fmt.Errorf("bench: %s (warmup, workers=%d) did not complete within budget", name, workers)
+	}
+	e.Reset(1)
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	steps, done := e.Run(1 << 22)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if !done {
+		return EngineBenchRow{}, fmt.Errorf("bench: %s (workers=%d) did not complete within budget", name, workers)
+	}
+
+	return EngineBenchRow{
+		Topology:      name,
+		Nodes:         p.G.NumNodes(),
+		Edges:         p.G.NumEdges(),
+		Packets:       p.N(),
+		Workers:       workers,
+		Shards:        shards,
+		Steps:         steps,
+		WallNS:        wall.Nanoseconds(),
+		NsPerStep:     float64(wall.Nanoseconds()) / float64(steps),
+		StepsPerSec:   float64(steps) / wall.Seconds(),
+		AllocsPerStep: float64(after.Mallocs-before.Mallocs) / float64(steps),
+		SteadyState:   workers == 1,
+		MaxInFlight:   e.M.MaxInFlight,
+	}, nil
+}
+
+// measureEnsembleReuse times the same Monte-Carlo ensemble twice: once
+// rebuilding every engine (FreshEngines) and once with the default
+// per-worker engine reuse.
+func measureEnsembleReuse(scale int) (*EnsembleBenchRow, error) {
+	const meshN = 8
+	p, err := workload.MeshHard(meshN)
+	if err != nil {
+		return nil, err
+	}
+	params := core.ParamsPractical(p.C, p.L(), p.N(),
+		core.PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3})
+	trials := 64 * scale
+
+	run := func(fresh bool) (time.Duration, error) {
+		start := time.Now()
+		_, err := mc.Run(p, params, mc.Options{Trials: trials, FreshEngines: fresh})
+		return time.Since(start), err
+	}
+	// Warm both paths once (JIT-free, but page faults and lazily built
+	// topology caches are real), then measure.
+	if _, err := run(true); err != nil {
+		return nil, err
+	}
+	freshWall, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	reusedWall, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+
+	return &EnsembleBenchRow{
+		Problem:            fmt.Sprintf("mesh(%d)-hard", meshN),
+		Trials:             trials,
+		Workers:            runtime.GOMAXPROCS(0),
+		FreshWallNS:        freshWall.Nanoseconds(),
+		ReusedWallNS:       reusedWall.Nanoseconds(),
+		FreshTrialsPerSec:  float64(trials) / freshWall.Seconds(),
+		ReusedTrialsPerSec: float64(trials) / reusedWall.Seconds(),
+		ReuseSpeedup:       freshWall.Seconds() / reusedWall.Seconds(),
+	}, nil
+}
+
+// CheckStrictAllocs verifies the zero-allocation claim on every
+// steady-state row — the CI gate: a regression that makes the warmed
+// engine allocate on the stepping path fails the build.
+func CheckStrictAllocs(b *EngineBench) error {
+	for _, r := range b.Rows {
+		if r.SteadyState && r.AllocsPerStep > 0 {
+			return fmt.Errorf("bench: steady-state row %s (workers=%d) allocated %.4f allocs/step; want 0",
+				r.Topology, r.Workers, r.AllocsPerStep)
+		}
+	}
+	return nil
+}
+
 // WriteEngineBench runs the engine benchmark and writes the JSON
-// document to path.
-func WriteEngineBench(path string, scale int) error {
+// document to path. With strict set, it fails if any steady-state row
+// recorded heap allocations.
+func WriteEngineBench(path string, scale int, strict bool) error {
 	b, err := RunEngineBench(scale)
 	if err != nil {
 		return err
+	}
+	if strict {
+		if err := CheckStrictAllocs(b); err != nil {
+			return err
+		}
 	}
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {

@@ -8,16 +8,25 @@ import (
 )
 
 func TestEngineBenchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine benchmark is slow; skipped under -short")
+	}
 	b, err := RunEngineBench(1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(b.Rows) != 4 {
-		t.Fatalf("rows = %d, want 4 (dense, sparse, mesh, random)", len(b.Rows))
+	// Four topology rows, plus the sparse butterfly swept at 2/4/8
+	// workers.
+	if len(b.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7 (dense, sparse x {1,2,4,8} workers, mesh, random)", len(b.Rows))
 	}
 	if b.GoVersion == "" || b.GOOS == "" || b.GOARCH == "" {
 		t.Errorf("missing environment header: %+v", b)
 	}
+	if b.NumCPU <= 0 || b.GOMAXPROCS <= 0 {
+		t.Errorf("missing CPU header: %+v", b)
+	}
+	seqRows, parRows := 0, 0
 	for _, r := range b.Rows {
 		if r.Steps <= 0 || r.WallNS <= 0 || r.NsPerStep <= 0 || r.StepsPerSec <= 0 {
 			t.Errorf("%s: non-positive measurement: %+v", r.Topology, r)
@@ -28,12 +37,41 @@ func TestEngineBenchQuick(t *testing.T) {
 		if r.MaxInFlight <= 0 || r.MaxInFlight > r.Packets {
 			t.Errorf("%s: max in flight %d outside (0, %d]", r.Topology, r.MaxInFlight, r.Packets)
 		}
+		if r.Workers < 1 || r.Shards < 1 {
+			t.Errorf("%s: bad parallelism %d/%d", r.Topology, r.Workers, r.Shards)
+		}
+		if r.SteadyState != (r.Workers == 1) {
+			t.Errorf("%s: steady-state flag %v at workers=%d", r.Topology, r.SteadyState, r.Workers)
+		}
+		if r.SteadyState {
+			seqRows++
+		} else {
+			parRows++
+		}
+	}
+	if seqRows != 4 || parRows != 3 {
+		t.Errorf("row split %d sequential / %d parallel, want 4/3", seqRows, parRows)
+	}
+	// The zero-alloc claim: a warmed, Reset-rewound engine must not
+	// allocate on the sequential stepping path.
+	if err := CheckStrictAllocs(b); err != nil {
+		t.Error(err)
+	}
+	if b.Ensemble == nil {
+		t.Fatal("missing ensemble reuse row")
+	}
+	if b.Ensemble.FreshTrialsPerSec <= 0 || b.Ensemble.ReusedTrialsPerSec <= 0 ||
+		b.Ensemble.ReuseSpeedup <= 0 {
+		t.Errorf("bad ensemble row: %+v", b.Ensemble)
 	}
 }
 
 func TestWriteEngineBenchRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine benchmark is slow; skipped under -short")
+	}
 	path := filepath.Join(t.TempDir(), "BENCH_engine.json")
-	if err := WriteEngineBench(path, 1); err != nil {
+	if err := WriteEngineBench(path, 1, true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -46,5 +84,19 @@ func TestWriteEngineBenchRoundTrips(t *testing.T) {
 	}
 	if b.Scale != 1 || len(b.Rows) == 0 {
 		t.Errorf("round-tripped document: %+v", b)
+	}
+}
+
+func TestCheckStrictAllocs(t *testing.T) {
+	b := &EngineBench{Rows: []EngineBenchRow{
+		{Topology: "a", Workers: 1, SteadyState: true, AllocsPerStep: 0},
+		{Topology: "b", Workers: 4, SteadyState: false, AllocsPerStep: 0.25},
+	}}
+	if err := CheckStrictAllocs(b); err != nil {
+		t.Errorf("parallel-row allocs must not trip the gate: %v", err)
+	}
+	b.Rows[0].AllocsPerStep = 0.01
+	if err := CheckStrictAllocs(b); err == nil {
+		t.Error("steady-state allocs did not trip the gate")
 	}
 }

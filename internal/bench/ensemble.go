@@ -48,7 +48,10 @@ func runE11(cfg Config) (string, error) {
 		if r.budget > 0 {
 			maxSteps = int(r.budget * float64(params.TotalSteps(p.L())))
 		}
-		ens := mc.Run(p, params, mc.Options{Trials: trials, MaxSteps: maxSteps})
+		ens, err := mc.Run(p, params, mc.Options{Trials: trials, MaxSteps: maxSteps})
+		if err != nil {
+			return "", err
+		}
 		p99p50 := 0.0
 		if p50 := ens.StepsQuantile(0.5); p50 > 0 {
 			p99p50 = ens.StepsQuantile(0.99) / p50

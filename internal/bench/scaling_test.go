@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"hotpotato/internal/baselines"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+// TestParallelStepScaling measures ns/step of the sharded parallel step
+// on the sparse butterfly(12) workload at 1/2/4/8 workers and asserts
+// real speedup at 4 workers. It needs actual cores: on machines with
+// GOMAXPROCS < 4 the workers time-slice one CPU and no speedup is
+// possible (the recorded BENCH_engine.json rows still document the
+// overhead honestly), so the test skips there, and under -short.
+func TestParallelStepScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling measurement is slow; skipped under -short")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("GOMAXPROCS = %d < 4: parallel speedup is unmeasurable", runtime.GOMAXPROCS(0))
+	}
+
+	g, err := topo.Butterfly(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := workload.FullThroughput(g, rngFor("scaling-sparse", 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine(p, &staggeredGreedy{Greedy: baselines.NewGreedy(), rate: 16}, 1)
+	defer e.Close()
+
+	nsPerStep := map[int]float64{}
+	for _, w := range []int{1, 2, 4, 8} {
+		e.SetParallelism(w, 0)
+		// Warm, then measure the best of two runs to damp scheduler
+		// noise.
+		e.Reset(1)
+		if _, done := e.Run(1 << 22); !done {
+			t.Fatalf("workers=%d: warmup did not complete", w)
+		}
+		best := 0.0
+		for rep := 0; rep < 2; rep++ {
+			e.Reset(1)
+			start := time.Now()
+			steps, done := e.Run(1 << 22)
+			wall := time.Since(start)
+			if !done {
+				t.Fatalf("workers=%d: run did not complete", w)
+			}
+			ns := float64(wall.Nanoseconds()) / float64(steps)
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		nsPerStep[w] = best
+		t.Logf("workers=%d: %.0f ns/step", w, best)
+	}
+
+	if speedup := nsPerStep[1] / nsPerStep[4]; speedup < 1.5 {
+		t.Errorf("4-worker speedup %.2fx on sparse butterfly(12), want >= 1.5x (1w=%.0f ns/step, 4w=%.0f ns/step)",
+			speedup, nsPerStep[1], nsPerStep[4])
+	}
+}

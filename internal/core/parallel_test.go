@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+// The frame router certifies sim.ConcurrentRouter (counter-based
+// excitation coin + atomic stat cells), so the engine runs its full
+// request/arbitrate/deflect pipeline on shard workers. Every observable
+// of a run — step count, engine metrics, router stats, invariant report
+// — must be identical for any worker/shard configuration.
+func TestFrameRunParallelMatchesSequential(t *testing.T) {
+	problems := map[string]func() (*workload.Problem, error){
+		"butterfly": func() (*workload.Problem, error) {
+			g, err := topo.Butterfly(5)
+			if err != nil {
+				return nil, err
+			}
+			return workload.Random(g, rand.New(rand.NewSource(13)), 0.3)
+		},
+		"mesh":       func() (*workload.Problem, error) { return workload.MeshHard(6) },
+		"allcorners": func() (*workload.Problem, error) { return workload.AllCorners(6) },
+	}
+	for name, mk := range problems {
+		t.Run(name, func(t *testing.T) {
+			p, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			params := ParamsPractical(p.C, p.L(), p.N(),
+				PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3})
+			want := Run(p, params, RunOptions{Seed: 11, Check: true})
+			if !want.Done {
+				t.Fatalf("sequential run did not complete: %s", want)
+			}
+			for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+				if w < 2 {
+					continue
+				}
+				for _, shards := range []int{0, 5} {
+					got := Run(p, params, RunOptions{Seed: 11, Check: true, Workers: w, Shards: shards})
+					if got.Steps != want.Steps || got.Engine != want.Engine {
+						t.Errorf("workers=%d shards=%d: engine result differs:\n got steps=%d %+v\nwant steps=%d %+v",
+							w, shards, got.Steps, got.Engine, want.Steps, want.Engine)
+					}
+					if got.Router != want.Router {
+						t.Errorf("workers=%d shards=%d: router stats differ:\n got %+v\nwant %+v",
+							w, shards, got.Router, want.Router)
+					}
+					if got.Invariants.IcFrameEscapes != want.Invariants.IcFrameEscapes ||
+						got.Invariants.IdForeignMeetings != want.Invariants.IdForeignMeetings ||
+						got.Invariants.IbPathInvalid != want.Invariants.IbPathInvalid {
+						t.Errorf("workers=%d shards=%d: invariant report differs", w, shards)
+					}
+				}
+			}
+		})
+	}
+}
+
+// A reused Runner must reproduce one-shot Run results exactly, seed by
+// seed, in any interleaving.
+func TestRunnerReuseMatchesRun(t *testing.T) {
+	p, err := workload.MeshHard(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := ParamsPractical(p.C, p.L(), p.N(),
+		PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3})
+	r := NewRunner(p, params, 1, 0)
+	defer r.Close()
+	for _, seed := range []int64{3, 1, 3, 8} {
+		want := Run(p, params, RunOptions{Seed: seed, Check: true})
+		got := r.Run(RunOptions{Seed: seed, Check: true})
+		if got.Steps != want.Steps || got.Engine != want.Engine || got.Router != want.Router {
+			t.Errorf("seed %d: reused runner differs:\n got steps=%d %+v %+v\nwant steps=%d %+v %+v",
+				seed, got.Steps, got.Engine, got.Router, want.Steps, want.Engine, want.Router)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"hotpotato/internal/graph"
 	"hotpotato/internal/sim"
@@ -83,6 +84,13 @@ type Frame struct {
 	sched Schedule
 	S     Stats
 
+	// coinSeed keys the per-(step, packet) excitation coin (see
+	// sim.CoinFloat): counter-based rather than drawn from the shared
+	// sequential rng, so Request is order-independent and the router
+	// can certify sim.ConcurrentRouter. Derived from the run seed at
+	// Init.
+	coinSeed uint64
+
 	// assign, when non-nil, is the caller-supplied frontier-set
 	// assignment applied at Init instead of the random one.
 	assign []int32
@@ -92,7 +100,19 @@ type Frame struct {
 	st       []state
 	waitNode []graph.NodeID
 	waitEdge []graph.EdgeID
+
+	// Stats cells bumped inside Request, which may run concurrently on
+	// shard workers; flushed into S at EndStep. All other callbacks run
+	// sequentially and update S directly.
+	pendExcitations  atomic.Int64
+	pendWaitEntries  atomic.Int64
+	pendExcitedWins  atomic.Int64
+	pendLateInjected atomic.Int64
 }
+
+// frameCoinSalt separates the excitation-coin stream from engine
+// arbitration and any other derived stream.
+const frameCoinSalt = 0xF4A3C017
 
 // NewFrame returns a frame router with the given parameters. Packets
 // are assigned to frontier-sets uniformly at random from the engine's
@@ -153,15 +173,27 @@ func (r *Frame) StateCounts(e *sim.Engine) (normal, excited, wait int) {
 	return
 }
 
-// Init implements sim.Router.
+// Init implements sim.Router. It is called again on every Engine.Reset
+// and fully rewinds the router — stats zeroed, per-packet state
+// re-derived from the engine's (new) seed — reusing the per-packet
+// slices when the packet count is unchanged, so an engine+router pair
+// can serve many trials without reallocating.
 func (r *Frame) Init(e *sim.Engine) {
 	r.g = e.G
 	r.rng = e.Rng
+	r.coinSeed = sim.StreamSeed(e.Seed(), frameCoinSalt)
+	r.S = Stats{}
+	r.pendExcitations.Store(0)
+	r.pendWaitEntries.Store(0)
+	r.pendExcitedWins.Store(0)
+	r.pendLateInjected.Store(0)
 	n := len(e.Packets)
-	r.set = make([]int32, n)
-	r.st = make([]state, n)
-	r.waitNode = make([]graph.NodeID, n)
-	r.waitEdge = make([]graph.EdgeID, n)
+	if len(r.set) != n {
+		r.set = make([]int32, n)
+		r.st = make([]state, n)
+		r.waitNode = make([]graph.NodeID, n)
+		r.waitEdge = make([]graph.EdgeID, n)
+	}
 	if r.assign != nil && len(r.assign) != n {
 		panic(fmt.Sprintf("core: set assignment covers %d packets, problem has %d", len(r.assign), n))
 	}
@@ -172,10 +204,19 @@ func (r *Frame) Init(e *sim.Engine) {
 			r.set[i] = int32(r.rng.Intn(r.P.NumSets))
 		}
 		e.Packets[i].Tag = r.set[i]
+		r.st[i] = stateNormal
 		r.waitNode[i] = graph.NoNode
 		r.waitEdge[i] = graph.NoEdge
 	}
 }
+
+// ConcurrentRequests implements sim.ConcurrentRouter: WantInject reads
+// only immutable schedule/graph state, and Request draws its excitation
+// coin from a counter-based stream keyed by (step, packet) rather than
+// a shared sequential generator, touches per-packet state only, and
+// bumps shared counters through atomics. Its behavior is therefore
+// independent of call order and safe under the engine's sharded step.
+func (r *Frame) ConcurrentRequests() bool { return true }
 
 // WantInject implements sim.Router: a packet wants in from the start of
 // the phase in which its source sits at inner-level M-1 of its frame
@@ -224,7 +265,7 @@ func (r *Frame) Request(t int, p *sim.Packet) sim.Request {
 	if p.InjectTime == t {
 		want := r.sched.InjectionPhase(int(r.set[id]), r.g.Node(p.Src).Level)
 		if t > r.sched.PhaseStart(want) {
-			r.S.LatePhaseInjections++
+			r.pendLateInjected.Add(1)
 		}
 	}
 	if r.st[id] == stateWait {
@@ -235,21 +276,24 @@ func (r *Frame) Request(t int, p *sim.Packet) sim.Request {
 	}
 
 	// Normal packets attempt excitation each step with probability Q.
-	if r.st[id] == stateNormal && r.rng.Float64() < r.P.Q {
+	// The coin is a pure function of (seed, step, packet) — each packet
+	// still flips an independent Bernoulli(Q) per step, as Lemma 4.3's
+	// analysis requires, but no draw depends on any other packet's.
+	if r.st[id] == stateNormal && sim.CoinFloat(r.coinSeed, t, id) < r.P.Q {
 		r.st[id] = stateExcited
-		r.S.Excitations++
+		r.pendExcitations.Add(1)
 	}
 
 	// Reaching the target node begins the wait state, oscillating on
 	// the last traversed link.
 	if tgt := r.TargetNode(t, p); !r.DisableWait && p.Cur == tgt && p.ArrivalEdge != graph.NoEdge {
 		if r.st[id] == stateExcited {
-			r.S.ExcitedSuccesses++
+			r.pendExcitedWins.Add(1)
 		}
 		r.st[id] = stateWait
 		r.waitNode[id] = p.Cur
 		r.waitEdge[id] = p.ArrivalEdge
-		r.S.WaitEntries++
+		r.pendWaitEntries.Add(1)
 		e := p.ArrivalEdge
 		return sim.Request{Edge: e, Dir: r.g.DirectionFrom(e, p.Cur), Priority: prioWait}
 	}
@@ -301,6 +345,7 @@ func (r *Frame) OnAbsorb(t int, p *sim.Packet) {
 // packets become normal; at the end of each phase wait packets become
 // normal (Section 3).
 func (r *Frame) EndStep(t int, e *sim.Engine) {
+	r.flushPending()
 	roundEnd := r.sched.IsRoundEnd(t)
 	phaseEnd := r.sched.IsPhaseEnd(t)
 	if !roundEnd && !phaseEnd {
@@ -327,6 +372,23 @@ func (r *Frame) EndStep(t int, e *sim.Engine) {
 				r.st[i] = stateNormal
 			}
 		}
+	}
+}
+
+// flushPending folds the atomically-bumped Request-side counters into
+// S. Called at the top of EndStep, i.e. once per step, sequentially.
+func (r *Frame) flushPending() {
+	if v := r.pendExcitations.Swap(0); v != 0 {
+		r.S.Excitations += int(v)
+	}
+	if v := r.pendWaitEntries.Swap(0); v != 0 {
+		r.S.WaitEntries += int(v)
+	}
+	if v := r.pendExcitedWins.Swap(0); v != 0 {
+		r.S.ExcitedSuccesses += int(v)
+	}
+	if v := r.pendLateInjected.Swap(0); v != 0 {
+		r.S.LatePhaseInjections += int(v)
 	}
 }
 

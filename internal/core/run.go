@@ -84,13 +84,60 @@ type RunOptions struct {
 	// Profile records per-phase injection/absorption/wait counts into
 	// Result.Phases.
 	Profile bool
+	// Workers/Shards configure the engine's sharded parallel step path
+	// (sim.Engine.SetParallelism). Workers <= 1 keeps the sequential
+	// path; results are byte-identical either way.
+	Workers int
+	Shards  int
+}
+
+// Runner executes frame runs on one problem, reusing the engine and
+// router across seeds through sim.Engine.Reset: the flat occupancy
+// backing, path arena, slot scratch, worker pool and the router's
+// per-packet arrays all survive from run to run, so per-trial cost in
+// an ensemble is the routing itself rather than setup. Not safe for
+// concurrent use; Monte-Carlo callers keep one Runner per worker.
+type Runner struct {
+	p      *workload.Problem
+	params Params
+	router *Frame
+	eng    *sim.Engine
+}
+
+// NewRunner builds a reusable runner. workers/shards configure the
+// engine's parallel step path as in RunOptions (<= 1 disables it).
+func NewRunner(p *workload.Problem, params Params, workers, shards int) *Runner {
+	router := NewFrame(params)
+	eng := sim.NewEngine(p, router, 0)
+	if workers > 1 {
+		eng.SetParallelism(workers, shards)
+	}
+	return &Runner{p: p, params: params, router: router, eng: eng}
+}
+
+// Close releases the engine's worker pool (no-op when sequential). The
+// runner must not be used afterwards.
+func (r *Runner) Close() { r.eng.Close() }
+
+// Run executes one seeded run, rewinding the reused engine first. The
+// per-run RunOptions fields (Seed, MaxSteps, Check, Observer, Profile)
+// apply; Workers/Shards are fixed at construction and ignored here.
+func (r *Runner) Run(opt RunOptions) *Result {
+	r.eng.Reset(opt.Seed)
+	return r.finish(opt)
 }
 
 // Run executes the frame algorithm on the problem and returns the
 // result.
 func Run(p *workload.Problem, params Params, opt RunOptions) *Result {
-	router := NewFrame(params)
-	eng := sim.NewEngine(p, router, opt.Seed)
+	r := NewRunner(p, params, opt.Workers, opt.Shards)
+	defer r.Close()
+	r.eng.Reset(opt.Seed)
+	return r.finish(opt)
+}
+
+func (r *Runner) finish(opt RunOptions) *Result {
+	p, params, router, eng := r.p, r.params, r.router, r.eng
 	var checker *InvariantChecker
 	if opt.Check {
 		checker = NewInvariantChecker(router)

@@ -7,6 +7,7 @@ package mc
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -44,20 +45,35 @@ type Options struct {
 	// Trials is the number of seeds (>= 1; default 32).
 	Trials int
 	// BaseSeed offsets the seed sequence (trial i uses BaseSeed + i).
+	// BaseSeed + Trials - 1 must not overflow int64.
 	BaseSeed int64
 	// MaxSteps caps each run (0 = 4x schedule bound).
 	MaxSteps int
 	// Check attaches the invariant checker to every run (slower).
 	Check bool
-	// Workers bounds parallelism (0 = GOMAXPROCS).
+	// Workers bounds parallelism (0 = GOMAXPROCS; negative is
+	// rejected). Workers beyond Trials are clamped to Trials.
 	Workers int
+	// FreshEngines rebuilds the engine for every trial instead of
+	// resetting one reusable engine per worker — the pre-reuse
+	// behavior, kept for benchmarking the reuse gain (see
+	// bench.RunEngineBench's ensemble row).
+	FreshEngines bool
 }
 
 // Run executes the ensemble, fanning trials out over a worker pool.
-// Trials are returned in seed order regardless of completion order.
-func Run(p *workload.Problem, params core.Params, opt Options) *Ensemble {
+// Each worker keeps one reusable engine (core.Runner) and rewinds it
+// per seed, so trial cost excludes engine construction. Trials are
+// returned in seed order regardless of completion order.
+func Run(p *workload.Problem, params core.Params, opt Options) (*Ensemble, error) {
 	if opt.Trials < 1 {
 		opt.Trials = 32
+	}
+	if opt.Workers < 0 {
+		return nil, fmt.Errorf("mc: negative Workers %d", opt.Workers)
+	}
+	if opt.BaseSeed > math.MaxInt64-int64(opt.Trials-1) {
+		return nil, fmt.Errorf("mc: BaseSeed %d + %d trials overflows int64", opt.BaseSeed, opt.Trials)
 	}
 	workers := opt.Workers
 	if workers <= 0 {
@@ -74,13 +90,24 @@ func Run(p *workload.Problem, params core.Params, opt Options) *Ensemble {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var runner *core.Runner
+			if !opt.FreshEngines {
+				runner = core.NewRunner(p, params, 1, 0)
+				defer runner.Close()
+			}
 			for i := range jobs {
 				seed := opt.BaseSeed + int64(i)
-				res := core.Run(p, params, core.RunOptions{
+				ro := core.RunOptions{
 					Seed:     seed,
 					MaxSteps: opt.MaxSteps,
 					Check:    opt.Check,
-				})
+				}
+				var res *core.Result
+				if runner != nil {
+					res = runner.Run(ro)
+				} else {
+					res = core.Run(p, params, ro)
+				}
 				t := Trial{
 					Seed:             seed,
 					Steps:            res.Steps,
@@ -104,7 +131,7 @@ func Run(p *workload.Problem, params core.Params, opt Options) *Ensemble {
 	}
 	close(jobs)
 	wg.Wait()
-	return &Ensemble{Problem: p, Params: params, Trials: trials}
+	return &Ensemble{Problem: p, Params: params, Trials: trials}, nil
 }
 
 // SuccessRate returns the fraction of trials that delivered every

@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -9,6 +10,15 @@ import (
 	"hotpotato/internal/topo"
 	"hotpotato/internal/workload"
 )
+
+func mustRun(t *testing.T, p *workload.Problem, params core.Params, opt Options) *Ensemble {
+	t.Helper()
+	e, err := Run(p, params, opt)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return e
+}
 
 func testProblem(t testing.TB) *workload.Problem {
 	t.Helper()
@@ -31,7 +41,7 @@ func quickParams(p *workload.Problem) core.Params {
 
 func TestEnsembleAllSucceed(t *testing.T) {
 	p := testProblem(t)
-	e := Run(p, quickParams(p), Options{Trials: 12, Check: true})
+	e := mustRun(t, p, quickParams(p), Options{Trials: 12, Check: true})
 	if len(e.Trials) != 12 {
 		t.Fatalf("trials = %d", len(e.Trials))
 	}
@@ -55,7 +65,7 @@ func TestEnsembleAllSucceed(t *testing.T) {
 
 func TestEnsembleTrialsInSeedOrder(t *testing.T) {
 	p := testProblem(t)
-	e := Run(p, quickParams(p), Options{Trials: 8, BaseSeed: 100})
+	e := mustRun(t, p, quickParams(p), Options{Trials: 8, BaseSeed: 100})
 	for i, tr := range e.Trials {
 		if tr.Seed != int64(100+i) {
 			t.Errorf("trial %d has seed %d", i, tr.Seed)
@@ -66,8 +76,8 @@ func TestEnsembleTrialsInSeedOrder(t *testing.T) {
 func TestEnsembleDeterministicAcrossWorkerCounts(t *testing.T) {
 	p := testProblem(t)
 	params := quickParams(p)
-	a := Run(p, params, Options{Trials: 6, Workers: 1})
-	b := Run(p, params, Options{Trials: 6, Workers: 4})
+	a := mustRun(t, p, params, Options{Trials: 6, Workers: 1})
+	b := mustRun(t, p, params, Options{Trials: 6, Workers: 4})
 	for i := range a.Trials {
 		if a.Trials[i] != b.Trials[i] {
 			t.Errorf("trial %d differs across worker counts: %+v vs %+v", i, a.Trials[i], b.Trials[i])
@@ -75,9 +85,66 @@ func TestEnsembleDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+func TestRunOptionValidation(t *testing.T) {
+	p := testProblem(t)
+	params := quickParams(p)
+	cases := []struct {
+		name    string
+		opt     Options
+		wantErr bool
+	}{
+		{"defaults", Options{Trials: 1}, false},
+		{"workers-clamped-to-trials", Options{Trials: 2, Workers: 64}, false},
+		{"zero-workers-means-gomaxprocs", Options{Trials: 1, Workers: 0}, false},
+		{"negative-workers", Options{Trials: 1, Workers: -1}, true},
+		{"very-negative-workers", Options{Trials: 1, Workers: -100}, true},
+		{"seed-overflow", Options{Trials: 2, BaseSeed: math.MaxInt64}, true},
+		{"seed-overflow-boundary", Options{Trials: 3, BaseSeed: math.MaxInt64 - 1}, true},
+		{"seed-at-limit", Options{Trials: 2, BaseSeed: math.MaxInt64 - 1}, false},
+		{"negative-base-seed-ok", Options{Trials: 2, BaseSeed: -5}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			e, err := Run(p, params, c.opt)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("Run(%+v) succeeded, want error", c.opt)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Run(%+v): %v", c.opt, err)
+			}
+			if len(e.Trials) != max(c.opt.Trials, 1) {
+				t.Errorf("trials = %d, want %d", len(e.Trials), c.opt.Trials)
+			}
+			for i, tr := range e.Trials {
+				if tr.Seed != c.opt.BaseSeed+int64(i) {
+					t.Errorf("trial %d seed = %d, want %d", i, tr.Seed, c.opt.BaseSeed+int64(i))
+				}
+			}
+		})
+	}
+}
+
+// Engine reuse across trials (one Runner per worker) must be invisible
+// in the results: identical trials to rebuilding the engine per seed.
+func TestEnsembleReuseMatchesFreshEngines(t *testing.T) {
+	p := testProblem(t)
+	params := quickParams(p)
+	reused := mustRun(t, p, params, Options{Trials: 6, Check: true})
+	fresh := mustRun(t, p, params, Options{Trials: 6, Check: true, FreshEngines: true})
+	for i := range reused.Trials {
+		if reused.Trials[i] != fresh.Trials[i] {
+			t.Errorf("trial %d differs with engine reuse: %+v vs %+v",
+				i, reused.Trials[i], fresh.Trials[i])
+		}
+	}
+}
+
 func TestEnsembleBudgetFailure(t *testing.T) {
 	p := testProblem(t)
-	e := Run(p, quickParams(p), Options{Trials: 4, MaxSteps: 5})
+	e := mustRun(t, p, quickParams(p), Options{Trials: 4, MaxSteps: 5})
 	if e.SuccessRate() != 0 {
 		t.Errorf("success rate = %g with 5-step budget", e.SuccessRate())
 	}
@@ -91,7 +158,7 @@ func TestEnsembleBudgetFailure(t *testing.T) {
 
 func TestEnsembleDefaults(t *testing.T) {
 	p := testProblem(t)
-	e := Run(p, quickParams(p), Options{Trials: 1})
+	e := mustRun(t, p, quickParams(p), Options{Trials: 1})
 	if len(e.Trials) != 1 {
 		t.Errorf("trials = %d", len(e.Trials))
 	}
@@ -103,7 +170,7 @@ func TestEnsembleDefaults(t *testing.T) {
 
 func TestExcitedSuccessRate(t *testing.T) {
 	p := testProblem(t)
-	e := Run(p, quickParams(p), Options{Trials: 8})
+	e := mustRun(t, p, quickParams(p), Options{Trials: 8})
 	episodes := 0
 	for _, tr := range e.Trials {
 		if tr.ExcitedSuccesses < 0 || tr.ExcitedFailures < 0 {
@@ -127,13 +194,13 @@ func TestViolationRate(t *testing.T) {
 	p := testProblem(t)
 	// Tight parameters provoke at least occasional violations; default
 	// ones give zero. Either way the rate is within [0,1].
-	e := Run(p, quickParams(p), Options{Trials: 6, Check: true})
+	e := mustRun(t, p, quickParams(p), Options{Trials: 6, Check: true})
 	r := e.ViolationRate()
 	if r < 0 || r > 1 {
 		t.Errorf("violation rate = %g", r)
 	}
 	// Without checking, violations are not counted.
-	e2 := Run(p, quickParams(p), Options{Trials: 2})
+	e2 := mustRun(t, p, quickParams(p), Options{Trials: 2})
 	if e2.ViolationRate() != 0 {
 		t.Errorf("unchecked violation rate = %g", e2.ViolationRate())
 	}

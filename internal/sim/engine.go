@@ -16,7 +16,9 @@ type Router interface {
 	// Name identifies the algorithm in reports.
 	Name() string
 
-	// Init is called once before the first step.
+	// Init is called once before the first step, and again on every
+	// Engine.Reset. A router must (re)initialize all of its per-run
+	// state here.
 	Init(e *Engine)
 
 	// WantInject reports whether the (not yet injected) packet should
@@ -41,6 +43,24 @@ type Router interface {
 
 	// EndStep is called after every step commits.
 	EndStep(t int, e *Engine)
+}
+
+// ConcurrentRouter is an optional Router extension. A router returning
+// true from ConcurrentRequests certifies that its WantInject and
+// Request methods are safe to call concurrently from multiple
+// goroutines on distinct packets, and that their observable behavior
+// is independent of call order: no draws from a shared sequential
+// generator (use counter-based randomness such as sim.CoinFloat), no
+// cross-packet writes, and shared counters only through atomics. The
+// engine's parallel step path invokes Request from shard workers (and
+// WantInject from injection-filter workers) only for certified
+// routers; every other router keeps the sequential request sweep while
+// still getting sharded deflection. The remaining callbacks (OnDeflect,
+// OnMove, OnAbsorb, EndStep) are always invoked sequentially in a
+// deterministic order, so they need no special care.
+type ConcurrentRouter interface {
+	Router
+	ConcurrentRequests() bool
 }
 
 // Observer is a read-only per-step hook (tracing, invariant checking).
@@ -91,8 +111,18 @@ func (m *Metrics) UnsafeDeflections() int {
 // engine spending its time routing and spending it skipping absorbed
 // packets. The hot path is also allocation-free in steady state: slot
 // scratch, loser buffers, occupancy lists and forward-memory dirty
-// lists are all reused, and PathList backing arrays of absorbed packets
-// are pooled for later injections.
+// lists are all reused, and PathList backing arrays are pre-carved from
+// one arena and recycled through a pool across absorptions and
+// injections.
+//
+// The step additionally supports sharded parallel execution
+// (SetParallelism): nodes are partitioned into contiguous shards and
+// the request/arbitrate/deflect phases run per-shard on a bounded
+// worker pool. Slot conflicts are node-local (a slot leaves exactly one
+// node) and arbitration randomness is counter-based (rng.go), so shards
+// share nothing and the committed trace is byte-identical for any
+// worker or shard count. See docs/ALGORITHM.md, "Sharded parallel
+// stepping".
 type Engine struct {
 	G       *graph.Leveled
 	Packets []Packet
@@ -102,16 +132,19 @@ type Engine struct {
 	// Faults, when non-nil, marks edges as down per step: requests for
 	// a downed edge lose (the packet is deflected among healthy slots)
 	// and deflections never use downed edges. Set before the first
-	// Step.
+	// Step. Fault models must be pure functions of (edge, step) — the
+	// parallel step path calls them concurrently from shard workers.
 	Faults FaultModel
 
-	router    Router
-	observers []Observer
-	now       int
+	router     Router
+	concurrent bool // router certified via ConcurrentRouter
+	observers  []Observer
+	now        int
+	seed       int64
 
-	// arb is the fast generator for conflict tie-breaking; all other
-	// randomness (router-level coins) comes from Rng. See rng.go.
-	arb splitMix64
+	// arbSeed keys the counter-based arbitration draws (rng.go); all
+	// router-level randomness comes from Rng or router-owned streams.
+	arbSeed uint64
 
 	// active lists the in-flight packets; pending lists the packets not
 	// yet injected. Both preserve relative packet order (pending starts
@@ -135,23 +168,32 @@ type Engine struct {
 	curTouched  []graph.EdgeID
 
 	// Scratch reused across steps. Slots are indexed 2*edge+direction;
-	// epoch stamps avoid clearing the arrays every step.
+	// epoch stamps avoid clearing the arrays every step (the epoch
+	// survives Reset so the stamp arrays never need rewinding).
 	epoch      uint32
 	slotEpoch  []uint32   // slot -> last epoch the slot was claimed or contested
 	slotWinner []PacketID // slot -> current winner (valid when slotEpoch matches)
 	slotPrio   []int64    // slot -> winner's priority
-	slotCount  []int32    // slot -> contenders seen at the winning priority
+	slotKey    []uint64   // slot -> winner's arbitration key (max wins)
 	moveEpoch  []uint32   // packet -> epoch of its committed move
 	moveSlot   []int32    // packet -> committed slot
-	contested  []int32    // slots touched this step, for winner marking
-	loserBuf   []PacketID
-	requests   []Request // indexed by PacketID
+	requests   []Request  // indexed by PacketID
 	granted    []bool
 
-	// pathPool holds PathList backing arrays surrendered by absorbed
-	// packets, reused by later injections so steady-state injection
-	// allocates nothing.
+	// pathPool holds PathList backing arrays — pre-carved from a single
+	// arena at construction and surrendered by absorbed packets — so
+	// injection never allocates, not even during the startup transient.
 	pathPool [][]graph.EdgeID
+
+	// Sharding state (see parallel.go). shards always holds at least
+	// one entry: the sequential path runs through shard 0 so that the
+	// deflection bookkeeping is identical in both modes.
+	nshards int
+	shardOf []int32 // node -> shard (contiguous ranges); nil when nshards == 1
+	shards  []shardState
+	pool    *stepPool // nil when workers <= 1
+	wantBuf []bool    // parallel injection-filter decisions, by pending index
+	stepT   int       // step number visible to pool workers
 }
 
 // stallSlot marks a packet that holds in place for one step because a
@@ -177,10 +219,12 @@ func NewEngine(p *workload.Problem, r Router, seed int64) *Engine {
 	e := &Engine{
 		G:           p.G,
 		Rng:         rand.New(rand.NewSource(seed)),
-		arb:         newSplitMix64(seed),
 		router:      r,
 		prevForward: make([]PacketID, p.G.NumEdges()),
 		curForward:  make([]PacketID, p.G.NumEdges()),
+	}
+	if cr, ok := r.(ConcurrentRouter); ok && cr.ConcurrentRequests() {
+		e.concurrent = true
 	}
 	// Node occupancy is bounded by degree (at most one arrival per
 	// incident edge per step; injection requires an empty node), so
@@ -198,18 +242,15 @@ func NewEngine(p *workload.Problem, r Router, seed int64) *Engine {
 	e.slotEpoch = make([]uint32, 2*p.G.NumEdges())
 	e.slotWinner = make([]PacketID, 2*p.G.NumEdges())
 	e.slotPrio = make([]int64, 2*p.G.NumEdges())
-	e.slotCount = make([]int32, 2*p.G.NumEdges())
+	e.slotKey = make([]uint64, 2*p.G.NumEdges())
 	e.moveEpoch = make([]uint32, p.N())
 	e.moveSlot = make([]int32, p.N())
 	// Scratch lists are preallocated at their tight bounds so steady
 	// state performs no growth reallocations at all.
 	e.active = make([]PacketID, 0, p.N())
 	e.occupied = make([]graph.NodeID, 0, min(p.N(), p.G.NumNodes()))
-	e.contested = make([]int32, 0, min(p.N(), 2*p.G.NumEdges()))
 	e.curTouched = make([]graph.EdgeID, 0, min(p.N(), p.G.NumEdges()))
 	e.prevTouched = make([]graph.EdgeID, 0, min(p.N(), p.G.NumEdges()))
-	e.loserBuf = make([]PacketID, 0, p.G.MaxDegree())
-	e.pathPool = make([][]graph.EdgeID, 0, p.N())
 	for i := range e.prevForward {
 		e.prevForward[i] = NoPacket
 		e.curForward[i] = NoPacket
@@ -217,37 +258,102 @@ func NewEngine(p *workload.Problem, r Router, seed int64) *Engine {
 	e.Packets = make([]Packet, p.N())
 	e.pending = make([]PacketID, 0, p.N())
 	for i, path := range p.Set.Paths {
-		pk := Packet{
+		e.Packets[i].Preselected = path
+	}
+	// Pre-carve PathList backing from one arena, sized at the longest
+	// preselected path plus prepend headroom, so the injection wave
+	// allocates nothing (previously the first borrow of every packet
+	// was a fresh allocation — ~N allocs charged to the startup
+	// transient; see BENCH_engine.json history).
+	maxLen := 0
+	for _, path := range p.Set.Paths {
+		if len(path) > maxLen {
+			maxLen = len(path)
+		}
+	}
+	unit := maxLen + 8
+	arena := make([]graph.EdgeID, p.N()*unit)
+	e.pathPool = make([][]graph.EdgeID, 0, p.N())
+	for i := 0; i < p.N(); i++ {
+		e.pathPool = append(e.pathPool, arena[i*unit:i*unit:(i+1)*unit])
+	}
+	e.requests = make([]Request, p.N())
+	e.granted = make([]bool, p.N())
+	e.wantBuf = make([]bool, p.N())
+	e.setShards(1, 1)
+	e.Reset(seed)
+	return e
+}
+
+// Reset rewinds the engine to step 0 with a new seed, reusing every
+// allocation: the flat occupancy backing, the path-arena pool, slot
+// scratch and the shard/worker configuration all survive, so a
+// Monte-Carlo worker can run thousands of trials on one engine without
+// rebuilding it (see mc.Run). Observers are per-run attachments and are
+// cleared; the router is re-initialized through Router.Init. Resetting
+// an engine mid-run is allowed.
+func (e *Engine) Reset(seed int64) {
+	e.seed = seed
+	e.Rng.Seed(seed)
+	e.arbSeed = arbStream(seed)
+	e.M = Metrics{}
+	e.now = 0
+	e.observers = e.observers[:0]
+	// The epoch deliberately keeps counting across runs: slotEpoch and
+	// moveEpoch entries from the previous run are stale by construction
+	// and never need clearing. Forward memory and occupancy are rolled
+	// back through their dirty lists, which also covers engines reset
+	// in the middle of a run.
+	for _, ed := range e.prevTouched {
+		e.prevForward[ed] = NoPacket
+	}
+	for _, ed := range e.curTouched {
+		e.curForward[ed] = NoPacket
+	}
+	e.prevTouched = e.prevTouched[:0]
+	e.curTouched = e.curTouched[:0]
+	for _, v := range e.occupied {
+		e.at[v] = e.at[v][:0]
+	}
+	e.occupied = e.occupied[:0]
+	e.active = e.active[:0]
+	e.pending = e.pending[:0]
+	for i := range e.Packets {
+		p := &e.Packets[i]
+		if p.PathList != nil {
+			e.pathPool = append(e.pathPool, p.PathList[:0])
+		}
+		*p = Packet{
 			ID:          PacketID(i),
 			Cur:         graph.NoNode,
 			Src:         graph.NoNode,
 			Dst:         graph.NoNode,
-			Preselected: path,
+			Preselected: p.Preselected,
 			InjectTime:  -1,
 			AbsorbTime:  -1,
 			ArrivalEdge: graph.NoEdge,
 		}
-		if len(path) > 0 {
-			pk.Src = p.G.PathSource(path)
-			pk.Dst = p.G.PathDest(path)
-			e.pending = append(e.pending, pk.ID)
+		if len(p.Preselected) > 0 {
+			p.Src = e.G.PathSource(p.Preselected)
+			p.Dst = e.G.PathDest(p.Preselected)
+			e.pending = append(e.pending, p.ID)
 		} else {
 			// Zero-length path: the packet is already where it is
 			// going. Absorb it up front so no Request can ever index an
 			// empty PathList.
-			pk.Absorbed = true
-			pk.InjectTime = 0
-			pk.AbsorbTime = 0
+			p.Absorbed = true
+			p.InjectTime = 0
+			p.AbsorbTime = 0
 			e.M.Injected++
 			e.M.Absorbed++
 		}
-		e.Packets[i] = pk
 	}
-	e.requests = make([]Request, p.N())
-	e.granted = make([]bool, p.N())
-	r.Init(e)
-	return e
+	e.router.Init(e)
 }
+
+// Seed returns the seed of the current run. Routers can derive
+// order-independent randomness streams from it via StreamSeed.
+func (e *Engine) Seed() int64 { return e.seed }
 
 // Now returns the current step number (the step about to execute, or
 // just executed inside observers).
@@ -294,7 +400,8 @@ func (e *Engine) addAt(v graph.NodeID, pid PacketID) {
 }
 
 // borrowPath returns a buffer holding a copy of pre, reusing the
-// packet's previous buffer or one pooled from an absorbed packet.
+// packet's previous buffer or one pooled from the arena / an absorbed
+// packet.
 func (e *Engine) borrowPath(buf []graph.EdgeID, pre graph.Path) []graph.EdgeID {
 	if buf == nil && len(e.pathPool) > 0 {
 		buf = e.pathPool[len(e.pathPool)-1]
@@ -306,16 +413,31 @@ func (e *Engine) borrowPath(buf []graph.EdgeID, pre graph.Path) []graph.EdgeID {
 // Step executes one synchronous time step.
 func (e *Engine) Step() {
 	t := e.now
+	e.stepT = t
 
 	// Phase 1: injection in isolation. A packet enters only when its
 	// router wants it in and its source node holds no active packet.
 	// Only never-injected packets are scanned; injected ones leave the
-	// pending list for good.
+	// pending list for good. With a worker pool and a certified router
+	// the WantInject sweep — the dominant per-step cost early in a
+	// large staggered run — is fanned out over index chunks; the commit
+	// below then walks the pending list in order, so the admitted set
+	// and all occupancy interactions are identical in both modes.
 	if len(e.pending) > 0 {
+		parFilter := e.pool != nil && e.concurrent && len(e.pending) >= parallelInjectMin
+		if parFilter {
+			e.pool.runRegion(modeInjectFilter, e.nshards)
+		}
 		keep := e.pending[:0]
-		for _, pid := range e.pending {
+		for i, pid := range e.pending {
 			p := &e.Packets[pid]
-			if !e.router.WantInject(t, p) {
+			want := false
+			if parFilter {
+				want = e.wantBuf[i]
+			} else {
+				want = e.router.WantInject(t, p)
+			}
+			if !want {
 				keep = append(keep, pid)
 				continue
 			}
@@ -339,57 +461,74 @@ func (e *Engine) Step() {
 		e.M.MaxInFlight = len(e.active)
 	}
 
-	// Phase 2: collect requests and resolve per-slot winners. Ties at
-	// equal priority are broken by reservoir selection — the i-th
-	// contender replaces the current winner with probability 1/i — so
-	// each of k contenders wins with probability exactly 1/k
-	// (a pairwise coin flip would give the last requester 1/2).
+	// Phases 2+3: collect requests, resolve per-slot winners, and
+	// assign deflection slots to losers. All three are node-local —
+	// every contender for a slot stands at the single node the slot
+	// leaves — so with a worker pool they run per-shard; the arbitration
+	// keys (rng.go) make the winner independent of enumeration order.
+	// Router callbacks for deflections are recorded per shard and
+	// replayed sequentially in occupied-node order below, so the
+	// router-visible callback order is identical for every worker and
+	// shard count.
 	e.epoch++
-	e.contested = e.contested[:0]
-	for _, pid := range e.active {
-		p := &e.Packets[pid]
-		req := e.router.Request(t, p)
-		if err := e.checkRequest(p, req); err != nil {
-			panic(fmt.Sprintf("sim: step %d: %v", t, err))
+	for i := range e.shards {
+		e.shards[i].reset()
+	}
+	switch {
+	case e.pool != nil && e.concurrent:
+		// Fully parallel: requests, arbitration and deflection all
+		// sharded.
+		e.scatterOccupied()
+		e.pool.runRegion(modeShardStep, e.nshards)
+	case e.pool != nil:
+		// Router not certified for concurrent Request: sweep requests
+		// sequentially in active order (preserving any sequential
+		// generator the router draws from), then shard the deflection
+		// phase, which performs no router calls.
+		sh := &e.shards[0]
+		for _, pid := range e.active {
+			e.collectRequest(t, pid, sh)
 		}
-		e.requests[pid] = req
-		e.granted[pid] = false
-		if e.Faults != nil && e.Faults(req.Edge, t) {
-			e.M.FaultBlocked++
-			continue
+		e.markWinners(sh)
+		e.scatterOccupied()
+		// Winner marks were staged into shard 0; hand each shard its
+		// own deflection record list.
+		e.pool.runRegion(modeShardDeflect, e.nshards)
+	default:
+		// Sequential: one shard, active-order sweep, in-place node
+		// order — exactly the parallel result by construction.
+		sh := &e.shards[0]
+		for _, pid := range e.active {
+			e.collectRequest(t, pid, sh)
 		}
-		s := slotIndex(req.Edge, req.Dir)
-		if e.slotEpoch[s] != e.epoch {
-			e.slotEpoch[s] = e.epoch
-			e.slotWinner[s] = pid
-			e.slotPrio[s] = req.Priority
-			e.slotCount[s] = 1
-			e.contested = append(e.contested, s)
-			continue
-		}
-		switch {
-		case req.Priority > e.slotPrio[s]:
-			e.slotWinner[s] = pid
-			e.slotPrio[s] = req.Priority
-			e.slotCount[s] = 1
-		case req.Priority == e.slotPrio[s]:
-			e.slotCount[s]++
-			if e.arb.intn(e.slotCount[s]) == 0 {
-				e.slotWinner[s] = pid
-			}
+		e.markWinners(sh)
+		for _, v := range e.occupied {
+			e.deflectLosers(t, v, sh)
 		}
 	}
 
-	// Phase 3: record winner moves, then assign deflection slots to
-	// losers node by node; slotEpoch doubles as the used-slot marker.
-	for _, s := range e.contested {
-		w := e.slotWinner[s]
-		e.granted[w] = true
-		e.moveEpoch[w] = e.epoch
-		e.moveSlot[w] = s
-	}
-	for _, v := range e.occupied {
-		e.deflectLosers(t, v)
+	// Merge: fold per-shard counters and replay deflection callbacks in
+	// occupied-node order. Records within a shard appear in that
+	// shard's node order, and scatter preserves relative order, so
+	// walking the original occupied list with per-shard cursors
+	// reconstructs the exact sequential callback order.
+	if e.nshards == 1 {
+		sh := &e.shards[0]
+		e.M.FaultBlocked += sh.faultBlocked
+		for _, rec := range sh.deflects {
+			e.applyDeflectRecord(t, rec)
+		}
+	} else {
+		for i := range e.shards {
+			e.M.FaultBlocked += e.shards[i].faultBlocked
+		}
+		for _, v := range e.occupied {
+			sh := &e.shards[e.shardOf[v]]
+			for sh.cursor < len(sh.deflects) && e.Packets[sh.deflects[sh.cursor].pid].Cur == v {
+				e.applyDeflectRecord(t, sh.deflects[sh.cursor])
+				sh.cursor++
+			}
+		}
 	}
 
 	// Phase 4: commit all moves simultaneously. Forward-memory entries
@@ -436,6 +575,68 @@ func (e *Engine) Step() {
 	e.router.EndStep(t, e)
 }
 
+// collectRequest gathers one packet's request and folds it into the
+// slot arbitration. The winner of an equal-priority conflict is the
+// contender with the largest counter-based arbitration key — a
+// commutative rule, so any enumeration order yields the same winner
+// (each of k contenders wins with probability 1/k; see rng.go).
+func (e *Engine) collectRequest(t int, pid PacketID, sh *shardState) {
+	p := &e.Packets[pid]
+	req := e.router.Request(t, p)
+	if err := e.checkRequest(p, req); err != nil {
+		panic(fmt.Sprintf("sim: step %d: %v", t, err))
+	}
+	e.requests[pid] = req
+	e.granted[pid] = false
+	if e.Faults != nil && e.Faults(req.Edge, t) {
+		sh.faultBlocked++
+		return
+	}
+	s := slotIndex(req.Edge, req.Dir)
+	k := arbKey(e.arbSeed, t, s, pid)
+	if e.slotEpoch[s] != e.epoch {
+		e.slotEpoch[s] = e.epoch
+		e.slotWinner[s] = pid
+		e.slotPrio[s] = req.Priority
+		e.slotKey[s] = k
+		sh.contested = append(sh.contested, s)
+		return
+	}
+	switch {
+	case req.Priority > e.slotPrio[s]:
+		e.slotWinner[s] = pid
+		e.slotPrio[s] = req.Priority
+		e.slotKey[s] = k
+	case req.Priority == e.slotPrio[s]:
+		if k > e.slotKey[s] || (k == e.slotKey[s] && pid > e.slotWinner[s]) {
+			e.slotWinner[s] = pid
+			e.slotKey[s] = k
+		}
+	}
+}
+
+// markWinners records the committed move of every contested slot's
+// winner; slotEpoch doubles as the used-slot marker for deflection.
+func (e *Engine) markWinners(sh *shardState) {
+	for _, s := range sh.contested {
+		w := e.slotWinner[s]
+		e.granted[w] = true
+		e.moveEpoch[w] = e.epoch
+		e.moveSlot[w] = s
+	}
+}
+
+// applyDeflectRecord commits one deferred deflection (or fault stall):
+// counters and the router callback, in deterministic merge order.
+func (e *Engine) applyDeflectRecord(t int, rec deflectRec) {
+	if rec.slot == stallSlot {
+		e.M.FaultStalls++
+		return
+	}
+	e.M.Deflections[rec.kind]++
+	e.router.OnDeflect(t, &e.Packets[rec.pid], slotEdge(rec.slot), rec.kind)
+}
+
 // checkRequest validates that a request leaves the packet's node.
 func (e *Engine) checkRequest(p *Packet, req Request) error {
 	if req.Edge < 0 || int(req.Edge) >= e.G.NumEdges() {
@@ -457,17 +658,20 @@ func (e *Engine) checkRequest(p *Packet, req Request) error {
 // packet's own arrival, (2) safe backward slots recycled from the
 // previous step's forward traversals, (3) any backward slot, (4) any
 // forward slot. Under the paper's preconditions only (1) and (2) occur.
-func (e *Engine) deflectLosers(t int, v graph.NodeID) {
-	e.loserBuf = e.loserBuf[:0]
+// Slot state is node-local, so shards may run this concurrently for
+// their own nodes; router callbacks are deferred into sh.deflects and
+// replayed at the merge.
+func (e *Engine) deflectLosers(t int, v graph.NodeID, sh *shardState) {
+	sh.loserBuf = sh.loserBuf[:0]
 	for _, pid := range e.at[v] {
 		if !e.granted[pid] {
-			e.loserBuf = append(e.loserBuf, pid)
+			sh.loserBuf = append(sh.loserBuf, pid)
 		}
 	}
-	if len(e.loserBuf) == 0 {
+	if len(sh.loserBuf) == 0 {
 		return
 	}
-	losers := e.loserBuf
+	losers := sh.loserBuf
 	node := e.G.Node(v)
 
 	free := func(s int32) bool {
@@ -480,10 +684,8 @@ func (e *Engine) deflectLosers(t int, v graph.NodeID) {
 		e.slotEpoch[s] = e.epoch
 		e.moveEpoch[pid] = e.epoch
 		e.moveSlot[pid] = s
-		e.M.Deflections[kind]++
-		p := &e.Packets[pid]
-		p.Deflections++
-		e.router.OnDeflect(t, p, slotEdge(s), kind)
+		e.Packets[pid].Deflections++
+		sh.deflects = append(sh.deflects, deflectRec{pid: pid, slot: s, kind: kind})
 	}
 
 	// Pass 1: own arrival reverse.
@@ -551,7 +753,7 @@ func (e *Engine) deflectLosers(t int, v graph.NodeID) {
 				// escape hatch under faults.
 				e.moveEpoch[pid] = e.epoch
 				e.moveSlot[pid] = stallSlot
-				e.M.FaultStalls++
+				sh.deflects = append(sh.deflects, deflectRec{pid: pid, slot: stallSlot})
 				continue
 			}
 			panic(fmt.Sprintf("sim: step %d: node %d: no free slot for deflected packet %d (capacity violated)", t, v, pid))

@@ -1,0 +1,388 @@
+package sim
+
+// Sharded parallel stepping (see docs/ALGORITHM.md, "Sharded parallel
+// stepping").
+//
+// The step's contention phases are node-local: every packet contending
+// for a slot (edge, direction) stands at the one node that slot leaves,
+// the deflection search only probes slots leaving the same node, and
+// prevForward is read-only during the phase. Partitioning nodes into
+// contiguous shards therefore partitions every mutable array the phase
+// touches — slot scratch by owning node, per-packet request/move state
+// by the packet's (unique) node — so shards share nothing and need no
+// locks. Arbitration randomness is counter-based (rng.go), making the
+// committed winners independent of enumeration order; the remaining
+// source of order, the router's OnDeflect callbacks, is removed by
+// recording deflections per shard and replaying them sequentially in
+// the original occupied-node order at the merge. The result: the trace
+// is byte-identical for every worker and shard count, asserted by
+// TestParallelStepMatchesSequential.
+//
+// The pool itself is a persistent set of goroutines driven by atomics —
+// a sequence number published per region, a shared work-item cursor,
+// and a remaining-items count — with a short adaptive spin before
+// parking on a channel. Dispatching a region performs no allocation and
+// no channel operation in the common (workers already spinning) case,
+// which is what keeps the 0 allocs/step assertion intact with the pool
+// enabled.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hotpotato/internal/graph"
+)
+
+// deflectRec is a deflection (or fault stall, slot == stallSlot)
+// decided inside a shard, to be replayed at the merge.
+type deflectRec struct {
+	pid  PacketID
+	slot int32
+	kind DeflectKind
+}
+
+// shardState is the per-shard mutable scratch for one step. The
+// trailing pad keeps adjacent shards' hot append cursors off a shared
+// cache line.
+type shardState struct {
+	// occ is this shard's slice of the occupied-node list, in original
+	// occupied order (scatterOccupied preserves relative order, which
+	// the merge relies on).
+	occ []graph.NodeID
+	// contested lists slots with at least one request, for markWinners.
+	contested []int32
+	// loserBuf is deflectLosers' per-node scratch.
+	loserBuf []PacketID
+	// deflects accumulates deferred deflection records; cursor is the
+	// merge's read position.
+	deflects     []deflectRec
+	cursor       int
+	faultBlocked int
+	_            [64]byte
+}
+
+func (sh *shardState) reset() {
+	sh.occ = sh.occ[:0]
+	sh.contested = sh.contested[:0]
+	sh.deflects = sh.deflects[:0]
+	sh.cursor = 0
+	sh.faultBlocked = 0
+}
+
+// scatterOccupied distributes the occupied-node list over the shards,
+// preserving relative order within each shard.
+func (e *Engine) scatterOccupied() {
+	for _, v := range e.occupied {
+		sh := &e.shards[e.shardOf[v]]
+		sh.occ = append(sh.occ, v)
+	}
+}
+
+// Pool work-region modes.
+const (
+	// modeShardStep runs requests + arbitration + deflection for one
+	// shard (routers certified via ConcurrentRouter only).
+	modeShardStep = iota + 1
+	// modeShardDeflect runs only the deflection phase for one shard
+	// (requests were swept sequentially for an uncertified router).
+	modeShardDeflect
+	// modeInjectFilter evaluates WantInject over one chunk of the
+	// pending list into wantBuf.
+	modeInjectFilter
+)
+
+// parallelInjectMin is the pending-list length below which the
+// injection filter is not worth fanning out.
+const parallelInjectMin = 256
+
+// poolSpin is how many cooperative-yield rounds a worker spins waiting
+// for the next region before parking on the wake channel. Regions
+// within one step arrive back to back, so a parked worker is the
+// exception, not the rule.
+const poolSpin = 256
+
+// defaultShardsPerWorker oversubscribes shards relative to workers so
+// that uneven occupancy (common on leveled networks, where traffic
+// concentrates by level) still load-balances through work stealing off
+// the shared cursor.
+const defaultShardsPerWorker = 8
+
+// Bit layout of the pool's region and cursor words. The region word
+// (seq) is generation<<poolModeBits | mode; the cursor word packs
+// (generation low bits, item count, next item index) so that a claim is
+// atomic WITH its generation and bounds — a straggler from a finished
+// region fails the generation comparison instead of touching a later
+// region's (or the idle engine's) state with stale mode or count.
+const (
+	poolModeBits = 3
+	poolCntBits  = 16
+	poolIdxBits  = 16
+	poolIdxMask  = (1 << poolIdxBits) - 1
+	poolCntMask  = (1 << poolCntBits) - 1
+	poolGenMask  = (1 << 32) - 1
+	// maxShards bounds the item count to the cursor's count field.
+	maxShards = poolCntMask
+)
+
+// stepPool runs work regions for an engine on workers-1 persistent
+// helper goroutines; the dispatching goroutine participates too, so a
+// pool of w workers uses exactly w OS threads' worth of CPU and
+// workers == 1 means no pool at all.
+type stepPool struct {
+	e       *Engine
+	workers int
+
+	// seq publishes the current region word; helpers detect work by
+	// watching it. The store-release/load-acquire pair also orders the
+	// engine's plain per-step fields (stepT, shards, wantBuf, ...)
+	// written by the dispatcher before the region.
+	seq atomic.Uint64
+
+	// cursor is [generation:32][count:16][index:16]; claims CAS the
+	// index up and are valid only for the matching generation.
+	cursor atomic.Uint64
+
+	remain atomic.Int32 // items not yet completed this region
+	parked atomic.Int32 // helpers blocked on wake
+
+	wake chan struct{} // buffered wake tokens for parked helpers
+	done chan struct{} // closed to terminate helpers
+
+	panicMu  sync.Mutex
+	panicked any
+	wg       sync.WaitGroup
+}
+
+func newStepPool(e *Engine, workers int) *stepPool {
+	p := &stepPool{
+		e:       e,
+		workers: workers,
+		wake:    make(chan struct{}, workers),
+		done:    make(chan struct{}),
+	}
+	p.wg.Add(workers - 1)
+	for i := 1; i < workers; i++ {
+		go p.helperLoop()
+	}
+	return p
+}
+
+// runRegion executes n items of the given mode across the pool and the
+// calling goroutine, returning when all items are complete. Panics from
+// workers (e.g. an engine invariant violation inside a shard) are
+// captured and re-raised here on the caller.
+func (p *stepPool) runRegion(mode, n int) {
+	if n <= 0 {
+		return
+	}
+	gen := (p.seq.Load() >> poolModeBits) + 1
+	word := gen<<poolModeBits | uint64(mode)
+	p.remain.Store(int32(n))
+	p.cursor.Store((gen&poolGenMask)<<(poolCntBits+poolIdxBits) | uint64(n)<<poolIdxBits)
+	p.seq.Store(word)
+	if np := p.parked.Load(); np > 0 {
+		for ; np > 0; np-- {
+			select {
+			case p.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+	p.drain(word)
+	for p.remain.Load() > 0 {
+		runtime.Gosched()
+	}
+	if p.panicked != nil {
+		v := p.panicked
+		p.panicked = nil
+		panic(v)
+	}
+}
+
+// drain claims and runs items of the region word until the region is
+// exhausted or superseded. Mode, count and index all come from the
+// observed word and cursor, never from unsynchronized fields, so a
+// straggler arriving after the region ended claims nothing.
+func (p *stepPool) drain(word uint64) {
+	mode := int(word & (1<<poolModeBits - 1))
+	key := ((word >> poolModeBits) & poolGenMask) << (poolCntBits + poolIdxBits)
+	for {
+		c := p.cursor.Load()
+		if c>>(poolCntBits+poolIdxBits) != key>>(poolCntBits+poolIdxBits) {
+			return // region superseded
+		}
+		n := int(c >> poolIdxBits & poolCntMask)
+		i := int(c & poolIdxMask)
+		if i >= n {
+			return // region exhausted
+		}
+		if !p.cursor.CompareAndSwap(c, c+1) {
+			continue
+		}
+		p.runItem(mode, i, n)
+		p.remain.Add(-1)
+	}
+}
+
+func (p *stepPool) runItem(mode, i, n int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicMu.Lock()
+			if p.panicked == nil {
+				p.panicked = r
+			}
+			p.panicMu.Unlock()
+		}
+	}()
+	e := p.e
+	t := e.stepT
+	switch mode {
+	case modeShardStep:
+		sh := &e.shards[i]
+		for _, v := range sh.occ {
+			for _, pid := range e.at[v] {
+				e.collectRequest(t, pid, sh)
+			}
+		}
+		e.markWinners(sh)
+		for _, v := range sh.occ {
+			e.deflectLosers(t, v, sh)
+		}
+	case modeShardDeflect:
+		sh := &e.shards[i]
+		for _, v := range sh.occ {
+			e.deflectLosers(t, v, sh)
+		}
+	case modeInjectFilter:
+		chunk := (len(e.pending) + n - 1) / n
+		lo := i * chunk
+		hi := min(lo+chunk, len(e.pending))
+		for idx := lo; idx < hi; idx++ {
+			pid := e.pending[idx]
+			e.wantBuf[idx] = e.router.WantInject(t, &e.Packets[pid])
+		}
+	}
+}
+
+// helperLoop is the body of one persistent helper goroutine: watch seq,
+// drain items, spin briefly, park.
+func (p *stepPool) helperLoop() {
+	defer p.wg.Done()
+	var last uint64
+	for {
+		seq := p.seq.Load()
+		if seq != last {
+			last = seq
+			p.drain(seq)
+			continue
+		}
+		spun := false
+		for i := 0; i < poolSpin; i++ {
+			runtime.Gosched()
+			if p.seq.Load() != last {
+				spun = true
+				break
+			}
+		}
+		if spun {
+			continue
+		}
+		// Park. The parked increment before the final seq re-check
+		// pairs with runRegion's seq bump before its parked read
+		// (store-buffer pattern): either we see the new region here or
+		// the dispatcher sees us parked and leaves a wake token.
+		p.parked.Add(1)
+		if p.seq.Load() != last {
+			p.parked.Add(-1)
+			continue
+		}
+		select {
+		case <-p.wake:
+			p.parked.Add(-1)
+		case <-p.done:
+			p.parked.Add(-1)
+			return
+		}
+	}
+}
+
+// close terminates the helper goroutines and waits for them.
+func (p *stepPool) close() {
+	close(p.done)
+	p.wg.Wait()
+}
+
+// SetParallelism configures the sharded parallel step path: workers is
+// the number of goroutines participating in each step (1 disables the
+// pool entirely and restores the plain sequential path), shards the
+// number of contiguous node ranges the contention phases are split into
+// (0 picks workers×8, oversubscribed for load balance). The committed
+// trace is byte-identical for every (workers, shards) setting — the
+// knobs trade only wall-clock — so callers may tune them freely without
+// invalidating per-seed results. The configuration survives Reset;
+// call Close (or SetParallelism(1, 0)) to release the worker
+// goroutines.
+//
+// Full parallelism — requests included — requires the router to certify
+// ConcurrentRouter; other routers keep a sequential request sweep and
+// parallelize only the deflection phase.
+func (e *Engine) SetParallelism(workers, shards int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if shards < 1 {
+		shards = workers * defaultShardsPerWorker
+	}
+	if shards > e.G.NumNodes() {
+		shards = e.G.NumNodes()
+	}
+	if shards > maxShards {
+		shards = maxShards
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if workers > shards {
+		workers = shards
+	}
+	e.setShards(workers, shards)
+}
+
+// Close releases the worker pool's goroutines. The engine remains
+// usable (sequentially) afterwards; SetParallelism may be called again.
+func (e *Engine) Close() {
+	e.setShards(1, e.nshards)
+}
+
+// Parallelism reports the configuration in effect after clamping:
+// the number of goroutines participating in each step and the number
+// of node shards.
+func (e *Engine) Parallelism() (workers, shards int) {
+	workers = 1
+	if e.pool != nil {
+		workers = e.pool.workers
+	}
+	return workers, e.nshards
+}
+
+func (e *Engine) setShards(workers, shards int) {
+	e.nshards = shards
+	if len(e.shards) != shards {
+		e.shards = make([]shardState, shards)
+	}
+	if e.shardOf == nil {
+		e.shardOf = make([]int32, e.G.NumNodes())
+	}
+	per := (e.G.NumNodes() + shards - 1) / shards
+	for v := range e.shardOf {
+		e.shardOf[v] = int32(v / per)
+	}
+	if e.pool != nil && (workers <= 1 || e.pool.workers != workers) {
+		e.pool.close()
+		e.pool = nil
+	}
+	if workers > 1 && e.pool == nil {
+		e.pool = newStepPool(e, workers)
+	}
+}

@@ -1,0 +1,271 @@
+package sim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"hotpotato/internal/baselines"
+	"hotpotato/internal/graph"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+// recorder wraps a router and logs every sequential callback — the
+// engine's full router-visible trace. WantInject/Request are passed
+// through unlogged (they may run concurrently on shard workers); the
+// callbacks below are always sequential, so appending is safe.
+type recorder struct {
+	inner sim.Router
+	log   strings.Builder
+}
+
+func (r *recorder) Name() string       { return r.inner.Name() }
+func (r *recorder) Init(e *sim.Engine) { r.inner.Init(e) }
+func (r *recorder) WantInject(t int, p *sim.Packet) bool {
+	return r.inner.WantInject(t, p)
+}
+func (r *recorder) Request(t int, p *sim.Packet) sim.Request {
+	return r.inner.Request(t, p)
+}
+func (r *recorder) OnDeflect(t int, p *sim.Packet, e graph.EdgeID, k sim.DeflectKind) {
+	fmt.Fprintf(&r.log, "d %d %d %d %d\n", t, p.ID, e, k)
+	r.inner.OnDeflect(t, p, e, k)
+}
+func (r *recorder) OnMove(t int, p *sim.Packet) {
+	fmt.Fprintf(&r.log, "m %d %d %d\n", t, p.ID, p.Cur)
+	r.inner.OnMove(t, p)
+}
+func (r *recorder) OnAbsorb(t int, p *sim.Packet) {
+	fmt.Fprintf(&r.log, "a %d %d\n", t, p.ID)
+	r.inner.OnAbsorb(t, p)
+}
+func (r *recorder) EndStep(t int, e *sim.Engine) { r.inner.EndStep(t, e) }
+
+// concurrentRecorder additionally forwards the inner router's
+// ConcurrentRouter certification through the wrapper.
+type concurrentRecorder struct{ recorder }
+
+func (r *concurrentRecorder) ConcurrentRequests() bool {
+	return r.inner.(sim.ConcurrentRouter).ConcurrentRequests()
+}
+
+// wrapRecorder wraps the router, preserving certification.
+func wrapRecorder(inner sim.Router) (sim.Router, *recorder) {
+	if cr, ok := inner.(sim.ConcurrentRouter); ok && cr.ConcurrentRequests() {
+		w := &concurrentRecorder{recorder{inner: inner}}
+		return w, &w.recorder
+	}
+	w := &recorder{inner: inner}
+	return w, w
+}
+
+// fullTrace runs the problem to completion and returns the metrics plus
+// a byte-exact trace: every router callback in order, then the final
+// state of every packet including its remaining path list.
+func fullTrace(tb testing.TB, p *workload.Problem, mk func() sim.Router, seed int64, workers, shards int) (sim.Metrics, string) {
+	tb.Helper()
+	router, rec := wrapRecorder(mk())
+	e := sim.NewEngine(p, router, seed)
+	defer e.Close()
+	if workers > 1 || shards > 0 {
+		e.SetParallelism(workers, shards)
+	}
+	if _, done := e.Run(100000); !done {
+		tb.Fatalf("run did not complete")
+	}
+	var b strings.Builder
+	b.WriteString(rec.log.String())
+	for i := range e.Packets {
+		pk := &e.Packets[i]
+		fmt.Fprintf(&b, "p %d %d %d %d %d %d %d %v\n", pk.ID, pk.Cur,
+			pk.InjectTime, pk.AbsorbTime, pk.Deflections,
+			pk.ForwardMoves, pk.BackwardMoves, pk.PathList)
+	}
+	return e.M, b.String()
+}
+
+func matrixProblems(tb testing.TB) map[string]*workload.Problem {
+	tb.Helper()
+	ps := map[string]*workload.Problem{}
+
+	g, err := topo.Butterfly(6)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	bf, err := workload.FullThroughput(g, rand.New(rand.NewSource(7)))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ps["butterfly"] = bf
+
+	mh, err := workload.MeshHard(8)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ps["mesh"] = mh
+
+	rng := rand.New(rand.NewSource(9))
+	rg, err := topo.Random(rng, 18, 3, 6, 0.5)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rp, err := workload.Random(rg, rng, 0.6)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ps["random"] = rp
+	return ps
+}
+
+// workerCounts is the issue's matrix: {1, 2, GOMAXPROCS}, plus 4 to
+// exercise multi-worker merging even when GOMAXPROCS is small.
+func workerCounts() []int {
+	ws := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	var out []int
+	for _, w := range ws {
+		if w >= 1 && !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// TestParallelStepMatchesSequential is the tentpole's acceptance
+// assertion: for every topology, router flavor (certified concurrent
+// and not), worker count and shard count, the run's metrics and full
+// router-visible trace are byte-identical to the sequential run.
+func TestParallelStepMatchesSequential(t *testing.T) {
+	routers := map[string]func() sim.Router{
+		// Certified: full sharded path (requests + arbitration +
+		// deflection on workers).
+		"greedy": func() sim.Router { return baselines.NewGreedy() },
+		// Certified, priority ties exercise hash-max arbitration.
+		"oldest": func() sim.Router { return baselines.NewOldestFirst() },
+		// Uncertified: sequential request sweep + sharded deflection.
+		"randgreedy": func() sim.Router { return baselines.NewRandGreedy(0.1) },
+	}
+	for pname, p := range matrixProblems(t) {
+		for rname, mk := range routers {
+			t.Run(pname+"/"+rname, func(t *testing.T) {
+				const seed = 42
+				wantM, wantTr := fullTrace(t, p, mk, seed, 1, 0)
+				for _, w := range workerCounts() {
+					if w == 1 {
+						continue
+					}
+					for _, shards := range []int{0, 3, 16} {
+						gotM, gotTr := fullTrace(t, p, mk, seed, w, shards)
+						if gotM != wantM {
+							t.Errorf("workers=%d shards=%d: metrics differ:\n got %+v\nwant %+v", w, shards, gotM, wantM)
+						}
+						if gotTr != wantTr {
+							t.Errorf("workers=%d shards=%d: trace differs from sequential", w, shards)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEngineResetMatchesFresh: a reused engine rewound with Reset must
+// reproduce a fresh engine's run exactly — including when the reset
+// interrupts a run in flight.
+func TestEngineResetMatchesFresh(t *testing.T) {
+	for pname, p := range matrixProblems(t) {
+		t.Run(pname, func(t *testing.T) {
+			mk := func() sim.Router { return baselines.NewOldestFirst() }
+			wantM, wantTr := fullTrace(t, p, mk, 5, 1, 0)
+
+			// Reuse one engine across three scenarios: a completed run
+			// with another seed, a mid-run abandonment, then the target
+			// seed.
+			router, rec := wrapRecorder(mk())
+			e := sim.NewEngine(p, router, 99)
+			defer e.Close()
+			e.Run(100000)
+			e.Reset(7)
+			for i := 0; i < 3 && !e.Done(); i++ {
+				e.Step()
+			}
+			e.Reset(5)
+			rec.log.Reset()
+			if _, done := e.Run(100000); !done {
+				t.Fatal("reused run did not complete")
+			}
+			var b strings.Builder
+			b.WriteString(rec.log.String())
+			for i := range e.Packets {
+				pk := &e.Packets[i]
+				fmt.Fprintf(&b, "p %d %d %d %d %d %d %d %v\n", pk.ID, pk.Cur,
+					pk.InjectTime, pk.AbsorbTime, pk.Deflections,
+					pk.ForwardMoves, pk.BackwardMoves, pk.PathList)
+			}
+			if e.M != wantM {
+				t.Errorf("metrics differ after Reset:\n got %+v\nwant %+v", e.M, wantM)
+			}
+			if b.String() != wantTr {
+				t.Errorf("trace differs after Reset")
+			}
+		})
+	}
+}
+
+// TestSFEngineResetMatchesFresh mirrors the reset test for the
+// store-and-forward engine, including the random-delay scheduler whose
+// initial delays are re-drawn from the reseeded engine RNG.
+func TestSFEngineResetMatchesFresh(t *testing.T) {
+	for pname, p := range matrixProblems(t) {
+		t.Run(pname, func(t *testing.T) {
+			for _, mk := range []func() sim.Scheduler{
+				func() sim.Scheduler { return baselines.NewFIFO() },
+				func() sim.Scheduler { return baselines.NewRandomDelay(p.C, 1) },
+			} {
+				fresh := sim.NewSFEngine(p, mk(), 5)
+				fresh.Run(100000)
+
+				reused := sim.NewSFEngine(p, mk(), 99)
+				reused.Run(100000)
+				reused.Reset(7)
+				for i := 0; i < 3 && !reused.Done(); i++ {
+					reused.Step()
+				}
+				reused.Reset(5)
+				reused.Run(100000)
+
+				if fresh.M != reused.M {
+					t.Errorf("SF metrics differ after Reset:\n got %+v\nwant %+v", reused.M, fresh.M)
+				}
+				for i := range fresh.Packets {
+					a, b := &fresh.Packets[i], &reused.Packets[i]
+					if a.InjectTime != b.InjectTime || a.AbsorbTime != b.AbsorbTime ||
+						a.ForwardMoves != b.ForwardMoves {
+						t.Errorf("SF packet %d differs after Reset: %+v vs %+v", i, a, b)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSetParallelismClamps checks the knob edge cases: zero/negative
+// workers, more shards than nodes, more workers than shards.
+func TestSetParallelismClamps(t *testing.T) {
+	p := matrixProblems(t)["mesh"]
+	for _, cfg := range [][2]int{{0, 0}, {-3, -1}, {2, 1000000}, {64, 2}, {1, 7}} {
+		func() {
+			e := sim.NewEngine(p, baselines.NewGreedy(), 3)
+			defer e.Close()
+			e.SetParallelism(cfg[0], cfg[1])
+			if _, done := e.Run(100000); !done {
+				t.Fatalf("SetParallelism(%d, %d): run did not complete", cfg[0], cfg[1])
+			}
+		}()
+	}
+}

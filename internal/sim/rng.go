@@ -1,42 +1,63 @@
 package sim
 
-import "math/bits"
-
-// splitMix64 is the fast, allocation-free generator used on the
-// engine's arbitration hot path (conflict tie-breaking). The engine's
-// public Rng (math/rand) stays the source for router-level randomness —
-// set assignment, excitation coins — so algorithm code is unchanged;
-// splitMix64 only replaces the Intn calls inside the per-step conflict
-// loop, where the ~25ns/locked-call cost of math/rand showed up in
-// profiles. Runs remain byte-for-byte deterministic per seed: the
-// stream is a pure function of the engine seed, and arbitration draws
-// happen in a deterministic order.
+// Arbitration randomness is counter-based: every draw is a pure
+// function of (engine seed, step, slot, packet), with no sequential
+// generator state at all. The engine resolves an equal-priority slot
+// conflict by giving each contender the key arbKey(seed, t, slot, pid)
+// and crowning the largest key (ties, ~2^-64, break toward the larger
+// packet ID). Because max is commutative, the winner does not depend on
+// the order in which contenders are enumerated — requests may be
+// gathered packet-by-packet, node-by-node, or concurrently from shard
+// workers and the trace is byte-identical. Each of k contenders holds
+// the largest of k iid uniform keys with probability exactly 1/k, so
+// the reservoir-selection uniformity of the sequential engine is
+// preserved (and chi-square tested in arbitration_test.go).
 //
-// The generator is Steele, Lea & Flood's SplitMix64 (the seeder of
-// xoshiro); it passes BigCrush and has period 2^64.
-type splitMix64 struct {
-	s uint64
+// A slot (edge, direction) is leavable from exactly one node, so keying
+// on the slot is the same as keying on (node, slot) — the form the
+// sharding design is stated in.
+//
+// The mixer is Steele, Lea & Flood's SplitMix64 finalizer (the seeder
+// of xoshiro); it passes BigCrush as a counter-mode generator.
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche mixer whose
+// output over a counter sequence is a high-quality uniform stream.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ (x >> 31)
 }
 
-// newSplitMix64 seeds the generator. Any seed is fine, including 0.
-func newSplitMix64(seed int64) splitMix64 {
-	return splitMix64{s: uint64(seed)}
+// StreamSeed derives an independent stream seed from a run seed and a
+// caller-chosen salt. Routers that need order-independent randomness
+// (e.g. the frame router's excitation coin) derive their own stream
+// here so their draws never interleave with engine arbitration.
+func StreamSeed(seed int64, salt uint64) uint64 {
+	return mix64(mix64(uint64(seed)+0x9E3779B97F4A7C15) ^ salt)
 }
 
-// next returns the next 64 uniform bits.
-func (r *splitMix64) next() uint64 {
-	r.s += 0x9E3779B97F4A7C15
-	z := r.s
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
+// arbStream derives the engine's arbitration stream seed.
+func arbStream(seed int64) uint64 {
+	return StreamSeed(seed, 0xA5B35705) // fixed engine-arbitration salt
 }
 
-// intn returns a uniform value in [0, n) for n >= 1 via Lemire's
-// multiply-shift reduction. The residual bias is at most n/2^64 —
-// unobservable at any feasible sample size (a chi-square test over the
-// engine's k-way tie-breaks sees a perfectly uniform winner).
-func (r *splitMix64) intn(n int32) int32 {
-	hi, _ := bits.Mul64(r.next(), uint64(n))
-	return int32(hi)
+// arbKey returns the arbitration key of contender pid for slot s at
+// step t: 64 iid uniform bits per (seed, step, slot, packet) tuple.
+// Step and slot pack exactly into the first mixing word, the packet ID
+// into the second, so distinct tuples never collide before mixing.
+func arbKey(seed uint64, t int, s int32, pid PacketID) uint64 {
+	h := mix64(seed ^ (uint64(uint32(t)) | uint64(uint32(s))<<32))
+	return mix64(h ^ 0x9E3779B97F4A7C15 ^ uint64(uint32(pid)))
+}
+
+// CoinFloat returns a uniform float64 in [0, 1) determined by (stream,
+// step, packet) — the counter-based replacement for a sequential
+// rng.Float64() inside Router.Request, where draw order must not
+// depend on request iteration order. The 53 high bits of the mixed
+// counter form the mantissa, the standard uniform-double construction.
+func CoinFloat(stream uint64, t int, pid PacketID) float64 {
+	h := mix64(stream ^ (uint64(uint32(t)) | uint64(uint32(pid))<<32))
+	return float64(h>>11) / (1 << 53)
 }

@@ -68,6 +68,7 @@ type SFEngine struct {
 
 	sched Scheduler
 	now   int
+	seed  int64
 
 	// queue[e] lists packets waiting to cross edge e.
 	queue   [][]PacketID
@@ -111,31 +112,11 @@ func NewSFEngineBuffered(p *workload.Problem, s Scheduler, seed int64, cap int) 
 		queue: make([][]PacketID, p.G.NumEdges()),
 	}
 	e.Packets = make([]Packet, p.N())
-	e.pendingInject = make([]PacketID, 0, p.N())
 	for i, path := range p.Set.Paths {
-		pk := Packet{
-			ID:          PacketID(i),
-			Cur:         graph.NoNode,
-			Src:         graph.NoNode,
-			Dst:         graph.NoNode,
-			Preselected: path,
-			InjectTime:  -1,
-			AbsorbTime:  -1,
-			ArrivalEdge: graph.NoEdge,
-		}
-		if len(path) > 0 {
-			pk.Src = p.G.PathSource(path)
-			pk.Dst = p.G.PathDest(path)
-			e.pendingInject = append(e.pendingInject, pk.ID)
-		} else {
-			pk.Absorbed = true
-			pk.InjectTime = 0
-			pk.AbsorbTime = 0
-			e.M.Injected++
-			e.M.Absorbed++
-		}
-		e.Packets[i] = pk
+		e.Packets[i].Preselected = path
 	}
+	e.pendingInject = make([]PacketID, 0, p.N())
+	e.readyAt = make([]int, p.N())
 	e.edgesByLevelDesc = make([]graph.EdgeID, p.G.NumEdges())
 	for i := range e.edgesByLevelDesc {
 		e.edgesByLevelDesc[i] = graph.EdgeID(i)
@@ -149,20 +130,77 @@ func NewSFEngineBuffered(p *workload.Problem, s Scheduler, seed int64, cap int) 
 	for pos, eid := range e.edgesByLevelDesc {
 		e.descPos[eid] = int32(pos)
 	}
-	s.Init(e)
-	e.readyAt = make([]int, p.N())
+	e.Reset(seed)
+	return e
+}
+
+// Reset rewinds the engine to step 0 with a new seed, reusing every
+// allocation — queue backing arrays, path lists and the level-order
+// index all survive — mirroring Engine.Reset so Monte-Carlo workers can
+// reuse one store-and-forward engine across trials. The scheduler is
+// re-initialized and initial delays are re-drawn for the new seed.
+func (e *SFEngine) Reset(seed int64) {
+	e.seed = seed
+	e.Rng.Seed(seed)
+	e.M = SFMetrics{}
+	e.now = 0
+	// Every non-empty queue is registered in activePos or staged in
+	// newPos (enqueue's invariant), so clearing through those lists
+	// touches only dirty queues.
+	for _, pos := range e.activePos {
+		eid := e.edgesByLevelDesc[pos]
+		e.queue[eid] = e.queue[eid][:0]
+	}
+	for _, pos := range e.newPos {
+		eid := e.edgesByLevelDesc[pos]
+		e.queue[eid] = e.queue[eid][:0]
+	}
+	e.activePos = e.activePos[:0]
+	e.newPos = e.newPos[:0]
+	e.pendingInject = e.pendingInject[:0]
+	for i := range e.Packets {
+		p := &e.Packets[i]
+		pathBuf := p.PathList
+		*p = Packet{
+			ID:          PacketID(i),
+			Cur:         graph.NoNode,
+			Src:         graph.NoNode,
+			Dst:         graph.NoNode,
+			Preselected: p.Preselected,
+			InjectTime:  -1,
+			AbsorbTime:  -1,
+			ArrivalEdge: graph.NoEdge,
+		}
+		if pathBuf != nil {
+			p.PathList = pathBuf[:0]
+		}
+		if len(p.Preselected) > 0 {
+			p.Src = e.G.PathSource(p.Preselected)
+			p.Dst = e.G.PathDest(p.Preselected)
+			e.pendingInject = append(e.pendingInject, p.ID)
+		} else {
+			p.Absorbed = true
+			p.InjectTime = 0
+			p.AbsorbTime = 0
+			e.M.Injected++
+			e.M.Absorbed++
+		}
+	}
+	e.sched.Init(e)
 	for i := range e.Packets {
 		if e.Packets[i].Absorbed {
 			continue
 		}
-		r := s.ReadyAt(&e.Packets[i])
+		r := e.sched.ReadyAt(&e.Packets[i])
 		if r < 0 {
 			r = 0
 		}
 		e.readyAt[i] = r
 	}
-	return e
 }
+
+// Seed returns the seed of the current run.
+func (e *SFEngine) Seed() int64 { return e.seed }
 
 // Now returns the current step number.
 func (e *SFEngine) Now() int { return e.now }

@@ -27,6 +27,15 @@ type Options struct {
 	// Profile records per-phase progress into Result.Phases (frame
 	// router only).
 	Profile bool
+	// Workers enables the engine's sharded parallel step path with the
+	// given number of goroutines (0 or 1 = sequential). The committed
+	// trace is byte-identical for every setting; only wall-clock
+	// changes. Applies to the frame router and hot-potato baselines
+	// (store-and-forward baselines are always sequential).
+	Workers int
+	// Shards is the number of contiguous node shards for the parallel
+	// step (0 = Workers x 8, oversubscribed for load balance).
+	Shards int
 }
 
 // RouteFrame runs the paper's frame algorithm on the problem.
@@ -36,6 +45,8 @@ func RouteFrame(p *Problem, params Params, opt Options) *Result {
 		MaxSteps: opt.MaxSteps,
 		Check:    opt.CheckInvariants,
 		Profile:  opt.Profile,
+		Workers:  opt.Workers,
+		Shards:   opt.Shards,
 	})
 }
 
@@ -93,6 +104,10 @@ func RouteBaseline(p *Problem, kind BaselineKind, opt Options) (*BaselineResult,
 			r = baselines.NewRandGreedy(0.05)
 		}
 		e := sim.NewEngine(p, r, opt.Seed)
+		if opt.Workers > 1 {
+			e.SetParallelism(opt.Workers, opt.Shards)
+			defer e.Close()
+		}
 		res.Steps, res.Done = e.Run(maxSteps)
 		m := e.M
 		res.HP = &m
