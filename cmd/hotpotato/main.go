@@ -15,9 +15,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"hotpotato"
 	"hotpotato/internal/bench"
+	"hotpotato/internal/obs"
 )
 
 func main() {
@@ -41,10 +43,16 @@ func main() {
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		benchEngine = flag.String("bench-engine", "", "write the engine hot-path benchmark (BENCH_engine.json) to this file and exit")
+		benchObs    = flag.String("bench-obs", "", "write the observability overhead benchmark (BENCH_obs.json) to this file and exit")
 		benchScale  = flag.Int("bench-scale", 1, "engine benchmark scale: 1 = quick, 2 = full")
 		benchStrict = flag.Bool("bench-strict-allocs", false, "fail the engine benchmark if any steady-state row allocates")
 		workers     = flag.Int("workers", 1, "parallel-step worker goroutines (1 = sequential; trace is identical either way)")
 		shards      = flag.Int("shards", 0, "parallel-step node shards (0 = workers x 8)")
+
+		obsOut    = flag.String("obs", "", "write the run's observability time series to this file (.json = steps+rounds+phases document, otherwise CSV; see docs/OBSERVABILITY.md)")
+		obsEvery  = flag.Int("obs-every", 1, "per-step sampling interval for -obs (round/phase rows are always kept)")
+		eventsOut = flag.String("obs-events", "", "write the packet lifecycle event ring to this CSV file")
+		eventsCap = flag.Int("obs-events-cap", 65536, "lifecycle ring capacity for -obs-events (oldest events overwritten beyond it)")
 	)
 	flag.Parse()
 
@@ -71,6 +79,11 @@ func main() {
 	if *benchEngine != "" {
 		fatal(bench.WriteEngineBench(*benchEngine, *benchScale, *benchStrict))
 		fmt.Printf("wrote engine benchmark to %s\n", *benchEngine)
+		return
+	}
+	if *benchObs != "" {
+		fatal(bench.WriteObsBench(*benchObs, *benchScale))
+		fmt.Printf("wrote observability benchmark to %s\n", *benchObs)
 		return
 	}
 
@@ -111,19 +124,80 @@ func main() {
 			an.SuccessProbability(), an.TheoremFloor(), an.PolylogFactor(), an.Ln9())
 	}
 
-	runOne(prob, *algo, *seed, *check, *profile, *workers, *shards)
+	ob := obsConfig{out: *obsOut, every: *obsEvery, eventsOut: *eventsOut, eventsCap: *eventsCap}
+	runOne(prob, *algo, *seed, *check, *profile, *workers, *shards, ob)
 	if *compare {
 		for _, k := range []string{"frame", "greedy-hp", "greedy-ftg", "greedy-oldest", "rand-greedy-hp", "sf-fifo", "sf-randdelay", "sf-farthest"} {
 			if k == *algo {
 				continue
 			}
-			runOne(prob, k, *seed, false, false, *workers, *shards)
+			runOne(prob, k, *seed, false, false, *workers, *shards, obsConfig{})
 		}
 	}
 }
 
-func runOne(prob *hotpotato.Problem, algo string, seed int64, check, profile bool, workers, shards int) {
+// obsConfig carries the -obs* flags into runOne.
+type obsConfig struct {
+	out       string
+	every     int
+	eventsOut string
+	eventsCap int
+}
+
+// attach adds the configured probes/sinks to opts, returning the
+// exporters to write after the run (nil when off).
+func (ob obsConfig) attach(opts *hotpotato.Options) (*hotpotato.TimeSeries, *hotpotato.Lifecycle) {
+	var ts *hotpotato.TimeSeries
+	var ring *hotpotato.Lifecycle
+	if ob.out != "" {
+		ts = &hotpotato.TimeSeries{Every: ob.every}
+		opts.Probes = append(opts.Probes, ts)
+	}
+	if ob.eventsOut != "" {
+		ring = hotpotato.NewLifecycle(ob.eventsCap)
+		opts.Events = ring
+	}
+	return ts, ring
+}
+
+// write exports the collected series/events to the configured files.
+func (ob obsConfig) write(ts *hotpotato.TimeSeries, ring *hotpotato.Lifecycle) {
+	if ts != nil {
+		f, err := os.Create(ob.out)
+		fatal(err)
+		if strings.HasSuffix(ob.out, ".json") {
+			err = ts.WriteJSON(f)
+		} else {
+			rows := ts.Phases
+			if len(rows) == 0 {
+				rows = ts.Steps
+			}
+			err = obs.WriteCSV(f, rows)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		fatal(err)
+		fmt.Printf("wrote observability series to %s (%d step, %d round, %d phase rows)\n",
+			ob.out, len(ts.Steps), len(ts.Rounds), len(ts.Phases))
+	}
+	if ring != nil {
+		f, err := os.Create(ob.eventsOut)
+		fatal(err)
+		err = ring.WriteCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		fatal(err)
+		fmt.Printf("wrote %d lifecycle events to %s (%d overwritten)\n",
+			ring.Len(), ob.eventsOut, ring.Dropped())
+	}
+}
+
+func runOne(prob *hotpotato.Problem, algo string, seed int64, check, profile bool, workers, shards int, ob obsConfig) {
 	opts := hotpotato.Options{Seed: seed, Workers: workers, Shards: shards}
+	ts, ring := ob.attach(&opts)
+	defer ob.write(ts, ring)
 	if algo == "frame" {
 		params := hotpotato.PracticalParams(prob.C, prob.L(), prob.N())
 		fmt.Printf("frame parameters: %s (schedule bound %d steps)\n", params, params.TotalSteps(prob.L()))

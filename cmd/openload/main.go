@@ -6,13 +6,25 @@
 //
 //	openload -sweep 0.01,0.05,0.1,0.3          # one row per rate
 //	openload -lambda 0.1 -window 200           # CSV time series
+//	openload -lambda 0.1 -steps 10000000 -http :8090   # live soak
+//
+// With -http the process serves expvar under /debug/vars (an
+// "openload" map updated at every closed window) and the pprof
+// handlers under /debug/pprof/; the simulation goroutine carries
+// pprof labels (cmd=openload, lambda=...), so its samples are
+// attributable in profiles taken from the endpoint.
 package main
 
 import (
+	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -22,14 +34,15 @@ import (
 
 func main() {
 	var (
-		topoStr = flag.String("topo", "butterfly", "topology: butterfly|random")
-		size    = flag.Int("size", 5, "butterfly dimension")
-		depth   = flag.Int("depth", 24, "depth for -topo random")
-		steps   = flag.Int("steps", 5000, "simulated horizon")
-		lambda  = flag.Float64("lambda", 0.1, "per-node per-step arrival rate (single-rate mode)")
-		sweep   = flag.String("sweep", "", "comma-separated rates; prints a summary row per rate")
-		window  = flag.Int("window", 0, "emit a CSV time series with this window size (single-rate mode)")
-		seed    = flag.Int64("seed", 1, "random seed")
+		topoStr  = flag.String("topo", "butterfly", "topology: butterfly|random")
+		size     = flag.Int("size", 5, "butterfly dimension")
+		depth    = flag.Int("depth", 24, "depth for -topo random")
+		steps    = flag.Int("steps", 5000, "simulated horizon")
+		lambda   = flag.Float64("lambda", 0.1, "per-node per-step arrival rate (single-rate mode)")
+		sweep    = flag.String("sweep", "", "comma-separated rates; prints a summary row per rate")
+		window   = flag.Int("window", 0, "emit a CSV time series with this window size (single-rate mode)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		httpAddr = flag.String("http", "", "serve live expvar (/debug/vars) and pprof (/debug/pprof/) on this address during a single-rate run")
 	)
 	flag.Parse()
 
@@ -71,14 +84,63 @@ func main() {
 			win = 1
 		}
 	}
-	res, err := dynamic.Run(net, dynamic.Config{
+	cfg := dynamic.Config{
 		Lambda: *lambda, Steps: *steps, Warmup: *steps / 10, Seed: *seed, Window: win,
+	}
+	if *httpAddr != "" {
+		cfg.OnWindow = liveVars()
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "openload: http:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "openload: serving /debug/vars and /debug/pprof/ on %s\n", *httpAddr)
+	}
+	var res *dynamic.Result
+	labels := pprof.Labels("cmd", "openload", "lambda", fmt.Sprintf("%g", *lambda))
+	pprof.Do(context.Background(), labels, func(context.Context) {
+		var err error
+		res, err = dynamic.Run(net, cfg)
+		fatal(err)
 	})
-	fatal(err)
 	fmt.Fprintln(os.Stderr, res)
 	fmt.Println("window_start,delivered,mean_latency,mean_inflight")
 	for _, w := range res.Windows {
 		fmt.Printf("%d,%d,%.2f,%.2f\n", w.Start, w.Delivered, w.MeanLatency, w.MeanInFlight)
+	}
+}
+
+// liveVars publishes an "openload" expvar map and returns the
+// dynamic.Config.OnWindow callback that refreshes it as each window
+// closes. Gauges (window_*) describe the last closed window; the rest
+// are cumulative over the run so far.
+func liveVars() func(dynamic.WindowStats, *dynamic.Result) {
+	m := expvar.NewMap("openload")
+	var (
+		winStart, winDelivered       expvar.Int
+		winLatency, winInFlight      expvar.Float
+		offered, admitted, delivered expvar.Int
+		deflections, peak            expvar.Int
+	)
+	m.Set("window_start", &winStart)
+	m.Set("window_delivered", &winDelivered)
+	m.Set("window_mean_latency", &winLatency)
+	m.Set("window_mean_inflight", &winInFlight)
+	m.Set("offered", &offered)
+	m.Set("admitted", &admitted)
+	m.Set("delivered", &delivered)
+	m.Set("deflections", &deflections)
+	m.Set("peak_inflight", &peak)
+	return func(w dynamic.WindowStats, r *dynamic.Result) {
+		winStart.Set(int64(w.Start))
+		winDelivered.Set(int64(w.Delivered))
+		winLatency.Set(w.MeanLatency)
+		winInFlight.Set(w.MeanInFlight)
+		offered.Set(int64(r.Offered))
+		admitted.Set(int64(r.Admitted))
+		delivered.Set(int64(r.Delivered))
+		deflections.Set(int64(r.Deflections))
+		peak.Set(int64(r.PeakInFlight))
 	}
 }
 

@@ -37,6 +37,7 @@ package hotpotato
 import (
 	"hotpotato/internal/core"
 	"hotpotato/internal/graph"
+	"hotpotato/internal/obs"
 	"hotpotato/internal/paths"
 	"hotpotato/internal/sim"
 	"hotpotato/internal/workload"
@@ -74,7 +75,26 @@ type (
 	Metrics = sim.Metrics
 	// SFMetrics are counters of a store-and-forward run.
 	SFMetrics = sim.SFMetrics
+	// StepStats is the annotated observability record handed to probes
+	// (see docs/OBSERVABILITY.md).
+	StepStats = obs.StepStats
+	// Probe receives the annotated per-step/per-round/per-phase series
+	// of a run (attach via Options.Probes).
+	Probe = obs.Probe
+	// TimeSeries is a Probe recording the series in memory, with
+	// CSV/JSON export.
+	TimeSeries = obs.TimeSeries
+	// Lifecycle is a fixed-capacity packet lifecycle event ring
+	// (attach via Options.Events).
+	Lifecycle = obs.Lifecycle
+	// LifecycleEvent is one recorded lifecycle event.
+	LifecycleEvent = obs.Event
+	// EventSink receives packet lifecycle events.
+	EventSink = sim.EventSink
 )
+
+// NewLifecycle builds a lifecycle ring holding up to capacity events.
+func NewLifecycle(capacity int) *Lifecycle { return obs.NewLifecycle(capacity) }
 
 // NewNetworkBuilder starts building a custom leveled network.
 func NewNetworkBuilder(name string) *NetworkBuilder {

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hotpotato/internal/baselines"
+	"hotpotato/internal/obs"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+// ObsBenchRow is one measurement of the observability layer's per-step
+// cost: the same warmed engine and run, with progressively more
+// instrumentation attached.
+type ObsBenchRow struct {
+	Topology string `json:"topology"`
+	// Mode is "disabled" (no probe or sink — the baseline the 0
+	// allocs/step gate protects), "probe" (an obs.Collector feeding a
+	// summing probe), or "probe+lifecycle" (additionally a 4096-event
+	// lifecycle ring receiving every engine event).
+	Mode          string  `json:"mode"`
+	Steps         int     `json:"steps"`
+	NsPerStep     float64 `json:"ns_per_step"`
+	AllocsPerStep float64 `json:"allocs_per_step"`
+	// OverheadPct is this row's ns/step relative to the disabled row
+	// of the same topology (0 for the disabled row itself).
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// ObsBench is the BENCH_obs.json document: the observability layer's
+// measured overhead, the source of docs/OBSERVABILITY.md's table.
+type ObsBench struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Scale      int           `json:"scale"`
+	Rows       []ObsBenchRow `json:"rows"`
+}
+
+// summingProbe consumes the series without allocating, so the rows
+// measure the probe path itself rather than a consumer's copies.
+type summingProbe struct {
+	steps, rounds, phases int
+	deflections           int
+}
+
+func (p *summingProbe) OnStep(s *obs.StepStats) {
+	p.steps++
+	for _, d := range s.Deflections {
+		p.deflections += d
+	}
+}
+func (p *summingProbe) OnRound(*obs.StepStats) { p.rounds++ }
+func (p *summingProbe) OnPhase(*obs.StepStats) { p.phases++ }
+
+// RunObsBench measures the instrumentation overhead on the dense
+// butterfly (the steady-state zero-alloc shape) and the hard mesh.
+// Each mode is warmed with an unmeasured attached run first, so the
+// collector's reusable backings exist before measurement — steady
+// state for the probe path, exactly as for the engine itself.
+func RunObsBench(scale int) (*ObsBench, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	denseK, meshN := 7, 12
+	if scale >= 2 {
+		denseK, meshN = 8, 16
+	}
+
+	out := &ObsBench{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      scale,
+	}
+
+	cases := []struct {
+		name  string
+		build func() (*workload.Problem, error)
+	}{
+		{
+			name: fmt.Sprintf("butterfly(%d)-dense", denseK),
+			build: func() (*workload.Problem, error) {
+				g, err := topo.Butterfly(denseK)
+				if err != nil {
+					return nil, err
+				}
+				return workload.FullThroughput(g, rngFor("bench-obs-dense", denseK))
+			},
+		},
+		{
+			name:  fmt.Sprintf("mesh(%d)-hard", meshN),
+			build: func() (*workload.Problem, error) { return workload.MeshHard(meshN) },
+		},
+	}
+
+	for _, c := range cases {
+		p, err := c.build()
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", c.name, err)
+		}
+		e := sim.NewEngine(p, baselines.NewGreedy(), 1)
+		coll := obs.NewCollector(nil, &summingProbe{})
+		ring := obs.NewLifecycle(4096)
+		modes := []struct {
+			name   string
+			attach func(*sim.Engine)
+		}{
+			{"disabled", func(*sim.Engine) {}},
+			{"probe", func(e *sim.Engine) { coll.Attach(e) }},
+			{"probe+lifecycle", func(e *sim.Engine) {
+				coll.Attach(e)
+				ring.Attach(e)
+			}},
+		}
+		var base float64
+		for _, m := range modes {
+			row, err := measureObsRun(c.name, e, m.attach)
+			if err != nil {
+				return nil, err
+			}
+			row.Mode = m.name
+			if m.name == "disabled" {
+				base = row.NsPerStep
+			} else if base > 0 {
+				row.OverheadPct = 100 * (row.NsPerStep - base) / base
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// measureObsRun mirrors measureEngineRun with an attachment hook:
+// warm attached (grows the collector's backings), then repeat
+// Reset + re-attach + run until enough steps accumulate for a stable
+// per-step figure — the problems here complete in tens of steps, far
+// too short for a single-run measurement. Only the runs are timed;
+// the resets happen identically in every mode anyway.
+func measureObsRun(name string, e *sim.Engine, attach func(*sim.Engine)) (ObsBenchRow, error) {
+	const minSteps = 1 << 14
+	for warm := 0; warm < minSteps/2; {
+		e.Reset(1)
+		attach(e)
+		steps, done := e.Run(1 << 22)
+		if !done {
+			return ObsBenchRow{}, fmt.Errorf("bench: %s (obs warmup) did not complete within budget", name)
+		}
+		warm += steps
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	totalSteps := 0
+	var wall time.Duration
+	for totalSteps < minSteps {
+		e.Reset(1)
+		attach(e)
+		start := time.Now()
+		steps, done := e.Run(1 << 22)
+		wall += time.Since(start)
+		if !done {
+			return ObsBenchRow{}, fmt.Errorf("bench: %s (obs) did not complete within budget", name)
+		}
+		totalSteps += steps
+	}
+	runtime.ReadMemStats(&after)
+	return ObsBenchRow{
+		Topology:      name,
+		Steps:         totalSteps,
+		NsPerStep:     float64(wall.Nanoseconds()) / float64(totalSteps),
+		AllocsPerStep: float64(after.Mallocs-before.Mallocs) / float64(totalSteps),
+	}, nil
+}
+
+// WriteObsBench runs the observability benchmark and writes the JSON
+// document to path.
+func WriteObsBench(path string, scale int) error {
+	b, err := RunObsBench(scale)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

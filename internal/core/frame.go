@@ -12,6 +12,9 @@ type Schedule struct {
 // PhaseOf returns the phase containing step t.
 func (s Schedule) PhaseOf(t int) int { return t / s.P.StepsPerPhase() }
 
+// Sets returns the number of frontier sets (satisfies obs.Schedule).
+func (s Schedule) Sets() int { return s.P.NumSets }
+
 // RoundOf returns the round (within its phase) containing step t.
 func (s Schedule) RoundOf(t int) int { return (t % s.P.StepsPerPhase()) / s.P.W }
 

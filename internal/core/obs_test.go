@@ -1,0 +1,141 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/obs"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+// TestExcitedPriorityMatchesEngine pins the cross-package contract:
+// the engine counts StepSnapshot.Excited as requests at or above
+// sim.ExcitedPriority, and the frame router's excited state must map
+// to exactly that priority (with its other priorities strictly below).
+func TestExcitedPriorityMatchesEngine(t *testing.T) {
+	if prioExcited != sim.ExcitedPriority {
+		t.Fatalf("prioExcited = %d, sim.ExcitedPriority = %d; the engine's excitation census is wrong", prioExcited, sim.ExcitedPriority)
+	}
+	if prioWait >= sim.ExcitedPriority || prioNormal >= sim.ExcitedPriority {
+		t.Fatalf("non-excited priorities (%d, %d) reach the excitation threshold %d", prioWait, prioNormal, sim.ExcitedPriority)
+	}
+}
+
+// TestObsParallelDeterminism is the observability acceptance
+// criterion: with a collector, time series and lifecycle ring
+// attached, workers=1 and workers=N runs of the frame router emit
+// byte-identical per-step, per-round and per-phase series and the
+// identical event stream.
+func TestObsParallelDeterminism(t *testing.T) {
+	g, err := topo.Butterfly(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := workload.Random(g, rand.New(rand.NewSource(13)), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := ParamsPractical(p.C, p.L(), p.N(),
+		PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3})
+
+	capture := func(workers, shards int) ([]byte, []byte) {
+		ts := &obs.TimeSeries{}
+		ring := obs.NewLifecycle(1 << 16)
+		res := Run(p, params, RunOptions{
+			Seed: 11, Workers: workers, Shards: shards,
+			Probes: []obs.Probe{ts}, Events: ring,
+		})
+		if !res.Done {
+			t.Fatalf("workers=%d: run did not complete", workers)
+		}
+		if ring.Dropped() != 0 {
+			t.Fatalf("workers=%d: ring dropped %d events; grow the test ring", workers, ring.Dropped())
+		}
+		var series bytes.Buffer
+		if err := ts.WriteJSON(&series); err != nil {
+			t.Fatal(err)
+		}
+		var events bytes.Buffer
+		if err := ring.WriteCSV(&events); err != nil {
+			t.Fatal(err)
+		}
+		if len(ts.Phases) == 0 || ring.Len() == 0 {
+			t.Fatalf("workers=%d: empty series (phases=%d events=%d); the scenario is vacuous", workers, len(ts.Phases), ring.Len())
+		}
+		return series.Bytes(), events.Bytes()
+	}
+
+	wantSeries, wantEvents := capture(1, 0)
+	for _, cfg := range [][2]int{{2, 0}, {4, 0}, {4, 5}} {
+		gotSeries, gotEvents := capture(cfg[0], cfg[1])
+		if !bytes.Equal(gotSeries, wantSeries) {
+			t.Errorf("workers=%d shards=%d: time series differs from sequential", cfg[0], cfg[1])
+		}
+		if !bytes.Equal(gotEvents, wantEvents) {
+			t.Errorf("workers=%d shards=%d: event stream differs from sequential", cfg[0], cfg[1])
+		}
+	}
+}
+
+// TestRunOptionsObsWiring: RunOptions.Probes sees a flushed trailing
+// window and the excite/restore events balance per packet.
+func TestRunOptionsObsWiring(t *testing.T) {
+	p, err := workload.MeshHard(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := ParamsPractical(p.C, p.L(), p.N(),
+		PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3})
+	ts := &obs.TimeSeries{}
+	ring := obs.NewLifecycle(1 << 16)
+	res := Run(p, params, RunOptions{Seed: 3, Probes: []obs.Probe{ts}, Events: ring})
+	if !res.Done {
+		t.Fatal("run did not complete")
+	}
+	if len(ts.Steps) != res.Steps {
+		t.Fatalf("step rows = %d, steps = %d", len(ts.Steps), res.Steps)
+	}
+	if len(ts.Phases) == 0 {
+		t.Fatal("no phase rows; Flush not wired")
+	}
+	last := ts.Phases[len(ts.Phases)-1]
+	if last.Step != res.Steps-1 {
+		t.Errorf("trailing phase window ends at step %d, run ended at %d", last.Step, res.Steps-1)
+	}
+
+	// Per packet: excites and restores alternate, starting with excite,
+	// and balance out by the end (every episode is closed by a restore —
+	// target, deflection, boundary reset, or absorption).
+	open := map[sim.PacketID]bool{}
+	excites, restores := 0, 0
+	for _, ev := range ring.Events() {
+		switch ev.Kind {
+		case sim.EventExcite:
+			if open[ev.Packet] {
+				t.Fatalf("packet %d excited twice without a restore (t=%d)", ev.Packet, ev.Step)
+			}
+			open[ev.Packet] = true
+			excites++
+		case sim.EventRestore:
+			if !open[ev.Packet] {
+				t.Fatalf("packet %d restored without an open excitation (t=%d)", ev.Packet, ev.Step)
+			}
+			open[ev.Packet] = false
+			restores++
+		}
+	}
+	for pid, o := range open {
+		if o {
+			t.Errorf("packet %d's excitation episode never closed", pid)
+		}
+	}
+	if excites != restores {
+		t.Errorf("%d excites vs %d restores", excites, restores)
+	}
+	if excites != res.Router.Excitations {
+		t.Errorf("event stream saw %d excitations, router stats %d", excites, res.Router.Excitations)
+	}
+}

@@ -79,6 +79,12 @@ type Frame struct {
 	// disjoint.
 	EagerInjection bool
 
+	// Events, when non-nil, receives the router's excite/restore
+	// lifecycle events (the engine emits inject/deflect/stall/absorb
+	// itself). Init clears it — matching the engine's own per-run
+	// sinks — so wiring assigns it after each Engine.Reset.
+	Events sim.EventSink
+
 	g     *graph.Leveled
 	rng   *rand.Rand
 	sched Schedule
@@ -100,6 +106,15 @@ type Frame struct {
 	st       []state
 	waitNode []graph.NodeID
 	waitEdge []graph.EdgeID
+
+	// evExcited/evRestore stage this step's excite/restore events per
+	// packet. Request may run concurrently on shard workers but is
+	// called exactly once per packet per step, so per-packet staging is
+	// race-free; the staged events are flushed in deterministic order
+	// at the sequential callbacks (OnDeflect, OnAbsorb, EndStep).
+	// evRestore holds a sim.Restore* reason, -1 when none staged.
+	evExcited []bool
+	evRestore []int32
 
 	// Stats cells bumped inside Request, which may run concurrently on
 	// shard workers; flushed into S at EndStep. All other callbacks run
@@ -187,12 +202,15 @@ func (r *Frame) Init(e *sim.Engine) {
 	r.pendWaitEntries.Store(0)
 	r.pendExcitedWins.Store(0)
 	r.pendLateInjected.Store(0)
+	r.Events = nil
 	n := len(e.Packets)
 	if len(r.set) != n {
 		r.set = make([]int32, n)
 		r.st = make([]state, n)
 		r.waitNode = make([]graph.NodeID, n)
 		r.waitEdge = make([]graph.EdgeID, n)
+		r.evExcited = make([]bool, n)
+		r.evRestore = make([]int32, n)
 	}
 	if r.assign != nil && len(r.assign) != n {
 		panic(fmt.Sprintf("core: set assignment covers %d packets, problem has %d", len(r.assign), n))
@@ -207,6 +225,8 @@ func (r *Frame) Init(e *sim.Engine) {
 		r.st[i] = stateNormal
 		r.waitNode[i] = graph.NoNode
 		r.waitEdge[i] = graph.NoEdge
+		r.evExcited[i] = false
+		r.evRestore[i] = -1
 	}
 }
 
@@ -282,6 +302,9 @@ func (r *Frame) Request(t int, p *sim.Packet) sim.Request {
 	if r.st[id] == stateNormal && sim.CoinFloat(r.coinSeed, t, id) < r.P.Q {
 		r.st[id] = stateExcited
 		r.pendExcitations.Add(1)
+		if r.Events != nil {
+			r.evExcited[id] = true
+		}
 	}
 
 	// Reaching the target node begins the wait state, oscillating on
@@ -289,6 +312,9 @@ func (r *Frame) Request(t int, p *sim.Packet) sim.Request {
 	if tgt := r.TargetNode(t, p); !r.DisableWait && p.Cur == tgt && p.ArrivalEdge != graph.NoEdge {
 		if r.st[id] == stateExcited {
 			r.pendExcitedWins.Add(1)
+			if r.Events != nil {
+				r.evRestore[id] = sim.RestoreTarget
+			}
 		}
 		r.st[id] = stateWait
 		r.waitNode[id] = p.Cur
@@ -319,6 +345,12 @@ func (r *Frame) Request(t int, p *sim.Packet) sim.Request {
 // normal (Section 3).
 func (r *Frame) OnDeflect(t int, p *sim.Packet, e graph.EdgeID, kind sim.DeflectKind) {
 	id := p.ID
+	if r.Events != nil {
+		r.flushEvents(t, id)
+		if r.st[id] == stateExcited {
+			r.Events.RecordEvent(t, id, sim.EventRestore, sim.RestoreDeflected)
+		}
+	}
 	if r.st[id] == stateWait {
 		r.S.WaitInterrupts++
 		r.clearWait(id)
@@ -334,6 +366,12 @@ func (r *Frame) OnMove(int, *sim.Packet) {}
 
 // OnAbsorb implements sim.Router.
 func (r *Frame) OnAbsorb(t int, p *sim.Packet) {
+	if r.Events != nil {
+		r.flushEvents(t, p.ID)
+		if r.st[p.ID] == stateExcited {
+			r.Events.RecordEvent(t, p.ID, sim.EventRestore, sim.RestoreAbsorbed)
+		}
+	}
 	if r.st[p.ID] == stateExcited {
 		r.S.ExcitedSuccesses++
 	}
@@ -348,6 +386,15 @@ func (r *Frame) EndStep(t int, e *sim.Engine) {
 	r.flushPending()
 	roundEnd := r.sched.IsRoundEnd(t)
 	phaseEnd := r.sched.IsPhaseEnd(t)
+	if r.Events != nil {
+		// Flush surviving packets' staged events (deflected and
+		// absorbed packets flushed theirs at OnDeflect/OnAbsorb) in
+		// active-list order, which is maintained sequentially and thus
+		// identical for every worker count.
+		for _, i := range e.Active() {
+			r.flushEvents(t, i)
+		}
+	}
 	if !roundEnd && !phaseEnd {
 		return
 	}
@@ -364,11 +411,17 @@ func (r *Frame) EndStep(t int, e *sim.Engine) {
 			}
 			if r.st[i] == stateExcited {
 				r.S.ExcitedFailures++
+				if r.Events != nil {
+					r.Events.RecordEvent(t, i, sim.EventRestore, sim.RestoreRoundEnd)
+				}
 			}
 			r.st[i] = stateNormal
 		case roundEnd:
 			if r.st[i] == stateExcited {
 				r.S.ExcitedFailures++
+				if r.Events != nil {
+					r.Events.RecordEvent(t, i, sim.EventRestore, sim.RestoreRoundEnd)
+				}
 				r.st[i] = stateNormal
 			}
 		}
@@ -389,6 +442,20 @@ func (r *Frame) flushPending() {
 	}
 	if v := r.pendLateInjected.Swap(0); v != 0 {
 		r.S.LatePhaseInjections += int(v)
+	}
+}
+
+// flushEvents emits packet id's staged excite/restore events (in that
+// order — an excitation precedes any restore within one step) and
+// clears the staging. Caller has checked r.Events != nil.
+func (r *Frame) flushEvents(t int, id sim.PacketID) {
+	if r.evExcited[id] {
+		r.evExcited[id] = false
+		r.Events.RecordEvent(t, id, sim.EventExcite, 0)
+	}
+	if reason := r.evRestore[id]; reason >= 0 {
+		r.evRestore[id] = -1
+		r.Events.RecordEvent(t, id, sim.EventRestore, reason)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"hotpotato/internal/obs"
 	"hotpotato/internal/sim"
 	"hotpotato/internal/stats"
 	"hotpotato/internal/workload"
@@ -81,6 +82,16 @@ type RunOptions struct {
 	PathCheckEvery  int
 	// Observer, if non-nil, is attached to the engine (tracing).
 	Observer sim.Observer
+	// Probes, if non-empty, are attached through an obs.Collector
+	// keyed to the router's schedule: each receives the annotated
+	// per-step/per-round/per-phase series, byte-identical for every
+	// Workers/Shards setting, with the trailing partial round and
+	// phase flushed after the run.
+	Probes []obs.Probe
+	// Events, if non-nil, receives packet lifecycle events from both
+	// the engine (inject/deflect/stall/absorb) and the frame router
+	// (excite/restore).
+	Events sim.EventSink
 	// Profile records per-phase injection/absorption/wait counts into
 	// Result.Phases.
 	Profile bool
@@ -152,6 +163,15 @@ func (r *Runner) finish(opt RunOptions) *Result {
 	if opt.Observer != nil {
 		eng.AddObserver(opt.Observer)
 	}
+	var coll *obs.Collector
+	if len(opt.Probes) > 0 {
+		coll = obs.NewCollector(router.Schedule(), opt.Probes...)
+		coll.Attach(eng)
+	}
+	if opt.Events != nil {
+		eng.AttachEventSink(opt.Events)
+		router.Events = opt.Events
+	}
 	var phases []PhaseStats
 	if opt.Profile {
 		sched := router.Schedule()
@@ -176,6 +196,9 @@ func (r *Runner) finish(opt RunOptions) *Result {
 		maxSteps = 4 * params.TotalSteps(p.L())
 	}
 	steps, done := eng.Run(maxSteps)
+	if coll != nil {
+		coll.Flush()
+	}
 	res := &Result{
 		Steps:      steps,
 		Done:       done,

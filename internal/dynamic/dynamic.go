@@ -35,6 +35,12 @@ type Config struct {
 	// Result.Windows (deliveries, mean latency and mean in-flight per
 	// window of that many steps).
 	Window int
+	// OnWindow, when non-nil (and Window > 0), is called after each
+	// window closes with that window's stats and the result so far —
+	// the live-export hook for long soak runs (cmd/openload -http).
+	// It runs on the simulation goroutine; a slow callback slows the
+	// run.
+	OnWindow func(w WindowStats, r *Result)
 }
 
 // Result summarizes an open-system run.
@@ -327,6 +333,9 @@ func Run(g *graph.Leveled, cfg Config) (*Result, error) {
 					ws.MeanLatency = wLatSum / float64(wDelivered)
 				}
 				res.Windows = append(res.Windows, ws)
+				if cfg.OnWindow != nil {
+					cfg.OnWindow(ws, res)
+				}
 				wDelivered, wLatSum, wFlySum = 0, 0, 0
 			}
 		}

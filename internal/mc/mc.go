@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"hotpotato/internal/core"
+	"hotpotato/internal/obs"
 	"hotpotato/internal/stats"
 	"hotpotato/internal/workload"
 )
@@ -59,6 +60,13 @@ type Options struct {
 	// behavior, kept for benchmarking the reuse gain (see
 	// bench.RunEngineBench's ensemble row).
 	FreshEngines bool
+	// Observe, when non-nil, supplies per-trial observability probes:
+	// it is called once per trial with that trial's seed, and the
+	// returned probes receive the run's annotated series
+	// (core.RunOptions.Probes semantics). Trials run concurrently, so
+	// Observe must be safe for concurrent calls and the probes of
+	// different trials must not share state.
+	Observe func(seed int64) []obs.Probe
 }
 
 // Run executes the ensemble, fanning trials out over a worker pool.
@@ -101,6 +109,9 @@ func Run(p *workload.Problem, params core.Params, opt Options) (*Ensemble, error
 					Seed:     seed,
 					MaxSteps: opt.MaxSteps,
 					Check:    opt.Check,
+				}
+				if opt.Observe != nil {
+					ro.Probes = opt.Observe(seed)
 				}
 				var res *core.Result
 				if runner != nil {

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"hotpotato/internal/sim"
+)
+
+// Event is one recorded packet lifecycle event. Arg depends on Kind:
+// source node for inject, sim.DeflectKind for deflect, restore reason
+// for restore, destination node for absorb, unused otherwise.
+type Event struct {
+	Step   int           `json:"step"`
+	Packet sim.PacketID  `json:"packet"`
+	Kind   sim.EventKind `json:"kind"`
+	Arg    int32         `json:"arg"`
+}
+
+// String renders the event compactly ("t=12 p=3 deflect arg=1").
+func (e Event) String() string {
+	return fmt.Sprintf("t=%d p=%d %s arg=%d", e.Step, e.Packet, e.Kind, e.Arg)
+}
+
+// Lifecycle is a fixed-capacity packet-lifecycle ring buffer
+// implementing sim.EventSink: once full, the oldest events are
+// overwritten (Dropped counts them). The buffer is allocated once at
+// construction; recording never allocates, so a lifecycle ring on a
+// hot run only costs the store itself.
+//
+// By default every packet is recorded; Select restricts recording to a
+// packet-ID set (lifecycle tracing of a few suspect packets over a
+// long soak without drowning in the rest).
+type Lifecycle struct {
+	buf     []Event
+	head    int // index of the oldest event
+	n       int // live events in buf
+	dropped int
+	filter  map[sim.PacketID]struct{}
+}
+
+// NewLifecycle builds a ring holding up to capacity events (min 1).
+func NewLifecycle(capacity int) *Lifecycle {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Lifecycle{buf: make([]Event, capacity)}
+}
+
+// Select restricts recording to the given packet IDs (replacing any
+// earlier selection). With no IDs the filter is cleared and every
+// packet is recorded again.
+func (l *Lifecycle) Select(pids ...sim.PacketID) {
+	if len(pids) == 0 {
+		l.filter = nil
+		return
+	}
+	l.filter = make(map[sim.PacketID]struct{}, len(pids))
+	for _, pid := range pids {
+		l.filter[pid] = struct{}{}
+	}
+}
+
+// Attach registers the ring on a hot-potato engine (sinks compose at
+// the engine and are cleared by Reset).
+func (l *Lifecycle) Attach(e *sim.Engine) { e.AttachEventSink(l) }
+
+// AttachSF registers the ring on a store-and-forward engine.
+func (l *Lifecycle) AttachSF(e *sim.SFEngine) { e.AttachEventSink(l) }
+
+// RecordEvent implements sim.EventSink.
+func (l *Lifecycle) RecordEvent(t int, pid sim.PacketID, kind sim.EventKind, arg int32) {
+	if l.filter != nil {
+		if _, ok := l.filter[pid]; !ok {
+			return
+		}
+	}
+	ev := Event{Step: t, Packet: pid, Kind: kind, Arg: arg}
+	if l.n < len(l.buf) {
+		l.buf[(l.head+l.n)%len(l.buf)] = ev
+		l.n++
+		return
+	}
+	l.buf[l.head] = ev
+	l.head = (l.head + 1) % len(l.buf)
+	l.dropped++
+}
+
+// Len returns the number of events currently held.
+func (l *Lifecycle) Len() int { return l.n }
+
+// Dropped returns how many events were overwritten after the ring
+// filled.
+func (l *Lifecycle) Dropped() int { return l.dropped }
+
+// Events returns the held events oldest-first (a fresh slice).
+func (l *Lifecycle) Events() []Event {
+	out := make([]Event, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.buf[(l.head+i)%len(l.buf)])
+	}
+	return out
+}
+
+// WriteCSV emits the held events oldest-first as
+// step,packet,kind,arg rows (kind by name).
+func (l *Lifecycle) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("step,packet,kind,arg\n")
+	for _, ev := range l.Events() {
+		fmt.Fprintf(&b, "%d,%d,%s,%d\n", ev.Step, ev.Packet, ev.Kind, ev.Arg)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

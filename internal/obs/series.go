@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"hotpotato/internal/sim"
+)
+
+// TimeSeries is a Probe that records the annotated series in memory
+// for export: per-step rows (sampled every Every steps), plus every
+// round and phase row. Zero value is ready to use.
+type TimeSeries struct {
+	// Every samples per-step rows every Every steps (<= 1 keeps all).
+	// Round and phase rows are always kept.
+	Every int
+
+	Steps  []StepStats
+	Rounds []StepStats
+	Phases []StepStats
+}
+
+// OnStep implements Probe.
+func (ts *TimeSeries) OnStep(s *StepStats) {
+	if ts.Every > 1 && s.Step%ts.Every != 0 {
+		return
+	}
+	ts.Steps = append(ts.Steps, s.Clone())
+}
+
+// OnRound implements Probe.
+func (ts *TimeSeries) OnRound(s *StepStats) { ts.Rounds = append(ts.Rounds, s.Clone()) }
+
+// OnPhase implements Probe.
+func (ts *TimeSeries) OnPhase(s *StepStats) { ts.Phases = append(ts.Phases, s.Clone()) }
+
+// csvHeader lists the fixed columns of WriteCSV, before the variable
+// per-level occupancy and per-set target columns.
+var csvHeader = []string{
+	"step", "phase", "round", "active", "injected", "absorbed", "moves",
+	"defl_arrival_reverse", "defl_safe_backward", "defl_unsafe_backward",
+	"defl_forward", "excited", "fault_blocked", "fault_stalls",
+	"injection_waits", "queue_delay", "blocked", "max_queue_len",
+}
+
+// WriteCSV emits one CSV table for a row set (use ts.Steps, ts.Rounds
+// or ts.Phases): the fixed counter columns, then l0..lL occupancy
+// columns, then tgt0..tgtS frame-target columns when present.
+func WriteCSV(w io.Writer, rows []StepStats) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(csvHeader, ","))
+	if len(rows) > 0 {
+		for l := range rows[0].Occupancy {
+			fmt.Fprintf(&b, ",l%d", l)
+		}
+		for i := range rows[0].FrameTargets {
+			fmt.Fprintf(&b, ",tgt%d", i)
+		}
+	}
+	b.WriteByte('\n')
+	for i := range rows {
+		r := &rows[i]
+		fmt.Fprintf(&b, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d",
+			r.Step, r.Phase, r.Round, r.Active, r.Injected, r.Absorbed,
+			r.Moves,
+			r.Deflections[sim.DeflectArrivalReverse],
+			r.Deflections[sim.DeflectSafeBackward],
+			r.Deflections[sim.DeflectUnsafeBackward],
+			r.Deflections[sim.DeflectForward],
+			r.Excited, r.FaultBlocked, r.FaultStalls, r.InjectionWaits,
+			r.QueueDelay, r.Blocked, r.MaxQueueLen)
+		for _, c := range r.Occupancy {
+			fmt.Fprintf(&b, ",%d", c)
+		}
+		for _, tl := range r.FrameTargets {
+			fmt.Fprintf(&b, ",%d", tl)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// seriesDoc is WriteJSON's document shape.
+type seriesDoc struct {
+	Steps  []StepStats `json:"steps,omitempty"`
+	Rounds []StepStats `json:"rounds,omitempty"`
+	Phases []StepStats `json:"phases,omitempty"`
+}
+
+// WriteJSON emits the recorded series as one indented JSON document
+// with steps/rounds/phases arrays (empty arrays omitted).
+func (ts *TimeSeries) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(seriesDoc{Steps: ts.Steps, Rounds: ts.Rounds, Phases: ts.Phases})
+}

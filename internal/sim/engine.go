@@ -142,6 +142,16 @@ type Engine struct {
 	now        int
 	seed       int64
 
+	// probe/events are the instrumentation hooks (probe.go): nil in the
+	// common case, chained fan-outs when attached. snap is the reusable
+	// per-step snapshot; lastM the previous step's metrics, diffed to
+	// produce per-step deltas without any extra counting on the hot
+	// path.
+	probe  Probe
+	events EventSink
+	snap   StepSnapshot
+	lastM  Metrics
+
 	// arbSeed keys the counter-based arbitration draws (rng.go); all
 	// router-level randomness comes from Rng or router-owned streams.
 	arbSeed uint64
@@ -299,6 +309,11 @@ func (e *Engine) Reset(seed int64) {
 	e.M = Metrics{}
 	e.now = 0
 	e.observers = e.observers[:0]
+	// Probes and event sinks are per-run attachments like observers:
+	// cleared here, re-attached by the caller after Reset.
+	e.probe = nil
+	e.events = nil
+	e.lastM = Metrics{}
 	// The epoch deliberately keeps counting across runs: slotEpoch and
 	// moveEpoch entries from the previous run are stale by construction
 	// and never need clearing. Forward memory and occupancy are rolled
@@ -454,6 +469,9 @@ func (e *Engine) Step() {
 			e.addAt(p.Src, pid)
 			e.active = append(e.active, pid)
 			e.M.Injected++
+			if e.events != nil {
+				e.events.RecordEvent(t, pid, EventInject, int32(p.Src))
+			}
 		}
 		e.pending = keep
 	}
@@ -512,15 +530,18 @@ func (e *Engine) Step() {
 	// shard's node order, and scatter preserves relative order, so
 	// walking the original occupied list with per-shard cursors
 	// reconstructs the exact sequential callback order.
+	stepExcited := 0
 	if e.nshards == 1 {
 		sh := &e.shards[0]
 		e.M.FaultBlocked += sh.faultBlocked
+		stepExcited = sh.excited
 		for _, rec := range sh.deflects {
 			e.applyDeflectRecord(t, rec)
 		}
 	} else {
 		for i := range e.shards {
 			e.M.FaultBlocked += e.shards[i].faultBlocked
+			stepExcited += e.shards[i].excited
 		}
 		for _, v := range e.occupied {
 			sh := &e.shards[e.shardOf[v]]
@@ -569,6 +590,9 @@ func (e *Engine) Step() {
 
 	e.now++
 	e.M.Steps = e.now
+	if e.probe != nil {
+		e.emitSnapshot(t, stepExcited)
+	}
 	for _, o := range e.observers {
 		o(t, e)
 	}
@@ -588,6 +612,9 @@ func (e *Engine) collectRequest(t int, pid PacketID, sh *shardState) {
 	}
 	e.requests[pid] = req
 	e.granted[pid] = false
+	if e.probe != nil && req.Priority >= ExcitedPriority {
+		sh.excited++
+	}
 	if e.Faults != nil && e.Faults(req.Edge, t) {
 		sh.faultBlocked++
 		return
@@ -631,9 +658,15 @@ func (e *Engine) markWinners(sh *shardState) {
 func (e *Engine) applyDeflectRecord(t int, rec deflectRec) {
 	if rec.slot == stallSlot {
 		e.M.FaultStalls++
+		if e.events != nil {
+			e.events.RecordEvent(t, rec.pid, EventStall, 0)
+		}
 		return
 	}
 	e.M.Deflections[rec.kind]++
+	if e.events != nil {
+		e.events.RecordEvent(t, rec.pid, EventDeflect, int32(rec.kind))
+	}
 	e.router.OnDeflect(t, &e.Packets[rec.pid], slotEdge(rec.slot), rec.kind)
 }
 
@@ -803,5 +836,8 @@ func (e *Engine) applyMove(t int, p *Packet, s int32) {
 			p.PathList = nil
 		}
 		e.router.OnAbsorb(t, p)
+		if e.events != nil {
+			e.events.RecordEvent(t, p.ID, EventAbsorb, int32(p.Dst))
+		}
 	}
 }

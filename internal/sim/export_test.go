@@ -1,0 +1,8 @@
+package sim
+
+// Test-only exports: the statistical tests exercise the unexported
+// counter-based generators directly.
+var (
+	ArbKeyForTest    = arbKey
+	ArbStreamForTest = arbStream
+)

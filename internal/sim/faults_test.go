@@ -1,7 +1,9 @@
 package sim_test
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"hotpotato/internal/baselines"
@@ -102,6 +104,69 @@ func TestComposeFaults(t *testing.T) {
 	}
 	if sim.NoFaults(1, 1) {
 		t.Error("NoFaults is faulty")
+	}
+}
+
+// TestEngineResetAfterFaultsMatchesFresh: a faulted run leaves no
+// residue. An engine that ran to completion under HashFaults, had its
+// fault model removed and was Reset, must reproduce a fresh healthy
+// engine's run byte for byte — metrics, full router-visible trace,
+// and zeroed fault counters.
+func TestEngineResetAfterFaultsMatchesFresh(t *testing.T) {
+	g, err := topo.Butterfly(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	p, err := workload.HotSpot(g, rng, 24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rname, mk := range map[string]func() sim.Router{
+		"greedy": func() sim.Router { return baselines.NewGreedy() },
+		"frame": func() sim.Router {
+			return core.NewFrame(core.ParamsPractical(p.C, p.L(), p.N(),
+				core.PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3}))
+		},
+	} {
+		t.Run(rname, func(t *testing.T) {
+			wantM, wantTr := fullTrace(t, p, mk, 5, 1, 0)
+
+			router, rec := wrapRecorder(mk())
+			e := sim.NewEngine(p, router, 99)
+			defer e.Close()
+			e.Faults = sim.HashFaults(9, 0.05, 8)
+			if _, done := e.Run(1 << 20); !done {
+				t.Fatal("faulted run did not complete")
+			}
+			if e.M.FaultBlocked == 0 {
+				t.Fatal("faulted run recorded no blocks; the scenario is vacuous")
+			}
+
+			e.Faults = nil
+			e.Reset(5)
+			rec.log.Reset()
+			if _, done := e.Run(100000); !done {
+				t.Fatal("post-fault reset run did not complete")
+			}
+			var b strings.Builder
+			b.WriteString(rec.log.String())
+			for i := range e.Packets {
+				pk := &e.Packets[i]
+				fmt.Fprintf(&b, "p %d %d %d %d %d %d %d %v\n", pk.ID, pk.Cur,
+					pk.InjectTime, pk.AbsorbTime, pk.Deflections,
+					pk.ForwardMoves, pk.BackwardMoves, pk.PathList)
+			}
+			if e.M.FaultBlocked != 0 || e.M.FaultStalls != 0 {
+				t.Errorf("fault counters survived Reset: %+v", e.M)
+			}
+			if e.M != wantM {
+				t.Errorf("metrics differ after faulted run + Reset:\n got %+v\nwant %+v", e.M, wantM)
+			}
+			if b.String() != wantTr {
+				t.Error("trace differs after faulted run + Reset")
+			}
+		})
 	}
 }
 

@@ -1,0 +1,115 @@
+package sim_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"hotpotato/internal/baselines"
+	"hotpotato/internal/core"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_traces.json from the current engine")
+
+// goldenRouters is the golden matrix's router axis. The frame router's
+// parameters derive from each problem, so the factory takes it.
+func goldenRouters(p *workload.Problem) map[string]func() sim.Router {
+	return map[string]func() sim.Router{
+		"greedy": func() sim.Router { return baselines.NewGreedy() },
+		"oldest": func() sim.Router { return baselines.NewOldestFirst() },
+		"frame": func() sim.Router {
+			return core.NewFrame(core.ParamsPractical(p.C, p.L(), p.N(),
+				core.PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3}))
+		},
+	}
+}
+
+var goldenSeeds = []int64{3, 42}
+
+// traceDigest runs the case and hashes the full router-visible trace
+// (every sequential callback plus the final per-packet state) together
+// with the engine metrics — the byte-exact identity of a run.
+func traceDigest(tb testing.TB, p *workload.Problem, mk func() sim.Router, seed int64) string {
+	tb.Helper()
+	m, tr := fullTrace(tb, p, mk, seed, 1, 0)
+	h := sha256.New()
+	fmt.Fprintf(h, "%+v\n", m)
+	h.Write([]byte(tr))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestGoldenTraces pins the engine's end-to-end behavior: for a small
+// topology x router x seed matrix, the SHA-256 of the complete run
+// trace must match the recorded fixture byte for byte. Any change to
+// arbitration order, deflection policy, RNG derivation, or commit
+// sequencing shows up here before it shows up in a paper figure.
+// Regenerate deliberately with:
+//
+//	go test ./internal/sim/ -run TestGoldenTraces -update
+func TestGoldenTraces(t *testing.T) {
+	path := filepath.Join("testdata", "golden_traces.json")
+	want := map[string]string{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &want); err != nil {
+			t.Fatalf("corrupt fixture %s: %v", path, err)
+		}
+	} else if !*updateGolden {
+		t.Fatalf("missing fixture %s (run with -update to create): %v", path, err)
+	}
+
+	got := map[string]string{}
+	for pname, p := range matrixProblems(t) {
+		for rname, mk := range goldenRouters(p) {
+			for _, seed := range goldenSeeds {
+				key := fmt.Sprintf("%s/%s/seed=%d", pname, rname, seed)
+				t.Run(key, func(t *testing.T) {
+					d := traceDigest(t, p, mk, seed)
+					got[key] = d
+					if *updateGolden {
+						return
+					}
+					w, ok := want[key]
+					if !ok {
+						t.Fatalf("no golden digest for %s (run with -update)", key)
+					}
+					if d != w {
+						t.Errorf("trace digest changed:\n got %s\nwant %s\nIf the change is intended, regenerate with -update.", d, w)
+					}
+				})
+			}
+		}
+	}
+
+	if *updateGolden {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ordered := make(map[string]string, len(got)) // json marshals maps sorted
+		for _, k := range keys {
+			ordered[k] = got[k]
+		}
+		data, err := json.MarshalIndent(ordered, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d digests to %s", len(got), path)
+	} else if len(want) != len(got) {
+		t.Errorf("fixture has %d digests, matrix has %d; regenerate with -update", len(want), len(got))
+	}
+}

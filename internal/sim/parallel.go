@@ -59,7 +59,11 @@ type shardState struct {
 	deflects     []deflectRec
 	cursor       int
 	faultBlocked int
-	_            [64]byte
+	// excited counts requests at or above ExcitedPriority collected in
+	// this shard; summed commutatively at the merge for the probe
+	// snapshot (only maintained while a probe is attached).
+	excited int
+	_       [64]byte
 }
 
 func (sh *shardState) reset() {
@@ -68,6 +72,7 @@ func (sh *shardState) reset() {
 	sh.deflects = sh.deflects[:0]
 	sh.cursor = 0
 	sh.faultBlocked = 0
+	sh.excited = 0
 }
 
 // scatterOccupied distributes the occupied-node list over the shards,

@@ -70,6 +70,13 @@ type SFEngine struct {
 	now   int
 	seed  int64
 
+	// Instrumentation (probe.go). Per-run attachments, cleared by Reset;
+	// all step-loop uses are nil-gated so the disabled path stays free.
+	probe  SFProbe
+	events EventSink
+	snap   StepSnapshot
+	lastM  SFMetrics
+
 	// queue[e] lists packets waiting to cross edge e.
 	queue   [][]PacketID
 	readyAt []int
@@ -144,6 +151,9 @@ func (e *SFEngine) Reset(seed int64) {
 	e.Rng.Seed(seed)
 	e.M = SFMetrics{}
 	e.now = 0
+	e.probe = nil
+	e.events = nil
+	e.lastM = SFMetrics{}
 	// Every non-empty queue is registered in activePos or staged in
 	// newPos (enqueue's invariant), so clearing through those lists
 	// touches only dirty queues.
@@ -281,6 +291,9 @@ func (e *SFEngine) Step() {
 			p.PathList = append(p.PathList[:0], p.Preselected...)
 			e.enqueue(first, pid)
 			e.M.Injected++
+			if e.events != nil {
+				e.events.RecordEvent(t, pid, EventInject, int32(p.Src))
+			}
 		}
 		e.pendingInject = keep
 	}
@@ -318,6 +331,9 @@ func (e *SFEngine) Step() {
 		if len(p.PathList) > 1 && !e.hasRoom(p.PathList[1]) {
 			e.M.Blocked++
 			e.M.QueueDelay += len(q)
+			if e.events != nil {
+				e.events.RecordEvent(t, pick, EventStall, 0)
+			}
 			keep = append(keep, pos)
 			continue
 		}
@@ -343,6 +359,9 @@ func (e *SFEngine) Step() {
 			p.Absorbed = true
 			p.AbsorbTime = t + 1
 			e.M.Absorbed++
+			if e.events != nil {
+				e.events.RecordEvent(t, pick, EventAbsorb, int32(p.Cur))
+			}
 		} else {
 			e.enqueue(p.PathList[0], pick)
 		}
@@ -354,4 +373,7 @@ func (e *SFEngine) Step() {
 
 	e.now++
 	e.M.Steps = e.now
+	if e.probe != nil {
+		e.emitSFSnapshot(t)
+	}
 }

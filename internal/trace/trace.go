@@ -9,7 +9,6 @@ import (
 	"strings"
 
 	"hotpotato/internal/core"
-	"hotpotato/internal/graph"
 	"hotpotato/internal/sim"
 )
 
@@ -21,10 +20,13 @@ type Snapshot struct {
 }
 
 // Recorder samples level occupancy from an engine every Every steps.
+// It implements sim.Probe: the census comes straight from the engine's
+// per-step snapshot (which the engine maintains from its occupied-node
+// list) rather than a full packet rescan, so a sample costs one slice
+// copy.
 type Recorder struct {
 	Every     int
 	Snapshots []Snapshot
-	g         *graph.Leveled
 }
 
 // NewRecorder builds a recorder sampling every `every` steps (min 1).
@@ -35,25 +37,23 @@ func NewRecorder(every int) *Recorder {
 	return &Recorder{Every: every}
 }
 
-// Attach registers the recorder on an engine.
-func (r *Recorder) Attach(e *sim.Engine) {
-	r.g = e.G
-	e.AddObserver(r.observe)
-}
+// Attach registers the recorder on an engine. Probes compose at the
+// engine (sim.Engine.AttachProbe): attaching a second recorder — or
+// any other probe — chains after the first instead of replacing it.
+// Attachments are per-run; Engine.Reset clears them, so re-attach
+// after a reset.
+func (r *Recorder) Attach(e *sim.Engine) { e.AttachProbe(r) }
 
-func (r *Recorder) observe(t int, e *sim.Engine) {
-	if t%r.Every != 0 {
+// OnStep implements sim.Probe.
+func (r *Recorder) OnStep(_ *sim.Engine, s *sim.StepSnapshot) {
+	if s.Step%r.Every != 0 {
 		return
 	}
-	s := Snapshot{Step: t, PerLevel: make([]int, e.G.Depth()+1)}
-	for i := range e.Packets {
-		p := &e.Packets[i]
-		if p.Active {
-			s.PerLevel[e.G.Node(p.Cur).Level]++
-			s.Active++
-		}
-	}
-	r.Snapshots = append(r.Snapshots, s)
+	r.Snapshots = append(r.Snapshots, Snapshot{
+		Step:     s.Step,
+		PerLevel: append([]int(nil), s.Occupancy...),
+		Active:   s.Active,
+	})
 }
 
 // WriteCSV emits the recorded series as CSV: step, active, level0..L.

@@ -71,6 +71,50 @@ func TestRecorderEvery(t *testing.T) {
 	}
 }
 
+// TestRecorderComposes is the regression test for Attach overwriting:
+// a second attached observer must chain after the first, so both see
+// the complete identical series. (The old Recorder installed itself
+// with a raw observer slot; attaching anything else silenced it.)
+func TestRecorderComposes(t *testing.T) {
+	p := testProblem(t)
+	e := sim.NewEngine(p, baselines.NewGreedy(), 2)
+	r1, r2 := NewRecorder(1), NewRecorder(1)
+	r1.Attach(e)
+	r2.Attach(e)
+	steps, done := e.Run(100000)
+	if !done {
+		t.Fatal("run did not complete")
+	}
+	if len(r1.Snapshots) != steps {
+		t.Fatalf("first recorder: %d snapshots, %d steps — second attach silenced it", len(r1.Snapshots), steps)
+	}
+	if len(r2.Snapshots) != steps {
+		t.Fatalf("second recorder: %d snapshots, %d steps", len(r2.Snapshots), steps)
+	}
+	for i := range r1.Snapshots {
+		a, b := r1.Snapshots[i], r2.Snapshots[i]
+		if a.Step != b.Step || a.Active != b.Active {
+			t.Fatalf("snapshot %d differs between chained recorders: %+v vs %+v", i, a, b)
+		}
+		for l := range a.PerLevel {
+			if a.PerLevel[l] != b.PerLevel[l] {
+				t.Fatalf("snapshot %d level %d differs: %d vs %d", i, l, a.PerLevel[l], b.PerLevel[l])
+			}
+		}
+	}
+
+	// Attachments are per-run: Reset clears them, so a re-run without
+	// re-attaching records nothing new.
+	before := len(r1.Snapshots)
+	e.Reset(2)
+	if _, done := e.Run(100000); !done {
+		t.Fatal("re-run did not complete")
+	}
+	if len(r1.Snapshots) != before {
+		t.Errorf("recorder kept sampling after Reset: %d -> %d snapshots", before, len(r1.Snapshots))
+	}
+}
+
 func TestWriteCSV(t *testing.T) {
 	p := testProblem(t)
 	e := sim.NewEngine(p, baselines.NewGreedy(), 4)

@@ -6,6 +6,7 @@ import (
 
 	"hotpotato/internal/baselines"
 	"hotpotato/internal/core"
+	"hotpotato/internal/obs"
 	"hotpotato/internal/sim"
 )
 
@@ -36,6 +37,16 @@ type Options struct {
 	// Shards is the number of contiguous node shards for the parallel
 	// step (0 = Workers x 8, oversubscribed for load balance).
 	Shards int
+	// Probes receive the annotated observability series (per step,
+	// round and phase under the frame router's schedule; baselines
+	// have no timetable, so their steps carry Phase = Round = -1 and
+	// the round/phase callbacks fire once at run end covering the
+	// whole run). The series is identical for every Workers setting.
+	Probes []Probe
+	// Events, if non-nil, receives packet lifecycle events
+	// (inject/deflect/stall/absorb from the engines, excite/restore
+	// from the frame router). Use a Lifecycle ring, or any EventSink.
+	Events EventSink
 }
 
 // RouteFrame runs the paper's frame algorithm on the problem.
@@ -47,6 +58,8 @@ func RouteFrame(p *Problem, params Params, opt Options) *Result {
 		Profile:  opt.Profile,
 		Workers:  opt.Workers,
 		Shards:   opt.Shards,
+		Probes:   opt.Probes,
+		Events:   opt.Events,
 	})
 }
 
@@ -108,7 +121,11 @@ func RouteBaseline(p *Problem, kind BaselineKind, opt Options) (*BaselineResult,
 			e.SetParallelism(opt.Workers, opt.Shards)
 			defer e.Close()
 		}
+		coll := attachObs(opt, e.AttachEventSink, func(c *obs.Collector) { c.Attach(e) })
 		res.Steps, res.Done = e.Run(maxSteps)
+		if coll != nil {
+			coll.Flush()
+		}
 		m := e.M
 		res.HP = &m
 		res.PerPacketLatency = latencies(e.Packets)
@@ -123,7 +140,11 @@ func RouteBaseline(p *Problem, kind BaselineKind, opt Options) (*BaselineResult,
 			s = baselines.NewFarthestFirst()
 		}
 		e := sim.NewSFEngineBuffered(p, s, opt.Seed, opt.BufferCap)
+		coll := attachObs(opt, e.AttachEventSink, func(c *obs.Collector) { c.AttachSF(e) })
 		res.Steps, res.Done = e.Run(maxSteps)
+		if coll != nil {
+			coll.Flush()
+		}
 		m := e.M
 		res.SF = &m
 		res.PerPacketLatency = latencies(e.Packets)
@@ -131,6 +152,22 @@ func RouteBaseline(p *Problem, kind BaselineKind, opt Options) (*BaselineResult,
 		return nil, fmt.Errorf("hotpotato: unknown baseline %q", kind)
 	}
 	return res, nil
+}
+
+// attachObs wires a baseline run's observability: the event sink goes
+// straight to the engine, the probes through a schedule-less Collector
+// (baselines have no frame timetable). Returns the collector to Flush
+// after the run, nil when no probes were given.
+func attachObs(opt Options, sink func(sim.EventSink), attach func(*obs.Collector)) *obs.Collector {
+	if opt.Events != nil {
+		sink(opt.Events)
+	}
+	if len(opt.Probes) == 0 {
+		return nil
+	}
+	coll := obs.NewCollector(nil, opt.Probes...)
+	attach(coll)
+	return coll
 }
 
 // defaultBaselineBudget returns the default step budget
