@@ -33,6 +33,7 @@ func main() {
 		density  = flag.Float64("density", 0.5, "source density for random workload")
 		algo     = flag.String("algo", "frame", "algorithm: frame|greedy-hp|greedy-ftg|rand-greedy-hp|sf-fifo|sf-randdelay|sf-farthest")
 		seed     = flag.Int64("seed", 1, "random seed")
+		faultStr = flag.String("faults", "", "fault campaign spec, e.g. 'flap:period=50,down=5,rate=0.2+node:node=7,from=100,to=200' (see docs/FAULTS.md; SF baselines ignore it)")
 		check    = flag.Bool("check", false, "attach the invariant checker (frame only)")
 		profile  = flag.Bool("profile", false, "print a per-phase progress profile (frame only)")
 		compare  = flag.Bool("compare", false, "also run every baseline for comparison")
@@ -124,14 +125,20 @@ func main() {
 			an.SuccessProbability(), an.TheoremFloor(), an.PolylogFactor(), an.Ln9())
 	}
 
+	campaign, err := hotpotato.ParseFaults(*faultStr)
+	fatal(err)
+	if campaign != nil {
+		fmt.Printf("fault campaign: %s\n", campaign.Name())
+	}
+
 	ob := obsConfig{out: *obsOut, every: *obsEvery, eventsOut: *eventsOut, eventsCap: *eventsCap}
-	runOne(prob, *algo, *seed, *check, *profile, *workers, *shards, ob)
+	runOne(prob, *algo, *seed, *check, *profile, *workers, *shards, campaign, ob)
 	if *compare {
 		for _, k := range []string{"frame", "greedy-hp", "greedy-ftg", "greedy-oldest", "rand-greedy-hp", "sf-fifo", "sf-randdelay", "sf-farthest"} {
 			if k == *algo {
 				continue
 			}
-			runOne(prob, k, *seed, false, false, *workers, *shards, obsConfig{})
+			runOne(prob, k, *seed, false, false, *workers, *shards, campaign, obsConfig{})
 		}
 	}
 }
@@ -194,8 +201,8 @@ func (ob obsConfig) write(ts *hotpotato.TimeSeries, ring *hotpotato.Lifecycle) {
 	}
 }
 
-func runOne(prob *hotpotato.Problem, algo string, seed int64, check, profile bool, workers, shards int, ob obsConfig) {
-	opts := hotpotato.Options{Seed: seed, Workers: workers, Shards: shards}
+func runOne(prob *hotpotato.Problem, algo string, seed int64, check, profile bool, workers, shards int, campaign hotpotato.FaultCampaign, ob obsConfig) {
+	opts := hotpotato.Options{Seed: seed, Workers: workers, Shards: shards, Faults: campaign}
 	ts, ring := ob.attach(&opts)
 	defer ob.write(ts, ring)
 	if algo == "frame" {
@@ -207,6 +214,9 @@ func runOne(prob *hotpotato.Problem, algo string, seed int64, check, profile boo
 		fmt.Printf("  deflections by kind [arrival-rev safe-backwd unsafe-backwd forward]: %v\n", res.Engine.Deflections)
 		fmt.Printf("  excitations=%d wait-entries=%d wait-interrupts=%d late-injections=%d\n",
 			res.Router.Excitations, res.Router.WaitEntries, res.Router.WaitInterrupts, res.Router.LatePhaseInjections)
+		if campaign != nil {
+			fmt.Printf("  faults: blocked=%d stalls=%d\n", res.Engine.FaultBlocked, res.Engine.FaultStalls)
+		}
 		if check {
 			fmt.Printf("  invariants: %s clean=%v\n", res.Invariants.String(), res.Invariants.Clean())
 		}
@@ -223,6 +233,9 @@ func runOne(prob *hotpotato.Problem, algo string, seed int64, check, profile boo
 	fmt.Printf("%s", res)
 	if res.HP != nil {
 		fmt.Printf("  deflections=%d (unsafe %d)", res.HP.TotalDeflections(), res.HP.UnsafeDeflections())
+		if campaign != nil {
+			fmt.Printf("  fault-blocked=%d stalls=%d", res.HP.FaultBlocked, res.HP.FaultStalls)
+		}
 	}
 	if res.SF != nil {
 		fmt.Printf("  max-queue=%d queue-delay=%d", res.SF.MaxQueueLen, res.SF.QueueDelay)

@@ -7,12 +7,21 @@
 //	openload -sweep 0.01,0.05,0.1,0.3          # one row per rate
 //	openload -lambda 0.1 -window 200           # CSV time series
 //	openload -lambda 0.1 -steps 10000000 -http :8090   # live soak
+//	openload -lambda 0.1 -faults "flap:period=200,down=20,rate=0.3" -retry 6
 //
 // With -http the process serves expvar under /debug/vars (an
 // "openload" map updated at every closed window) and the pprof
 // handlers under /debug/pprof/; the simulation goroutine carries
 // pprof labels (cmd=openload, lambda=...), so its samples are
-// attributable in profiles taken from the endpoint.
+// attributable in profiles taken from the endpoint. The server uses a
+// ReadHeaderTimeout (no slowloris hangs) and drains gracefully:
+// SIGINT/SIGTERM stops the simulation at the next step, flushes the
+// final partial window through the expvar map and the CSV output, and
+// shuts the listener down before exit.
+//
+// With -faults the run degrades under the given campaign (spec syntax
+// in docs/FAULTS.md); -retry N turns blocked arrivals into bounded
+// exponential-backoff retries instead of immediate losses.
 package main
 
 import (
@@ -24,25 +33,33 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"hotpotato"
 	"hotpotato/internal/dynamic"
+	"hotpotato/internal/faults"
 )
 
 func main() {
 	var (
-		topoStr  = flag.String("topo", "butterfly", "topology: butterfly|random")
-		size     = flag.Int("size", 5, "butterfly dimension")
-		depth    = flag.Int("depth", 24, "depth for -topo random")
-		steps    = flag.Int("steps", 5000, "simulated horizon")
-		lambda   = flag.Float64("lambda", 0.1, "per-node per-step arrival rate (single-rate mode)")
-		sweep    = flag.String("sweep", "", "comma-separated rates; prints a summary row per rate")
-		window   = flag.Int("window", 0, "emit a CSV time series with this window size (single-rate mode)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		httpAddr = flag.String("http", "", "serve live expvar (/debug/vars) and pprof (/debug/pprof/) on this address during a single-rate run")
+		topoStr   = flag.String("topo", "butterfly", "topology: butterfly|random")
+		size      = flag.Int("size", 5, "butterfly dimension")
+		depth     = flag.Int("depth", 24, "depth for -topo random")
+		steps     = flag.Int("steps", 5000, "simulated horizon")
+		lambda    = flag.Float64("lambda", 0.1, "per-node per-step arrival rate (single-rate mode)")
+		sweep     = flag.String("sweep", "", "comma-separated rates; prints a summary row per rate")
+		window    = flag.Int("window", 0, "emit a CSV time series with this window size (single-rate mode)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		faultSpec = flag.String("faults", "", "fault campaign spec, e.g. 'flap:period=200,down=20,rate=0.3' (see docs/FAULTS.md)")
+		retryMax  = flag.Int("retry", 0, "max admission attempts per arrival (0 = no retry, shed blocked arrivals)")
+		retryBase = flag.Int("retry-base", 1, "backoff before the first retry, in steps")
+		retryCap  = flag.Int("retry-cap", 64, "backoff ceiling, in steps")
+		httpAddr  = flag.String("http", "", "serve live expvar (/debug/vars) and pprof (/debug/pprof/) on this address during a single-rate run")
 	)
 	flag.Parse()
 
@@ -61,18 +78,29 @@ func main() {
 	}
 	fatal(err)
 
+	campaign, err := faults.Parse(*faultSpec)
+	fatal(err)
+	var model hotpotato.FaultModel
+	if campaign != nil {
+		model = campaign.Model(net, *seed)
+		fmt.Fprintf(os.Stderr, "openload: fault campaign %s\n", campaign.Name())
+	}
+	retry := dynamic.RetryPolicy{MaxAttempts: *retryMax, BaseDelay: *retryBase, MaxDelay: *retryCap}
+
 	if *sweep != "" {
-		fmt.Println("lambda,offered,admitted,admit_rate,delivered_per_step,lat_p50,lat_p99,avg_inflight")
+		fmt.Println("lambda,offered,admitted,admit_rate,delivered_per_step,lat_p50,lat_p99,avg_inflight,fault_blocked,fault_stalls,retried,dropped")
 		for _, s := range strings.Split(*sweep, ",") {
 			rate, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 			fatal(err)
 			res, err := dynamic.Run(net, dynamic.Config{
 				Lambda: rate, Steps: *steps, Warmup: *steps / 10, Seed: *seed,
+				Faults: model, Retry: retry,
 			})
 			fatal(err)
-			fmt.Printf("%g,%d,%d,%.4f,%.4f,%.0f,%.0f,%.1f\n",
+			fmt.Printf("%g,%d,%d,%.4f,%.4f,%.0f,%.0f,%.1f,%d,%d,%d,%d\n",
 				rate, res.Offered, res.Admitted, res.AdmissionRate(),
-				res.Throughput(), res.Latency.Median, res.Latency.P99, res.AvgInFlight)
+				res.Throughput(), res.Latency.Median, res.Latency.P99, res.AvgInFlight,
+				res.FaultBlocked, res.FaultStalls, res.Retried, res.Dropped)
 		}
 		return
 	}
@@ -84,13 +112,27 @@ func main() {
 			win = 1
 		}
 	}
+
+	// SIGINT/SIGTERM drains the run: the simulation stops at the next
+	// step, flushes its final partial window, and the report below
+	// still prints.
+	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelSignals()
+
 	cfg := dynamic.Config{
 		Lambda: *lambda, Steps: *steps, Warmup: *steps / 10, Seed: *seed, Window: win,
+		Faults: model, Retry: retry, Stop: ctx.Done(),
 	}
+	var server *http.Server
 	if *httpAddr != "" {
 		cfg.OnWindow = liveVars()
+		server = &http.Server{
+			Addr:              *httpAddr,
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
 		go func() {
-			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+			if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "openload: http:", err)
 			}
 		}()
@@ -103,10 +145,22 @@ func main() {
 		res, err = dynamic.Run(net, cfg)
 		fatal(err)
 	})
+	if res.Interrupted {
+		fmt.Fprintf(os.Stderr, "openload: interrupted after %d steps; final window flushed\n", res.ExecutedSteps)
+	}
+	if server != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		if err := server.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "openload: shutdown:", err)
+		}
+		cancel()
+	}
 	fmt.Fprintln(os.Stderr, res)
-	fmt.Println("window_start,delivered,mean_latency,mean_inflight")
+	fmt.Println("window_start,delivered,mean_latency,mean_inflight,fault_blocked,fault_stalls,dropped,availability")
 	for _, w := range res.Windows {
-		fmt.Printf("%d,%d,%.2f,%.2f\n", w.Start, w.Delivered, w.MeanLatency, w.MeanInFlight)
+		fmt.Printf("%d,%d,%.2f,%.2f,%d,%d,%d,%.4f\n",
+			w.Start, w.Delivered, w.MeanLatency, w.MeanInFlight,
+			w.FaultBlocked, w.FaultStalls, w.Dropped, w.Availability)
 	}
 }
 
@@ -119,28 +173,41 @@ func liveVars() func(dynamic.WindowStats, *dynamic.Result) {
 	var (
 		winStart, winDelivered       expvar.Int
 		winLatency, winInFlight      expvar.Float
+		winAvailability              expvar.Float
 		offered, admitted, delivered expvar.Int
 		deflections, peak            expvar.Int
+		faultBlocked, faultStalls    expvar.Int
+		retried, dropped             expvar.Int
 	)
 	m.Set("window_start", &winStart)
 	m.Set("window_delivered", &winDelivered)
 	m.Set("window_mean_latency", &winLatency)
 	m.Set("window_mean_inflight", &winInFlight)
+	m.Set("window_availability", &winAvailability)
 	m.Set("offered", &offered)
 	m.Set("admitted", &admitted)
 	m.Set("delivered", &delivered)
 	m.Set("deflections", &deflections)
 	m.Set("peak_inflight", &peak)
+	m.Set("fault_blocked", &faultBlocked)
+	m.Set("fault_stalls", &faultStalls)
+	m.Set("retried", &retried)
+	m.Set("dropped", &dropped)
 	return func(w dynamic.WindowStats, r *dynamic.Result) {
 		winStart.Set(int64(w.Start))
 		winDelivered.Set(int64(w.Delivered))
 		winLatency.Set(w.MeanLatency)
 		winInFlight.Set(w.MeanInFlight)
+		winAvailability.Set(w.Availability)
 		offered.Set(int64(r.Offered))
 		admitted.Set(int64(r.Admitted))
 		delivered.Set(int64(r.Delivered))
 		deflections.Set(int64(r.Deflections))
 		peak.Set(int64(r.PeakInFlight))
+		faultBlocked.Set(int64(r.FaultBlocked))
+		faultStalls.Set(int64(r.FaultStalls))
+		retried.Set(int64(r.Retried))
+		dropped.Set(int64(r.Dropped))
 	}
 }
 

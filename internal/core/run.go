@@ -100,6 +100,11 @@ type RunOptions struct {
 	// path; results are byte-identical either way.
 	Workers int
 	Shards  int
+	// Faults, if non-nil, is installed as the engine's fault model for
+	// this run (sim.Engine.Faults): a pure function of (edge, step)
+	// marking edges down. Per-run — a Runner reused across seeds gets
+	// exactly the model each RunOptions carries, nil clearing it.
+	Faults sim.FaultModel
 }
 
 // Runner executes frame runs on one problem, reusing the engine and
@@ -149,6 +154,9 @@ func Run(p *workload.Problem, params Params, opt RunOptions) *Result {
 
 func (r *Runner) finish(opt RunOptions) *Result {
 	p, params, router, eng := r.p, r.params, r.router, r.eng
+	// Reset does not touch Faults (it is engine configuration, not run
+	// state), so install the per-run model explicitly every run.
+	eng.Faults = opt.Faults
 	var checker *InvariantChecker
 	if opt.Check {
 		checker = NewInvariantChecker(router)

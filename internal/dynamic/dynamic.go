@@ -5,6 +5,15 @@
 // related work; the static Õ(C+L) result speaks to each batch, and the
 // open system exposes the stability threshold — the arrival rate beyond
 // which the bufferless network stops keeping up.
+//
+// The open system optionally runs degraded: Config.Faults marks edges
+// down per step (same purity contract as sim.FaultModel — see
+// internal/faults for campaign constructors), blocked packets deflect
+// around outages or stall in place when a fault strands them, and
+// Config.Retry turns admission losses into a bounded-exponential-
+// backoff retry queue so soak runs degrade gracefully instead of
+// silently shedding load. Degradation is measured: FaultBlocked,
+// FaultStalls, Retried, Dropped and per-window Availability.
 package dynamic
 
 import (
@@ -13,8 +22,52 @@ import (
 
 	"hotpotato/internal/graph"
 	"hotpotato/internal/paths"
+	"hotpotato/internal/sim"
 	"hotpotato/internal/stats"
 )
+
+// RetryPolicy is the source-side admission policy for arrivals that
+// find their source occupied (or the in-flight cap reached): instead
+// of shedding the packet, it re-attempts admission under bounded
+// exponential backoff, then drops.
+type RetryPolicy struct {
+	// MaxAttempts bounds total admission attempts per packet (the
+	// initial try plus retries). 0 or 1 disables retry: blocked
+	// arrivals are lost immediately, the classic open-system behavior.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry, in steps
+	// (<= 0 defaults to 1). Attempt k waits min(BaseDelay<<(k-1),
+	// MaxDelay) steps.
+	BaseDelay int
+	// MaxDelay caps the exponential backoff (<= 0 defaults to 64).
+	MaxDelay int
+}
+
+// enabled reports whether the policy retries at all.
+func (rp RetryPolicy) enabled() bool { return rp.MaxAttempts > 1 }
+
+// backoff returns the delay before retry number k (k >= 1).
+func (rp RetryPolicy) backoff(k int) int {
+	base := rp.BaseDelay
+	if base <= 0 {
+		base = 1
+	}
+	maxD := rp.MaxDelay
+	if maxD <= 0 {
+		maxD = 64
+	}
+	d := base
+	for i := 1; i < k; i++ {
+		d <<= 1
+		if d >= maxD {
+			return maxD
+		}
+	}
+	if d > maxD {
+		d = maxD
+	}
+	return d
+}
 
 // Config parameterizes an open-system run.
 type Config struct {
@@ -31,9 +84,19 @@ type Config struct {
 	// MaxInFlight caps the simultaneously active packets (0 = 4096); a
 	// run that hits the cap is saturated.
 	MaxInFlight int
+	// Faults, when non-nil, marks edges as down per step: a live
+	// packet whose requested edge is down loses and deflects among
+	// healthy slots, and a packet stranded at a node with no healthy
+	// free slot stalls in place for the step. The model must be a pure
+	// function of (edge, step) — the sim.FaultModel contract; bind a
+	// faults.Campaign for composable outage scenarios.
+	Faults sim.FaultModel
+	// Retry is the admission retry/backoff policy for blocked
+	// arrivals. The zero value disables retry.
+	Retry RetryPolicy
 	// Window, when > 0, records per-window time series into
-	// Result.Windows (deliveries, mean latency and mean in-flight per
-	// window of that many steps).
+	// Result.Windows (deliveries, mean latency, mean in-flight, fault
+	// and availability stats per window of that many steps).
 	Window int
 	// OnWindow, when non-nil (and Window > 0), is called after each
 	// window closes with that window's stats and the result so far —
@@ -41,6 +104,12 @@ type Config struct {
 	// It runs on the simulation goroutine; a slow callback slows the
 	// run.
 	OnWindow func(w WindowStats, r *Result)
+	// Stop, when non-nil, ends the run early as soon as a receive
+	// succeeds (close the channel to fire it): the current partial
+	// window is flushed through OnWindow, Result.Interrupted is set,
+	// and the statistics cover the executed prefix. The graceful-drain
+	// hook for soak processes catching SIGINT/SIGTERM.
+	Stop <-chan struct{}
 }
 
 // Result summarizes an open-system run.
@@ -52,6 +121,16 @@ type Result struct {
 	// retry); Delivered the number absorbed within the horizon.
 	Admitted  int
 	Delivered int
+	// Retried counts admission re-attempts performed by the retry
+	// policy; Dropped counts packets the policy abandoned after
+	// exhausting MaxAttempts. Both are 0 when retry is disabled.
+	Retried int
+	Dropped int
+	// FaultBlocked counts (packet, step) pairs whose requested edge
+	// was down; FaultStalls counts (packet, step) pairs in which an
+	// outage left a packet no healthy out-slot and it held in place.
+	FaultBlocked int
+	FaultStalls  int
 	// Latency summarizes absorb-inject over delivered packets
 	// (post-warmup injections only).
 	Latency stats.Summary
@@ -64,6 +143,11 @@ type Result struct {
 	Deflections int
 	// Saturated reports whether the in-flight cap was hit.
 	Saturated bool
+	// Interrupted reports that Config.Stop fired before the horizon;
+	// Steps in derived rates still refers to the configured horizon,
+	// ExecutedSteps to the prefix actually simulated.
+	Interrupted   bool
+	ExecutedSteps int
 	// Windows holds the per-window time series when Config.Window > 0.
 	Windows []WindowStats
 }
@@ -79,16 +163,25 @@ type WindowStats struct {
 	// MeanInFlight is the time-average of active packets over the
 	// window.
 	MeanInFlight float64
+	// FaultBlocked, FaultStalls and Dropped are this window's deltas
+	// of the corresponding Result counters.
+	FaultBlocked int
+	FaultStalls  int
+	Dropped      int
+	// Availability is the mean fraction of healthy edges over the
+	// window (1.0 without a fault model).
+	Availability float64
 }
 
 // Throughput is delivered packets per step (post-warmup measure over
 // the whole horizon; for a stable system it approaches the admitted
 // rate).
 func (r *Result) Throughput() float64 {
-	if r.Cfg.Steps == 0 {
+	steps := r.ExecutedSteps
+	if steps == 0 {
 		return 0
 	}
-	return float64(r.Delivered) / float64(r.Cfg.Steps)
+	return float64(r.Delivered) / float64(steps)
 }
 
 // AdmissionRate is Admitted/Offered (1.0 when sources are always free).
@@ -99,11 +192,27 @@ func (r *Result) AdmissionRate() float64 {
 	return float64(r.Admitted) / float64(r.Offered)
 }
 
+// DropRate is Dropped/Offered — the load the retry policy shed.
+func (r *Result) DropRate() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Dropped) / float64(r.Offered)
+}
+
 // String renders a one-line summary.
 func (r *Result) String() string {
-	return fmt.Sprintf("dynamic(λ=%.3f, %d steps): offered=%d admitted=%d delivered=%d thpt=%.3f/step lat p50=%.0f avg-inflight=%.1f sat=%v",
-		r.Cfg.Lambda, r.Cfg.Steps, r.Offered, r.Admitted, r.Delivered,
+	s := fmt.Sprintf("dynamic(λ=%.3f, %d steps): offered=%d admitted=%d delivered=%d thpt=%.3f/step lat p50=%.0f avg-inflight=%.1f sat=%v",
+		r.Cfg.Lambda, r.ExecutedSteps, r.Offered, r.Admitted, r.Delivered,
 		r.Throughput(), r.Latency.Median, r.AvgInFlight, r.Saturated)
+	if r.Cfg.Faults != nil || r.Cfg.Retry.enabled() {
+		s += fmt.Sprintf(" blocked=%d stalls=%d retried=%d dropped=%d",
+			r.FaultBlocked, r.FaultStalls, r.Retried, r.Dropped)
+	}
+	if r.Interrupted {
+		s += " (interrupted)"
+	}
+	return s
 }
 
 // pkt is a live packet of the open system.
@@ -117,10 +226,38 @@ type pkt struct {
 	inject      int
 }
 
+// retryEntry is a blocked arrival waiting in the source-side backoff
+// queue. Its destination and path were drawn at the original arrival,
+// so retries consume no randomness and the RNG stream stays a pure
+// function of the arrival sequence.
+type retryEntry struct {
+	src      graph.NodeID
+	dst      graph.NodeID
+	path     []graph.EdgeID
+	attempts int // admission attempts so far (>= 1)
+	next     int // earliest step of the next attempt
+}
+
+// reservoirKeep reports whether the k-th contender (k >= 2) replaces
+// the incumbent under reservoir selection: with probability exactly
+// 1/k, so each of k contenders ends up winning with probability 1/k —
+// the arbitration rule PR 1 established for the batch engine (the
+// prior Intn(2) coin let the last contender win with probability 1/2
+// regardless of k). Uniformity is chi-square tested in
+// arbitration_test.go.
+func reservoirKeep(rng *rand.Rand, k int) bool {
+	return rng.Intn(k) == 0
+}
+
 // Run executes an open-system greedy hot-potato simulation. The router
 // is greedy (chase the path head, equal priorities, backward-safe
 // deflections) — the right baseline for dynamic traffic, since the
 // frame algorithm's frames presuppose a fixed batch.
+//
+// Runs are deterministic per (Config, Seed): arrivals, path draws and
+// tie-breaks come from one sequential RNG consumed in a fixed order,
+// and every sweep (sources, live packets, nodes) iterates in ID or
+// injection order — never Go map order.
 func Run(g *graph.Leveled, cfg Config) (*Result, error) {
 	if cfg.Lambda < 0 || cfg.Lambda > 1 {
 		return nil, fmt.Errorf("dynamic: lambda must be in [0,1], got %g", cfg.Lambda)
@@ -130,6 +267,9 @@ func Run(g *graph.Leveled, cfg Config) (*Result, error) {
 	}
 	if cfg.Warmup >= cfg.Steps {
 		return nil, fmt.Errorf("dynamic: warmup %d >= steps %d", cfg.Warmup, cfg.Steps)
+	}
+	if cfg.Retry.MaxAttempts < 0 || cfg.Retry.BaseDelay < 0 || cfg.Retry.MaxDelay < 0 {
+		return nil, fmt.Errorf("dynamic: negative retry policy field: %+v", cfg.Retry)
 	}
 	maxFly := cfg.MaxInFlight
 	if maxFly <= 0 {
@@ -148,7 +288,7 @@ func Run(g *graph.Leveled, cfg Config) (*Result, error) {
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("dynamic: network has no eligible sources")
 	}
-	dstsOf := make(map[graph.NodeID][]graph.NodeID, len(sources))
+	dstsOf := make([][]graph.NodeID, g.NumNodes())
 	for _, s := range sources {
 		reach := g.ForwardReachableFrom(s)
 		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
@@ -158,14 +298,16 @@ func Run(g *graph.Leveled, cfg Config) (*Result, error) {
 		}
 	}
 
-	at := make(map[graph.NodeID][]*pkt, g.NumNodes())
+	// at[v] lists the live packets at node v; indexed by node ID so
+	// every sweep below runs in ID order (Go map iteration order would
+	// make same-seed runs diverge).
+	at := make([][]*pkt, g.NumNodes())
 	var live []*pkt
+	var retryQ []retryEntry
 	nextID := 0
 	var latencies []float64
 	inFlightSum := 0.0
 	inFlightSamples := 0
-	var wDelivered int
-	var wLatSum, wFlySum float64
 
 	type slot struct {
 		e graph.EdgeID
@@ -174,19 +316,103 @@ func Run(g *graph.Leveled, cfg Config) (*Result, error) {
 	prevForward := make([]*pkt, g.NumEdges())
 	curForward := make([]*pkt, g.NumEdges())
 
+	down := func(e graph.EdgeID, t int) bool {
+		return cfg.Faults != nil && cfg.Faults(e, t)
+	}
+
+	// inject admits a packet at src if the source is free and the
+	// in-flight cap allows, returning success.
+	inject := func(t int, src, dst graph.NodeID, path []graph.EdgeID) bool {
+		if len(at[src]) > 0 || len(live) >= maxFly {
+			if len(live) >= maxFly {
+				res.Saturated = true
+			}
+			return false
+		}
+		p := &pkt{id: nextID, cur: src, dst: dst, path: path, arrivalEdge: graph.NoEdge, inject: t}
+		nextID++
+		at[src] = append(at[src], p)
+		live = append(live, p)
+		res.Admitted++
+		return true
+	}
+
+	// Window accumulators. closeWindow flushes the window covering
+	// steps [wStart, endStep] (span steps accumulated so far).
+	var wDelivered, wSpan, wStart int
+	var wLatSum, wFlySum, wAvailSum float64
+	var wPrevBlocked, wPrevStalls, wPrevDropped int
+	closeWindow := func() {
+		if cfg.Window <= 0 || wSpan == 0 {
+			return
+		}
+		ws := WindowStats{
+			Start:        wStart,
+			Delivered:    wDelivered,
+			MeanInFlight: wFlySum / float64(wSpan),
+			FaultBlocked: res.FaultBlocked - wPrevBlocked,
+			FaultStalls:  res.FaultStalls - wPrevStalls,
+			Dropped:      res.Dropped - wPrevDropped,
+			Availability: wAvailSum / float64(wSpan),
+		}
+		if wDelivered > 0 {
+			ws.MeanLatency = wLatSum / float64(wDelivered)
+		}
+		res.Windows = append(res.Windows, ws)
+		if cfg.OnWindow != nil {
+			cfg.OnWindow(ws, res)
+		}
+		wDelivered, wSpan = 0, 0
+		wLatSum, wFlySum, wAvailSum = 0, 0, 0
+		wPrevBlocked, wPrevStalls, wPrevDropped = res.FaultBlocked, res.FaultStalls, res.Dropped
+		wStart = res.ExecutedSteps
+	}
+
 	for t := 0; t < cfg.Steps; t++ {
-		// Arrivals: each source draws; blocked if occupied or at cap.
+		if cfg.Stop != nil {
+			select {
+			case <-cfg.Stop:
+				res.Interrupted = true
+			default:
+			}
+			if res.Interrupted {
+				break
+			}
+		}
+
+		// Retry admissions first: waiting packets get the source slot
+		// ahead of fresh arrivals (no new packet starves a backlogged
+		// one). The queue is FIFO and consumes no randomness.
+		if len(retryQ) > 0 {
+			keep := retryQ[:0]
+			for i := range retryQ {
+				en := retryQ[i]
+				if en.next > t {
+					keep = append(keep, en)
+					continue
+				}
+				res.Retried++
+				if inject(t, en.src, en.dst, en.path) {
+					continue
+				}
+				en.attempts++
+				if en.attempts >= cfg.Retry.MaxAttempts {
+					res.Dropped++
+					continue
+				}
+				en.next = t + cfg.Retry.backoff(en.attempts)
+				keep = append(keep, en)
+			}
+			retryQ = keep
+		}
+
+		// Arrivals: each source draws; blocked arrivals enter the
+		// retry queue (or are lost when retry is disabled).
 		for _, s := range sources {
 			if rng.Float64() >= cfg.Lambda {
 				continue
 			}
 			res.Offered++
-			if len(at[s]) > 0 || len(live) >= maxFly {
-				if len(live) >= maxFly {
-					res.Saturated = true
-				}
-				continue
-			}
 			cands := dstsOf[s]
 			if len(cands) == 0 {
 				continue
@@ -196,20 +422,33 @@ func Run(g *graph.Leveled, cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			p := &pkt{id: nextID, cur: s, dst: dst, path: path, arrivalEdge: graph.NoEdge, inject: t}
-			nextID++
-			at[s] = append(at[s], p)
-			live = append(live, p)
-			res.Admitted++
+			if inject(t, s, dst, path) {
+				continue
+			}
+			if cfg.Retry.enabled() {
+				retryQ = append(retryQ, retryEntry{
+					src: s, dst: dst, path: path,
+					attempts: 1, next: t + cfg.Retry.backoff(1),
+				})
+			}
 		}
 
-		// Requests: every live packet chases its head.
+		// Requests: every live packet chases its head; equal-priority
+		// conflicts resolve by reservoir selection (1/k per
+		// contender). A request for a downed edge is fault-blocked and
+		// falls through to the deflection pass.
 		winners := make(map[slot]*pkt, len(live))
+		contenders := make(map[slot]int, len(live))
 		for _, p := range live {
 			e := p.path[0]
+			if down(e, t) {
+				res.FaultBlocked++
+				continue
+			}
 			s := slot{e, g.DirectionFrom(e, p.cur)}
-			if cur, ok := winners[s]; !ok || rng.Intn(2) == 0 {
-				_ = cur
+			k := contenders[s] + 1
+			contenders[s] = k
+			if k == 1 || reservoirKeep(rng, k) {
 				winners[s] = p
 			}
 		}
@@ -219,12 +458,17 @@ func Run(g *graph.Leveled, cfg Config) (*Result, error) {
 			used[s] = true
 			granted[p] = s
 		}
-		// Deflect losers per node.
-		for v, ps := range at {
+		// Deflect losers per node, in node-ID order (determinism).
+		stalled := make(map[*pkt]bool)
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			ps := at[v]
 			if len(ps) == 0 {
 				continue
 			}
 			node := g.Node(v)
+			free := func(s slot) bool {
+				return !used[s] && !down(s.e, t)
+			}
 			for _, p := range ps {
 				if _, ok := granted[p]; ok {
 					continue
@@ -232,7 +476,7 @@ func Run(g *graph.Leveled, cfg Config) (*Result, error) {
 				assigned := false
 				if p.arrivalEdge != graph.NoEdge {
 					s := slot{p.arrivalEdge, p.arrivalDir.Reverse()}
-					if !used[s] {
+					if free(s) {
 						granted[p], used[s] = s, true
 						assigned = true
 					}
@@ -240,7 +484,7 @@ func Run(g *graph.Leveled, cfg Config) (*Result, error) {
 				if !assigned {
 					for _, ed := range node.Down {
 						s := slot{ed, graph.Backward}
-						if !used[s] && prevForward[ed] != nil {
+						if free(s) && prevForward[ed] != nil {
 							granted[p], used[s] = s, true
 							assigned = true
 							break
@@ -250,7 +494,7 @@ func Run(g *graph.Leveled, cfg Config) (*Result, error) {
 				if !assigned {
 					for _, ed := range node.Down {
 						s := slot{ed, graph.Backward}
-						if !used[s] {
+						if free(s) {
 							granted[p], used[s] = s, true
 							assigned = true
 							break
@@ -260,7 +504,7 @@ func Run(g *graph.Leveled, cfg Config) (*Result, error) {
 				if !assigned {
 					for _, ed := range node.Up {
 						s := slot{ed, graph.Forward}
-						if !used[s] {
+						if free(s) {
 							granted[p], used[s] = s, true
 							assigned = true
 							break
@@ -268,6 +512,14 @@ func Run(g *graph.Leveled, cfg Config) (*Result, error) {
 					}
 				}
 				if !assigned {
+					if cfg.Faults != nil {
+						// An outage consumed the node's slack: hold in
+						// place for one step, the bufferless model's
+						// local escape hatch under faults.
+						stalled[p] = true
+						res.FaultStalls++
+						continue
+					}
 					return nil, fmt.Errorf("dynamic: step %d: node %d over capacity", t, v)
 				}
 				res.Deflections++
@@ -279,8 +531,15 @@ func Run(g *graph.Leveled, cfg Config) (*Result, error) {
 			curForward[i] = nil
 		}
 		survivors := live[:0]
-		clear(at)
+		for i := range at {
+			at[i] = at[i][:0]
+		}
 		for _, p := range live {
+			if stalled[p] {
+				survivors = append(survivors, p)
+				at[p.cur] = append(at[p.cur], p)
+				continue
+			}
 			s := granted[p]
 			dest := g.EndpointAt(s.e, s.d)
 			if len(p.path) > 0 && p.path[0] == s.e {
@@ -309,6 +568,7 @@ func Run(g *graph.Leveled, cfg Config) (*Result, error) {
 		}
 		live = survivors
 		prevForward, curForward = curForward, prevForward
+		res.ExecutedSteps = t + 1
 
 		if t >= cfg.Warmup {
 			inFlightSum += float64(len(live))
@@ -319,27 +579,24 @@ func Run(g *graph.Leveled, cfg Config) (*Result, error) {
 		}
 		if cfg.Window > 0 {
 			wFlySum += float64(len(live))
+			if cfg.Faults == nil {
+				wAvailSum++
+			} else {
+				downEdges := 0
+				for e := 0; e < g.NumEdges(); e++ {
+					if cfg.Faults(graph.EdgeID(e), t) {
+						downEdges++
+					}
+				}
+				wAvailSum += 1 - float64(downEdges)/float64(g.NumEdges())
+			}
+			wSpan++
 			if (t+1)%cfg.Window == 0 || t == cfg.Steps-1 {
-				span := cfg.Window
-				if rem := (t + 1) % cfg.Window; rem != 0 {
-					span = rem
-				}
-				ws := WindowStats{
-					Start:        t + 1 - span,
-					Delivered:    wDelivered,
-					MeanInFlight: wFlySum / float64(span),
-				}
-				if wDelivered > 0 {
-					ws.MeanLatency = wLatSum / float64(wDelivered)
-				}
-				res.Windows = append(res.Windows, ws)
-				if cfg.OnWindow != nil {
-					cfg.OnWindow(ws, res)
-				}
-				wDelivered, wLatSum, wFlySum = 0, 0, 0
+				closeWindow()
 			}
 		}
 	}
+	closeWindow() // flush the partial window of an interrupted run
 	res.Latency = stats.Summarize(latencies)
 	if inFlightSamples > 0 {
 		res.AvgInFlight = inFlightSum / float64(inFlightSamples)

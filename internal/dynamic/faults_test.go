@@ -1,0 +1,217 @@
+package dynamic
+
+import (
+	"fmt"
+	"testing"
+
+	"hotpotato/internal/faults"
+	"hotpotato/internal/topo"
+)
+
+// TestDynamicSameSeedByteIdentical is the regression test for the
+// map-order nondeterminism bug: the deflection pass used to iterate
+// `for v, ps := range at` over a Go map, so identical seeds could
+// produce different Deflections and latency series. Two runs of the
+// same config must now agree on every field, windows included —
+// compared as formatted bytes, not just headline counters.
+func TestDynamicSameSeedByteIdentical(t *testing.T) {
+	g, err := topo.Butterfly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := faults.Flap{Period: 40, Down: 6, Rate: 0.3}.Model(g, 11)
+	cfg := Config{
+		Lambda: 0.4, Steps: 600, Warmup: 50, Seed: 9,
+		Faults: model,
+		Retry:  RetryPolicy{MaxAttempts: 4, BaseDelay: 1, MaxDelay: 8},
+		Window: 50,
+	}
+	render := func() string {
+		res, err := Run(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Strip Cfg (contains func values whose formatting is an
+		// address) and render everything observable.
+		res.Cfg = Config{}
+		return fmt.Sprintf("%+v", *res)
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("same seed, different run:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestDynamicFaultedRunDegradesGracefully drives the open system
+// through a full mid-run outage: every edge down for a band of steps.
+// Packets must block, stall in place, and resume — no over-capacity
+// error, deliveries on both sides of the outage, and the degradation
+// counters populated.
+func TestDynamicFaultedRunDegradesGracefully(t *testing.T) {
+	g, err := topo.Butterfly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := faults.LevelBand{Lo: 0, Hi: 100, From: 100, To: 120}.Model(g, 1)
+	res, err := Run(g, Config{
+		Lambda: 0.3, Steps: 600, Warmup: 0, Seed: 3,
+		Faults: model, Window: 20,
+	})
+	if err != nil {
+		t.Fatalf("faulted run errored: %v", err)
+	}
+	if res.FaultBlocked == 0 {
+		t.Error("no requests blocked during a full outage")
+	}
+	if res.FaultStalls == 0 {
+		t.Error("no stalls during a full outage; escape hatch untested")
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// Availability series: 0 during the outage window, 1 outside it.
+	for _, w := range res.Windows {
+		switch {
+		case w.Start >= 100 && w.Start+20 <= 120:
+			if w.Availability != 0 {
+				t.Errorf("window@%d availability %g during full outage, want 0", w.Start, w.Availability)
+			}
+			if w.FaultBlocked == 0 && w.FaultStalls == 0 {
+				t.Errorf("window@%d shows no fault activity during outage", w.Start)
+			}
+		case w.Start+20 <= 100 || w.Start >= 120:
+			if w.Availability != 1 {
+				t.Errorf("window@%d availability %g outside outage, want 1", w.Start, w.Availability)
+			}
+		}
+	}
+}
+
+// TestDynamicStallsOnlyUnderFaults: without a fault model the engine
+// must keep its over-capacity invariant (a node can always place all
+// its packets) rather than silently stalling.
+func TestDynamicStallsOnlyUnderFaults(t *testing.T) {
+	g, err := topo.Butterfly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, Config{Lambda: 0.5, Steps: 500, Warmup: 0, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultBlocked != 0 || res.FaultStalls != 0 {
+		t.Errorf("fault counters nonzero without a fault model: %s", res)
+	}
+}
+
+// TestRetryBackoffAdmission: under overload, the retry policy converts
+// immediate losses into delayed admissions — Retried grows, exhausted
+// packets are Dropped, and conservation holds (every offered packet is
+// admitted, dropped, or still waiting in the queue).
+func TestRetryBackoffAdmission(t *testing.T) {
+	g, err := topo.Butterfly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Lambda: 0.9, Steps: 800, Warmup: 0, Seed: 4, MaxInFlight: 8}
+	plain, err := Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Retried != 0 || plain.Dropped != 0 {
+		t.Errorf("retry counters nonzero with retry disabled: %s", plain)
+	}
+	cfg.Retry = RetryPolicy{MaxAttempts: 5, BaseDelay: 2, MaxDelay: 16}
+	res, err := Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retried == 0 {
+		t.Error("overloaded run never retried")
+	}
+	if res.Dropped == 0 {
+		t.Error("bounded retry under sustained overload never dropped")
+	}
+	if res.Admitted+res.Dropped > res.Offered {
+		t.Errorf("conservation broken: admitted %d + dropped %d > offered %d",
+			res.Admitted, res.Dropped, res.Offered)
+	}
+	// Retrying contends for the same source slots as fresh arrivals, so
+	// totals shift a little — but not collapse.
+	if float64(res.Admitted) < 0.9*float64(plain.Admitted) {
+		t.Errorf("retry admitted %d, far below no-retry %d", res.Admitted, plain.Admitted)
+	}
+	if res.DropRate() <= 0 || res.DropRate() >= 1 {
+		t.Errorf("drop rate %g out of (0,1)", res.DropRate())
+	}
+}
+
+// TestRetryBackoffSchedule pins the bounded-exponential schedule.
+func TestRetryBackoffSchedule(t *testing.T) {
+	rp := RetryPolicy{MaxAttempts: 8, BaseDelay: 2, MaxDelay: 16}
+	for k, want := range map[int]int{1: 2, 2: 4, 3: 8, 4: 16, 5: 16, 9: 16} {
+		if got := rp.backoff(k); got != want {
+			t.Errorf("backoff(%d) = %d, want %d", k, got, want)
+		}
+	}
+	// Defaults: BaseDelay 1, MaxDelay 64.
+	def := RetryPolicy{MaxAttempts: 10}
+	if def.backoff(1) != 1 || def.backoff(7) != 64 || def.backoff(20) != 64 {
+		t.Errorf("default schedule wrong: %d %d %d", def.backoff(1), def.backoff(7), def.backoff(20))
+	}
+	if (RetryPolicy{}).enabled() || (RetryPolicy{MaxAttempts: 1}).enabled() {
+		t.Error("MaxAttempts <= 1 should disable retry")
+	}
+	// Negative policy fields are rejected up front.
+	g, err := topo.Butterfly(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(g, Config{Lambda: 0.1, Steps: 10, Retry: RetryPolicy{MaxAttempts: -1}}); err == nil {
+		t.Error("negative MaxAttempts accepted")
+	}
+}
+
+// TestDynamicStopInterrupts: a fired Stop channel ends the run early
+// with Interrupted set and the statistics covering the executed prefix.
+func TestDynamicStopInterrupts(t *testing.T) {
+	g, err := topo.Butterfly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := make(chan struct{})
+	close(pre)
+	res, err := Run(g, Config{Lambda: 0.1, Steps: 500, Warmup: 0, Seed: 1, Stop: pre})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted || res.ExecutedSteps != 0 {
+		t.Errorf("pre-closed stop: interrupted=%v executed=%d", res.Interrupted, res.ExecutedSteps)
+	}
+
+	// Stop fired from the first window callback: the run ends at the
+	// next step boundary, having flushed that window.
+	stop := make(chan struct{})
+	res2, err := Run(g, Config{
+		Lambda: 0.1, Steps: 500, Warmup: 0, Seed: 1, Window: 25, Stop: stop,
+		OnWindow: func(w WindowStats, r *Result) {
+			select {
+			case <-stop:
+			default:
+				close(stop)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Interrupted {
+		t.Error("stop during run did not interrupt")
+	}
+	if res2.ExecutedSteps != 25 {
+		t.Errorf("executed %d steps, want 25 (stop checked at next step)", res2.ExecutedSteps)
+	}
+	if len(res2.Windows) != 1 {
+		t.Errorf("windows = %d, want the one flushed before stop", len(res2.Windows))
+	}
+}

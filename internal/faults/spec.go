@@ -1,0 +1,176 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hotpotato/internal/graph"
+)
+
+// Parse builds a campaign from a compact CLI spec: one or more clauses
+// joined with "+", each "kind:key=val,key=val". The clauses overlay
+// (an edge is down when any clause says so). Kinds and keys:
+//
+//	linkdown:edge=E,from=T0,to=T1      one edge down during [T0,T1)
+//	flap:period=P,down=D[,rate=R]      periodic flaps (R of edges, default 1)
+//	ge:down=F,burst=B                  Gilbert–Elliott flaky links
+//	node:node=V,from=T0,to=T1          node outage (all incident edges)
+//	band:lo=L0,hi=L1,from=T0,to=T1[,rate=R]  correlated level-band outage
+//	hash:rate=R[,window=W]             memoryless per-edge windows (W default 8)
+//
+// Example: "flap:period=50,down=5,rate=0.2+node:node=7,from=100,to=200".
+// An empty spec returns (nil, nil): no campaign.
+func Parse(spec string) (Campaign, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var members []Campaign
+	for _, clause := range strings.Split(spec, "+") {
+		c, err := parseClause(strings.TrimSpace(clause))
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, c)
+	}
+	return Overlay(members...), nil
+}
+
+// parseClause parses one "kind:key=val,..." clause.
+func parseClause(clause string) (Campaign, error) {
+	kind, rest, _ := strings.Cut(clause, ":")
+	kind = strings.TrimSpace(kind)
+	kv, err := parseKV(rest)
+	if err != nil {
+		return nil, fmt.Errorf("faults: clause %q: %v", clause, err)
+	}
+	var c Campaign
+	switch kind {
+	case "linkdown":
+		c = LinkDown{
+			Edge: graph.EdgeID(kv.geti("edge", -1)),
+			From: kv.geti("from", 0),
+			To:   kv.geti("to", 0),
+		}
+		err = kv.require("edge", "to")
+	case "flap":
+		c = Flap{
+			Period: kv.geti("period", 0),
+			Down:   kv.geti("down", 1),
+			Rate:   kv.getf("rate", 1),
+		}
+		err = kv.require("period")
+	case "ge":
+		c = GilbertElliott{
+			DownFrac:  kv.getf("down", 0),
+			MeanBurst: kv.geti("burst", 4),
+		}
+		err = kv.require("down")
+	case "node":
+		c = NodeOutage{
+			Node: graph.NodeID(kv.geti("node", -1)),
+			From: kv.geti("from", 0),
+			To:   kv.geti("to", 0),
+		}
+		err = kv.require("node", "to")
+	case "band":
+		c = LevelBand{
+			Lo:   kv.geti("lo", 0),
+			Hi:   kv.geti("hi", 0),
+			From: kv.geti("from", 0),
+			To:   kv.geti("to", 0),
+			Rate: kv.getf("rate", 1),
+		}
+		err = kv.require("hi", "to")
+	case "hash":
+		c = Hash{
+			Rate:   kv.getf("rate", 0),
+			Window: kv.geti("window", 8),
+		}
+		err = kv.require("rate")
+	default:
+		return nil, fmt.Errorf("faults: unknown campaign kind %q (want linkdown|flap|ge|node|band|hash)", kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("faults: clause %q: %v", clause, err)
+	}
+	if err := kv.unused(); err != nil {
+		return nil, fmt.Errorf("faults: clause %q: %v", clause, err)
+	}
+	return c, nil
+}
+
+// kvSet is a parsed key=value list tracking which keys were consumed,
+// so typos surface as errors instead of silently defaulting.
+type kvSet struct {
+	vals map[string]string
+	used map[string]bool
+	err  error
+}
+
+func parseKV(s string) (*kvSet, error) {
+	kv := &kvSet{vals: map[string]string{}, used: map[string]bool{}}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return kv, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("malformed pair %q (want key=value)", pair)
+		}
+		kv.vals[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	return kv, nil
+}
+
+func (kv *kvSet) geti(key string, def int) int {
+	v, ok := kv.vals[key]
+	if !ok {
+		return def
+	}
+	kv.used[key] = true
+	n, err := strconv.Atoi(v)
+	if err != nil && kv.err == nil {
+		kv.err = fmt.Errorf("key %s: %v", key, err)
+	}
+	return n
+}
+
+func (kv *kvSet) getf(key string, def float64) float64 {
+	v, ok := kv.vals[key]
+	if !ok {
+		return def
+	}
+	kv.used[key] = true
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil && kv.err == nil {
+		kv.err = fmt.Errorf("key %s: %v", key, err)
+	}
+	return f
+}
+
+// require reports the first missing mandatory key, or any value parse
+// error accumulated by the getters.
+func (kv *kvSet) require(keys ...string) error {
+	if kv.err != nil {
+		return kv.err
+	}
+	for _, k := range keys {
+		if _, ok := kv.vals[k]; !ok {
+			return fmt.Errorf("missing required key %q", k)
+		}
+	}
+	return nil
+}
+
+// unused reports keys that no getter consumed (typos).
+func (kv *kvSet) unused() error {
+	for k := range kv.vals {
+		if !kv.used[k] {
+			return fmt.Errorf("unknown key %q", k)
+		}
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"hotpotato/internal/core"
+	"hotpotato/internal/faults"
 	"hotpotato/internal/obs"
 	"hotpotato/internal/stats"
 	"hotpotato/internal/workload"
@@ -32,6 +33,10 @@ type Trial struct {
 	// success chance by 1/2e under the paper's q.
 	ExcitedSuccesses int
 	ExcitedFailures  int
+	// FaultBlocked / FaultStalls carry the run's degradation counters
+	// when the ensemble ran under a fault campaign (zero otherwise).
+	FaultBlocked int
+	FaultStalls  int
 }
 
 // Ensemble aggregates many trials of the frame router on one problem.
@@ -67,6 +72,12 @@ type Options struct {
 	// Observe must be safe for concurrent calls and the probes of
 	// different trials must not share state.
 	Observe func(seed int64) []obs.Probe
+	// Faults, when non-nil, runs every trial under this fault campaign,
+	// bound per trial as Faults.Model(problem.G, seed) — each seed sees
+	// an independent (but reproducible) realization of the same
+	// scenario. The campaign's Model must be safe for concurrent calls,
+	// which every campaign in internal/faults is (pure values).
+	Faults faults.Campaign
 }
 
 // Run executes the ensemble, fanning trials out over a worker pool.
@@ -113,6 +124,9 @@ func Run(p *workload.Problem, params core.Params, opt Options) (*Ensemble, error
 				if opt.Observe != nil {
 					ro.Probes = opt.Observe(seed)
 				}
+				if opt.Faults != nil {
+					ro.Faults = opt.Faults.Model(p.G, seed)
+				}
 				var res *core.Result
 				if runner != nil {
 					res = runner.Run(ro)
@@ -127,6 +141,8 @@ func Run(p *workload.Problem, params core.Params, opt Options) (*Ensemble, error
 					Unsafe:           res.Engine.UnsafeDeflections(),
 					ExcitedSuccesses: res.Router.ExcitedSuccesses,
 					ExcitedFailures:  res.Router.ExcitedFailures,
+					FaultBlocked:     res.Engine.FaultBlocked,
+					FaultStalls:      res.Engine.FaultStalls,
 				}
 				if opt.Check {
 					t.Violations = res.Invariants.IcFrameEscapes +

@@ -105,6 +105,13 @@ func (w *window) add(s *StepStats) {
 	w.FaultBlocked += s.FaultBlocked
 	w.FaultStalls += s.FaultStalls
 	w.InjectionWaits += s.InjectionWaits
+	// Availability averages over the window; EdgesDown keeps the peak
+	// simultaneous outage (both are gauges, but an end-of-window sample
+	// would hide an outage that opened and healed mid-window).
+	w.Availability += (s.Availability - w.Availability) / float64(w.n)
+	if s.EdgesDown > w.EdgesDown {
+		w.EdgesDown = s.EdgesDown
+	}
 	w.QueueDelay += s.QueueDelay
 	w.Blocked += s.Blocked
 	if s.MaxQueueLen > w.MaxQueueLen {

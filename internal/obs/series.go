@@ -42,6 +42,7 @@ var csvHeader = []string{
 	"step", "phase", "round", "active", "injected", "absorbed", "moves",
 	"defl_arrival_reverse", "defl_safe_backward", "defl_unsafe_backward",
 	"defl_forward", "excited", "fault_blocked", "fault_stalls",
+	"edges_down", "availability",
 	"injection_waits", "queue_delay", "blocked", "max_queue_len",
 }
 
@@ -62,14 +63,15 @@ func WriteCSV(w io.Writer, rows []StepStats) error {
 	b.WriteByte('\n')
 	for i := range rows {
 		r := &rows[i]
-		fmt.Fprintf(&b, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d",
+		fmt.Fprintf(&b, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%g,%d,%d,%d,%d",
 			r.Step, r.Phase, r.Round, r.Active, r.Injected, r.Absorbed,
 			r.Moves,
 			r.Deflections[sim.DeflectArrivalReverse],
 			r.Deflections[sim.DeflectSafeBackward],
 			r.Deflections[sim.DeflectUnsafeBackward],
 			r.Deflections[sim.DeflectForward],
-			r.Excited, r.FaultBlocked, r.FaultStalls, r.InjectionWaits,
+			r.Excited, r.FaultBlocked, r.FaultStalls,
+			r.EdgesDown, r.Availability, r.InjectionWaits,
 			r.QueueDelay, r.Blocked, r.MaxQueueLen)
 		for _, c := range r.Occupancy {
 			fmt.Fprintf(&b, ",%d", c)

@@ -13,6 +13,7 @@ import (
 
 	"hotpotato/internal/baselines"
 	"hotpotato/internal/core"
+	"hotpotato/internal/faults"
 	"hotpotato/internal/sim"
 	"hotpotato/internal/workload"
 )
@@ -36,15 +37,26 @@ var goldenSeeds = []int64{3, 42}
 
 // traceDigest runs the case and hashes the full router-visible trace
 // (every sequential callback plus the final per-packet state) together
-// with the engine metrics — the byte-exact identity of a run.
-func traceDigest(tb testing.TB, p *workload.Problem, mk func() sim.Router, seed int64) string {
+// with the engine metrics — the byte-exact identity of a run. An
+// optional trailing fault model runs the case under that campaign.
+func traceDigest(tb testing.TB, p *workload.Problem, mk func() sim.Router, seed int64, fm ...sim.FaultModel) string {
 	tb.Helper()
-	m, tr := fullTrace(tb, p, mk, seed, 1, 0)
+	m, tr := fullTrace(tb, p, mk, seed, 1, 0, fm...)
 	h := sha256.New()
 	fmt.Fprintf(h, "%+v\n", m)
 	h.Write([]byte(tr))
 	return hex.EncodeToString(h.Sum(nil))
 }
+
+// goldenCampaign is the fixture matrix's faulted row: steady periodic
+// flaps plus a short full-network outage, so both the blocked-request
+// path and the stall escape hatch are pinned by the digests. Campaign
+// models are pure values, so binding per (problem, seed) here is cheap
+// and reproducible.
+var goldenCampaign = faults.Overlay(
+	faults.Flap{Period: 24, Down: 3, Rate: 0.4},
+	faults.LevelBand{Lo: 0, Hi: 1 << 20, From: 10, To: 14},
+)
 
 // TestGoldenTraces pins the engine's end-to-end behavior: for a small
 // topology x router x seed matrix, the SHA-256 of the complete run
@@ -69,21 +81,37 @@ func TestGoldenTraces(t *testing.T) {
 	for pname, p := range matrixProblems(t) {
 		for rname, mk := range goldenRouters(p) {
 			for _, seed := range goldenSeeds {
-				key := fmt.Sprintf("%s/%s/seed=%d", pname, rname, seed)
-				t.Run(key, func(t *testing.T) {
-					d := traceDigest(t, p, mk, seed)
-					got[key] = d
-					if *updateGolden {
-						return
-					}
-					w, ok := want[key]
-					if !ok {
-						t.Fatalf("no golden digest for %s (run with -update)", key)
-					}
-					if d != w {
-						t.Errorf("trace digest changed:\n got %s\nwant %s\nIf the change is intended, regenerate with -update.", d, w)
-					}
-				})
+				// The faulted row covers the greedy baselines only: the
+				// frame router's fixed timetable is not built to absorb
+				// mid-schedule outages, so faulted frame runs may
+				// legitimately exhaust the step budget.
+				faultModels := map[string]sim.FaultModel{"": nil}
+				if rname != "frame" {
+					faultModels["/faulted"] = goldenCampaign.Model(p.G, seed)
+				}
+				for suffix, fm := range faultModels {
+					key := fmt.Sprintf("%s/%s/seed=%d%s", pname, rname, seed, suffix)
+					fm := fm
+					t.Run(key, func(t *testing.T) {
+						var d string
+						if fm == nil {
+							d = traceDigest(t, p, mk, seed)
+						} else {
+							d = traceDigest(t, p, mk, seed, fm)
+						}
+						got[key] = d
+						if *updateGolden {
+							return
+						}
+						w, ok := want[key]
+						if !ok {
+							t.Fatalf("no golden digest for %s (run with -update)", key)
+						}
+						if d != w {
+							t.Errorf("trace digest changed:\n got %s\nwant %s\nIf the change is intended, regenerate with -update.", d, w)
+						}
+					})
+				}
 			}
 		}
 	}

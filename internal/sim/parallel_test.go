@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"hotpotato/internal/baselines"
+	"hotpotato/internal/faults"
 	"hotpotato/internal/graph"
 	"hotpotato/internal/sim"
 	"hotpotato/internal/topo"
@@ -65,12 +66,16 @@ func wrapRecorder(inner sim.Router) (sim.Router, *recorder) {
 
 // fullTrace runs the problem to completion and returns the metrics plus
 // a byte-exact trace: every router callback in order, then the final
-// state of every packet including its remaining path list.
-func fullTrace(tb testing.TB, p *workload.Problem, mk func() sim.Router, seed int64, workers, shards int) (sim.Metrics, string) {
+// state of every packet including its remaining path list. An optional
+// trailing fault model runs the engine under that campaign.
+func fullTrace(tb testing.TB, p *workload.Problem, mk func() sim.Router, seed int64, workers, shards int, faults ...sim.FaultModel) (sim.Metrics, string) {
 	tb.Helper()
 	router, rec := wrapRecorder(mk())
 	e := sim.NewEngine(p, router, seed)
 	defer e.Close()
+	for _, f := range faults {
+		e.Faults = f
+	}
 	if workers > 1 || shards > 0 {
 		e.SetParallelism(workers, shards)
 	}
@@ -166,6 +171,52 @@ func TestParallelStepMatchesSequential(t *testing.T) {
 						}
 						if gotTr != wantTr {
 							t.Errorf("workers=%d shards=%d: trace differs from sequential", w, shards)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelFaultedMatchesSequential: the fault accounting
+// (FaultBlocked, FaultStalls) and the stall escape hatch must commit
+// byte-identical traces for workers=1 vs workers=N under an active
+// campaign. The campaign overlays periodic flaps (steady blocked/
+// deflect pressure) with a short full-network outage that forces every
+// in-flight packet through the stall path.
+func TestParallelFaultedMatchesSequential(t *testing.T) {
+	routers := map[string]func() sim.Router{
+		"greedy": func() sim.Router { return baselines.NewGreedy() },
+		"oldest": func() sim.Router { return baselines.NewOldestFirst() },
+	}
+	for pname, p := range matrixProblems(t) {
+		campaign := faults.Overlay(
+			faults.Flap{Period: 24, Down: 3, Rate: 0.4},
+			faults.LevelBand{Lo: 0, Hi: 1 << 20, From: 10, To: 14},
+		)
+		model := campaign.Model(p.G, 1234)
+		for rname, mk := range routers {
+			t.Run(pname+"/"+rname, func(t *testing.T) {
+				const seed = 42
+				wantM, wantTr := fullTrace(t, p, mk, seed, 1, 0, model)
+				if wantM.FaultBlocked == 0 {
+					t.Error("campaign never blocked a request; test is vacuous")
+				}
+				if wantM.FaultStalls == 0 {
+					t.Error("full outage never stalled a packet; escape hatch untested")
+				}
+				for _, w := range workerCounts() {
+					if w == 1 {
+						continue
+					}
+					for _, shards := range []int{0, 3, 16} {
+						gotM, gotTr := fullTrace(t, p, mk, seed, w, shards, model)
+						if gotM != wantM {
+							t.Errorf("workers=%d shards=%d: faulted metrics differ:\n got %+v\nwant %+v", w, shards, gotM, wantM)
+						}
+						if gotTr != wantTr {
+							t.Errorf("workers=%d shards=%d: faulted trace differs from sequential", w, shards)
 						}
 					}
 				}

@@ -1,5 +1,7 @@
 package sim
 
+import "hotpotato/internal/graph"
+
 // Engine-level instrumentation: a Probe receives one reusable
 // StepSnapshot per committed step, an EventSink receives per-packet
 // lifecycle events. Both are strictly pay-for-what-you-use — with no
@@ -41,6 +43,13 @@ type StepSnapshot struct {
 	FaultBlocked   int `json:"fault_blocked"`
 	FaultStalls    int `json:"fault_stalls"`
 	InjectionWaits int `json:"injection_waits"`
+	// EdgesDown is the number of edges the fault model marks down at
+	// this step, and Availability the complementary healthy fraction
+	// (1.0 with no fault model). Unlike the counters these are gauges,
+	// not deltas; the O(E) sweep behind them runs only with a probe
+	// attached and a non-nil fault model.
+	EdgesDown    int     `json:"edges_down"`
+	Availability float64 `json:"availability"`
 	// Occupancy is the per-level active-packet census after the commit
 	// (length Depth()+1, engine-owned backing, valid until the next
 	// step).
@@ -241,6 +250,15 @@ func (e *Engine) emitSnapshot(t int, excited int) {
 	s.FaultBlocked = e.M.FaultBlocked - e.lastM.FaultBlocked
 	s.FaultStalls = e.M.FaultStalls - e.lastM.FaultStalls
 	s.InjectionWaits = e.M.InjectionWaits - e.lastM.InjectionWaits
+	s.EdgesDown, s.Availability = 0, 1
+	if e.Faults != nil {
+		for eid := 0; eid < e.G.NumEdges(); eid++ {
+			if e.Faults(graph.EdgeID(eid), t) {
+				s.EdgesDown++
+			}
+		}
+		s.Availability = 1 - float64(s.EdgesDown)/float64(e.G.NumEdges())
+	}
 	e.lastM = e.M
 	occ := s.Occupancy
 	for i := range occ {
@@ -287,6 +305,7 @@ func (e *SFEngine) emitSFSnapshot(t int) {
 	s.Blocked = e.M.Blocked - e.lastM.Blocked
 	s.InjectionWaits = e.M.InjectionBlocked - e.lastM.InjectionBlocked
 	s.MaxQueueLen = 0
+	s.EdgesDown, s.Availability = 0, 1 // SF engine has no fault model
 	e.lastM = e.M
 	occ := s.Occupancy
 	for i := range occ {

@@ -47,6 +47,21 @@ type Options struct {
 	// (inject/deflect/stall/absorb from the engines, excite/restore
 	// from the frame router). Use a Lifecycle ring, or any EventSink.
 	Events EventSink
+	// Faults, if non-nil, runs the routing under this outage campaign,
+	// bound to the problem's network with Options.Seed (same seed, same
+	// outages). Blocked requests deflect around downed edges; a packet
+	// with no healthy out-slot stalls in place for the step. Applies to
+	// the frame router and hot-potato baselines; store-and-forward
+	// baselines have no fault model and silently ignore it.
+	Faults FaultCampaign
+}
+
+// boundFaults binds the campaign to the problem's network, nil-safe.
+func (o Options) boundFaults(p *Problem) sim.FaultModel {
+	if o.Faults == nil {
+		return nil
+	}
+	return o.Faults.Model(p.G, o.Seed)
 }
 
 // RouteFrame runs the paper's frame algorithm on the problem.
@@ -60,6 +75,7 @@ func RouteFrame(p *Problem, params Params, opt Options) *Result {
 		Shards:   opt.Shards,
 		Probes:   opt.Probes,
 		Events:   opt.Events,
+		Faults:   opt.boundFaults(p),
 	})
 }
 
@@ -117,6 +133,7 @@ func RouteBaseline(p *Problem, kind BaselineKind, opt Options) (*BaselineResult,
 			r = baselines.NewRandGreedy(0.05)
 		}
 		e := sim.NewEngine(p, r, opt.Seed)
+		e.Faults = opt.boundFaults(p)
 		if opt.Workers > 1 {
 			e.SetParallelism(opt.Workers, opt.Shards)
 			defer e.Close()

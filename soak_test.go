@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hotpotato"
+	"hotpotato/internal/dynamic"
 )
 
 // TestSoakLargeInstances drives the whole stack at sizes an order of
@@ -68,6 +69,34 @@ func TestSoakLargeInstances(t *testing.T) {
 		t.Logf("soak greedy: %d packets in %d steps", prob.N(), res.Steps)
 	})
 
+	t.Run("chaos-frame-under-flaps", func(t *testing.T) {
+		// The frame router itself under a light flap campaign: the
+		// schedule has enough slack to absorb sparse outages, and the
+		// trace stays reproducible (asserted in internal/sim; here we
+		// assert it completes and accounts for the degradation).
+		rng := rand.New(rand.NewSource(74))
+		net, err := hotpotato.Butterfly(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prob, err := hotpotato.HotSpotWorkload(net, rng, 64, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := hotpotato.PracticalParams(prob.C, prob.L(), prob.N())
+		res := hotpotato.RouteFrame(prob, params, hotpotato.Options{
+			Seed:   74,
+			Faults: hotpotato.LinkFlap{Period: 100, Down: 10, Rate: 0.3},
+		})
+		if !res.Done {
+			t.Fatalf("frame did not complete under light flaps: %s", res)
+		}
+		if res.Engine.FaultBlocked == 0 {
+			t.Error("flap campaign never blocked a request; chaos subtest is vacuous")
+		}
+		t.Logf("chaos frame: %s blocked=%d stalls=%d", res, res.Engine.FaultBlocked, res.Engine.FaultStalls)
+	})
+
 	t.Run("sf-bounded-butterfly-8", func(t *testing.T) {
 		net, err := hotpotato.Butterfly(8)
 		if err != nil {
@@ -89,4 +118,66 @@ func TestSoakLargeInstances(t *testing.T) {
 			t.Errorf("queue cap violated: %d", res.SF.MaxQueueLen)
 		}
 	})
+}
+
+// TestChaosSoakOpenSystem is the chaos smoke: a faulted open-system
+// soak under a link-flap campaign with retry/backoff admission. It
+// runs even under -short (CI's chaos job executes exactly this test
+// under -race) at a reduced horizon; a full run stretches it 10x. It
+// asserts the acceptance criteria of the fault subsystem end to end:
+// the run completes without error, delivery continues through the
+// flaps, retry keeps the admission drop bounded, and the per-window
+// availability series actually registers the outages.
+func TestChaosSoakOpenSystem(t *testing.T) {
+	steps := 60000
+	if testing.Short() {
+		steps = 6000
+	}
+	net, err := hotpotato.Butterfly(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign := hotpotato.OverlayFaults(
+		hotpotato.LinkFlap{Period: 200, Down: 20, Rate: 0.3},
+		hotpotato.FlakyLinks{DownFrac: 0.02, MeanBurst: 5},
+	)
+	res, err := dynamic.Run(net, dynamic.Config{
+		Lambda: 0.15, Steps: steps, Warmup: steps / 10, Seed: 73,
+		Faults: campaign.Model(net, 73),
+		Retry:  dynamic.RetryPolicy{MaxAttempts: 6, BaseDelay: 1, MaxDelay: 32},
+		Window: steps / 30,
+	})
+	if err != nil {
+		t.Fatalf("chaos soak errored: %v", err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered under flaps")
+	}
+	if res.FaultBlocked == 0 {
+		t.Error("campaign never blocked a request; flap spec is not biting")
+	}
+	// Delivery keeps up: the vast majority of admitted packets complete
+	// within the horizon even while links flap.
+	if float64(res.Delivered) < 0.9*float64(res.Admitted) {
+		t.Errorf("delivery collapsed: %d of %d admitted", res.Delivered, res.Admitted)
+	}
+	// Retry/backoff keeps the shed load bounded.
+	if res.DropRate() > 0.05 {
+		t.Errorf("drop rate %.3f exceeds 5%% under retry", res.DropRate())
+	}
+	// Availability is exported per window and registers the outages:
+	// some window must dip below 1, and none below the flap floor.
+	sawDip := false
+	for _, w := range res.Windows {
+		if w.Availability < 1 {
+			sawDip = true
+		}
+		if w.Availability < 0.5 || w.Availability > 1 {
+			t.Errorf("window@%d availability %.3f out of range", w.Start, w.Availability)
+		}
+	}
+	if !sawDip {
+		t.Error("no window registered reduced availability")
+	}
+	t.Logf("chaos soak: %s windows=%d", res, len(res.Windows))
 }
