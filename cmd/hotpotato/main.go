@@ -47,6 +47,7 @@ func main() {
 		benchObs    = flag.String("bench-obs", "", "write the observability overhead benchmark (BENCH_obs.json) to this file and exit")
 		benchScale  = flag.Int("bench-scale", 1, "engine benchmark scale: 1 = quick, 2 = full")
 		benchStrict = flag.Bool("bench-strict-allocs", false, "fail the engine benchmark if any steady-state row allocates")
+		benchBase   = flag.String("bench-baseline", "", "compare the fresh engine benchmark against this committed BENCH_engine.json and fail on >10% ns/step regression for workers=1 rows")
 		workers     = flag.Int("workers", 1, "parallel-step worker goroutines (1 = sequential; trace is identical either way)")
 		shards      = flag.Int("shards", 0, "parallel-step node shards (0 = workers x 8)")
 
@@ -80,6 +81,14 @@ func main() {
 	if *benchEngine != "" {
 		fatal(bench.WriteEngineBench(*benchEngine, *benchScale, *benchStrict))
 		fmt.Printf("wrote engine benchmark to %s\n", *benchEngine)
+		if *benchBase != "" {
+			cur, err := bench.ReadEngineBench(*benchEngine)
+			fatal(err)
+			base, err := bench.ReadEngineBench(*benchBase)
+			fatal(err)
+			fatal(bench.CompareEngineBench(base, cur, 0.10))
+			fmt.Printf("benchmark regression gate passed vs %s\n", *benchBase)
+		}
 		return
 	}
 	if *benchObs != "" {

@@ -176,18 +176,16 @@ func TestAllSchedulersComplete(t *testing.T) {
 }
 
 func TestHeadRequestDirection(t *testing.T) {
-	g, err := topo.Linear(3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pkt := &sim.Packet{Cur: 0, PathList: []graph.EdgeID{0}}
-	req := headRequest(g, pkt, 5)
+	// headRequest passes the engine-maintained head direction through.
+	pkt := &sim.Packet{Cur: 0, PathList: []graph.EdgeID{0}, HeadDir: graph.Forward}
+	req := headRequest(pkt, 5)
 	if req.Edge != 0 || req.Dir != graph.Forward || req.Priority != 5 {
 		t.Errorf("req = %+v", req)
 	}
-	// From the other endpoint the head is traversed backward.
-	pkt2 := &sim.Packet{Cur: 1, PathList: []graph.EdgeID{0}}
-	req2 := headRequest(g, pkt2, 0)
+	// A retrace head (e.g. after a forward deflection) is traversed
+	// backward.
+	pkt2 := &sim.Packet{Cur: 1, PathList: []graph.EdgeID{0}, HeadDir: graph.Backward}
+	req2 := headRequest(pkt2, 0)
 	if req2.Dir != graph.Backward {
 		t.Errorf("req2 = %+v", req2)
 	}

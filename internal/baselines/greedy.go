@@ -35,9 +35,13 @@ func (r *Greedy) Init(e *sim.Engine) { r.g = e.G }
 // WantInject implements sim.Router: inject at the first opportunity.
 func (*Greedy) WantInject(int, *sim.Packet) bool { return true }
 
+// InjectStep implements sim.InjectionPlanner: every packet is eligible
+// from step 0 (the bound is exact — WantInject is always true).
+func (*Greedy) InjectStep(*sim.Packet) int { return 0 }
+
 // Request implements sim.Router: chase the head of the current path.
 func (r *Greedy) Request(t int, p *sim.Packet) sim.Request {
-	return headRequest(r.g, p, 0)
+	return headRequest(p, 0)
 }
 
 // ConcurrentRequests implements sim.ConcurrentRouter: WantInject and
@@ -60,10 +64,10 @@ func (*Greedy) EndStep(int, *sim.Engine) {}
 // headRequest builds the request traversing the packet's path-list head
 // away from its current node: for a valid path this is the forward move
 // toward the destination; for a just-deflected packet it retraces the
-// deflection edge back onto the path.
-func headRequest(g *graph.Leveled, p *sim.Packet, prio int64) sim.Request {
-	e := p.PathList[0]
-	return sim.Request{Edge: e, Dir: g.DirectionFrom(e, p.Cur), Priority: prio}
+// deflection edge back onto the path. The direction comes from the
+// engine-maintained HeadDir, sparing a graph lookup per request.
+func headRequest(p *sim.Packet, prio int64) sim.Request {
+	return sim.Request{Edge: p.PathList[0], Dir: p.HeadDir, Priority: prio}
 }
 
 // OldestFirst is greedy with age-based conflict resolution: the packet
@@ -86,10 +90,13 @@ func (r *OldestFirst) Init(e *sim.Engine) { r.g = e.G }
 // WantInject implements sim.Router.
 func (*OldestFirst) WantInject(int, *sim.Packet) bool { return true }
 
+// InjectStep implements sim.InjectionPlanner (exact: always eligible).
+func (*OldestFirst) InjectStep(*sim.Packet) int { return 0 }
+
 // Request implements sim.Router: priority = packet age (earlier
 // injection wins).
 func (r *OldestFirst) Request(t int, p *sim.Packet) sim.Request {
-	return headRequest(r.g, p, int64(-p.InjectTime))
+	return headRequest(p, int64(-p.InjectTime))
 }
 
 // ConcurrentRequests implements sim.ConcurrentRouter (pure Request, as
@@ -128,9 +135,12 @@ func (r *FarthestToGo) Init(e *sim.Engine) { r.g = e.G }
 // WantInject implements sim.Router.
 func (*FarthestToGo) WantInject(int, *sim.Packet) bool { return true }
 
+// InjectStep implements sim.InjectionPlanner (exact: always eligible).
+func (*FarthestToGo) InjectStep(*sim.Packet) int { return 0 }
+
 // Request implements sim.Router: priority = remaining path length.
 func (r *FarthestToGo) Request(t int, p *sim.Packet) sim.Request {
-	return headRequest(r.g, p, int64(len(p.PathList)))
+	return headRequest(p, int64(len(p.PathList)))
 }
 
 // ConcurrentRequests implements sim.ConcurrentRouter (pure Request, as

@@ -56,6 +56,9 @@ func (r *RandGreedy) Init(e *sim.Engine) {
 // WantInject implements sim.Router.
 func (*RandGreedy) WantInject(int, *sim.Packet) bool { return true }
 
+// InjectStep implements sim.InjectionPlanner (exact: always eligible).
+func (*RandGreedy) InjectStep(*sim.Packet) int { return 0 }
+
 // Request implements sim.Router.
 func (r *RandGreedy) Request(t int, p *sim.Packet) sim.Request {
 	if !r.excited[p.ID] && r.rng.Float64() < r.Q {
@@ -66,7 +69,7 @@ func (r *RandGreedy) Request(t int, p *sim.Packet) sim.Request {
 	if r.excited[p.ID] {
 		prio = prioExcited
 	}
-	return headRequest(r.g, p, prio)
+	return headRequest(p, prio)
 }
 
 // OnDeflect implements sim.Router: deflection demotes to normal.

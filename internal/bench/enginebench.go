@@ -25,12 +25,35 @@ type EngineBenchRow struct {
 	// Workers and Shards are the engine's parallel-step configuration
 	// (1/1 = the plain sequential path). The committed trace is
 	// identical across configurations; only wall-clock differs.
-	Workers     int     `json:"workers"`
-	Shards      int     `json:"shards"`
-	Steps       int     `json:"steps"`
+	Workers int `json:"workers"`
+	Shards  int `json:"shards"`
+	// Gomaxprocs and NumCPU stamp the scheduler configuration the row
+	// was measured under. A workers>1 row taken with GOMAXPROCS below
+	// the worker count cannot show parallel speedup — only coordination
+	// overhead — and is marked InvalidParallel so downstream consumers
+	// (docs, regression gates) never read it as a scaling result.
+	Gomaxprocs      int  `json:"gomaxprocs"`
+	NumCPU          int  `json:"num_cpu"`
+	InvalidParallel bool `json:"invalid_parallel,omitempty"`
+	Steps           int  `json:"steps"`
+	// WallNS covers only the measured Run of a warmed, Reset-rewound
+	// engine: construction, injection-arena setup, warmup and the
+	// pre-measure GC all happen before the clock starts.
 	WallNS      int64   `json:"wall_ns"`
 	NsPerStep   float64 `json:"ns_per_step"`
 	StepsPerSec float64 `json:"steps_per_sec"`
+	// TimingBasis documents what wall_ns covers ("steady-run": the
+	// post-warmup measured run only).
+	TimingBasis string `json:"timing_basis"`
+	// RampSteps/RampNS time the admission ramp — the prefix of the run
+	// during which the workload is still injecting packets. Sparse
+	// staggered workloads spend most of their steps there, so the
+	// whole-run NsPerStep (kept as the headline, comparable across
+	// recordings) mixes ramp and drain; SteadyNsPerStep isolates the
+	// post-injection remainder when one exists.
+	RampSteps       int     `json:"ramp_steps"`
+	RampNS          int64   `json:"ramp_ns"`
+	SteadyNsPerStep float64 `json:"steady_ns_per_step,omitempty"`
 	// AllocsPerStep averages heap allocations over a full run of a
 	// warmed, Reset-rewound engine — the steady state, with the startup
 	// transient (scratch growth, pool goroutines) paid by a prior
@@ -88,6 +111,13 @@ type staggeredGreedy struct {
 func (s *staggeredGreedy) WantInject(t int, p *sim.Packet) bool {
 	return t >= int(p.ID)/s.rate
 }
+
+// InjectStep overrides the embedded Greedy's step-0 bound with the
+// wrapper's exact admission step, so the engine's release queue sweeps
+// only the packets at the admission edge instead of the whole workload
+// — on the sparse butterfly this removes the O(N)-pending scan that
+// dominated the old per-step cost.
+func (s *staggeredGreedy) InjectStep(p *sim.Packet) int { return int(p.ID) / s.rate }
 
 // ConcurrentRequests certifies the wrapper like the wrapped Greedy:
 // the admission schedule is a pure function of (t, packet ID).
@@ -206,7 +236,11 @@ func RunEngineBench(scale int) (*EngineBench, error) {
 // measureEngineRun times one full run of the engine at its current
 // parallelism. The engine is warmed with an unmeasured run first, then
 // rewound with Reset, so the measured run sees only steady-state work —
-// no scratch growth, no pool spin-up, no first-touch allocation.
+// no scratch growth, no pool spin-up, no first-touch allocation, and no
+// injection-arena setup (the release queue is rebuilt by Reset, outside
+// the clock). The measured run itself is split at the last injection:
+// the admission ramp is timed separately so sparse workloads with long
+// staggered injection tails also report a post-injection steady rate.
 func measureEngineRun(name string, p *workload.Problem, e *sim.Engine) (EngineBenchRow, error) {
 	workers, shards := e.Parallelism()
 
@@ -220,6 +254,16 @@ func measureEngineRun(name string, p *workload.Problem, e *sim.Engine) (EngineBe
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
+	// Ramp segment: step until every packet has been injected (or the
+	// run drains first). Stepping here is the same Step loop Run uses,
+	// so the trace is unaffected.
+	n := p.N()
+	rampSteps := 0
+	for e.M.Injected < n && !e.Done() && rampSteps < 1<<22 {
+		e.Step()
+		rampSteps++
+	}
+	ramp := time.Since(start)
 	steps, done := e.Run(1 << 22)
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
@@ -227,21 +271,31 @@ func measureEngineRun(name string, p *workload.Problem, e *sim.Engine) (EngineBe
 		return EngineBenchRow{}, fmt.Errorf("bench: %s (workers=%d) did not complete within budget", name, workers)
 	}
 
-	return EngineBenchRow{
-		Topology:      name,
-		Nodes:         p.G.NumNodes(),
-		Edges:         p.G.NumEdges(),
-		Packets:       p.N(),
-		Workers:       workers,
-		Shards:        shards,
-		Steps:         steps,
-		WallNS:        wall.Nanoseconds(),
-		NsPerStep:     float64(wall.Nanoseconds()) / float64(steps),
-		StepsPerSec:   float64(steps) / wall.Seconds(),
-		AllocsPerStep: float64(after.Mallocs-before.Mallocs) / float64(steps),
-		SteadyState:   workers == 1,
-		MaxInFlight:   e.M.MaxInFlight,
-	}, nil
+	row := EngineBenchRow{
+		Topology:        name,
+		Nodes:           p.G.NumNodes(),
+		Edges:           p.G.NumEdges(),
+		Packets:         p.N(),
+		Workers:         workers,
+		Shards:          shards,
+		Gomaxprocs:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		InvalidParallel: workers > runtime.GOMAXPROCS(0),
+		Steps:           steps,
+		WallNS:          wall.Nanoseconds(),
+		NsPerStep:       float64(wall.Nanoseconds()) / float64(steps),
+		StepsPerSec:     float64(steps) / wall.Seconds(),
+		TimingBasis:     "steady-run",
+		RampSteps:       rampSteps,
+		RampNS:          ramp.Nanoseconds(),
+		AllocsPerStep:   float64(after.Mallocs-before.Mallocs) / float64(steps),
+		SteadyState:     workers == 1,
+		MaxInFlight:     e.M.MaxInFlight,
+	}
+	if drain := steps - rampSteps; drain > 0 {
+		row.SteadyNsPerStep = float64(wall.Nanoseconds()-ramp.Nanoseconds()) / float64(drain)
+	}
+	return row, nil
 }
 
 // measureEnsembleReuse times the same Monte-Carlo ensemble twice: once
@@ -296,6 +350,54 @@ func CheckStrictAllocs(b *EngineBench) error {
 		if r.SteadyState && r.AllocsPerStep > 0 {
 			return fmt.Errorf("bench: steady-state row %s (workers=%d) allocated %.4f allocs/step; want 0",
 				r.Topology, r.Workers, r.AllocsPerStep)
+		}
+	}
+	return nil
+}
+
+// ReadEngineBench loads a previously recorded BENCH_engine.json.
+func ReadEngineBench(path string) (*EngineBench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b EngineBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// CompareEngineBench is the benchmark regression gate: every workers=1
+// row that appears (by topology name) in both the committed baseline
+// and the current document must not regress ns_per_step by more than
+// tolerance (fractional; 0.10 = 10%). Parallel rows are excluded — on
+// heterogeneous CI machines their wall-clock depends on core count, and
+// rows stamped InvalidParallel carry no scaling signal at all. Rows
+// only present on one side are ignored (topologies scale with
+// -bench-scale), as are baselines from a different Scale.
+func CompareEngineBench(baseline, current *EngineBench, tolerance float64) error {
+	if baseline.Scale != current.Scale {
+		return nil
+	}
+	base := make(map[string]EngineBenchRow)
+	for _, r := range baseline.Rows {
+		if r.Workers == 1 {
+			base[r.Topology] = r
+		}
+	}
+	for _, r := range current.Rows {
+		if r.Workers != 1 {
+			continue
+		}
+		b, ok := base[r.Topology]
+		if !ok || b.NsPerStep <= 0 {
+			continue
+		}
+		if r.NsPerStep > b.NsPerStep*(1+tolerance) {
+			return fmt.Errorf("bench: regression on %s (workers=1): %.2f ns/step vs baseline %.2f (+%.1f%%, tolerance %.0f%%)",
+				r.Topology, r.NsPerStep, b.NsPerStep,
+				100*(r.NsPerStep/b.NsPerStep-1), 100*tolerance)
 		}
 	}
 	return nil

@@ -43,6 +43,21 @@ func TestEngineBenchQuick(t *testing.T) {
 		if r.SteadyState != (r.Workers == 1) {
 			t.Errorf("%s: steady-state flag %v at workers=%d", r.Topology, r.SteadyState, r.Workers)
 		}
+		if r.Gomaxprocs != b.GOMAXPROCS || r.NumCPU != b.NumCPU {
+			t.Errorf("%s: row CPU stamp %d/%d differs from header %d/%d",
+				r.Topology, r.Gomaxprocs, r.NumCPU, b.GOMAXPROCS, b.NumCPU)
+		}
+		if r.InvalidParallel != (r.Workers > r.Gomaxprocs) {
+			t.Errorf("%s: invalid_parallel=%v at workers=%d, gomaxprocs=%d",
+				r.Topology, r.InvalidParallel, r.Workers, r.Gomaxprocs)
+		}
+		if r.TimingBasis != "steady-run" {
+			t.Errorf("%s: timing basis %q", r.Topology, r.TimingBasis)
+		}
+		if r.RampSteps < 0 || r.RampSteps > r.Steps || r.RampNS < 0 || r.RampNS > r.WallNS {
+			t.Errorf("%s: ramp segment %d steps / %d ns outside run %d steps / %d ns",
+				r.Topology, r.RampSteps, r.RampNS, r.Steps, r.WallNS)
+		}
 		if r.SteadyState {
 			seqRows++
 		} else {
@@ -84,6 +99,33 @@ func TestWriteEngineBenchRoundTrips(t *testing.T) {
 	}
 	if b.Scale != 1 || len(b.Rows) == 0 {
 		t.Errorf("round-tripped document: %+v", b)
+	}
+}
+
+func TestCompareEngineBench(t *testing.T) {
+	base := &EngineBench{Scale: 1, Rows: []EngineBenchRow{
+		{Topology: "a", Workers: 1, NsPerStep: 1000},
+		{Topology: "a", Workers: 4, NsPerStep: 500},
+	}}
+	cur := &EngineBench{Scale: 1, Rows: []EngineBenchRow{
+		{Topology: "a", Workers: 1, NsPerStep: 1050},
+		// Parallel rows never gate (machine-dependent), and rows with no
+		// baseline counterpart are ignored.
+		{Topology: "a", Workers: 4, NsPerStep: 5000},
+		{Topology: "unmatched", Workers: 1, NsPerStep: 9999},
+	}}
+	if err := CompareEngineBench(base, cur, 0.10); err != nil {
+		t.Errorf("within-tolerance document tripped the gate: %v", err)
+	}
+	cur.Rows[0].NsPerStep = 1200
+	if err := CompareEngineBench(base, cur, 0.10); err == nil {
+		t.Error("20% workers=1 regression did not trip the 10% gate")
+	}
+	// Different -bench-scale documents measure different topologies and
+	// must not be compared.
+	cur.Scale = 2
+	if err := CompareEngineBench(base, cur, 0.10); err != nil {
+		t.Errorf("cross-scale comparison must be a no-op: %v", err)
 	}
 }
 

@@ -13,16 +13,23 @@ import (
 
 // TestParallelStepScaling measures ns/step of the sharded parallel step
 // on the sparse butterfly(12) workload at 1/2/4/8 workers and asserts
-// real speedup at 4 workers. It needs actual cores: on machines with
-// GOMAXPROCS < 4 the workers time-slice one CPU and no speedup is
-// possible (the recorded BENCH_engine.json rows still document the
-// overhead honestly), so the test skips there, and under -short.
+// real speedup at 4 workers. It needs actual cores, so it first raises
+// GOMAXPROCS to NumCPU (a low ambient GOMAXPROCS — e.g. from a
+// container limit or the test runner — must not silently turn the gate
+// into a skip) and only skips when the hardware truly has fewer than 4
+// CPUs, where workers time-slice and no speedup is possible (the
+// recorded BENCH_engine.json rows still document that honestly). Also
+// skipped under -short.
 func TestParallelStepScaling(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scaling measurement is slow; skipped under -short")
 	}
-	if runtime.GOMAXPROCS(0) < 4 {
-		t.Skipf("GOMAXPROCS = %d < 4: parallel speedup is unmeasurable", runtime.GOMAXPROCS(0))
+	if n := runtime.NumCPU(); n < 4 {
+		t.Skipf("NumCPU = %d < 4: hardware cannot show parallel speedup", n)
+	} else if runtime.GOMAXPROCS(0) < n {
+		old := runtime.GOMAXPROCS(n)
+		defer runtime.GOMAXPROCS(old)
+		t.Logf("raised GOMAXPROCS %d -> %d for the scaling gate", old, n)
 	}
 
 	g, err := topo.Butterfly(12)

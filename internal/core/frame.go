@@ -88,3 +88,29 @@ func (s Schedule) InjectionPhase(set, srcLevel int) int {
 func (s Schedule) LastFramePhase(L int) int {
 	return s.P.TotalPhases(L)
 }
+
+// ActiveBand returns the band of network levels that can hold packets
+// during the given phase in a depth-L network, under invariant Ic
+// (every packet inside its own frame): the union over all frontier-sets
+// of the in-network portion of their frames. Set 0's frontier is the
+// highest level any packet can occupy; set NumSets-1's frame back the
+// lowest. Both are clamped to [0, L]; when the clamped union is empty
+// (all frames still below the network, or all past it) it returns
+// (0, -1). The engine's measured window (sim.Engine.Window) is a subset
+// of this band on any run in which Ic holds — asserted in the tests —
+// which is what makes the schedule-side skipping sound: levels outside
+// the band are provably empty, not just observed empty.
+func (s Schedule) ActiveBand(phase, L int) (lo, hi int) {
+	lo = s.FrameBack(s.P.NumSets-1, phase)
+	if lo < 0 {
+		lo = 0
+	}
+	hi = s.Frontier(0, phase)
+	if hi > L {
+		hi = L
+	}
+	if lo > hi {
+		return 0, -1
+	}
+	return lo, hi
+}

@@ -247,8 +247,24 @@ func (r *Frame) WantInject(t int, p *sim.Packet) bool {
 		return true
 	}
 	phase := r.sched.PhaseOf(t)
-	want := r.sched.InjectionPhase(int(r.set[p.ID]), r.g.Node(p.Src).Level)
+	want := r.sched.InjectionPhase(int(r.set[p.ID]), r.g.LevelOf(p.Src))
 	return phase >= want
+}
+
+// InjectStep implements sim.InjectionPlanner. WantInject is monotone in
+// t — false before the packet's scheduled injection phase, true from
+// its first step on — so the first step of that phase is not merely a
+// lower bound but the exact moment the packet becomes eligible: the
+// engine's release queue admits each packet to the injection sweep at
+// precisely the step the legacy full sweep would first say yes.
+// Depends only on the set assignment fixed at Init, as the contract
+// requires. Under the EagerInjection ablation every packet is eligible
+// immediately.
+func (r *Frame) InjectStep(p *sim.Packet) int {
+	if r.EagerInjection {
+		return 0
+	}
+	return r.sched.PhaseStart(r.sched.InjectionPhase(int(r.set[p.ID]), r.g.LevelOf(p.Src)))
 }
 
 // TargetNode computes the packet's target node for the given step
@@ -265,11 +281,11 @@ func (r *Frame) TargetNode(t int, p *sim.Packet) graph.NodeID {
 	round := r.sched.RoundOf(t)
 	set := int(r.set[p.ID])
 	tl := r.sched.TargetLevel(set, phase, round)
-	if v, ok := r.g.PathContainsLevel(p.PathList, tl); ok && r.g.Node(v).Level == tl {
+	if v, ok := r.g.PathContainsLevel(p.PathList, tl); ok && r.g.LevelOf(v) == tl {
 		return v
 	}
-	if f := r.sched.Frontier(set, phase); r.g.Node(p.Dst).Level > f {
-		if v, ok := r.g.PathContainsLevel(p.PathList, f); ok && r.g.Node(v).Level == f {
+	if f := r.sched.Frontier(set, phase); r.g.LevelOf(p.Dst) > f {
+		if v, ok := r.g.PathContainsLevel(p.PathList, f); ok && r.g.LevelOf(v) == f {
 			return v
 		}
 	}
@@ -283,7 +299,7 @@ func (r *Frame) Request(t int, p *sim.Packet) sim.Request {
 	// after the start of its scheduled phase is the paper's "extreme
 	// case" fallback, worth counting.
 	if p.InjectTime == t {
-		want := r.sched.InjectionPhase(int(r.set[id]), r.g.Node(p.Src).Level)
+		want := r.sched.InjectionPhase(int(r.set[id]), r.g.LevelOf(p.Src))
 		if t > r.sched.PhaseStart(want) {
 			r.pendLateInjected.Add(1)
 		}
@@ -336,8 +352,7 @@ func (r *Frame) Request(t int, p *sim.Packet) sim.Request {
 	if r.st[id] == stateExcited {
 		prio = prioExcited
 	}
-	head := p.PathList[0]
-	return sim.Request{Edge: head, Dir: r.g.DirectionFrom(head, p.Cur), Priority: prio}
+	return sim.Request{Edge: p.PathList[0], Dir: p.HeadDir, Priority: prio}
 }
 
 // OnDeflect implements sim.Router: a deflected excited packet reverts

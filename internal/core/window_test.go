@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"hotpotato/internal/obs"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+
+	"math/rand"
+)
+
+// bandProbe asserts, at every committed step, that the engine's
+// measured active level band is contained in the schedule-derived
+// ActiveBand of the step's phase — the containment that makes
+// schedule-side level skipping sound (levels outside the band are
+// provably empty under Ic, not just observed empty).
+type bandProbe struct {
+	t        *testing.T
+	sched    Schedule
+	L        int
+	nonEmpty int
+	narrowed int // steps whose band excluded at least one level
+}
+
+func (b *bandProbe) OnStep(s *obs.StepStats) {
+	if s.WindowHi < s.WindowLo {
+		return // nothing in flight
+	}
+	b.nonEmpty++
+	lo, hi := b.sched.ActiveBand(s.Phase, b.L)
+	if s.WindowLo < lo || s.WindowHi > hi {
+		b.t.Errorf("step %d (phase %d): measured window [%d,%d] escapes schedule band [%d,%d]",
+			s.Step, s.Phase, s.WindowLo, s.WindowHi, lo, hi)
+	}
+	if lo > 0 || hi < b.L {
+		b.narrowed++
+	}
+}
+
+func (*bandProbe) OnRound(*obs.StepStats) {}
+func (*bandProbe) OnPhase(*obs.StepStats) {}
+
+// TestMeasuredWindowWithinActiveBand pins Schedule.ActiveBand against
+// the engine: on clean frame-router runs the measured window must stay
+// inside the band every step, and on a deep network the band must
+// actually exclude levels for most of the run (otherwise "skipping"
+// would be vacuous).
+func TestMeasuredWindowWithinActiveBand(t *testing.T) {
+	problems := map[string]func() (*workload.Problem, error){
+		"butterfly": func() (*workload.Problem, error) {
+			g, err := topo.Butterfly(5)
+			if err != nil {
+				return nil, err
+			}
+			return workload.Random(g, rand.New(rand.NewSource(13)), 0.3)
+		},
+		"mesh": func() (*workload.Problem, error) { return workload.MeshHard(6) },
+	}
+	for name, mk := range problems {
+		t.Run(name, func(t *testing.T) {
+			p, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			params := ParamsPractical(p.C, p.L(), p.N(),
+				PracticalConfig{SetCongestion: 4, FrameSlack: 3, RoundFactor: 3})
+			probe := &bandProbe{t: t, sched: Schedule{P: params}, L: p.L()}
+			res := Run(p, params, RunOptions{Seed: 5, Probes: []obs.Probe{probe}})
+			if !res.Done {
+				t.Fatalf("run did not complete: %s", res)
+			}
+			if probe.nonEmpty == 0 {
+				t.Fatal("probe saw no in-flight steps")
+			}
+			if probe.narrowed == 0 {
+				t.Errorf("ActiveBand never excluded a level across %d steps", probe.nonEmpty)
+			}
+		})
+	}
+}

@@ -80,12 +80,27 @@ type Edge struct {
 }
 
 // Leveled is an immutable leveled network. Construct via Builder.
+//
+// Alongside the rich Node/Edge records the network keeps flat
+// structure-of-arrays mirrors of the fields the routing hot path reads
+// every step: edge endpoints (8 bytes per edge) and node levels (4
+// bytes per node). EndpointAt, DirectionFrom, LevelOf and the path
+// helpers read only these dense arrays, so a traversal decision touches
+// one cache line instead of pulling a full Node (~80 bytes, label and
+// adjacency headers included) or Edge record into cache. The mirrors
+// are derived once in Build and never mutated.
 type Leveled struct {
 	name   string
 	nodes  []Node
 	edges  []Edge
 	levels [][]NodeID // levels[l] lists the nodes at level l
 	depth  int        // L: highest level index; levels 0..L exist
+
+	// ends[e] is {From, To} of edge e — indexable by Direction:
+	// ends[e][1-d] is the endpoint reached traversing e in direction d.
+	ends [][2]NodeID
+	// nodeLevel[v] mirrors nodes[v].Level.
+	nodeLevel []int32
 }
 
 // Name returns the topology name supplied at build time ("" if none).
@@ -145,21 +160,24 @@ func (g *Leveled) MaxDegree() int {
 // EndpointAt returns the endpoint of edge e reached when traversing in
 // direction dir (To for Forward, From for Backward).
 func (g *Leveled) EndpointAt(e EdgeID, dir Direction) NodeID {
-	if dir == Forward {
-		return g.edges[e].To
-	}
-	return g.edges[e].From
+	return g.ends[e][1-dir]
+}
+
+// LevelOf returns the level of node v without materializing the full
+// node record.
+func (g *Leveled) LevelOf(v NodeID) int {
+	return int(g.nodeLevel[v])
 }
 
 // Other returns the endpoint of edge e that is not v. It panics if v is
 // not an endpoint of e.
 func (g *Leveled) Other(e EdgeID, v NodeID) NodeID {
-	ed := &g.edges[e]
+	ends := g.ends[e]
 	switch v {
-	case ed.From:
-		return ed.To
-	case ed.To:
-		return ed.From
+	case ends[0]:
+		return ends[1]
+	case ends[1]:
+		return ends[0]
 	}
 	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %d", v, e))
 }
@@ -167,11 +185,11 @@ func (g *Leveled) Other(e EdgeID, v NodeID) NodeID {
 // DirectionFrom returns the direction of traversing edge e starting at
 // node v. It panics if v is not an endpoint of e.
 func (g *Leveled) DirectionFrom(e EdgeID, v NodeID) Direction {
-	ed := &g.edges[e]
+	ends := g.ends[e]
 	switch v {
-	case ed.From:
+	case ends[0]:
 		return Forward
-	case ed.To:
+	case ends[1]:
 		return Backward
 	}
 	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %d", v, e))
@@ -430,6 +448,15 @@ func (b *Builder) Build() (*Leveled, error) {
 			return nil, fmt.Errorf("graph: level %d of %q has no nodes", l, b.name)
 		}
 		sort.Slice(lv, func(i, j int) bool { return lv[i] < lv[j] })
+	}
+	// Derive the flat hot-path mirrors (see the Leveled doc comment).
+	g.ends = make([][2]NodeID, len(g.edges))
+	for i := range g.edges {
+		g.ends[i] = [2]NodeID{g.edges[i].From, g.edges[i].To}
+	}
+	g.nodeLevel = make([]int32, len(g.nodes))
+	for i := range g.nodes {
+		g.nodeLevel[i] = int32(g.nodes[i].Level)
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err

@@ -30,12 +30,12 @@ func (g *Leveled) ValidatePath(p Path) error {
 
 // PathSource returns the first node of a non-empty valid path.
 func (g *Leveled) PathSource(p Path) NodeID {
-	return g.edges[p[0]].From
+	return g.ends[p[0]][0]
 }
 
 // PathDest returns the last node of a non-empty valid path.
 func (g *Leveled) PathDest(p Path) NodeID {
-	return g.edges[p[len(p)-1]].To
+	return g.ends[p[len(p)-1]][1]
 }
 
 // PathNodes expands a path into its node sequence. For an empty path it
@@ -60,15 +60,15 @@ func (g *Leveled) PathContainsLevel(p Path, level int) (NodeID, bool) {
 	if len(p) == 0 {
 		return NoNode, false
 	}
-	lo := g.nodes[g.edges[p[0]].From].Level
+	lo := int(g.nodeLevel[g.ends[p[0]][0]])
 	hi := lo + len(p)
 	if level < lo || level > hi {
 		return NoNode, false
 	}
 	if level == lo {
-		return g.edges[p[0]].From, true
+		return g.ends[p[0]][0], true
 	}
-	return g.edges[p[level-lo-1]].To, true
+	return g.ends[p[level-lo-1]][1], true
 }
 
 // Reachable computes the set of nodes from which dst can be reached via

@@ -37,6 +37,12 @@ type Trial struct {
 	// when the ensemble ran under a fault campaign (zero otherwise).
 	FaultBlocked int
 	FaultStalls  int
+	// MaxWindowWidth is the widest measured active level band of the
+	// run (Options.RecordWindow; zero otherwise). Under invariant Ic it
+	// is bounded by the schedule's ActiveBand width, so an ensemble-wide
+	// maximum far below depth+1 is the evidence that active-frame level
+	// skipping had levels to skip.
+	MaxWindowWidth int
 }
 
 // Ensemble aggregates many trials of the frame router on one problem.
@@ -72,6 +78,11 @@ type Options struct {
 	// Observe must be safe for concurrent calls and the probes of
 	// different trials must not share state.
 	Observe func(seed int64) []obs.Probe
+	// RecordWindow attaches a per-trial probe recording the widest
+	// measured active level band into Trial.MaxWindowWidth. Off by
+	// default: it routes every trial through the observability
+	// collector, which costs a few percent of step throughput.
+	RecordWindow bool
 	// Faults, when non-nil, runs every trial under this fault campaign,
 	// bound per trial as Faults.Model(problem.G, seed) — each seed sees
 	// an independent (but reproducible) realization of the same
@@ -124,6 +135,11 @@ func Run(p *workload.Problem, params core.Params, opt Options) (*Ensemble, error
 				if opt.Observe != nil {
 					ro.Probes = opt.Observe(seed)
 				}
+				var wp *windowProbe
+				if opt.RecordWindow {
+					wp = &windowProbe{}
+					ro.Probes = append(ro.Probes, wp)
+				}
 				if opt.Faults != nil {
 					ro.Faults = opt.Faults.Model(p.G, seed)
 				}
@@ -149,6 +165,9 @@ func Run(p *workload.Problem, params core.Params, opt Options) (*Ensemble, error
 						res.Invariants.IdForeignMeetings +
 						res.Invariants.IfTailOccupied
 				}
+				if wp != nil {
+					t.MaxWindowWidth = wp.maxWidth
+				}
 				trials[i] = t
 			}
 		}()
@@ -159,6 +178,30 @@ func Run(p *workload.Problem, params core.Params, opt Options) (*Ensemble, error
 	close(jobs)
 	wg.Wait()
 	return &Ensemble{Problem: p, Params: params, Trials: trials}, nil
+}
+
+// windowProbe records the widest measured active level band of one
+// run. Single-trial state, not shared across goroutines.
+type windowProbe struct{ maxWidth int }
+
+func (w *windowProbe) OnStep(s *obs.StepStats) {
+	if wd := s.WindowHi - s.WindowLo + 1; wd > w.maxWidth {
+		w.maxWidth = wd
+	}
+}
+func (*windowProbe) OnRound(*obs.StepStats) {}
+func (*windowProbe) OnPhase(*obs.StepStats) {}
+
+// MaxWindowWidth returns the widest active level band measured across
+// all trials, or 0 if the ensemble ran without Options.RecordWindow.
+func (e *Ensemble) MaxWindowWidth() int {
+	m := 0
+	for _, t := range e.Trials {
+		if t.MaxWindowWidth > m {
+			m = t.MaxWindowWidth
+		}
+	}
+	return m
 }
 
 // SuccessRate returns the fraction of trials that delivered every

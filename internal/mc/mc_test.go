@@ -205,3 +205,37 @@ func TestViolationRate(t *testing.T) {
 		t.Errorf("unchecked violation rate = %g", e2.ViolationRate())
 	}
 }
+
+func TestEnsembleRecordWindow(t *testing.T) {
+	p := testProblem(t)
+	// Without RecordWindow the field stays zero.
+	off := mustRun(t, p, quickParams(p), Options{Trials: 4})
+	if off.MaxWindowWidth() != 0 {
+		t.Errorf("MaxWindowWidth = %d without RecordWindow", off.MaxWindowWidth())
+	}
+	on := mustRun(t, p, quickParams(p), Options{Trials: 4, RecordWindow: true})
+	w := on.MaxWindowWidth()
+	depth := p.L()
+	if w <= 0 || w > depth+1 {
+		t.Fatalf("MaxWindowWidth = %d outside (0, %d]", w, depth+1)
+	}
+	// The schedule's narrow-band guarantee is what the window probe
+	// evidences: on this depth-20 network the active band must exclude
+	// levels, i.e. stay strictly below full depth.
+	if w > depth {
+		t.Errorf("MaxWindowWidth = %d: no level was ever skippable (depth %d)", w, depth)
+	}
+	for _, tr := range on.Trials {
+		if tr.MaxWindowWidth <= 0 {
+			t.Errorf("seed %d: MaxWindowWidth = %d, want > 0", tr.Seed, tr.MaxWindowWidth)
+		}
+	}
+	// Workers must not change the per-trial record (determinism).
+	par := mustRun(t, p, quickParams(p), Options{Trials: 4, RecordWindow: true, Workers: 4})
+	for i := range on.Trials {
+		if on.Trials[i].MaxWindowWidth != par.Trials[i].MaxWindowWidth {
+			t.Errorf("seed %d: MaxWindowWidth %d (workers=auto) vs %d (workers=4)",
+				on.Trials[i].Seed, on.Trials[i].MaxWindowWidth, par.Trials[i].MaxWindowWidth)
+		}
+	}
+}

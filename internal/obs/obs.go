@@ -117,6 +117,22 @@ func (w *window) add(s *StepStats) {
 	if s.MaxQueueLen > w.MaxQueueLen {
 		w.MaxQueueLen = s.MaxQueueLen
 	}
+	// The active level band widens to the union of the step bands, so a
+	// round/phase row reports every level that held a packet during it
+	// (an end-of-window sample would hide the frontier's sweep). Empty
+	// step bands (lo > hi, nothing in flight) contribute nothing.
+	if s.WindowHi >= s.WindowLo {
+		if w.WindowHi < w.WindowLo {
+			w.WindowLo, w.WindowHi = s.WindowLo, s.WindowHi
+		} else {
+			if s.WindowLo < w.WindowLo {
+				w.WindowLo = s.WindowLo
+			}
+			if s.WindowHi > w.WindowHi {
+				w.WindowHi = s.WindowHi
+			}
+		}
+	}
 	// Gauges: keep the end-of-window value.
 	w.Active = s.Active
 	w.Occupancy = append(w.Occupancy[:0], s.Occupancy...)

@@ -44,6 +44,7 @@ var csvHeader = []string{
 	"defl_forward", "excited", "fault_blocked", "fault_stalls",
 	"edges_down", "availability",
 	"injection_waits", "queue_delay", "blocked", "max_queue_len",
+	"window_lo", "window_hi",
 }
 
 // WriteCSV emits one CSV table for a row set (use ts.Steps, ts.Rounds
@@ -63,7 +64,7 @@ func WriteCSV(w io.Writer, rows []StepStats) error {
 	b.WriteByte('\n')
 	for i := range rows {
 		r := &rows[i]
-		fmt.Fprintf(&b, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%g,%d,%d,%d,%d",
+		fmt.Fprintf(&b, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%g,%d,%d,%d,%d,%d,%d",
 			r.Step, r.Phase, r.Round, r.Active, r.Injected, r.Absorbed,
 			r.Moves,
 			r.Deflections[sim.DeflectArrivalReverse],
@@ -72,7 +73,8 @@ func WriteCSV(w io.Writer, rows []StepStats) error {
 			r.Deflections[sim.DeflectForward],
 			r.Excited, r.FaultBlocked, r.FaultStalls,
 			r.EdgesDown, r.Availability, r.InjectionWaits,
-			r.QueueDelay, r.Blocked, r.MaxQueueLen)
+			r.QueueDelay, r.Blocked, r.MaxQueueLen,
+			r.WindowLo, r.WindowHi)
 		for _, c := range r.Occupancy {
 			fmt.Fprintf(&b, ",%d", c)
 		}

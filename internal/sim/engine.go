@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"hotpotato/internal/graph"
 	"hotpotato/internal/workload"
@@ -61,6 +62,34 @@ type Router interface {
 type ConcurrentRouter interface {
 	Router
 	ConcurrentRequests() bool
+}
+
+// InjectionPlanner is an optional Router extension. A router
+// implementing it certifies a per-packet lower bound on injection
+// eligibility that is fixed at Init time: WantInject(t, p) must return
+// false for every step t < InjectStep(p). The engine uses the bound to
+// park not-yet-eligible packets in a time-sorted release queue and
+// sweep only released packets each step, turning the per-step injection
+// scan from O(all pending) into O(eligible) — on a large staggered
+// workload this is the difference between the step paying for every
+// packet in the problem and paying only for the handful near admission.
+//
+// The bound is an optimization gate, not a schedule: WantInject is
+// still consulted for every released packet, so a conservative bound
+// (always 0) is always correct and merely forfeits the skipping. That
+// also makes embedding safe — a wrapper that overrides WantInject with
+// a tighter schedule but inherits InjectStep() == 0 from its embedded
+// router behaves identically to the unplanned path. Wrappers should
+// still override InjectStep to regain the skipping.
+//
+// InjectStep is called once per packet per run, on the stepping
+// goroutine, after Router.Init.
+type InjectionPlanner interface {
+	Router
+	// InjectStep returns the earliest step at which WantInject may
+	// report true for the (not yet injected) packet. Negative values are
+	// treated as 0.
+	InjectStep(p *Packet) int
 }
 
 // Observer is a read-only per-step hook (tracing, invariant checking).
@@ -163,37 +192,113 @@ type Engine struct {
 	active  []PacketID
 	pending []PacketID
 
-	// at[v] lists the active packets currently at node v; occupied
-	// lists the nodes v with len(at[v]) > 0, each exactly once.
-	at       [][]PacketID
-	occupied []graph.NodeID
+	// Injection release queue (InjectionPlanner routers). injSchedule
+	// packs (releaseStep<<32 | packetID), sorted ascending, built once
+	// per run after Router.Init; injCursor is the next unreleased entry.
+	// Released packets merge into the ID-ordered pending list through
+	// mergeBuf, so the admission sweep and all occupancy interactions
+	// are byte-identical to the legacy full sweep — the queue only
+	// determines when a packet first appears in the sweep. legacyInject
+	// (test hook, see SetLegacyInjectForTest) disables the queue and
+	// restores the full pending sweep for differential testing.
+	planner      InjectionPlanner
+	injSchedule  []uint64
+	injCursor    int
+	mergeBuf     []PacketID
+	legacyInject bool
 
-	// prevForward[e] is the packet that traversed edge e forward during
-	// the previous step (NoPacket if none); such an edge is a safe
-	// backward deflection slot this step. prevTouched/curTouched list
-	// the dirty entries of each array so resets touch only those edges.
-	prevForward []PacketID
-	curForward  []PacketID
+	// Per-node occupancy in flat SoA form: node v's active packets are
+	// atList[atOff[v] : atOff[v]+atN[v]], where each node owns a
+	// degree-sized segment of atList (occupancy never exceeds degree).
+	// Splitting offsets from counts matters: the occupancy rebuild in
+	// phase 5 touches ~2 scattered nodes per moving packet (clear + add),
+	// and with counts packed two bytes per node the whole count array
+	// stays cache-resident even on 50k-node networks, where slice
+	// headers (24 bytes/node) made every touch a cold miss. occupied
+	// lists the nodes v with atN[v] > 0, each exactly once; occBits
+	// mirrors atN[v] > 0 as a bitset so the injection-isolation probe
+	// costs one L1-resident bit test.
+	atOff    []int32
+	atN      []uint16
+	atList   []PacketID
+	occupied []graph.NodeID
+	occBits  []uint64
+
+	// Forward-traversal memory as per-edge bitsets: bit e of prevFwdBits
+	// is set iff some packet traversed edge e forward during the
+	// previous step — such an edge is a safe backward deflection slot
+	// this step. The deflection phase only ever asks the boolean, so a
+	// bitset (1 bit/edge, L1-resident on 100k-edge networks) replaces
+	// the old 4-bytes-per-edge PacketID array. prevTouched/curTouched
+	// list the dirty edges so per-step resets touch only those bits.
+	// Bits are written at sequential commit points only and read-only
+	// during the sharded phases, so sharing words across shards is safe.
+	prevFwdBits []uint64
+	curFwdBits  []uint64
 	prevTouched []graph.EdgeID
 	curTouched  []graph.EdgeID
 
-	// Scratch reused across steps. Slots are indexed 2*edge+direction;
-	// epoch stamps avoid clearing the arrays every step (the epoch
-	// survives Reset so the stamp arrays never need rewinding).
-	epoch      uint32
-	slotEpoch  []uint32   // slot -> last epoch the slot was claimed or contested
-	slotWinner []PacketID // slot -> current winner (valid when slotEpoch matches)
-	slotPrio   []int64    // slot -> winner's priority
-	slotKey    []uint64   // slot -> winner's arbitration key (max wins)
-	moveEpoch  []uint32   // packet -> epoch of its committed move
-	moveSlot   []int32    // packet -> committed slot
-	requests   []Request  // indexed by PacketID
-	granted    []bool
+	// Per-level active-packet census, maintained incrementally (O(1)
+	// per injection/move/absorption): lvlOf mirrors each active packet's
+	// current level, levelCount the number of active packets per level,
+	// and winLo/winHi bound the non-empty level band (kept stale-wide,
+	// trimmed at read — see Window). The frame schedule guarantees the
+	// band is narrow, so consumers can skip the provably idle levels of
+	// a deep network entirely.
+	lvlOf      []int16
+	levelCount []int32
+	winLo      int
+	winHi      int
+
+	// Scratch reused across steps. Slots are indexed 2*edge+direction,
+	// but slot state is never stored per slot: a slot's contenders all
+	// stand at the single node it leaves, so arbitration and deflection
+	// resolve node by node (resolveNode) against the requesting packets'
+	// flat request arrays and a degree-bounded used-slot list — L1-sized
+	// scratch, where a 2|E|-entry slot array on a large network meant one
+	// cold cache miss per request. reqSlot/reqPrio are written by
+	// collectRequest (in active order, i.e. near-sequentially) and read
+	// back per node; moves carries each packet's committed traversal,
+	// stamped with the step epoch (the epoch survives Reset so the array
+	// never needs rewinding).
+	epoch   uint32
+	reqSlot []int32   // indexed by PacketID; blockedSlot when fault-blocked
+	reqPrio []int64   // indexed by PacketID
+	moves   []moveRec // indexed by PacketID
+	granted []bool
 
 	// pathPool holds PathList backing arrays — pre-carved from a single
 	// arena at construction and surrendered by absorbed packets — so
 	// injection never allocates, not even during the startup transient.
+	// A live packet's PathList is a window into its borrowed segment
+	// (pathBase), positioned at pathHead: the path is injected at the
+	// segment's tail so that pops advance the window head and prepends
+	// retreat it, both O(1) re-slices where shifting in place cost a
+	// memmove of the remaining path on every single move. A prepend that
+	// exhausts the front slack repacks the segment (repackPath), which
+	// under the paper's preconditions never happens after the injection
+	// headroom is spent.
 	pathPool [][]graph.EdgeID
+	pathBase [][]graph.EdgeID
+	pathHead []int32
+
+	// On-path move acceleration. preNodes holds each packet's
+	// preselected node sequence (row i at [i*preUnit, ...], one node per
+	// path position); while a packet is on its preselected path
+	// (offPath == 0, meaning PathList == Preselected[preIdx:]), the
+	// destination of a head pop is preNodes[preIdx+1] — a sequential
+	// per-packet read — and the head direction is Forward, so the common
+	// case touches the scattered edge-endpoint array not at all.
+	// offPath counts prepended (deflection/oscillation) entries at the
+	// window front; retraceDirs stacks their head directions one bit
+	// each, and retraceDeep marks stacks that overflowed 64 entries,
+	// falling back to a graph lookup until the stack drains.
+	preNodes    []graph.NodeID
+	preUnit     int
+	preIdx      []int32
+	offPath     []int32
+	retraceDirs []uint64
+	retraceDeep []bool
 
 	// Sharding state (see parallel.go). shards always holds at least
 	// one entry: the sequential path runs through shard 0 so that the
@@ -220,6 +325,33 @@ func slotIndex(e graph.EdgeID, d graph.Direction) int32 {
 func slotEdge(s int32) graph.EdgeID   { return graph.EdgeID(s >> 1) }
 func slotDir(s int32) graph.Direction { return graph.Direction(s & 1) }
 
+// blockedSlot marks a request rejected by the fault schedule in
+// reqSlot; the packet holds no claim and falls through to deflection.
+const blockedSlot int32 = -2
+
+// moveRec is the per-packet committed move: epoch stamp + slot.
+type moveRec struct {
+	epoch uint32
+	slot  int32
+}
+
+// bitGet/bitSet/bitClear operate on the engine's uint64 bitsets.
+func bitGet(b []uint64, i int32) bool { return b[uint32(i)>>6]&(1<<(uint32(i)&63)) != 0 }
+func bitSet(b []uint64, i int32)      { b[uint32(i)>>6] |= 1 << (uint32(i) & 63) }
+func bitClear(b []uint64, i int32)    { b[uint32(i)>>6] &^= 1 << (uint32(i) & 63) }
+
+// injPack packs a (releaseStep, packet) pair so that slices.Sort on the
+// packed values yields (release, then ID) order.
+func injPack(rel int, pid PacketID) uint64 {
+	if rel < 0 {
+		rel = 0
+	}
+	if rel > 1<<31-1 {
+		rel = 1<<31 - 1
+	}
+	return uint64(rel)<<32 | uint64(uint32(pid))
+}
+
 // NewEngine builds an engine for the problem with the given router and
 // seed. Packet i corresponds to path i of the problem. A packet with an
 // empty preselected path (source == destination) is absorbed
@@ -230,8 +362,9 @@ func NewEngine(p *workload.Problem, r Router, seed int64) *Engine {
 		G:           p.G,
 		Rng:         rand.New(rand.NewSource(seed)),
 		router:      r,
-		prevForward: make([]PacketID, p.G.NumEdges()),
-		curForward:  make([]PacketID, p.G.NumEdges()),
+		prevFwdBits: make([]uint64, (p.G.NumEdges()+63)/64),
+		curFwdBits:  make([]uint64, (p.G.NumEdges()+63)/64),
+		occBits:     make([]uint64, (p.G.NumNodes()+63)/64),
 	}
 	if cr, ok := r.(ConcurrentRouter); ok && cr.ConcurrentRequests() {
 		e.concurrent = true
@@ -242,31 +375,35 @@ func NewEngine(p *workload.Problem, r Router, seed int64) *Engine {
 	// array of total size 2|E|. Lists then never grow beyond their
 	// segment and the hot path never allocates for a newly visited
 	// node.
-	e.at = make([][]PacketID, p.G.NumNodes())
-	occBacking := make([]PacketID, 2*p.G.NumEdges())
+	e.atOff = make([]int32, p.G.NumNodes())
+	e.atN = make([]uint16, p.G.NumNodes())
+	e.atList = make([]PacketID, 2*p.G.NumEdges())
 	for v, off := 0, 0; v < p.G.NumNodes(); v++ {
 		d := p.G.Node(graph.NodeID(v)).Degree()
-		e.at[v] = occBacking[off : off : off+d]
+		if d >= 1<<16 {
+			panic("sim: node degree exceeds the engine's uint16 occupancy counts")
+		}
+		e.atOff[v] = int32(off)
 		off += d
 	}
-	e.slotEpoch = make([]uint32, 2*p.G.NumEdges())
-	e.slotWinner = make([]PacketID, 2*p.G.NumEdges())
-	e.slotPrio = make([]int64, 2*p.G.NumEdges())
-	e.slotKey = make([]uint64, 2*p.G.NumEdges())
-	e.moveEpoch = make([]uint32, p.N())
-	e.moveSlot = make([]int32, p.N())
+	e.reqSlot = make([]int32, p.N())
+	e.reqPrio = make([]int64, p.N())
+	e.moves = make([]moveRec, p.N())
 	// Scratch lists are preallocated at their tight bounds so steady
 	// state performs no growth reallocations at all.
 	e.active = make([]PacketID, 0, p.N())
 	e.occupied = make([]graph.NodeID, 0, min(p.N(), p.G.NumNodes()))
 	e.curTouched = make([]graph.EdgeID, 0, min(p.N(), p.G.NumEdges()))
 	e.prevTouched = make([]graph.EdgeID, 0, min(p.N(), p.G.NumEdges()))
-	for i := range e.prevForward {
-		e.prevForward[i] = NoPacket
-		e.curForward[i] = NoPacket
+	if p.G.Depth() >= 1<<15 {
+		panic("sim: graph depth exceeds the engine's int16 level mirror")
 	}
+	e.lvlOf = make([]int16, p.N())
+	e.levelCount = make([]int32, p.G.Depth()+1)
 	e.Packets = make([]Packet, p.N())
 	e.pending = make([]PacketID, 0, p.N())
+	e.injSchedule = make([]uint64, 0, p.N())
+	e.mergeBuf = make([]PacketID, 0, p.N())
 	for i, path := range p.Set.Paths {
 		e.Packets[i].Preselected = path
 	}
@@ -287,7 +424,29 @@ func NewEngine(p *workload.Problem, r Router, seed int64) *Engine {
 	for i := 0; i < p.N(); i++ {
 		e.pathPool = append(e.pathPool, arena[i*unit:i*unit:(i+1)*unit])
 	}
-	e.requests = make([]Request, p.N())
+	e.preUnit = maxLen + 1
+	e.preNodes = make([]graph.NodeID, p.N()*e.preUnit)
+	e.preIdx = make([]int32, p.N())
+	e.offPath = make([]int32, p.N())
+	e.retraceDirs = make([]uint64, p.N())
+	e.retraceDeep = make([]bool, p.N())
+	for i, path := range p.Set.Paths {
+		if len(path) == 0 {
+			continue
+		}
+		v := p.G.PathSource(path)
+		row := e.preNodes[i*e.preUnit:]
+		row[0] = v
+		for j, ed := range path {
+			if p.G.DirectionFrom(ed, v) != graph.Forward {
+				panic(fmt.Sprintf("sim: packet %d: preselected path edge %d is not forward", i, ed))
+			}
+			v = p.G.EndpointAt(ed, graph.Forward)
+			row[j+1] = v
+		}
+	}
+	e.pathBase = make([][]graph.EdgeID, p.N())
+	e.pathHead = make([]int32, p.N())
 	e.granted = make([]bool, p.N())
 	e.wantBuf = make([]bool, p.N())
 	e.setShards(1, 1)
@@ -314,29 +473,35 @@ func (e *Engine) Reset(seed int64) {
 	e.probe = nil
 	e.events = nil
 	e.lastM = Metrics{}
-	// The epoch deliberately keeps counting across runs: slotEpoch and
-	// moveEpoch entries from the previous run are stale by construction
-	// and never need clearing. Forward memory and occupancy are rolled
-	// back through their dirty lists, which also covers engines reset
-	// in the middle of a run.
+	// The epoch deliberately keeps counting across runs: slot and move
+	// records from the previous run are stale by construction and never
+	// need clearing. Forward memory and occupancy are rolled back through
+	// their dirty lists, which also covers engines reset in the middle of
+	// a run.
 	for _, ed := range e.prevTouched {
-		e.prevForward[ed] = NoPacket
+		bitClear(e.prevFwdBits, int32(ed))
 	}
 	for _, ed := range e.curTouched {
-		e.curForward[ed] = NoPacket
+		bitClear(e.curFwdBits, int32(ed))
 	}
 	e.prevTouched = e.prevTouched[:0]
 	e.curTouched = e.curTouched[:0]
 	for _, v := range e.occupied {
-		e.at[v] = e.at[v][:0]
+		e.atN[v] = 0
+		bitClear(e.occBits, int32(v))
 	}
 	e.occupied = e.occupied[:0]
 	e.active = e.active[:0]
 	e.pending = e.pending[:0]
+	for l := e.winLo; l <= e.winHi && l < len(e.levelCount); l++ {
+		e.levelCount[l] = 0
+	}
+	e.winLo, e.winHi = len(e.levelCount), -1
 	for i := range e.Packets {
 		p := &e.Packets[i]
-		if p.PathList != nil {
-			e.pathPool = append(e.pathPool, p.PathList[:0])
+		if e.pathBase[i] != nil {
+			e.pathPool = append(e.pathPool, e.pathBase[i][:0])
+			e.pathBase[i] = nil
 		}
 		*p = Packet{
 			ID:          PacketID(i),
@@ -364,6 +529,26 @@ func (e *Engine) Reset(seed int64) {
 		}
 	}
 	e.router.Init(e)
+
+	// With an InjectionPlanner router, park the pending packets in a
+	// release queue sorted by (InjectStep, ID) and drain the pending list
+	// entirely: Step's prologue re-admits each packet into the ID-ordered
+	// pending list at its release step, so the per-step WantInject sweep
+	// touches only packets whose lower bound has passed. The schedule is
+	// built here — after Router.Init — because planners typically derive
+	// it from state randomized at Init (the frame router's set
+	// assignment).
+	e.planner = nil
+	e.injSchedule = e.injSchedule[:0]
+	e.injCursor = 0
+	if pl, ok := e.router.(InjectionPlanner); ok && !e.legacyInject {
+		e.planner = pl
+		for _, pid := range e.pending {
+			e.injSchedule = append(e.injSchedule, injPack(pl.InjectStep(&e.Packets[pid]), pid))
+		}
+		slices.Sort(e.injSchedule)
+		e.pending = e.pending[:0]
+	}
 }
 
 // Seed returns the seed of the current run. Routers can derive
@@ -376,7 +561,10 @@ func (e *Engine) Now() int { return e.now }
 
 // At returns the active packets at node v (engine-owned; do not
 // mutate).
-func (e *Engine) At(v graph.NodeID) []PacketID { return e.at[v] }
+func (e *Engine) At(v graph.NodeID) []PacketID {
+	off := e.atOff[v]
+	return e.atList[off : off+int32(e.atN[v])]
+}
 
 // InFlight returns the number of currently active packets.
 func (e *Engine) InFlight() int { return len(e.active) }
@@ -386,6 +574,29 @@ func (e *Engine) InFlight() int { return len(e.active) }
 // this instead of the full packet array when they only care about live
 // packets.
 func (e *Engine) Active() []PacketID { return e.active }
+
+// LevelPopulation returns the number of active packets currently at
+// level l, maintained incrementally (O(1) per packet event).
+func (e *Engine) LevelPopulation(l int) int { return int(e.levelCount[l]) }
+
+// Window returns the active level band: the smallest [lo, hi] such that
+// every in-flight packet sits at a level in [lo, hi]. With no packets in
+// flight it returns (0, -1). The band is maintained stale-wide during a
+// step and trimmed lazily here; under the frame schedule it tracks the
+// frontier, so observers can skip the provably empty levels of a deep
+// network (see core.Schedule.ActiveBand for the schedule-side bound).
+func (e *Engine) Window() (lo, hi int) {
+	for e.winLo <= e.winHi && e.levelCount[e.winLo] == 0 {
+		e.winLo++
+	}
+	for e.winHi >= e.winLo && e.levelCount[e.winHi] == 0 {
+		e.winHi--
+	}
+	if e.winLo > e.winHi {
+		return 0, -1
+	}
+	return e.winLo, e.winHi
+}
 
 // AddObserver registers a per-step hook.
 func (e *Engine) AddObserver(o Observer) { e.observers = append(e.observers, o) }
@@ -408,27 +619,99 @@ func (e *Engine) Run(maxSteps int) (int, bool) {
 // addAt places an active packet at node v, keeping the occupied-node
 // list consistent.
 func (e *Engine) addAt(v graph.NodeID, pid PacketID) {
-	if len(e.at[v]) == 0 {
+	n := e.atN[v]
+	if n == 0 {
 		e.occupied = append(e.occupied, v)
+		bitSet(e.occBits, int32(v))
 	}
-	e.at[v] = append(e.at[v], pid)
+	e.atList[e.atOff[v]+int32(n)] = pid
+	e.atN[v] = n + 1
 }
 
-// borrowPath returns a buffer holding a copy of pre, reusing the
-// packet's previous buffer or one pooled from the arena / an absorbed
-// packet.
-func (e *Engine) borrowPath(buf []graph.EdgeID, pre graph.Path) []graph.EdgeID {
-	if buf == nil && len(e.pathPool) > 0 {
-		buf = e.pathPool[len(e.pathPool)-1]
-		e.pathPool = e.pathPool[:len(e.pathPool)-1]
+// borrowPath installs a copy of pre as packet pid's path list, borrowing
+// a segment pooled from the arena / an absorbed packet. The copy lands
+// at the segment's tail so all slack sits in front of the window, where
+// prepends (deflections) consume it and pops (forward moves) add to it.
+func (e *Engine) borrowPath(pid PacketID, pre graph.Path) {
+	buf := e.pathBase[pid]
+	if buf == nil {
+		if n := len(e.pathPool); n > 0 {
+			buf = e.pathPool[n-1]
+			e.pathPool = e.pathPool[:n-1]
+		} else {
+			buf = make([]graph.EdgeID, 0, len(pre)+8)
+		}
 	}
-	return append(buf[:0], pre...)
+	full := buf[:cap(buf)]
+	h := len(full) - len(pre)
+	copy(full[h:], pre)
+	e.pathBase[pid] = buf
+	e.pathHead[pid] = int32(h)
+	e.Packets[pid].PathList = full[h:]
+}
+
+// repackPath restores front slack for a packet whose prepends have
+// consumed the window's headroom: the path is shifted to the segment's
+// tail (growing the segment first if the window already fills it) and
+// the new head offset is returned. Prepends outnumbering pops by more
+// than the injection headroom requires a sustained deflection storm, so
+// this is effectively cold.
+func (e *Engine) repackPath(p *Packet) int32 {
+	base := e.pathBase[p.ID]
+	n := len(p.PathList)
+	if n >= cap(base) {
+		base = make([]graph.EdgeID, 0, 2*cap(base)+8)
+	}
+	full := base[:cap(base)]
+	h := len(full) - n
+	copy(full[h:], p.PathList)
+	e.pathBase[p.ID] = base
+	e.pathHead[p.ID] = int32(h)
+	p.PathList = full[h:]
+	return int32(h)
 }
 
 // Step executes one synchronous time step.
 func (e *Engine) Step() {
 	t := e.now
 	e.stepT = t
+
+	// Phase 1 prologue: release packets whose InjectStep bound has
+	// passed from the schedule into the pending list. Entries are
+	// consumed in (release, ID) order; the consumed run is re-sorted by
+	// bare ID (the rel bits are masked off in place — the schedule is
+	// rebuilt every Reset) and merged with the already-released pending
+	// packets, so pending stays in ascending ID order exactly as if
+	// every packet had been there from step 0.
+	if e.planner != nil && e.injCursor < len(e.injSchedule) {
+		lo := e.injCursor
+		for e.injCursor < len(e.injSchedule) && int(e.injSchedule[e.injCursor]>>32) <= t {
+			e.injCursor++
+		}
+		if rel := e.injSchedule[lo:e.injCursor]; len(rel) > 0 {
+			for i := range rel {
+				rel[i] &= 0xffffffff
+			}
+			slices.Sort(rel)
+			out := e.mergeBuf[:0]
+			i, j := 0, 0
+			for i < len(e.pending) && j < len(rel) {
+				if e.pending[i] < PacketID(uint32(rel[j])) {
+					out = append(out, e.pending[i])
+					i++
+				} else {
+					out = append(out, PacketID(uint32(rel[j])))
+					j++
+				}
+			}
+			out = append(out, e.pending[i:]...)
+			for ; j < len(rel); j++ {
+				out = append(out, PacketID(uint32(rel[j])))
+			}
+			e.mergeBuf = e.pending[:0]
+			e.pending = out
+		}
+	}
 
 	// Phase 1: injection in isolation. A packet enters only when its
 	// router wants it in and its source node holds no active packet.
@@ -456,7 +739,7 @@ func (e *Engine) Step() {
 				keep = append(keep, pid)
 				continue
 			}
-			if len(e.at[p.Src]) > 0 {
+			if bitGet(e.occBits, int32(p.Src)) {
 				e.M.InjectionWaits++
 				keep = append(keep, pid)
 				continue
@@ -464,10 +747,24 @@ func (e *Engine) Step() {
 			p.Active = true
 			p.Cur = p.Src
 			p.InjectTime = t
-			p.PathList = e.borrowPath(p.PathList, p.Preselected)
+			e.borrowPath(pid, p.Preselected)
 			p.ArrivalEdge = graph.NoEdge
+			p.HeadDir = graph.Forward
+			e.preIdx[pid] = 0
+			e.offPath[pid] = 0
+			e.retraceDirs[pid] = 0
+			e.retraceDeep[pid] = false
 			e.addAt(p.Src, pid)
 			e.active = append(e.active, pid)
+			lvl := int16(e.G.LevelOf(p.Src))
+			e.lvlOf[pid] = lvl
+			e.levelCount[lvl]++
+			if int(lvl) < e.winLo {
+				e.winLo = int(lvl)
+			}
+			if int(lvl) > e.winHi {
+				e.winHi = int(lvl)
+			}
 			e.M.Injected++
 			if e.events != nil {
 				e.events.RecordEvent(t, pid, EventInject, int32(p.Src))
@@ -501,17 +798,15 @@ func (e *Engine) Step() {
 	case e.pool != nil:
 		// Router not certified for concurrent Request: sweep requests
 		// sequentially in active order (preserving any sequential
-		// generator the router draws from), then shard the deflection
-		// phase, which performs no router calls.
+		// generator the router draws from), then shard the resolve
+		// phase — arbitration plus deflection — which performs no
+		// router calls.
 		sh := &e.shards[0]
 		for _, pid := range e.active {
 			e.collectRequest(t, pid, sh)
 		}
-		e.markWinners(sh)
 		e.scatterOccupied()
-		// Winner marks were staged into shard 0; hand each shard its
-		// own deflection record list.
-		e.pool.runRegion(modeShardDeflect, e.nshards)
+		e.pool.runRegion(modeShardResolve, e.nshards)
 	default:
 		// Sequential: one shard, active-order sweep, in-place node
 		// order — exactly the parallel result by construction.
@@ -519,9 +814,8 @@ func (e *Engine) Step() {
 		for _, pid := range e.active {
 			e.collectRequest(t, pid, sh)
 		}
-		e.markWinners(sh)
 		for _, v := range e.occupied {
-			e.deflectLosers(t, v, sh)
+			e.resolveNode(t, v, sh)
 		}
 	}
 
@@ -552,40 +846,40 @@ func (e *Engine) Step() {
 		}
 	}
 
-	// Phase 4: commit all moves simultaneously. Forward-memory entries
-	// from the previous use of the curForward array are cleared via its
-	// dirty list instead of a full edge sweep.
+	// Phases 4+5, fused: clear the old occupancy, then one sweep over
+	// the active list commits all moves simultaneously and rebuilds
+	// occupancy from the survivors, touching only live nodes (no router
+	// callback observes occupancy, so clearing before the commits is
+	// unobservable). Forward-memory bits from the previous use of the
+	// curFwdBits set are cleared via its dirty list instead of a full
+	// bitset sweep.
 	for _, ed := range e.curTouched {
-		e.curForward[ed] = NoPacket
+		bitClear(e.curFwdBits, int32(ed))
 	}
 	e.curTouched = e.curTouched[:0]
-	for _, pid := range e.active {
-		if e.moveEpoch[pid] != e.epoch {
-			panic(fmt.Sprintf("sim: step %d: active packet %d has no move (hot-potato requires all packets to leave)", t, pid))
-		}
-		if e.moveSlot[pid] == stallSlot {
-			continue
-		}
-		e.applyMove(t, &e.Packets[pid], e.moveSlot[pid])
-	}
-
-	// Phase 5: rebuild occupancy from the surviving actives and roll
-	// forward-traversal memory, touching only live nodes.
 	for _, v := range e.occupied {
-		e.at[v] = e.at[v][:0]
+		e.atN[v] = 0
+		bitClear(e.occBits, int32(v))
 	}
 	e.occupied = e.occupied[:0]
 	keep := e.active[:0]
 	for _, pid := range e.active {
+		mv := e.moves[pid]
+		if mv.epoch != e.epoch {
+			panic(fmt.Sprintf("sim: step %d: active packet %d has no move (hot-potato requires all packets to leave)", t, pid))
+		}
 		p := &e.Packets[pid]
-		if !p.Active {
-			continue // absorbed this step
+		if mv.slot != stallSlot {
+			e.applyMove(t, p, mv.slot)
+			if !p.Active {
+				continue // absorbed this step
+			}
 		}
 		keep = append(keep, pid)
 		e.addAt(p.Cur, pid)
 	}
 	e.active = keep
-	e.prevForward, e.curForward = e.curForward, e.prevForward
+	e.prevFwdBits, e.curFwdBits = e.curFwdBits, e.prevFwdBits
 	e.prevTouched, e.curTouched = e.curTouched, e.prevTouched
 
 	e.now++
@@ -599,58 +893,107 @@ func (e *Engine) Step() {
 	e.router.EndStep(t, e)
 }
 
-// collectRequest gathers one packet's request and folds it into the
-// slot arbitration. The winner of an equal-priority conflict is the
-// contender with the largest counter-based arbitration key — a
-// commutative rule, so any enumeration order yields the same winner
-// (each of k contenders wins with probability 1/k; see rng.go).
+// collectRequest gathers one packet's request into the flat per-packet
+// request arrays (reqSlot/reqPrio); no shared slot state is touched, so
+// the sweep streams through memory. Winner resolution happens afterwards
+// in resolveNode, node by node.
 func (e *Engine) collectRequest(t int, pid PacketID, sh *shardState) {
 	p := &e.Packets[pid]
 	req := e.router.Request(t, p)
-	if err := e.checkRequest(p, req); err != nil {
-		panic(fmt.Sprintf("sim: step %d: %v", t, err))
+	// Fast-path validation: the head traversal in the engine-maintained
+	// head direction is valid by construction and costs no load at all;
+	// any other request is well-formed iff the edge exists and
+	// traversing it in req.Dir originates at the packet's node — the
+	// origin endpoint is one bounds-checked load from the graph's flat
+	// edge-ends array. The descriptive diagnostics live in checkRequest,
+	// consulted only once the cheap checks have already failed.
+	if len(p.PathList) == 0 || req.Edge != p.PathList[0] || req.Dir != p.HeadDir {
+		if uint32(req.Edge) >= uint32(e.G.NumEdges()) || e.G.EndpointAt(req.Edge, req.Dir.Reverse()) != p.Cur {
+			panic(fmt.Sprintf("sim: step %d: %v", t, e.checkRequest(p, req)))
+		}
 	}
-	e.requests[pid] = req
 	e.granted[pid] = false
 	if e.probe != nil && req.Priority >= ExcitedPriority {
 		sh.excited++
 	}
 	if e.Faults != nil && e.Faults(req.Edge, t) {
 		sh.faultBlocked++
+		e.reqSlot[pid] = blockedSlot
 		return
 	}
-	s := slotIndex(req.Edge, req.Dir)
-	k := arbKey(e.arbSeed, t, s, pid)
-	if e.slotEpoch[s] != e.epoch {
-		e.slotEpoch[s] = e.epoch
-		e.slotWinner[s] = pid
-		e.slotPrio[s] = req.Priority
-		e.slotKey[s] = k
-		sh.contested = append(sh.contested, s)
-		return
-	}
-	switch {
-	case req.Priority > e.slotPrio[s]:
-		e.slotWinner[s] = pid
-		e.slotPrio[s] = req.Priority
-		e.slotKey[s] = k
-	case req.Priority == e.slotPrio[s]:
-		if k > e.slotKey[s] || (k == e.slotKey[s] && pid > e.slotWinner[s]) {
-			e.slotWinner[s] = pid
-			e.slotKey[s] = k
-		}
-	}
+	e.reqSlot[pid] = slotIndex(req.Edge, req.Dir)
+	e.reqPrio[pid] = req.Priority
 }
 
-// markWinners records the committed move of every contested slot's
-// winner; slotEpoch doubles as the used-slot marker for deflection.
-func (e *Engine) markWinners(sh *shardState) {
-	for _, s := range sh.contested {
-		w := e.slotWinner[s]
-		e.granted[w] = true
-		e.moveEpoch[w] = e.epoch
-		e.moveSlot[w] = s
+// resolveNode arbitrates the requested slots among the packets at node
+// v and assigns deflection slots to the losers. Every contender for a
+// slot stands at the single node the slot leaves, so the whole
+// resolution is node-local: the scratch is the node's occupancy list
+// (degree-bounded) plus a used-slot list of the same size, and the
+// winner of an equal-priority conflict is the contender with the
+// largest counter-based arbitration key — a commutative rule, so any
+// enumeration order yields the same winner (each of k contenders wins
+// with probability 1/k; see rng.go). Keys are only computed when a slot
+// actually has two equal-priority contenders.
+func (e *Engine) resolveNode(t int, v graph.NodeID, sh *shardState) {
+	occ := e.At(v)
+	if len(occ) == 1 {
+		// Overwhelmingly the common case under sparse load: one packet,
+		// no contention, its request granted unless fault-blocked.
+		pid := occ[0]
+		if s := e.reqSlot[pid]; s != blockedSlot {
+			e.granted[pid] = true
+			e.moves[pid] = moveRec{epoch: e.epoch, slot: s}
+			return
+		}
+		sh.usedBuf = sh.usedBuf[:0]
+		e.deflectLosers(t, v, occ, sh)
+		return
 	}
+	used := sh.usedBuf[:0]
+	for i, pid := range occ {
+		s := e.reqSlot[pid]
+		if s == blockedSlot {
+			continue
+		}
+		// An earlier occupant requesting the same slot already resolved
+		// it (including this pid as a contender).
+		dup := false
+		for _, q := range occ[:i] {
+			if e.reqSlot[q] == s {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		w, wp := pid, e.reqPrio[pid]
+		var wk uint64
+		keyed := false
+		for _, q := range occ[i+1:] {
+			if e.reqSlot[q] != s {
+				continue
+			}
+			switch qp := e.reqPrio[q]; {
+			case qp > wp:
+				w, wp, keyed = q, qp, false
+			case qp == wp:
+				if !keyed {
+					wk = arbKey(e.arbSeed, t, s, w)
+					keyed = true
+				}
+				if qk := arbKey(e.arbSeed, t, s, q); qk > wk || (qk == wk && q > w) {
+					w, wk = q, qk
+				}
+			}
+		}
+		e.granted[w] = true
+		e.moves[w] = moveRec{epoch: e.epoch, slot: s}
+		used = append(used, s)
+	}
+	sh.usedBuf = used
+	e.deflectLosers(t, v, occ, sh)
 }
 
 // applyDeflectRecord commits one deferred deflection (or fault stall):
@@ -670,7 +1013,9 @@ func (e *Engine) applyDeflectRecord(t int, rec deflectRec) {
 	e.router.OnDeflect(t, &e.Packets[rec.pid], slotEdge(rec.slot), rec.kind)
 }
 
-// checkRequest validates that a request leaves the packet's node.
+// checkRequest diagnoses an invalid request (cold path: collectRequest
+// has already rejected it with the cheap origin check; this re-derives
+// which condition failed for the panic message).
 func (e *Engine) checkRequest(p *Packet, req Request) error {
 	if req.Edge < 0 || int(req.Edge) >= e.G.NumEdges() {
 		return fmt.Errorf("packet %d requested unknown edge %d", p.ID, req.Edge)
@@ -691,12 +1036,13 @@ func (e *Engine) checkRequest(p *Packet, req Request) error {
 // packet's own arrival, (2) safe backward slots recycled from the
 // previous step's forward traversals, (3) any backward slot, (4) any
 // forward slot. Under the paper's preconditions only (1) and (2) occur.
-// Slot state is node-local, so shards may run this concurrently for
-// their own nodes; router callbacks are deferred into sh.deflects and
-// replayed at the merge.
-func (e *Engine) deflectLosers(t int, v graph.NodeID, sh *shardState) {
+// Claimed slots live in sh.usedBuf (seeded by resolveNode with the
+// granted slots) — all slot state is node-local, so shards may run this
+// concurrently for their own nodes; router callbacks are deferred into
+// sh.deflects and replayed at the merge.
+func (e *Engine) deflectLosers(t int, v graph.NodeID, occ []PacketID, sh *shardState) {
 	sh.loserBuf = sh.loserBuf[:0]
-	for _, pid := range e.at[v] {
+	for _, pid := range occ {
 		if !e.granted[pid] {
 			sh.loserBuf = append(sh.loserBuf, pid)
 		}
@@ -708,15 +1054,16 @@ func (e *Engine) deflectLosers(t int, v graph.NodeID, sh *shardState) {
 	node := e.G.Node(v)
 
 	free := func(s int32) bool {
-		if e.slotEpoch[s] == e.epoch {
-			return false
+		for _, u := range sh.usedBuf {
+			if u == s {
+				return false
+			}
 		}
 		return e.Faults == nil || !e.Faults(slotEdge(s), t)
 	}
 	assign := func(pid PacketID, s int32, kind DeflectKind) {
-		e.slotEpoch[s] = e.epoch
-		e.moveEpoch[pid] = e.epoch
-		e.moveSlot[pid] = s
+		sh.usedBuf = append(sh.usedBuf, s)
+		e.moves[pid] = moveRec{epoch: e.epoch, slot: s}
 		e.Packets[pid].Deflections++
 		sh.deflects = append(sh.deflects, deflectRec{pid: pid, slot: s, kind: kind})
 	}
@@ -744,7 +1091,7 @@ func (e *Engine) deflectLosers(t int, v graph.NodeID, sh *shardState) {
 		found := false
 		for _, ed := range node.Down {
 			s := slotIndex(ed, graph.Backward)
-			if free(s) && e.prevForward[ed] != NoPacket {
+			if free(s) && bitGet(e.prevFwdBits, int32(ed)) {
 				chosen, found = s, true
 				break
 			}
@@ -784,8 +1131,7 @@ func (e *Engine) deflectLosers(t int, v graph.NodeID, sh *shardState) {
 				// An outage consumed the node's slack: the packet holds
 				// for one step (stallSlot), the bufferless model's local
 				// escape hatch under faults.
-				e.moveEpoch[pid] = e.epoch
-				e.moveSlot[pid] = stallSlot
+				e.moves[pid] = moveRec{epoch: e.epoch, slot: stallSlot}
 				sh.deflects = append(sh.deflects, deflectRec{pid: pid, slot: stallSlot})
 				continue
 			}
@@ -797,30 +1143,84 @@ func (e *Engine) deflectLosers(t int, v graph.NodeID, sh *shardState) {
 // applyMove commits one traversal and updates path bookkeeping: a
 // traversal of the path head pops it, anything else prepends (the
 // paper's deflection rule, which also covers wait-state oscillation).
-// Pops shift in place rather than re-slicing so the backing array's
-// origin is stable and the full capacity returns to the pool on
-// absorption.
+// Both are O(1) window moves over the packet's borrowed segment (see
+// pathBase); the segment origin is tracked separately, so the full
+// capacity still returns to the pool on absorption.
 func (e *Engine) applyMove(t int, p *Packet, s int32) {
 	ed, dir := slotEdge(s), slotDir(s)
-	dest := e.G.EndpointAt(ed, dir)
-	onHead := len(p.PathList) > 0 && p.PathList[0] == ed
-	if onHead {
-		n := copy(p.PathList, p.PathList[1:])
-		p.PathList = p.PathList[:n]
+	pid := p.ID
+	var dest graph.NodeID
+	if len(p.PathList) > 0 && p.PathList[0] == ed {
+		// Pop: the head traversal (dir necessarily equals HeadDir — a
+		// slot leaving Cur along ed has a unique direction).
+		if e.offPath[pid] == 0 {
+			// On the preselected path: the destination comes from the
+			// precomputed node sequence, read sequentially per packet,
+			// and the next head is again a forward preselected edge.
+			idx := e.preIdx[pid] + 1
+			e.preIdx[pid] = idx
+			dest = e.preNodes[int(pid)*e.preUnit+int(idx)]
+			p.HeadDir = graph.Forward
+		} else {
+			// Retracing a prepended entry.
+			dest = e.G.EndpointAt(ed, dir)
+			e.offPath[pid]--
+			e.retraceDirs[pid] >>= 1
+			switch {
+			case e.offPath[pid] == 0:
+				e.retraceDeep[pid] = false
+				p.HeadDir = graph.Forward
+			case e.retraceDeep[pid]:
+				p.HeadDir = e.G.DirectionFrom(p.PathList[1], dest)
+			default:
+				p.HeadDir = graph.Direction(e.retraceDirs[pid] & 1)
+			}
+		}
+		p.PathList = p.PathList[1:]
+		e.pathHead[pid]++
 	} else {
-		p.PathList = append(p.PathList, 0)
-		copy(p.PathList[1:], p.PathList)
-		p.PathList[0] = ed
+		// Prepend: a deflection or wait oscillation off the head. The
+		// new head retraces this traversal, so its direction from the
+		// destination is known without a lookup.
+		dest = e.G.EndpointAt(ed, dir)
+		h := e.pathHead[pid]
+		if h == 0 {
+			h = e.repackPath(p)
+		}
+		h--
+		base := e.pathBase[pid]
+		full := base[:cap(base)]
+		full[h] = ed
+		e.pathHead[pid] = h
+		p.PathList = full[h : int(h)+1+len(p.PathList)]
+		if e.offPath[pid] >= 64 {
+			e.retraceDeep[pid] = true
+		}
+		e.offPath[pid]++
+		e.retraceDirs[pid] = e.retraceDirs[pid]<<1 | uint64(dir.Reverse())
+		p.HeadDir = dir.Reverse()
 	}
 	p.Cur = dest
 	p.ArrivalEdge = ed
 	p.ArrivalDir = dir
+	lvl := e.lvlOf[p.ID]
+	e.levelCount[lvl]--
 	if dir == graph.Forward {
 		p.ForwardMoves++
-		e.curForward[ed] = p.ID
+		bitSet(e.curFwdBits, int32(ed))
 		e.curTouched = append(e.curTouched, ed)
+		lvl++
 	} else {
 		p.BackwardMoves++
+		lvl--
+	}
+	e.lvlOf[p.ID] = lvl
+	e.levelCount[lvl]++
+	if int(lvl) < e.winLo {
+		e.winLo = int(lvl)
+	}
+	if int(lvl) > e.winHi {
+		e.winHi = int(lvl)
 	}
 	e.M.Moves++
 	if e.granted[p.ID] {
@@ -830,9 +1230,11 @@ func (e *Engine) applyMove(t int, p *Packet, s int32) {
 		p.Active = false
 		p.Absorbed = true
 		p.AbsorbTime = t + 1
+		e.levelCount[lvl]--
 		e.M.Absorbed++
-		if cap(p.PathList) > 0 {
-			e.pathPool = append(e.pathPool, p.PathList[:0])
+		if base := e.pathBase[p.ID]; base != nil {
+			e.pathPool = append(e.pathPool, base[:0])
+			e.pathBase[p.ID] = nil
 			p.PathList = nil
 		}
 		e.router.OnAbsorb(t, p)

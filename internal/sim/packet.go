@@ -25,16 +25,23 @@ const NoPacket PacketID = -1
 
 // Packet is the dynamic record of one packet. The routing algorithm
 // reads it; only the engine mutates it.
+//
+// Field order is deliberate: the members the per-step hot path touches
+// — identity, current node, path-list header, arrival traversal, state
+// bits and the router's tag — are grouped at the front so they share
+// the packet's first cache line; the per-run constants and counters
+// follow. Reordering here is purely a layout concern (no observable
+// behavior depends on it), but keep hot fields leading when adding new
+// ones.
 type Packet struct {
-	ID  PacketID
-	Src graph.NodeID
-	Dst graph.NodeID
-
-	// Preselected is the packet's immutable preselected path.
-	Preselected graph.Path
-
+	ID PacketID
 	// Cur is the node the packet occupies (meaningful while Active).
 	Cur graph.NodeID
+	Dst graph.NodeID
+	// ArrivalEdge/ArrivalDir record the traversal that brought the
+	// packet to Cur (NoEdge right after injection). The reverse of this
+	// traversal is the preferred — and always safe — deflection slot.
+	ArrivalEdge graph.EdgeID
 
 	// PathList is the current path in the paper's sense (Section 2.2):
 	// the edges remaining between Cur and Dst. A forward traversal of
@@ -42,35 +49,41 @@ type Packet struct {
 	// head edge is always incident to Cur.
 	PathList []graph.EdgeID
 
+	ArrivalDir graph.Direction
+	// HeadDir is the direction in which the path-list head leaves Cur,
+	// maintained by the engine (valid while PathList is non-empty).
+	// Routers requesting the head traversal should use it instead of a
+	// graph lookup: it spares the hot path the scattered edge-endpoint
+	// load that an explicit DirectionFrom would cost.
+	HeadDir graph.Direction
 	// Active is true between injection and absorption.
 	Active bool
 	// Absorbed is true once the packet has reached Dst.
 	Absorbed bool
+
+	Src graph.NodeID
+
+	// Tag is algorithm-owned scratch (the frame router stores the
+	// frontier-set index here).
+	Tag int32
 
 	// InjectTime and AbsorbTime are the steps of injection/absorption,
 	// -1 until they happen.
 	InjectTime int
 	AbsorbTime int
 
-	// ArrivalEdge/ArrivalDir record the traversal that brought the
-	// packet to Cur (NoEdge right after injection). The reverse of this
-	// traversal is the preferred — and always safe — deflection slot.
-	ArrivalEdge graph.EdgeID
-	ArrivalDir  graph.Direction
+	// Preselected is the packet's immutable preselected path.
+	Preselected graph.Path
 
 	// Counters.
 	Deflections   int
 	ForwardMoves  int
 	BackwardMoves int
-
-	// Tag is algorithm-owned scratch (the frame router stores the
-	// frontier-set index here).
-	Tag int32
 }
 
 // CurrentLevel returns the level of the packet's current node.
 func (p *Packet) CurrentLevel(g *graph.Leveled) int {
-	return g.Node(p.Cur).Level
+	return g.LevelOf(p.Cur)
 }
 
 // HeadDirection returns the direction in which the head of the path

@@ -6,11 +6,11 @@ package sim
 // The step's contention phases are node-local: every packet contending
 // for a slot (edge, direction) stands at the one node that slot leaves,
 // the deflection search only probes slots leaving the same node, and
-// prevForward is read-only during the phase. Partitioning nodes into
+// prevFwdBits is read-only during the phase. Partitioning nodes into
 // contiguous shards therefore partitions every mutable array the phase
-// touches — slot scratch by owning node, per-packet request/move state
-// by the packet's (unique) node — so shards share nothing and need no
-// locks. Arbitration randomness is counter-based (rng.go), making the
+// touches — claimed-slot scratch lives in the shard resolving the
+// owning node, per-packet request/move state is keyed by the packet's
+// (unique) node — so shards share nothing and need no locks. Arbitration randomness is counter-based (rng.go), making the
 // committed winners independent of enumeration order; the remaining
 // source of order, the router's OnDeflect callbacks, is removed by
 // recording deflections per shard and replaying them sequentially in
@@ -50,8 +50,9 @@ type shardState struct {
 	// occupied order (scatterOccupied preserves relative order, which
 	// the merge relies on).
 	occ []graph.NodeID
-	// contested lists slots with at least one request, for markWinners.
-	contested []int32
+	// usedBuf is resolveNode's per-node claimed-slot list (winners plus
+	// deflections); degree-bounded.
+	usedBuf []int32
 	// loserBuf is deflectLosers' per-node scratch.
 	loserBuf []PacketID
 	// deflects accumulates deferred deflection records; cursor is the
@@ -68,7 +69,6 @@ type shardState struct {
 
 func (sh *shardState) reset() {
 	sh.occ = sh.occ[:0]
-	sh.contested = sh.contested[:0]
 	sh.deflects = sh.deflects[:0]
 	sh.cursor = 0
 	sh.faultBlocked = 0
@@ -89,9 +89,9 @@ const (
 	// modeShardStep runs requests + arbitration + deflection for one
 	// shard (routers certified via ConcurrentRouter only).
 	modeShardStep = iota + 1
-	// modeShardDeflect runs only the deflection phase for one shard
+	// modeShardResolve runs arbitration + deflection for one shard
 	// (requests were swept sequentially for an uncertified router).
-	modeShardDeflect
+	modeShardResolve
 	// modeInjectFilter evaluates WantInject over one chunk of the
 	// pending list into wantBuf.
 	modeInjectFilter
@@ -246,18 +246,15 @@ func (p *stepPool) runItem(mode, i, n int) {
 	case modeShardStep:
 		sh := &e.shards[i]
 		for _, v := range sh.occ {
-			for _, pid := range e.at[v] {
+			for _, pid := range e.At(v) {
 				e.collectRequest(t, pid, sh)
 			}
+			e.resolveNode(t, v, sh)
 		}
-		e.markWinners(sh)
-		for _, v := range sh.occ {
-			e.deflectLosers(t, v, sh)
-		}
-	case modeShardDeflect:
+	case modeShardResolve:
 		sh := &e.shards[i]
 		for _, v := range sh.occ {
-			e.deflectLosers(t, v, sh)
+			e.resolveNode(t, v, sh)
 		}
 	case modeInjectFilter:
 		chunk := (len(e.pending) + n - 1) / n

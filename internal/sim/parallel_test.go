@@ -54,14 +54,44 @@ func (r *concurrentRecorder) ConcurrentRequests() bool {
 	return r.inner.(sim.ConcurrentRouter).ConcurrentRequests()
 }
 
+// plannerRecorder forwards the inner router's InjectionPlanner bound,
+// so recorded runs exercise the engine's release queue exactly like
+// unwrapped runs (a wrapper that hid InjectStep would silently fall
+// back to the legacy full pending sweep).
+type plannerRecorder struct{ recorder }
+
+func (r *plannerRecorder) InjectStep(p *sim.Packet) int {
+	return r.inner.(sim.InjectionPlanner).InjectStep(p)
+}
+
+// concurrentPlannerRecorder preserves both certifications.
+type concurrentPlannerRecorder struct{ concurrentRecorder }
+
+func (r *concurrentPlannerRecorder) InjectStep(p *sim.Packet) int {
+	return r.inner.(sim.InjectionPlanner).InjectStep(p)
+}
+
 // wrapRecorder wraps the router, preserving certification.
 func wrapRecorder(inner sim.Router) (sim.Router, *recorder) {
+	conc := false
 	if cr, ok := inner.(sim.ConcurrentRouter); ok && cr.ConcurrentRequests() {
+		conc = true
+	}
+	_, planner := inner.(sim.InjectionPlanner)
+	switch {
+	case conc && planner:
+		w := &concurrentPlannerRecorder{concurrentRecorder{recorder{inner: inner}}}
+		return w, &w.recorder
+	case conc:
 		w := &concurrentRecorder{recorder{inner: inner}}
 		return w, &w.recorder
+	case planner:
+		w := &plannerRecorder{recorder{inner: inner}}
+		return w, &w.recorder
+	default:
+		w := &recorder{inner: inner}
+		return w, w
 	}
-	w := &recorder{inner: inner}
-	return w, w
 }
 
 // fullTrace runs the problem to completion and returns the metrics plus
@@ -82,6 +112,12 @@ func fullTrace(tb testing.TB, p *workload.Problem, mk func() sim.Router, seed in
 	if _, done := e.Run(100000); !done {
 		tb.Fatalf("run did not complete")
 	}
+	return e.M, finalTrace(e, rec)
+}
+
+// finalTrace renders the byte-exact identity of a completed run: the
+// recorded callback log followed by the final state of every packet.
+func finalTrace(e *sim.Engine, rec *recorder) string {
 	var b strings.Builder
 	b.WriteString(rec.log.String())
 	for i := range e.Packets {
@@ -90,7 +126,7 @@ func fullTrace(tb testing.TB, p *workload.Problem, mk func() sim.Router, seed in
 			pk.InjectTime, pk.AbsorbTime, pk.Deflections,
 			pk.ForwardMoves, pk.BackwardMoves, pk.PathList)
 	}
-	return e.M, b.String()
+	return b.String()
 }
 
 func matrixProblems(tb testing.TB) map[string]*workload.Problem {

@@ -54,6 +54,15 @@ type StepSnapshot struct {
 	// (length Depth()+1, engine-owned backing, valid until the next
 	// step).
 	Occupancy []int `json:"occupancy"`
+	// WindowLo/WindowHi bound the active level band after the commit:
+	// every in-flight packet sits at a level in [WindowLo, WindowHi], and
+	// both bounds are tight (each holds at least one packet). With no
+	// packets in flight WindowLo=0, WindowHi=-1. On the hot-potato engine
+	// under the frame schedule the band tracks the frontier, exposing the
+	// active-frame level skipping (Occupancy entries outside the band are
+	// zero by construction). The SF engine reports the full depth range.
+	WindowLo int `json:"window_lo"`
+	WindowHi int `json:"window_hi"`
 	// Store-and-forward deltas (zero on the hot-potato engine).
 	QueueDelay int `json:"queue_delay"`
 	Blocked    int `json:"blocked"`
@@ -260,12 +269,18 @@ func (e *Engine) emitSnapshot(t int, excited int) {
 		s.Availability = 1 - float64(s.EdgesDown)/float64(e.G.NumEdges())
 	}
 	e.lastM = e.M
+	// The census copies the engine's incremental per-level counters over
+	// the active window only — levels outside [lo, hi] are provably
+	// empty, so on a deep network with a narrow frontier the fill cost
+	// follows the window width, not the depth.
+	lo, hi := e.Window()
+	s.WindowLo, s.WindowHi = lo, hi
 	occ := s.Occupancy
 	for i := range occ {
 		occ[i] = 0
 	}
-	for _, v := range e.occupied {
-		occ[e.G.Node(v).Level] += len(e.at[v])
+	for l := lo; l <= hi; l++ {
+		occ[l] = int(e.levelCount[l])
 	}
 	e.probe.OnStep(e, s)
 }
@@ -305,7 +320,8 @@ func (e *SFEngine) emitSFSnapshot(t int) {
 	s.Blocked = e.M.Blocked - e.lastM.Blocked
 	s.InjectionWaits = e.M.InjectionBlocked - e.lastM.InjectionBlocked
 	s.MaxQueueLen = 0
-	s.EdgesDown, s.Availability = 0, 1 // SF engine has no fault model
+	s.EdgesDown, s.Availability = 0, 1      // SF engine has no fault model
+	s.WindowLo, s.WindowHi = 0, e.G.Depth() // SF engine keeps no level census
 	e.lastM = e.M
 	occ := s.Occupancy
 	for i := range occ {
