@@ -41,15 +41,17 @@ func main() {
 		saveTo   = flag.String("save", "", "save the generated problem (network + paths) to this JSON file and continue")
 		loadFrom = flag.String("load", "", "load the problem from this JSON file instead of generating one")
 
-		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		benchEngine = flag.String("bench-engine", "", "write the engine hot-path benchmark (BENCH_engine.json) to this file and exit")
-		benchObs    = flag.String("bench-obs", "", "write the observability overhead benchmark (BENCH_obs.json) to this file and exit")
-		benchScale  = flag.Int("bench-scale", 1, "engine benchmark scale: 1 = quick, 2 = full")
-		benchStrict = flag.Bool("bench-strict-allocs", false, "fail the engine benchmark if any steady-state row allocates")
-		benchBase   = flag.String("bench-baseline", "", "compare the fresh engine benchmark against this committed BENCH_engine.json and fail on >10% ns/step regression for workers=1 rows")
-		workers     = flag.Int("workers", 1, "parallel-step worker goroutines (1 = sequential; trace is identical either way)")
-		shards      = flag.Int("shards", 0, "parallel-step node shards (0 = workers x 8)")
+		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchEngine   = flag.String("bench-engine", "", "write the engine hot-path benchmark (BENCH_engine.json) to this file and exit")
+		benchParallel = flag.String("bench-parallel", "", "write only the workers-sweep benchmark (sparse butterfly, no ensemble) to this file and exit — the multi-core CI fast path")
+		benchObs      = flag.String("bench-obs", "", "write the observability overhead benchmark (BENCH_obs.json) to this file and exit")
+		benchScale    = flag.Int("bench-scale", 1, "engine benchmark scale: 1 = quick, 2 = full")
+		benchStrict   = flag.Bool("bench-strict-allocs", false, "fail the engine benchmark if any steady-state row allocates")
+		benchBase     = flag.String("bench-baseline", "", "compare the fresh engine benchmark against this committed BENCH_engine.json and fail on >10% ns/step regression for matched valid rows (stale invalid_parallel rows are warned about and skipped)")
+		benchSpeedup  = flag.Float64("bench-require-speedup", 0, "fail unless the recorded workers=4 row shows at least this speedup_vs_1 (0 = no gate)")
+		workers       = flag.Int("workers", 1, "parallel-step worker goroutines (1 = sequential; trace is identical either way)")
+		shards        = flag.Int("shards", 0, "parallel-step node shards (0 = workers x 8)")
 
 		obsOut    = flag.String("obs", "", "write the run's observability time series to this file (.json = steps+rounds+phases document, otherwise CSV; see docs/OBSERVABILITY.md)")
 		obsEvery  = flag.Int("obs-every", 1, "per-step sampling interval for -obs (round/phase rows are always kept)")
@@ -78,16 +80,44 @@ func main() {
 		}()
 	}
 
-	if *benchEngine != "" {
-		fatal(bench.WriteEngineBench(*benchEngine, *benchScale, *benchStrict))
-		fmt.Printf("wrote engine benchmark to %s\n", *benchEngine)
+	if *benchEngine != "" || *benchParallel != "" {
+		path, parallelOnly := *benchEngine, false
+		if *benchParallel != "" {
+			path, parallelOnly = *benchParallel, true
+		}
+		cur, err := bench.WriteEngineBench(path, *benchScale, *benchStrict, parallelOnly)
+		fatal(err)
+		what := "engine benchmark"
+		if parallelOnly {
+			what = "workers-sweep benchmark"
+		}
+		fmt.Printf("wrote %s to %s (gomaxprocs=%d", what, path, cur.GOMAXPROCS)
+		if cur.CPUModel != "" {
+			fmt.Printf(", cpu=%s", cur.CPUModel)
+		}
+		if len(cur.SkippedWorkers) > 0 {
+			fmt.Printf(", skipped workers %v", cur.SkippedWorkers)
+		}
+		fmt.Println(")")
+		for _, r := range cur.Rows {
+			if r.Workers > 1 && r.SpeedupVs1 > 0 {
+				fmt.Printf("  %s workers=%d: %.2fx vs workers=1 (efficiency %.2f)\n",
+					r.Topology, r.Workers, r.SpeedupVs1, r.ParallelEfficiency)
+			}
+		}
 		if *benchBase != "" {
-			cur, err := bench.ReadEngineBench(*benchEngine)
-			fatal(err)
 			base, err := bench.ReadEngineBench(*benchBase)
 			fatal(err)
-			fatal(bench.CompareEngineBench(base, cur, 0.10))
+			warnings, err := bench.CompareEngineBench(base, cur, 0.10)
+			for _, w := range warnings {
+				fmt.Printf("warning: %s\n", w)
+			}
+			fatal(err)
 			fmt.Printf("benchmark regression gate passed vs %s\n", *benchBase)
+		}
+		if *benchSpeedup > 0 {
+			fatal(bench.CheckParallelSpeedup(cur, 4, *benchSpeedup))
+			fmt.Printf("parallel speedup gate passed (>=%.2fx at workers=4)\n", *benchSpeedup)
 		}
 		return
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"hotpotato/internal/baselines"
@@ -28,17 +29,27 @@ type EngineBenchRow struct {
 	Workers int `json:"workers"`
 	Shards  int `json:"shards"`
 	// Gomaxprocs and NumCPU stamp the scheduler configuration the row
-	// was measured under. A workers>1 row taken with GOMAXPROCS below
-	// the worker count cannot show parallel speedup — only coordination
-	// overhead — and is marked InvalidParallel so downstream consumers
-	// (docs, regression gates) never read it as a scaling result.
-	Gomaxprocs      int  `json:"gomaxprocs"`
-	NumCPU          int  `json:"num_cpu"`
-	InvalidParallel bool `json:"invalid_parallel,omitempty"`
-	Steps           int  `json:"steps"`
+	// was measured under, CPUModel the recording host's processor when
+	// the platform exposes it. A workers>1 row taken with GOMAXPROCS
+	// below the worker count cannot show parallel speedup — only
+	// coordination overhead — and is marked InvalidParallel so
+	// downstream consumers (docs, regression gates) never read it as a
+	// scaling result; fresh recordings no longer emit such rows at all
+	// (the sweep skips worker counts above GOMAXPROCS, noted in the
+	// header's SkippedWorkers), so the flag survives only for reading
+	// artifacts recorded before that.
+	Gomaxprocs      int    `json:"gomaxprocs"`
+	NumCPU          int    `json:"num_cpu"`
+	CPUModel        string `json:"cpu_model,omitempty"`
+	InvalidParallel bool   `json:"invalid_parallel,omitempty"`
+	Steps           int    `json:"steps"`
 	// WallNS covers only the measured Run of a warmed, Reset-rewound
 	// engine: construction, injection-arena setup, warmup and the
-	// pre-measure GC all happen before the clock starts.
+	// pre-measure GC all happen before the clock starts. The recorded
+	// run is the fastest of benchReps back-to-back measured runs (short
+	// rows drain in tens of microseconds, where single-shot timing is
+	// weather); AllocsPerStep is the max across the reps, so best-of
+	// never hides an allocating run.
 	WallNS      int64   `json:"wall_ns"`
 	NsPerStep   float64 `json:"ns_per_step"`
 	StepsPerSec float64 `json:"steps_per_sec"`
@@ -65,6 +76,15 @@ type EngineBenchRow struct {
 	// SteadyState marks rows subject to the zero-alloc gate.
 	SteadyState bool `json:"steady_state"`
 	MaxInFlight int  `json:"max_in_flight"`
+	// SpeedupVs1 and ParallelEfficiency relate a workers>1 row to the
+	// workers=1 row of the same topology in the same document:
+	// speedup = steady ns/step(1w) / steady ns/step(Nw) (whole-run
+	// ns/step when a row has no post-injection segment) and
+	// efficiency = speedup / workers. Populated only on valid parallel
+	// rows — the committed multi-core artifact is where the scaling
+	// claim lives, and CheckParallelSpeedup gates on it in CI.
+	SpeedupVs1         float64 `json:"speedup_vs_1,omitempty"`
+	ParallelEfficiency float64 `json:"parallel_efficiency,omitempty"`
 }
 
 // EnsembleBenchRow compares Monte-Carlo ensemble throughput with
@@ -89,14 +109,40 @@ type EnsembleBenchRow struct {
 // record the machine the numbers were taken on — single-core hosts
 // cannot show parallel speedup, only the (small) coordination overhead.
 type EngineBench struct {
-	GoVersion  string            `json:"go_version"`
-	GOOS       string            `json:"goos"`
-	GOARCH     string            `json:"goarch"`
-	NumCPU     int               `json:"num_cpu"`
-	GOMAXPROCS int               `json:"gomaxprocs"`
-	Scale      int               `json:"scale"`
-	Rows       []EngineBenchRow  `json:"rows"`
-	Ensemble   *EnsembleBenchRow `json:"ensemble,omitempty"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// CPUModel names the recording host's processor when the platform
+	// exposes it (/proc/cpuinfo on linux); empty otherwise.
+	CPUModel string `json:"cpu_model,omitempty"`
+	Scale    int    `json:"scale"`
+	// SkippedWorkers lists worker counts the sweep did not record
+	// because GOMAXPROCS could not schedule them — such rows would be
+	// invalid_parallel noise, so the document states the omission
+	// instead of committing unusable rows.
+	SkippedWorkers []int             `json:"skipped_workers,omitempty"`
+	Rows           []EngineBenchRow  `json:"rows"`
+	Ensemble       *EnsembleBenchRow `json:"ensemble,omitempty"`
+}
+
+// cpuModel best-effort-identifies the host processor. Linux exposes it
+// in /proc/cpuinfo; elsewhere (or in stripped containers) the empty
+// string is recorded and consumers fall back to num_cpu/gomaxprocs.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
 }
 
 // staggeredGreedy admits packet i only from step i/rate, keeping a few
@@ -129,11 +175,23 @@ var engineWorkerCounts = []int{1, 2, 4, 8}
 
 // RunEngineBench measures the hot-potato engine's per-step cost on
 // dense and sparse butterflies, the hard mesh workload, and a random
-// leveled network; sweeps the sparse butterfly over 1/2/4/8 workers;
-// and measures ensemble throughput with vs without engine reuse.
-// Scale 1 is the quick CI shape; scale 2 grows the butterflies to the
-// sizes quoted in docs/ALGORITHM.md.
+// leveled network; sweeps the sparse butterfly over the worker counts
+// GOMAXPROCS can schedule; and measures ensemble throughput with vs
+// without engine reuse. Scale 1 is the quick CI shape; scale 2 grows
+// the butterflies to the sizes quoted in docs/ALGORITHM.md.
 func RunEngineBench(scale int) (*EngineBench, error) {
+	return runEngineBench(scale, false)
+}
+
+// RunEngineBenchParallel records only the sparse-butterfly workers
+// sweep — the fast path for the multi-core CI job, whose sole output
+// of interest is the speedup/parallel_efficiency evidence. No dense,
+// mesh, random or ensemble rows are measured.
+func RunEngineBenchParallel(scale int) (*EngineBench, error) {
+	return runEngineBench(scale, true)
+}
+
+func runEngineBench(scale int, parallelOnly bool) (*EngineBench, error) {
 	if scale < 1 {
 		scale = 1
 	}
@@ -148,6 +206,7 @@ func RunEngineBench(scale int) (*EngineBench, error) {
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
 		Scale:      scale,
 	}
 
@@ -202,6 +261,9 @@ func RunEngineBench(scale int) (*EngineBench, error) {
 	}
 
 	for _, c := range cases {
+		if parallelOnly && !c.workerSweep {
+			continue
+		}
 		p, err := c.build()
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s: %w", c.name, err)
@@ -209,7 +271,14 @@ func RunEngineBench(scale int) (*EngineBench, error) {
 		e := sim.NewEngine(p, c.route(), 1)
 		workerCounts := []int{1}
 		if c.workerSweep {
-			workerCounts = engineWorkerCounts
+			workerCounts = workerCounts[:0]
+			for _, w := range engineWorkerCounts {
+				if w > 1 && w > out.GOMAXPROCS {
+					out.SkippedWorkers = append(out.SkippedWorkers, w)
+					continue
+				}
+				workerCounts = append(workerCounts, w)
+			}
 		}
 		for _, w := range workerCounts {
 			if w > 1 {
@@ -220,11 +289,16 @@ func RunEngineBench(scale int) (*EngineBench, error) {
 				e.Close()
 				return nil, err
 			}
+			row.CPUModel = out.CPUModel
 			out.Rows = append(out.Rows, row)
 		}
 		e.Close()
 	}
+	annotateParallelEfficiency(out)
 
+	if parallelOnly {
+		return out, nil
+	}
 	ens, err := measureEnsembleReuse(scale)
 	if err != nil {
 		return nil, err
@@ -233,14 +307,61 @@ func RunEngineBench(scale int) (*EngineBench, error) {
 	return out, nil
 }
 
-// measureEngineRun times one full run of the engine at its current
-// parallelism. The engine is warmed with an unmeasured run first, then
-// rewound with Reset, so the measured run sees only steady-state work —
-// no scratch growth, no pool spin-up, no first-touch allocation, and no
-// injection-arena setup (the release queue is rebuilt by Reset, outside
-// the clock). The measured run itself is split at the last injection:
-// the admission ramp is timed separately so sparse workloads with long
-// staggered injection tails also report a post-injection steady rate.
+// benchStepCost is the per-step figure used for speedup comparisons:
+// the post-injection steady rate when the run has a drain segment, the
+// whole-run rate otherwise.
+func benchStepCost(r EngineBenchRow) float64 {
+	if r.SteadyNsPerStep > 0 {
+		return r.SteadyNsPerStep
+	}
+	return r.NsPerStep
+}
+
+// annotateParallelEfficiency fills SpeedupVs1 and ParallelEfficiency on
+// every valid workers>1 row from the workers=1 row of the same
+// topology in the same document.
+func annotateParallelEfficiency(b *EngineBench) {
+	seq := make(map[string]float64)
+	for _, r := range b.Rows {
+		if r.Workers == 1 {
+			seq[r.Topology] = benchStepCost(r)
+		}
+	}
+	for i := range b.Rows {
+		r := &b.Rows[i]
+		if r.Workers <= 1 || r.InvalidParallel {
+			continue
+		}
+		base, ok := seq[r.Topology]
+		if !ok || base <= 0 {
+			continue
+		}
+		if cost := benchStepCost(*r); cost > 0 {
+			r.SpeedupVs1 = base / cost
+			r.ParallelEfficiency = r.SpeedupVs1 / float64(r.Workers)
+		}
+	}
+}
+
+// benchReps is how many measured runs each row takes; the fastest is
+// recorded. Short rows (the dense butterfly drains in ~14 steps) last
+// tens of microseconds, where a single shot is dominated by scheduler
+// and cache noise — 2x swings between recordings were routine and the
+// >10% CI regression gate fired on weather. Best-of damps exactly that
+// one-sided noise (nothing makes a run spuriously fast), while the
+// allocation count is taken as the max across reps so best-of timing
+// can never hide an allocating rep from the strict-allocs gate.
+const benchReps = 3
+
+// measureEngineRun times full runs of the engine at its current
+// parallelism and keeps the fastest of benchReps. The engine is warmed
+// with an unmeasured run first, then rewound with Reset, so measured
+// runs see only steady-state work — no scratch growth, no pool
+// spin-up, no first-touch allocation, and no injection-arena setup
+// (the release queue is rebuilt by Reset, outside the clock). Each
+// measured run is split at the last injection: the admission ramp is
+// timed separately so sparse workloads with long staggered injection
+// tails also report a post-injection steady rate.
 func measureEngineRun(name string, p *workload.Problem, e *sim.Engine) (EngineBenchRow, error) {
 	workers, shards := e.Parallelism()
 
@@ -248,53 +369,62 @@ func measureEngineRun(name string, p *workload.Problem, e *sim.Engine) (EngineBe
 	if _, done := e.Run(1 << 22); !done {
 		return EngineBenchRow{}, fmt.Errorf("bench: %s (warmup, workers=%d) did not complete within budget", name, workers)
 	}
-	e.Reset(1)
 
-	runtime.GC()
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	// Ramp segment: step until every packet has been injected (or the
-	// run drains first). Stepping here is the same Step loop Run uses,
-	// so the trace is unaffected.
-	n := p.N()
-	rampSteps := 0
-	for e.M.Injected < n && !e.Done() && rampSteps < 1<<22 {
-		e.Step()
-		rampSteps++
+	var row EngineBenchRow
+	maxAllocs := 0.0
+	for rep := 0; rep < benchReps; rep++ {
+		e.Reset(1)
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		// Ramp segment: step until every packet has been injected (or
+		// the run drains first). Stepping here is the same Step loop Run
+		// uses, so the trace is unaffected.
+		n := p.N()
+		rampSteps := 0
+		for e.M.Injected < n && !e.Done() && rampSteps < 1<<22 {
+			e.Step()
+			rampSteps++
+		}
+		ramp := time.Since(start)
+		steps, done := e.Run(1 << 22)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if !done {
+			return EngineBenchRow{}, fmt.Errorf("bench: %s (workers=%d) did not complete within budget", name, workers)
+		}
+		if allocs := float64(after.Mallocs-before.Mallocs) / float64(steps); allocs > maxAllocs {
+			maxAllocs = allocs
+		}
+		if rep > 0 && float64(wall.Nanoseconds())/float64(steps) >= row.NsPerStep {
+			continue
+		}
+		row = EngineBenchRow{
+			Topology:        name,
+			Nodes:           p.G.NumNodes(),
+			Edges:           p.G.NumEdges(),
+			Packets:         p.N(),
+			Workers:         workers,
+			Shards:          shards,
+			Gomaxprocs:      runtime.GOMAXPROCS(0),
+			NumCPU:          runtime.NumCPU(),
+			InvalidParallel: workers > runtime.GOMAXPROCS(0),
+			Steps:           steps,
+			WallNS:          wall.Nanoseconds(),
+			NsPerStep:       float64(wall.Nanoseconds()) / float64(steps),
+			StepsPerSec:     float64(steps) / wall.Seconds(),
+			TimingBasis:     "steady-run",
+			RampSteps:       rampSteps,
+			RampNS:          ramp.Nanoseconds(),
+			SteadyState:     workers == 1,
+			MaxInFlight:     e.M.MaxInFlight,
+		}
+		if drain := steps - rampSteps; drain > 0 {
+			row.SteadyNsPerStep = float64(wall.Nanoseconds()-ramp.Nanoseconds()) / float64(drain)
+		}
 	}
-	ramp := time.Since(start)
-	steps, done := e.Run(1 << 22)
-	wall := time.Since(start)
-	runtime.ReadMemStats(&after)
-	if !done {
-		return EngineBenchRow{}, fmt.Errorf("bench: %s (workers=%d) did not complete within budget", name, workers)
-	}
-
-	row := EngineBenchRow{
-		Topology:        name,
-		Nodes:           p.G.NumNodes(),
-		Edges:           p.G.NumEdges(),
-		Packets:         p.N(),
-		Workers:         workers,
-		Shards:          shards,
-		Gomaxprocs:      runtime.GOMAXPROCS(0),
-		NumCPU:          runtime.NumCPU(),
-		InvalidParallel: workers > runtime.GOMAXPROCS(0),
-		Steps:           steps,
-		WallNS:          wall.Nanoseconds(),
-		NsPerStep:       float64(wall.Nanoseconds()) / float64(steps),
-		StepsPerSec:     float64(steps) / wall.Seconds(),
-		TimingBasis:     "steady-run",
-		RampSteps:       rampSteps,
-		RampNS:          ramp.Nanoseconds(),
-		AllocsPerStep:   float64(after.Mallocs-before.Mallocs) / float64(steps),
-		SteadyState:     workers == 1,
-		MaxInFlight:     e.M.MaxInFlight,
-	}
-	if drain := steps - rampSteps; drain > 0 {
-		row.SteadyNsPerStep = float64(wall.Nanoseconds()-ramp.Nanoseconds()) / float64(drain)
-	}
+	row.AllocsPerStep = maxAllocs
 	return row, nil
 }
 
@@ -368,57 +498,106 @@ func ReadEngineBench(path string) (*EngineBench, error) {
 	return &b, nil
 }
 
-// CompareEngineBench is the benchmark regression gate: every workers=1
-// row that appears (by topology name) in both the committed baseline
+// CompareEngineBench is the benchmark regression gate: every row that
+// appears (by topology and worker count) in both the committed baseline
 // and the current document must not regress ns_per_step by more than
-// tolerance (fractional; 0.10 = 10%). Parallel rows are excluded — on
-// heterogeneous CI machines their wall-clock depends on core count, and
-// rows stamped InvalidParallel carry no scaling signal at all. Rows
-// only present on one side are ignored (topologies scale with
-// -bench-scale), as are baselines from a different Scale.
-func CompareEngineBench(baseline, current *EngineBench, tolerance float64) error {
+// tolerance (fractional; 0.10 = 10%). Rows stamped InvalidParallel on
+// either side carry no scaling signal — a 1-CPU baseline used to
+// silently gate nothing on workers>1 rows — so they are pruned from the
+// comparison with a returned warning instead of being compared. Valid
+// parallel rows gate only when the two documents agree on GOMAXPROCS
+// (otherwise their wall-clock difference is the machine, not the code;
+// a warning notes the skip). Rows only present on one side are ignored
+// (topologies scale with -bench-scale), as are baselines from a
+// different Scale.
+func CompareEngineBench(baseline, current *EngineBench, tolerance float64) ([]string, error) {
+	var warnings []string
 	if baseline.Scale != current.Scale {
-		return nil
+		warnings = append(warnings,
+			fmt.Sprintf("baseline scale %d != current scale %d; nothing compared", baseline.Scale, current.Scale))
+		return warnings, nil
+	}
+	key := func(r EngineBenchRow) string {
+		return fmt.Sprintf("%s/workers=%d", r.Topology, r.Workers)
 	}
 	base := make(map[string]EngineBenchRow)
 	for _, r := range baseline.Rows {
-		if r.Workers == 1 {
-			base[r.Topology] = r
-		}
-	}
-	for _, r := range current.Rows {
-		if r.Workers != 1 {
+		if r.InvalidParallel {
+			warnings = append(warnings,
+				fmt.Sprintf("baseline row %s is stale invalid_parallel (gomaxprocs=%d); pruned from comparison", key(r), r.Gomaxprocs))
 			continue
 		}
-		b, ok := base[r.Topology]
+		base[key(r)] = r
+	}
+	for _, r := range current.Rows {
+		if r.InvalidParallel {
+			warnings = append(warnings,
+				fmt.Sprintf("current row %s is invalid_parallel (gomaxprocs=%d); skipped", key(r), r.Gomaxprocs))
+			continue
+		}
+		b, ok := base[key(r)]
 		if !ok || b.NsPerStep <= 0 {
 			continue
 		}
+		if r.Workers > 1 && b.Gomaxprocs != r.Gomaxprocs {
+			warnings = append(warnings,
+				fmt.Sprintf("row %s: baseline gomaxprocs=%d vs current %d; parallel wall-clock not comparable, skipped", key(r), b.Gomaxprocs, r.Gomaxprocs))
+			continue
+		}
 		if r.NsPerStep > b.NsPerStep*(1+tolerance) {
-			return fmt.Errorf("bench: regression on %s (workers=1): %.2f ns/step vs baseline %.2f (+%.1f%%, tolerance %.0f%%)",
-				r.Topology, r.NsPerStep, b.NsPerStep,
+			return warnings, fmt.Errorf("bench: regression on %s: %.2f ns/step vs baseline %.2f (+%.1f%%, tolerance %.0f%%)",
+				key(r), r.NsPerStep, b.NsPerStep,
 				100*(r.NsPerStep/b.NsPerStep-1), 100*tolerance)
 		}
+	}
+	return warnings, nil
+}
+
+// CheckParallelSpeedup is the multi-core CI gate: the document must
+// contain a valid workers=workers row whose SpeedupVs1 meets
+// minSpeedup. Errors when no valid pair exists (e.g. the sweep was
+// recorded on a machine that could not schedule that many workers) so a
+// misconfigured runner cannot silently pass the gate.
+func CheckParallelSpeedup(b *EngineBench, workers int, minSpeedup float64) error {
+	found := false
+	for _, r := range b.Rows {
+		if r.Workers != workers || r.InvalidParallel {
+			continue
+		}
+		found = true
+		if r.SpeedupVs1 <= 0 {
+			return fmt.Errorf("bench: row %s (workers=%d) has no speedup_vs_1 (missing workers=1 counterpart?)",
+				r.Topology, r.Workers)
+		}
+		if r.SpeedupVs1 < minSpeedup {
+			return fmt.Errorf("bench: %s at workers=%d reached only %.2fx vs workers=1 (efficiency %.2f); gate requires ≥%.2fx",
+				r.Topology, r.Workers, r.SpeedupVs1, r.ParallelEfficiency, minSpeedup)
+		}
+	}
+	if !found {
+		return fmt.Errorf("bench: no valid workers=%d row recorded (gomaxprocs=%d, skipped_workers=%v); cannot certify parallel speedup",
+			workers, b.GOMAXPROCS, b.SkippedWorkers)
 	}
 	return nil
 }
 
 // WriteEngineBench runs the engine benchmark and writes the JSON
 // document to path. With strict set, it fails if any steady-state row
-// recorded heap allocations.
-func WriteEngineBench(path string, scale int, strict bool) error {
-	b, err := RunEngineBench(scale)
+// recorded heap allocations. With parallelOnly set, only the sparse
+// butterfly workers sweep is recorded (the multi-core CI fast path).
+func WriteEngineBench(path string, scale int, strict, parallelOnly bool) (*EngineBench, error) {
+	b, err := runEngineBench(scale, parallelOnly)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if strict {
 		if err := CheckStrictAllocs(b); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return b, os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -15,10 +15,26 @@ func TestEngineBenchQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Four topology rows, plus the sparse butterfly swept at 2/4/8
-	// workers.
-	if len(b.Rows) != 7 {
-		t.Fatalf("rows = %d, want 7 (dense, sparse x {1,2,4,8} workers, mesh, random)", len(b.Rows))
+	// Four topology rows, plus the sparse butterfly swept at the
+	// workers>1 counts GOMAXPROCS can schedule; counts it cannot are
+	// recorded in SkippedWorkers instead of as invalid rows.
+	wantPar := 0
+	for _, w := range []int{2, 4, 8} {
+		if w <= b.GOMAXPROCS {
+			wantPar++
+		}
+	}
+	if len(b.Rows) != 4+wantPar {
+		t.Fatalf("rows = %d, want %d (dense, sparse x {1 + %d parallel} workers, mesh, random)",
+			len(b.Rows), 4+wantPar, wantPar)
+	}
+	if got := len(b.SkippedWorkers); got != 3-wantPar {
+		t.Errorf("skipped_workers = %v, want %d entries", b.SkippedWorkers, 3-wantPar)
+	}
+	for _, w := range b.SkippedWorkers {
+		if w <= b.GOMAXPROCS {
+			t.Errorf("worker count %d skipped despite GOMAXPROCS=%d", w, b.GOMAXPROCS)
+		}
 	}
 	if b.GoVersion == "" || b.GOOS == "" || b.GOARCH == "" {
 		t.Errorf("missing environment header: %+v", b)
@@ -43,13 +59,21 @@ func TestEngineBenchQuick(t *testing.T) {
 		if r.SteadyState != (r.Workers == 1) {
 			t.Errorf("%s: steady-state flag %v at workers=%d", r.Topology, r.SteadyState, r.Workers)
 		}
-		if r.Gomaxprocs != b.GOMAXPROCS || r.NumCPU != b.NumCPU {
-			t.Errorf("%s: row CPU stamp %d/%d differs from header %d/%d",
-				r.Topology, r.Gomaxprocs, r.NumCPU, b.GOMAXPROCS, b.NumCPU)
+		if r.Gomaxprocs != b.GOMAXPROCS || r.NumCPU != b.NumCPU || r.CPUModel != b.CPUModel {
+			t.Errorf("%s: row CPU stamp %d/%d/%q differs from header %d/%d/%q",
+				r.Topology, r.Gomaxprocs, r.NumCPU, r.CPUModel, b.GOMAXPROCS, b.NumCPU, b.CPUModel)
 		}
-		if r.InvalidParallel != (r.Workers > r.Gomaxprocs) {
-			t.Errorf("%s: invalid_parallel=%v at workers=%d, gomaxprocs=%d",
-				r.Topology, r.InvalidParallel, r.Workers, r.Gomaxprocs)
+		if r.InvalidParallel {
+			t.Errorf("%s: fresh recording emitted an invalid_parallel row (workers=%d, gomaxprocs=%d)",
+				r.Topology, r.Workers, r.Gomaxprocs)
+		}
+		if r.Workers > 1 {
+			if r.SpeedupVs1 <= 0 || r.ParallelEfficiency <= 0 {
+				t.Errorf("%s: workers=%d row missing speedup annotation: speedup=%g efficiency=%g",
+					r.Topology, r.Workers, r.SpeedupVs1, r.ParallelEfficiency)
+			}
+		} else if r.SpeedupVs1 != 0 || r.ParallelEfficiency != 0 {
+			t.Errorf("%s: workers=1 row carries speedup annotation: %+v", r.Topology, r)
 		}
 		if r.TimingBasis != "steady-run" {
 			t.Errorf("%s: timing basis %q", r.Topology, r.TimingBasis)
@@ -64,8 +88,8 @@ func TestEngineBenchQuick(t *testing.T) {
 			parRows++
 		}
 	}
-	if seqRows != 4 || parRows != 3 {
-		t.Errorf("row split %d sequential / %d parallel, want 4/3", seqRows, parRows)
+	if seqRows != 4 || parRows != wantPar {
+		t.Errorf("row split %d sequential / %d parallel, want 4/%d", seqRows, parRows, wantPar)
 	}
 	// The zero-alloc claim: a warmed, Reset-rewound engine must not
 	// allocate on the sequential stepping path.
@@ -86,7 +110,10 @@ func TestWriteEngineBenchRoundTrips(t *testing.T) {
 		t.Skip("engine benchmark is slow; skipped under -short")
 	}
 	path := filepath.Join(t.TempDir(), "BENCH_engine.json")
-	if err := WriteEngineBench(path, 1, true); err != nil {
+	// parallelOnly exercises the -bench-parallel fast path: sparse
+	// butterfly sweep only, no ensemble row.
+	written, err := WriteEngineBench(path, 1, true, true)
+	if err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -97,35 +124,120 @@ func TestWriteEngineBenchRoundTrips(t *testing.T) {
 	if err := json.Unmarshal(data, &b); err != nil {
 		t.Fatalf("BENCH_engine.json is not valid JSON: %v", err)
 	}
-	if b.Scale != 1 || len(b.Rows) == 0 {
+	if b.Scale != 1 || len(b.Rows) == 0 || len(b.Rows) != len(written.Rows) {
 		t.Errorf("round-tripped document: %+v", b)
+	}
+	if b.Ensemble != nil {
+		t.Error("parallel-only document recorded an ensemble row")
+	}
+	for _, r := range b.Rows {
+		if r.Topology != "butterfly(10)-sparse" {
+			t.Errorf("parallel-only document recorded %s", r.Topology)
+		}
 	}
 }
 
 func TestCompareEngineBench(t *testing.T) {
 	base := &EngineBench{Scale: 1, Rows: []EngineBenchRow{
-		{Topology: "a", Workers: 1, NsPerStep: 1000},
-		{Topology: "a", Workers: 4, NsPerStep: 500},
+		{Topology: "a", Workers: 1, Gomaxprocs: 4, NsPerStep: 1000},
+		{Topology: "a", Workers: 4, Gomaxprocs: 4, NsPerStep: 500},
 	}}
 	cur := &EngineBench{Scale: 1, Rows: []EngineBenchRow{
-		{Topology: "a", Workers: 1, NsPerStep: 1050},
-		// Parallel rows never gate (machine-dependent), and rows with no
-		// baseline counterpart are ignored.
-		{Topology: "a", Workers: 4, NsPerStep: 5000},
-		{Topology: "unmatched", Workers: 1, NsPerStep: 9999},
+		{Topology: "a", Workers: 1, Gomaxprocs: 4, NsPerStep: 1050},
+		{Topology: "a", Workers: 4, Gomaxprocs: 4, NsPerStep: 520},
+		// Rows with no baseline counterpart are ignored.
+		{Topology: "unmatched", Workers: 1, Gomaxprocs: 4, NsPerStep: 9999},
 	}}
-	if err := CompareEngineBench(base, cur, 0.10); err != nil {
-		t.Errorf("within-tolerance document tripped the gate: %v", err)
+	if warnings, err := CompareEngineBench(base, cur, 0.10); err != nil || len(warnings) != 0 {
+		t.Errorf("within-tolerance document tripped the gate: %v (warnings %v)", err, warnings)
 	}
 	cur.Rows[0].NsPerStep = 1200
-	if err := CompareEngineBench(base, cur, 0.10); err == nil {
+	if _, err := CompareEngineBench(base, cur, 0.10); err == nil {
 		t.Error("20% workers=1 regression did not trip the 10% gate")
 	}
+	cur.Rows[0].NsPerStep = 1050
+
+	// Valid parallel rows gate too when GOMAXPROCS matches.
+	cur.Rows[1].NsPerStep = 800
+	if _, err := CompareEngineBench(base, cur, 0.10); err == nil {
+		t.Error("60% workers=4 regression did not trip the 10% gate")
+	}
+	// ...but a GOMAXPROCS mismatch downgrades the parallel comparison to
+	// a warning (the machines differ, not the code).
+	cur.Rows[1].Gomaxprocs = 8
+	warnings, err := CompareEngineBench(base, cur, 0.10)
+	if err != nil {
+		t.Errorf("cross-machine parallel row gated: %v", err)
+	}
+	if len(warnings) != 1 {
+		t.Errorf("cross-machine parallel skip produced %d warnings, want 1: %v", len(warnings), warnings)
+	}
+	cur.Rows[1].Gomaxprocs = 4
+	cur.Rows[1].NsPerStep = 520
+
+	// Stale invalid_parallel baseline rows are pruned with a warning
+	// instead of silently gating nothing.
+	base.Rows[1].InvalidParallel = true
+	warnings, err = CompareEngineBench(base, cur, 0.10)
+	if err != nil {
+		t.Errorf("stale invalid_parallel baseline row gated: %v", err)
+	}
+	if len(warnings) != 1 {
+		t.Errorf("invalid_parallel pruning produced %d warnings, want 1: %v", len(warnings), warnings)
+	}
+	base.Rows[1].InvalidParallel = false
+
 	// Different -bench-scale documents measure different topologies and
-	// must not be compared.
+	// must not be compared (warned, not errored).
 	cur.Scale = 2
-	if err := CompareEngineBench(base, cur, 0.10); err != nil {
+	warnings, err = CompareEngineBench(base, cur, 0.10)
+	if err != nil {
 		t.Errorf("cross-scale comparison must be a no-op: %v", err)
+	}
+	if len(warnings) != 1 {
+		t.Errorf("cross-scale comparison produced %d warnings, want 1: %v", len(warnings), warnings)
+	}
+}
+
+func TestAnnotateParallelEfficiency(t *testing.T) {
+	b := &EngineBench{Rows: []EngineBenchRow{
+		{Topology: "a", Workers: 1, NsPerStep: 1200, SteadyNsPerStep: 1000},
+		{Topology: "a", Workers: 4, NsPerStep: 700, SteadyNsPerStep: 500},
+		{Topology: "a", Workers: 8, InvalidParallel: true, NsPerStep: 5000},
+		{Topology: "lonely", Workers: 2, NsPerStep: 100},
+	}}
+	annotateParallelEfficiency(b)
+	if got := b.Rows[1].SpeedupVs1; got != 2.0 {
+		t.Errorf("speedup_vs_1 = %g, want 2.0 (steady 1000 vs 500)", got)
+	}
+	if got := b.Rows[1].ParallelEfficiency; got != 0.5 {
+		t.Errorf("parallel_efficiency = %g, want 0.5", got)
+	}
+	if b.Rows[2].SpeedupVs1 != 0 {
+		t.Errorf("invalid_parallel row annotated: %+v", b.Rows[2])
+	}
+	if b.Rows[3].SpeedupVs1 != 0 {
+		t.Errorf("row without a workers=1 counterpart annotated: %+v", b.Rows[3])
+	}
+}
+
+func TestCheckParallelSpeedup(t *testing.T) {
+	b := &EngineBench{GOMAXPROCS: 4, Rows: []EngineBenchRow{
+		{Topology: "a", Workers: 1, NsPerStep: 1000},
+		{Topology: "a", Workers: 4, NsPerStep: 500, SpeedupVs1: 2.0, ParallelEfficiency: 0.5},
+	}}
+	if err := CheckParallelSpeedup(b, 4, 1.5); err != nil {
+		t.Errorf("2.0x speedup failed the 1.5x gate: %v", err)
+	}
+	if err := CheckParallelSpeedup(b, 4, 2.5); err == nil {
+		t.Error("2.0x speedup passed the 2.5x gate")
+	}
+	if err := CheckParallelSpeedup(b, 2, 1.5); err == nil {
+		t.Error("gate passed with no workers=2 row recorded")
+	}
+	b.Rows[1].InvalidParallel = true
+	if err := CheckParallelSpeedup(b, 4, 1.5); err == nil {
+		t.Error("gate passed on an invalid_parallel row")
 	}
 }
 

@@ -75,3 +75,48 @@ func TestParallelStepScaling(t *testing.T) {
 			speedup, nsPerStep[1], nsPerStep[4])
 	}
 }
+
+// TestParallelEfficiencyRecorded runs the recorded workers sweep (the
+// exact code path behind -bench-parallel and the committed artifact)
+// and asserts the workers=4 row carries a populated parallel_efficiency
+// of at least 0.5 — i.e. ≥2x steady speedup over workers=1. Like the
+// scaling gate above, it raises GOMAXPROCS to NumCPU first and skips
+// only when the hardware truly has fewer than 4 CPUs.
+func TestParallelEfficiencyRecorded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recorded sweep is slow; skipped under -short")
+	}
+	if n := runtime.NumCPU(); n < 4 {
+		t.Skipf("NumCPU = %d < 4: hardware cannot show parallel efficiency", n)
+	} else if runtime.GOMAXPROCS(0) < n {
+		old := runtime.GOMAXPROCS(n)
+		defer runtime.GOMAXPROCS(old)
+		t.Logf("raised GOMAXPROCS %d -> %d for the efficiency gate", old, n)
+	}
+
+	b, err := RunEngineBenchParallel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range b.Rows {
+		if r.Workers != 4 {
+			continue
+		}
+		found = true
+		if r.InvalidParallel {
+			t.Fatalf("workers=4 row invalid despite GOMAXPROCS=%d", b.GOMAXPROCS)
+		}
+		if r.SpeedupVs1 <= 0 || r.ParallelEfficiency <= 0 {
+			t.Fatalf("workers=4 row missing speedup annotation: %+v", r)
+		}
+		t.Logf("workers=4: %.2fx vs workers=1, efficiency %.2f", r.SpeedupVs1, r.ParallelEfficiency)
+		if r.ParallelEfficiency < 0.5 {
+			t.Errorf("parallel_efficiency %.2f at workers=4, want >= 0.5 (speedup %.2fx)",
+				r.ParallelEfficiency, r.SpeedupVs1)
+		}
+	}
+	if !found {
+		t.Errorf("sweep recorded no workers=4 row (gomaxprocs=%d, skipped %v)", b.GOMAXPROCS, b.SkippedWorkers)
+	}
+}

@@ -236,6 +236,11 @@ func (r *Frame) Init(e *sim.Engine) {
 // a shared sequential generator, touches per-packet state only, and
 // bumps shared counters through atomics. Its behavior is therefore
 // independent of call order and safe under the engine's sharded step.
+// Neither reads engine occupancy (At/InFlight/Active) — required since
+// the barrier-fused step clears a shard's occupancy while other shards'
+// requests may still be running; the router's occupancy-shaped reads
+// (StateCounts, progress accounting) all live in EndStep, which the
+// engine guarantees is sequential.
 func (r *Frame) ConcurrentRequests() bool { return true }
 
 // WantInject implements sim.Router: a packet wants in from the start of

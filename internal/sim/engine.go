@@ -52,8 +52,12 @@ type Router interface {
 // goroutines on distinct packets, and that their observable behavior
 // is independent of call order: no draws from a shared sequential
 // generator (use counter-based randomness such as sim.CoinFloat), no
-// cross-packet writes, and shared counters only through atomics. The
-// engine's parallel step path invokes Request from shard workers (and
+// cross-packet writes, and shared counters only through atomics.
+// Certified Request/WantInject must also not read engine occupancy
+// (At, InFlight, Active): shard workers clear their own nodes'
+// occupancy at the tail of the fused resolve region (barrier fusion),
+// so occupancy is undefined while requests are in flight. The engine's
+// parallel step path invokes Request from shard workers (and
 // WantInject from injection-filter workers) only for certified
 // routers; every other router keeps the sequential request sweep while
 // still getting sharded deflection. The remaining callbacks (OnDeflect,
@@ -145,13 +149,14 @@ func (m *Metrics) UnsafeDeflections() int {
 // injections.
 //
 // The step additionally supports sharded parallel execution
-// (SetParallelism): nodes are partitioned into contiguous shards and
-// the request/arbitrate/deflect phases run per-shard on a bounded
-// worker pool. Slot conflicts are node-local (a slot leaves exactly one
-// node) and arbitration randomness is counter-based (rng.go), so shards
-// share nothing and the committed trace is byte-identical for any
-// worker or shard count. See docs/ALGORITHM.md, "Sharded parallel
-// stepping".
+// (SetParallelism): the occupied-node list — the materialized active
+// window — is partitioned into equal contiguous blocks each step and
+// the request/arbitrate/deflect phases (plus the fused occupancy
+// clear) run per-block on a bounded worker pool. Slot conflicts are
+// node-local (a slot leaves exactly one node) and arbitration
+// randomness is counter-based (rng.go), so shards share nothing and
+// the committed trace is byte-identical for any worker or shard count.
+// See docs/ALGORITHM.md, "Sharded parallel stepping".
 type Engine struct {
 	G       *graph.Leveled
 	Packets []Packet
@@ -244,11 +249,19 @@ type Engine struct {
 	// and winLo/winHi bound the non-empty level band (kept stale-wide,
 	// trimmed at read — see Window). The frame schedule guarantees the
 	// band is narrow, so consumers can skip the provably idle levels of
-	// a deep network entirely.
+	// a deep network entirely. lvlNodeLo/lvlNodeHi are the (immutable)
+	// node-ID bounds of each level, giving Window() a node-ID range for
+	// the wide occupancy clears (clearOccupancy). snapLo/snapHi remember
+	// the window last written into the probe snapshot's census so the
+	// next fill zeroes only that band, not the whole depth.
 	lvlOf      []int16
 	levelCount []int32
 	winLo      int
 	winHi      int
+	lvlNodeLo  []int32
+	lvlNodeHi  []int32
+	snapLo     int
+	snapHi     int
 
 	// Scratch reused across steps. Slots are indexed 2*edge+direction,
 	// but slot state is never stored per slot: a slot's contenders all
@@ -302,9 +315,10 @@ type Engine struct {
 
 	// Sharding state (see parallel.go). shards always holds at least
 	// one entry: the sequential path runs through shard 0 so that the
-	// deflection bookkeeping is identical in both modes.
+	// deflection bookkeeping is identical in both modes. Shards are
+	// per-step blocks of the occupied list (partitionOccupied), so
+	// there is no static node-to-shard map to maintain.
 	nshards int
-	shardOf []int32 // node -> shard (contiguous ranges); nil when nshards == 1
 	shards  []shardState
 	pool    *stepPool // nil when workers <= 1
 	wantBuf []bool    // parallel injection-filter decisions, by pending index
@@ -400,6 +414,27 @@ func NewEngine(p *workload.Problem, r Router, seed int64) *Engine {
 	}
 	e.lvlOf = make([]int16, p.N())
 	e.levelCount = make([]int32, p.G.Depth()+1)
+	// Per-level node-ID bounds for the wide occupancy clears: every
+	// occupied node sits at a level inside the active window, so zeroing
+	// the count arena over [min lvlNodeLo, max lvlNodeHi] of the window's
+	// levels covers every dirty count (plus already-zero ones, which a
+	// memclr absorbs for free). Topology builders emit nodes level by
+	// level, making the ranges tight in practice, but correctness only
+	// needs them to cover.
+	e.lvlNodeLo = make([]int32, p.G.Depth()+1)
+	e.lvlNodeHi = make([]int32, p.G.Depth()+1)
+	for l := 0; l <= p.G.Depth(); l++ {
+		lo, hi := int32(p.G.NumNodes()), int32(-1)
+		for _, v := range p.G.Level(l) {
+			if int32(v) < lo {
+				lo = int32(v)
+			}
+			if int32(v) > hi {
+				hi = int32(v)
+			}
+		}
+		e.lvlNodeLo[l], e.lvlNodeHi[l] = lo, hi
+	}
 	e.Packets = make([]Packet, p.N())
 	e.pending = make([]PacketID, 0, p.N())
 	e.injSchedule = make([]uint64, 0, p.N())
@@ -486,10 +521,7 @@ func (e *Engine) Reset(seed int64) {
 	}
 	e.prevTouched = e.prevTouched[:0]
 	e.curTouched = e.curTouched[:0]
-	for _, v := range e.occupied {
-		e.atN[v] = 0
-		bitClear(e.occBits, int32(v))
-	}
+	e.clearOccupancy()
 	e.occupied = e.occupied[:0]
 	e.active = e.active[:0]
 	e.pending = e.pending[:0]
@@ -616,6 +648,87 @@ func (e *Engine) Run(maxSteps int) (int, bool) {
 	return e.now, e.Done()
 }
 
+// clearOccupancy zeroes the occupancy counts and bits of every
+// occupied node. Two strategies, picked per call: when the active
+// window's node-ID range is not much wider than the occupied count,
+// one memclr over the 2-byte count arena (and the covering occBits
+// words) clears the whole band at cache-line width — 32 counts per
+// line, no scattered read-modify-write — which is how a dense window
+// beats the per-node walk; otherwise (sparse occupancy across a wide
+// band) the scattered per-node clear touches exactly the dirty
+// entries. Correctness of the wide path needs only the containment
+// invariant: every occupied node sits at a level inside Window(), so
+// the covering node range includes every nonzero count and every set
+// occupancy bit — zeroing the already-zero remainder is free.
+func (e *Engine) clearOccupancy() {
+	n := len(e.occupied)
+	if n == 0 {
+		return
+	}
+	lo, hi := e.Window()
+	if hi >= lo {
+		n0, n1 := int32(len(e.atN)), int32(-1)
+		for l := lo; l <= hi; l++ {
+			if e.lvlNodeLo[l] < n0 {
+				n0 = e.lvlNodeLo[l]
+			}
+			if e.lvlNodeHi[l] > n1 {
+				n1 = e.lvlNodeHi[l]
+			}
+		}
+		// Wide when the band costs at most ~16 cleared bytes per
+		// occupied node (2-byte counts, 8:1 range:occupied ratio) —
+		// below the cost of a scattered store pair per node.
+		if n1 >= n0 && int(n1-n0)+1 <= 8*n {
+			clear(e.atN[n0 : n1+1])
+			clear(e.occBits[n0>>6 : n1>>6+1])
+			return
+		}
+	}
+	for _, v := range e.occupied {
+		e.atN[v] = 0
+		bitClear(e.occBits, int32(v))
+	}
+}
+
+// clearOccBits zeroes only the occupancy bitset for every occupied
+// node, leaving the counts alone. This is the sequential half of the
+// fused parallel clear: shard workers zero their own nodes' counts at
+// the tail of the resolve region (distinct uint16 locations, so no
+// shared-word hazard), but the bitset packs 64 nodes per word and
+// nodes from different shards routinely share a word — a concurrent
+// bitClear would be a racing read-modify-write. So the dispatcher
+// clears the bits here, after the barrier, while e.occupied is still
+// intact. Same wide-vs-scatter split as clearOccupancy, with the wide
+// threshold scaled to the word-packed bitset: one cleared word covers
+// 64 nodes, so the band pass wins whenever the covering word range is
+// at most one word per occupied node.
+func (e *Engine) clearOccBits() {
+	n := len(e.occupied)
+	if n == 0 {
+		return
+	}
+	lo, hi := e.Window()
+	if hi >= lo {
+		n0, n1 := int32(len(e.atN)), int32(-1)
+		for l := lo; l <= hi; l++ {
+			if e.lvlNodeLo[l] < n0 {
+				n0 = e.lvlNodeLo[l]
+			}
+			if e.lvlNodeHi[l] > n1 {
+				n1 = e.lvlNodeHi[l]
+			}
+		}
+		if n1 >= n0 && int(n1>>6)-int(n0>>6)+1 <= n {
+			clear(e.occBits[n0>>6 : n1>>6+1])
+			return
+		}
+	}
+	for _, v := range e.occupied {
+		bitClear(e.occBits, int32(v))
+	}
+}
+
 // addAt places an active packet at node v, keeping the occupied-node
 // list consistent.
 func (e *Engine) addAt(v graph.NodeID, pid PacketID) {
@@ -678,38 +791,54 @@ func (e *Engine) Step() {
 
 	// Phase 1 prologue: release packets whose InjectStep bound has
 	// passed from the schedule into the pending list. Entries are
-	// consumed in (release, ID) order; the consumed run is re-sorted by
-	// bare ID (the rel bits are masked off in place — the schedule is
-	// rebuilt every Reset) and merged with the already-released pending
-	// packets, so pending stays in ascending ID order exactly as if
-	// every packet had been there from step 0.
+	// consumed in (release, ID) order as one batched run; the rel bits
+	// are masked off in place (the schedule is rebuilt every Reset) and
+	// the run is admitted so that pending stays in ascending ID order
+	// exactly as if every packet had been there from step 0. The batch
+	// is processed without a sort in the common cases: a run released at
+	// a single step is already ID-sorted (the schedule orders equal
+	// release steps by ID), and with no stragglers in pending the run
+	// appends into the pending buffer directly; only a multi-step
+	// catch-up run interleaved with waiting packets pays the sort+merge.
 	if e.planner != nil && e.injCursor < len(e.injSchedule) {
 		lo := e.injCursor
 		for e.injCursor < len(e.injSchedule) && int(e.injSchedule[e.injCursor]>>32) <= t {
 			e.injCursor++
 		}
 		if rel := e.injSchedule[lo:e.injCursor]; len(rel) > 0 {
+			sorted := true
 			for i := range rel {
 				rel[i] &= 0xffffffff
-			}
-			slices.Sort(rel)
-			out := e.mergeBuf[:0]
-			i, j := 0, 0
-			for i < len(e.pending) && j < len(rel) {
-				if e.pending[i] < PacketID(uint32(rel[j])) {
-					out = append(out, e.pending[i])
-					i++
-				} else {
-					out = append(out, PacketID(uint32(rel[j])))
-					j++
+				if i > 0 && rel[i-1] > rel[i] {
+					sorted = false
 				}
 			}
-			out = append(out, e.pending[i:]...)
-			for ; j < len(rel); j++ {
-				out = append(out, PacketID(uint32(rel[j])))
+			if !sorted {
+				slices.Sort(rel)
 			}
-			e.mergeBuf = e.pending[:0]
-			e.pending = out
+			if len(e.pending) == 0 {
+				for _, r := range rel {
+					e.pending = append(e.pending, PacketID(uint32(r)))
+				}
+			} else {
+				out := e.mergeBuf[:0]
+				i, j := 0, 0
+				for i < len(e.pending) && j < len(rel) {
+					if e.pending[i] < PacketID(uint32(rel[j])) {
+						out = append(out, e.pending[i])
+						i++
+					} else {
+						out = append(out, PacketID(uint32(rel[j])))
+						j++
+					}
+				}
+				out = append(out, e.pending[i:]...)
+				for ; j < len(rel); j++ {
+					out = append(out, PacketID(uint32(rel[j])))
+				}
+				e.mergeBuf = e.pending[:0]
+				e.pending = out
+			}
 		}
 	}
 
@@ -779,34 +908,42 @@ func (e *Engine) Step() {
 	// Phases 2+3: collect requests, resolve per-slot winners, and
 	// assign deflection slots to losers. All three are node-local —
 	// every contender for a slot stands at the single node the slot
-	// leaves — so with a worker pool they run per-shard; the arbitration
-	// keys (rng.go) make the winner independent of enumeration order.
-	// Router callbacks for deflections are recorded per shard and
-	// replayed sequentially in occupied-node order below, so the
-	// router-visible callback order is identical for every worker and
-	// shard count.
+	// leaves — so with a worker pool they run over per-step blocks of
+	// the occupied list (partitionOccupied); the arbitration keys
+	// (rng.go) make the winner independent of enumeration order. Router
+	// callbacks for deflections are recorded per shard and replayed
+	// sequentially below, so the router-visible callback order is
+	// identical for every worker and shard count. Each shard also
+	// clears its own nodes' occupancy counts at the tail of its block
+	// (barrier fusion; the word-shared bitset is cleared sequentially
+	// at the commit prologue), so the step never dispatches a third
+	// region between the barrier and the commit. Below
+	// minParallelOccupied live nodes the dispatch overhead exceeds the
+	// work and the phases run in place — same code, same trace.
 	e.epoch++
 	for i := range e.shards {
 		e.shards[i].reset()
 	}
+	cleared := false
+	useParallel := e.pool != nil && len(e.occupied) >= minParallelOccupied
 	switch {
-	case e.pool != nil && e.concurrent:
-		// Fully parallel: requests, arbitration and deflection all
-		// sharded.
-		e.scatterOccupied()
-		e.pool.runRegion(modeShardStep, e.nshards)
-	case e.pool != nil:
+	case useParallel && e.concurrent:
+		// Fully parallel: requests, arbitration, deflection and the
+		// occupancy clear all fused into one region.
+		e.pool.runRegion(modeShardStep, e.partitionOccupied())
+		cleared = true
+	case useParallel:
 		// Router not certified for concurrent Request: sweep requests
 		// sequentially in active order (preserving any sequential
 		// generator the router draws from), then shard the resolve
-		// phase — arbitration plus deflection — which performs no
-		// router calls.
+		// phase — arbitration plus deflection plus the fused clear —
+		// which performs no router calls.
 		sh := &e.shards[0]
 		for _, pid := range e.active {
 			e.collectRequest(t, pid, sh)
 		}
-		e.scatterOccupied()
-		e.pool.runRegion(modeShardResolve, e.nshards)
+		e.pool.runRegion(modeShardResolve, e.partitionOccupied())
+		cleared = true
 	default:
 		// Sequential: one shard, active-order sweep, in-place node
 		// order — exactly the parallel result by construction.
@@ -819,35 +956,26 @@ func (e *Engine) Step() {
 		}
 	}
 
-	// Merge: fold per-shard counters and replay deflection callbacks in
-	// occupied-node order. Records within a shard appear in that
-	// shard's node order, and scatter preserves relative order, so
-	// walking the original occupied list with per-shard cursors
-	// reconstructs the exact sequential callback order.
+	// Merge: fold per-shard counters and replay deflection callbacks.
+	// Shards are contiguous blocks of the occupied list in order, and
+	// each shard visits its block in order, so concatenating the
+	// per-shard records in shard order reconstructs the exact
+	// sequential callback order — no per-node shard lookup, no cursor
+	// walk.
 	stepExcited := 0
-	if e.nshards == 1 {
-		sh := &e.shards[0]
+	for i := range e.shards {
+		sh := &e.shards[i]
 		e.M.FaultBlocked += sh.faultBlocked
-		stepExcited = sh.excited
+		stepExcited += sh.excited
 		for _, rec := range sh.deflects {
 			e.applyDeflectRecord(t, rec)
 		}
-	} else {
-		for i := range e.shards {
-			e.M.FaultBlocked += e.shards[i].faultBlocked
-			stepExcited += e.shards[i].excited
-		}
-		for _, v := range e.occupied {
-			sh := &e.shards[e.shardOf[v]]
-			for sh.cursor < len(sh.deflects) && e.Packets[sh.deflects[sh.cursor].pid].Cur == v {
-				e.applyDeflectRecord(t, sh.deflects[sh.cursor])
-				sh.cursor++
-			}
-		}
 	}
 
-	// Phases 4+5, fused: clear the old occupancy, then one sweep over
-	// the active list commits all moves simultaneously and rebuilds
+	// Phases 4+5, fused: clear the old occupancy (just the bitset when
+	// the shard regions already zeroed the counts — barrier fusion),
+	// then one sweep over the
+	// active list commits all moves simultaneously and rebuilds
 	// occupancy from the survivors, touching only live nodes (no router
 	// callback observes occupancy, so clearing before the commits is
 	// unobservable). Forward-memory bits from the previous use of the
@@ -857,9 +985,13 @@ func (e *Engine) Step() {
 		bitClear(e.curFwdBits, int32(ed))
 	}
 	e.curTouched = e.curTouched[:0]
-	for _, v := range e.occupied {
-		e.atN[v] = 0
-		bitClear(e.occBits, int32(v))
+	if cleared {
+		// Shard regions zeroed their own nodes' counts (barrier
+		// fusion); only the word-shared bitset is left for the
+		// sequential prologue.
+		e.clearOccBits()
+	} else {
+		e.clearOccupancy()
 	}
 	e.occupied = e.occupied[:0]
 	keep := e.active[:0]

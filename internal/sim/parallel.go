@@ -6,25 +6,46 @@ package sim
 // The step's contention phases are node-local: every packet contending
 // for a slot (edge, direction) stands at the one node that slot leaves,
 // the deflection search only probes slots leaving the same node, and
-// prevFwdBits is read-only during the phase. Partitioning nodes into
-// contiguous shards therefore partitions every mutable array the phase
-// touches — claimed-slot scratch lives in the shard resolving the
-// owning node, per-packet request/move state is keyed by the packet's
-// (unique) node — so shards share nothing and need no locks. Arbitration randomness is counter-based (rng.go), making the
+// prevFwdBits is read-only during the phase. Partitioning the occupied
+// nodes therefore partitions every mutable array the phase touches —
+// claimed-slot scratch lives in the shard resolving the owning node,
+// per-packet request/move state is keyed by the packet's (unique) node
+// — so shards share nothing and need no locks.
+//
+// Shards are carved from the *occupied-node list*, not the node array:
+// shard i is the i-th equal-size contiguous block of the list
+// (partitionOccupied), a zero-copy subslice. Because the occupied list
+// is exactly the materialized active window — the only nodes holding
+// packets, all inside Engine.Window()'s level band — the partition
+// follows the frame schedule's frontier wherever it travels: no shard
+// ever owns a cold level, blocks are balanced to within one node
+// regardless of how narrow the band is (the old contiguous node-range
+// partition put whole butterfly levels on one shard when the window was
+// narrow), and the per-step scatter pass that redistributed the list
+// into per-shard buffers is gone entirely.
+//
+// Arbitration randomness is counter-based (rng.go), making the
 // committed winners independent of enumeration order; the remaining
 // source of order, the router's OnDeflect callbacks, is removed by
-// recording deflections per shard and replaying them sequentially in
-// the original occupied-node order at the merge. The result: the trace
-// is byte-identical for every worker and shard count, asserted by
-// TestParallelStepMatchesSequential.
+// recording deflections per shard and replaying them at the merge.
+// Blocks concatenate to the occupied list in order and each shard
+// visits its block in order, so the replay is a plain concatenation of
+// the per-shard records — byte-identical to the sequential callback
+// order by construction, asserted by TestParallelStepMatchesSequential
+// and TestWindowShardingMatchesSequential.
 //
-// The pool itself is a persistent set of goroutines driven by atomics —
-// a sequence number published per region, a shared work-item cursor,
-// and a remaining-items count — with a short adaptive spin before
-// parking on a channel. Dispatching a region performs no allocation and
-// no channel operation in the common (workers already spinning) case,
-// which is what keeps the 0 allocs/step assertion intact with the pool
-// enabled.
+// Barrier fusion: a shard worker clears the occupancy counts of its
+// own nodes at the tail of its block, immediately after resolving them
+// (the lines are still hot), so the commit phase starts from
+// already-cleared counts without a separate sequential count sweep.
+// The occupancy bitset stays with the dispatcher (clearOccBits): it
+// packs 64 nodes per word, so shards would race on shared-word
+// read-modify-writes — see clearShardOccupancy. The
+// whole step then costs at most two pool dispatches — the optional
+// injection filter and the fused request/arbitrate/deflect/clear region
+// — and below minParallelOccupied live nodes it dispatches none at all:
+// at a small active window the barriers dominate the work, so the
+// engine falls back to the (trace-identical) in-place path.
 
 import (
 	"runtime"
@@ -46,19 +67,18 @@ type deflectRec struct {
 // trailing pad keeps adjacent shards' hot append cursors off a shared
 // cache line.
 type shardState struct {
-	// occ is this shard's slice of the occupied-node list, in original
-	// occupied order (scatterOccupied preserves relative order, which
-	// the merge relies on).
+	// occ is this shard's block of the occupied-node list — a subslice
+	// assigned by partitionOccupied, never appended to. Blocks
+	// concatenate to the full list in order, which the merge relies on.
 	occ []graph.NodeID
 	// usedBuf is resolveNode's per-node claimed-slot list (winners plus
 	// deflections); degree-bounded.
 	usedBuf []int32
 	// loserBuf is deflectLosers' per-node scratch.
 	loserBuf []PacketID
-	// deflects accumulates deferred deflection records; cursor is the
-	// merge's read position.
+	// deflects accumulates deferred deflection records, replayed in
+	// shard order at the merge.
 	deflects     []deflectRec
-	cursor       int
 	faultBlocked int
 	// excited counts requests at or above ExcitedPriority collected in
 	// this shard; summed commutatively at the merge for the probe
@@ -68,29 +88,50 @@ type shardState struct {
 }
 
 func (sh *shardState) reset() {
-	sh.occ = sh.occ[:0]
+	sh.occ = nil
 	sh.deflects = sh.deflects[:0]
-	sh.cursor = 0
 	sh.faultBlocked = 0
 	sh.excited = 0
 }
 
-// scatterOccupied distributes the occupied-node list over the shards,
-// preserving relative order within each shard.
-func (e *Engine) scatterOccupied() {
-	for _, v := range e.occupied {
-		sh := &e.shards[e.shardOf[v]]
-		sh.occ = append(sh.occ, v)
+// partitionOccupied carves the occupied-node list into up to nshards
+// equal-size contiguous blocks (zero-copy subslices) and returns the
+// number of non-empty blocks — the pool region's item count. Block
+// sizes differ by at most one node for every list length and shard
+// count (asserted by TestShardPartitionBalance), and concatenating the
+// blocks in shard order reproduces the list exactly.
+func (e *Engine) partitionOccupied() int {
+	n := len(e.occupied)
+	if n == 0 {
+		return 0
 	}
+	k := e.nshards
+	if k > n {
+		k = n
+	}
+	// Blocks of size q or q+1: the first r shards take q+1 nodes.
+	q, r := n/k, n%k
+	lo := 0
+	for i := 0; i < k; i++ {
+		hi := lo + q
+		if i < r {
+			hi++
+		}
+		e.shards[i].occ = e.occupied[lo:hi:hi]
+		lo = hi
+	}
+	return k
 }
 
 // Pool work-region modes.
 const (
-	// modeShardStep runs requests + arbitration + deflection for one
-	// shard (routers certified via ConcurrentRouter only).
+	// modeShardStep runs requests + arbitration + deflection + the
+	// fused occupancy clear for one shard (routers certified via
+	// ConcurrentRouter only).
 	modeShardStep = iota + 1
-	// modeShardResolve runs arbitration + deflection for one shard
-	// (requests were swept sequentially for an uncertified router).
+	// modeShardResolve runs arbitration + deflection + the fused clear
+	// for one shard (requests were swept sequentially for an
+	// uncertified router).
 	modeShardResolve
 	// modeInjectFilter evaluates WantInject over one chunk of the
 	// pending list into wantBuf.
@@ -101,6 +142,15 @@ const (
 // injection filter is not worth fanning out.
 const parallelInjectMin = 256
 
+// minParallelOccupied is the occupied-node count below which the
+// contention phases run in place on the stepping goroutine even with a
+// pool attached: two barrier crossings cost more than resolving a few
+// dozen nodes, and at a narrow active window (phase edges, drain tails)
+// that overhead dominated the old always-dispatch step. The fallback is
+// trace-identical by construction, so the cutover is purely a
+// wall-clock knob.
+const minParallelOccupied = 32
+
 // poolSpin is how many cooperative-yield rounds a worker spins waiting
 // for the next region before parking on the wake channel. Regions
 // within one step arrive back to back, so a parked worker is the
@@ -108,9 +158,9 @@ const parallelInjectMin = 256
 const poolSpin = 256
 
 // defaultShardsPerWorker oversubscribes shards relative to workers so
-// that uneven occupancy (common on leveled networks, where traffic
-// concentrates by level) still load-balances through work stealing off
-// the shared cursor.
+// that uneven per-node work (occupancy varies between one packet and a
+// full degree) still load-balances through work stealing off the shared
+// cursor.
 const defaultShardsPerWorker = 8
 
 // Bit layout of the pool's region and cursor words. The region word
@@ -251,11 +301,13 @@ func (p *stepPool) runItem(mode, i, n int) {
 			}
 			e.resolveNode(t, v, sh)
 		}
+		e.clearShardOccupancy(sh)
 	case modeShardResolve:
 		sh := &e.shards[i]
 		for _, v := range sh.occ {
 			e.resolveNode(t, v, sh)
 		}
+		e.clearShardOccupancy(sh)
 	case modeInjectFilter:
 		chunk := (len(e.pending) + n - 1) / n
 		lo := i * chunk
@@ -264,6 +316,28 @@ func (p *stepPool) runItem(mode, i, n int) {
 			pid := e.pending[idx]
 			e.wantBuf[idx] = e.router.WantInject(t, &e.Packets[pid])
 		}
+	}
+}
+
+// clearShardOccupancy is the fused tail of a shard's resolve region:
+// the shard zeroes the occupancy counts of its own nodes right after
+// resolving them, while the count lines are still hot, so the commit
+// phase starts from cleared counts without a sequential O(occupied)
+// sweep between the barrier and the commits. Safe because nodes belong
+// to exactly one shard (counts are distinct uint16 locations — no
+// shared-word read-modify-write) and nothing reads occupancy between a
+// node's resolution and the commit — ConcurrentRouter forbids
+// occupancy reads from concurrent Request/WantInject, and no router
+// callback observes occupancy (the same contract the sequential
+// clear-before-commit already relies on). The occupancy *bitset* is
+// deliberately NOT cleared here: bitClear is a read-modify-write on a
+// 64-node word, and nodes from different shards routinely share a word
+// — concurrent clears would race and lose updates. The dispatcher
+// clears the bits in one sequential word-range pass at the commit
+// prologue (clearOccBits), which costs 1/64th of the count sweep.
+func (e *Engine) clearShardOccupancy(sh *shardState) {
+	for _, v := range sh.occ {
+		e.atN[v] = 0
 	}
 }
 
@@ -318,7 +392,7 @@ func (p *stepPool) close() {
 // SetParallelism configures the sharded parallel step path: workers is
 // the number of goroutines participating in each step (1 disables the
 // pool entirely and restores the plain sequential path), shards the
-// number of contiguous node ranges the contention phases are split into
+// number of occupied-list blocks the contention phases are split into
 // (0 picks workers×8, oversubscribed for load balance). The committed
 // trace is byte-identical for every (workers, shards) setting — the
 // knobs trade only wall-clock — so callers may tune them freely without
@@ -359,7 +433,7 @@ func (e *Engine) Close() {
 
 // Parallelism reports the configuration in effect after clamping:
 // the number of goroutines participating in each step and the number
-// of node shards.
+// of occupied-list shards.
 func (e *Engine) Parallelism() (workers, shards int) {
 	workers = 1
 	if e.pool != nil {
@@ -372,13 +446,6 @@ func (e *Engine) setShards(workers, shards int) {
 	e.nshards = shards
 	if len(e.shards) != shards {
 		e.shards = make([]shardState, shards)
-	}
-	if e.shardOf == nil {
-		e.shardOf = make([]int32, e.G.NumNodes())
-	}
-	per := (e.G.NumNodes() + shards - 1) / shards
-	for v := range e.shardOf {
-		e.shardOf[v] = int32(v / per)
 	}
 	if e.pool != nil && (workers <= 1 || e.pool.workers != workers) {
 		e.pool.close()

@@ -341,6 +341,115 @@ func TestSFEngineResetMatchesFresh(t *testing.T) {
 	}
 }
 
+// TestShardPartitionBalance pins the window-sharded partitioner's
+// contract: blocks are carved from the occupied list by position (never
+// from the node-ID range, which put whole cold levels on one shard),
+// sizes are balanced to within one node for every (length, shards)
+// combination, and concatenating the blocks in shard order reproduces
+// the list exactly — the order-preservation the merge phase and the
+// deflect-replay both rely on.
+func TestShardPartitionBalance(t *testing.T) {
+	p := matrixProblems(t)["mesh"]
+	e := sim.NewEngine(p, baselines.NewGreedy(), 1)
+	defer e.Close()
+	nodes := p.G.NumNodes()
+	for _, tc := range []struct{ n, shards int }{
+		{1, 8}, {7, 8}, {8, 8}, {9, 8}, {31, 16}, {32, 16}, {33, 16},
+		{nodes, 16}, {nodes - 1, 7}, {100, 3}, {5, 1}, {2, 64},
+	} {
+		e.SetParallelism(1, tc.shards)
+		_, clamped := e.Parallelism()
+		occ := make([]graph.NodeID, tc.n)
+		for i := range occ {
+			occ[i] = graph.NodeID((i * 13) % nodes)
+		}
+		blocks := sim.PartitionBlocksForTest(e, occ)
+		if want := min(clamped, tc.n); len(blocks) != want {
+			t.Errorf("n=%d shards=%d: %d blocks, want %d", tc.n, tc.shards, len(blocks), want)
+			continue
+		}
+		lo, hi, total := tc.n, 0, 0
+		var cat []graph.NodeID
+		for _, b := range blocks {
+			if len(b) < lo {
+				lo = len(b)
+			}
+			if len(b) > hi {
+				hi = len(b)
+			}
+			total += len(b)
+			cat = append(cat, b...)
+		}
+		if hi-lo > 1 {
+			t.Errorf("n=%d shards=%d: block skew %d (min %d, max %d), want <= 1", tc.n, tc.shards, hi-lo, lo, hi)
+		}
+		if total != tc.n {
+			t.Errorf("n=%d shards=%d: blocks cover %d nodes", tc.n, tc.shards, total)
+		}
+		for i := range cat {
+			if cat[i] != occ[i] {
+				t.Errorf("n=%d shards=%d: concatenated blocks reorder the list at %d", tc.n, tc.shards, i)
+				break
+			}
+		}
+	}
+}
+
+// staggeredPlanner admits packet i only from step i/4 — the
+// InjectionPlanner + ConcurrentRouter certified flavor, keeping a thin
+// active window that slides with the admission edge. This is the shape
+// window sharding exists for: the occupied list stays far smaller than
+// the node array, straddling the small-window sequential cutoff as the
+// run ramps and drains.
+type staggeredPlanner struct{ *baselines.Greedy }
+
+func (s *staggeredPlanner) WantInject(t int, p *sim.Packet) bool { return t >= int(p.ID)/4 }
+func (s *staggeredPlanner) InjectStep(p *sim.Packet) int         { return int(p.ID) / 4 }
+func (s *staggeredPlanner) ConcurrentRequests() bool             { return true }
+
+// TestWindowShardingMatchesSequential is the tentpole's determinism
+// matrix for the occupied-list partition, the fused clear+commit
+// barrier, and the small-window sequential fallback: topology × router
+// flavor (certified, certified planner, uncertified) × worker count ×
+// fault campaign, each compared byte-for-byte against the sequential
+// run. The staggered planner keeps the live window narrow so runs cross
+// the minParallelOccupied cutoff in both directions.
+func TestWindowShardingMatchesSequential(t *testing.T) {
+	routers := map[string]func() sim.Router{
+		"greedy":     func() sim.Router { return baselines.NewGreedy() },
+		"staggered":  func() sim.Router { return &staggeredPlanner{Greedy: baselines.NewGreedy()} },
+		"randgreedy": func() sim.Router { return baselines.NewRandGreedy(0.1) },
+	}
+	for pname, p := range matrixProblems(t) {
+		campaigns := map[string][]sim.FaultModel{
+			"nofault": nil,
+			"flap":    {faults.Flap{Period: 32, Down: 4, Rate: 0.3}.Model(p.G, 77)},
+		}
+		for rname, mk := range routers {
+			for cname, model := range campaigns {
+				t.Run(pname+"/"+rname+"/"+cname, func(t *testing.T) {
+					const seed = 11
+					wantM, wantTr := fullTrace(t, p, mk, seed, 1, 0, model...)
+					for _, w := range workerCounts() {
+						if w == 1 {
+							continue
+						}
+						for _, shards := range []int{0, 5} {
+							gotM, gotTr := fullTrace(t, p, mk, seed, w, shards, model...)
+							if gotM != wantM {
+								t.Errorf("workers=%d shards=%d: metrics differ:\n got %+v\nwant %+v", w, shards, gotM, wantM)
+							}
+							if gotTr != wantTr {
+								t.Errorf("workers=%d shards=%d: trace differs from sequential", w, shards)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
 // TestSetParallelismClamps checks the knob edge cases: zero/negative
 // workers, more shards than nodes, more workers than shards.
 func TestSetParallelismClamps(t *testing.T) {

@@ -235,11 +235,17 @@ func (e *Engine) AttachEventSink(s EventSink) {
 func (e *Engine) Events() EventSink { return e.events }
 
 // growSnapshot sizes the reusable snapshot's census backing once, at
-// attach time, so the per-step fill never allocates.
+// attach time, so the per-step fill never allocates. The backing is
+// zeroed and the remembered fill window emptied here, so the per-step
+// window-batched fill (emitSnapshot) starts from a clean census even
+// when the backing is recycled across runs.
 func (e *Engine) growSnapshot() {
 	if want := e.G.Depth() + 1; len(e.snap.Occupancy) != want {
 		e.snap.Occupancy = make([]int, want)
+	} else {
+		clear(e.snap.Occupancy)
 	}
+	e.snapLo, e.snapHi = 0, -1
 }
 
 // emitSnapshot builds the per-step snapshot from the metric deltas
@@ -271,17 +277,20 @@ func (e *Engine) emitSnapshot(t int, excited int) {
 	e.lastM = e.M
 	// The census copies the engine's incremental per-level counters over
 	// the active window only — levels outside [lo, hi] are provably
-	// empty, so on a deep network with a narrow frontier the fill cost
-	// follows the window width, not the depth.
+	// empty — and zeroes only the band the previous emit filled
+	// (snapLo/snapHi), so on a deep network with a narrow frontier both
+	// halves of the fill follow the window width, not the depth (the old
+	// full-array zero was the last O(depth) walk on the probed path).
 	lo, hi := e.Window()
 	s.WindowLo, s.WindowHi = lo, hi
 	occ := s.Occupancy
-	for i := range occ {
-		occ[i] = 0
+	for l := e.snapLo; l <= e.snapHi; l++ {
+		occ[l] = 0
 	}
 	for l := lo; l <= hi; l++ {
 		occ[l] = int(e.levelCount[l])
 	}
+	e.snapLo, e.snapHi = lo, hi
 	e.probe.OnStep(e, s)
 }
 
