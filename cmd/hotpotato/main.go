@@ -53,6 +53,16 @@ func main() {
 		workers       = flag.Int("workers", 1, "parallel-step worker goroutines (1 = sequential; trace is identical either way)")
 		shards        = flag.Int("shards", 0, "parallel-step node shards (0 = workers x 8)")
 
+		campaignOut       = flag.String("campaign", "", "run an experiment campaign, write its result document (CAMPAIGN json) to this file and exit (see docs/CAMPAIGNS.md)")
+		campaignGrid      = flag.String("campaign-grid", "smoke", "named campaign grid: smoke|full")
+		campaignCkpt      = flag.String("campaign-checkpoint", "", "checkpoint file: completed cells are appended here and restored on rerun, so interrupted campaigns resume incrementally")
+		campaignWorkers   = flag.Int("campaign-workers", 0, "concurrent campaign cells (0 = GOMAXPROCS)")
+		campaignTrials    = flag.Int("campaign-trials", 0, "override the grid's trials-per-cell (0 = grid default)")
+		campaignSeed      = flag.Int64("campaign-seed", 0, "override the grid's base seed (0 = grid default)")
+		campaignStopAfter = flag.Int("campaign-stop-after", 0, "stop (exit 0) after this many newly completed cells — the deterministic interrupt half of the CI kill-and-resume check")
+		campaignStream    = flag.String("campaign-stream", "", "stream one CSV row per completed cell to this file (live progress feed)")
+		campaignBase      = flag.String("campaign-baseline", "", "compare the finished campaign against this committed CAMPAIGN_baseline.json and fail on quantile or drop-rate shifts beyond tolerance")
+
 		obsOut    = flag.String("obs", "", "write the run's observability time series to this file (.json = steps+rounds+phases document, otherwise CSV; see docs/OBSERVABILITY.md)")
 		obsEvery  = flag.Int("obs-every", 1, "per-step sampling interval for -obs (round/phase rows are always kept)")
 		eventsOut = flag.String("obs-events", "", "write the packet lifecycle event ring to this CSV file")
@@ -124,6 +134,20 @@ func main() {
 	if *benchObs != "" {
 		fatal(bench.WriteObsBench(*benchObs, *benchScale))
 		fmt.Printf("wrote observability benchmark to %s\n", *benchObs)
+		return
+	}
+	if *campaignOut != "" {
+		runCampaign(campaignConfig{
+			out:        *campaignOut,
+			grid:       *campaignGrid,
+			checkpoint: *campaignCkpt,
+			workers:    *campaignWorkers,
+			trials:     *campaignTrials,
+			seed:       *campaignSeed,
+			stopAfter:  *campaignStopAfter,
+			stream:     *campaignStream,
+			baseline:   *campaignBase,
+		})
 		return
 	}
 

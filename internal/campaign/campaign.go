@@ -1,0 +1,354 @@
+// Package campaign runs resumable experiment campaigns: a topology ×
+// load × fault × router grid sharded into cells, each cell a seeded
+// Monte-Carlo ensemble (internal/mc) summarized into delivery-time
+// quantiles with bootstrap confidence intervals. Completed cells are
+// checkpointed through internal/persist, so an interrupted campaign
+// resumes incrementally and reproduces the uninterrupted result byte
+// for byte; the finished document carries a least-squares fit of
+// measured steps against the paper's (C+L)·polylog(LN) shape and feeds
+// the CompareCampaign distribution-regression gate.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"hotpotato/internal/baselines"
+	"hotpotato/internal/core"
+	"hotpotato/internal/faults"
+	"hotpotato/internal/graph"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/topo"
+	"hotpotato/internal/workload"
+)
+
+// Spec declares a campaign grid. The cell set is the cartesian product
+// of the four axes; every per-cell quantity (problem instance, trial
+// seeds, bootstrap resamples) derives deterministically from the cell's
+// key and BaseSeed, never from grid position — so reordering an axis or
+// appending new members leaves existing cell summaries unchanged.
+type Spec struct {
+	Name string `json:"name"`
+	// Topos are "kind:arg" topology specs: butterfly:K, mesh:N,
+	// hypercube:D, random:DEPTH.
+	Topos []string `json:"topos"`
+	// Loads are workload specs: hotspot:NxS, random:DENSITY,
+	// fullthroughput, transpose (butterfly topologies only).
+	Loads []string `json:"loads"`
+	// Faults are internal/faults.Parse specs; "" is the fault-free
+	// member of the axis.
+	Faults []string `json:"faults"`
+	// Routers are "frame" plus the hot-potato baselines: greedy-hp,
+	// greedy-ftg, greedy-oldest, rand-greedy-hp. (Store-and-forward
+	// baselines are excluded: they ignore fault models, which would
+	// make the drop-rate gate vacuous on their cells.)
+	Routers []string `json:"routers"`
+	// Trials is the ensemble size per cell (>= 1).
+	Trials int `json:"trials"`
+	// BaseSeed perturbs every derived seed; two campaigns differing
+	// only in BaseSeed are independent replicates of the same grid.
+	BaseSeed int64 `json:"base_seed"`
+}
+
+// Cell is one grid point.
+type Cell struct {
+	Topo, Load, Fault, Router string
+}
+
+// Key is the cell's stable identity. None of the axis grammars use
+// '/', so the joined form parses back unambiguously.
+func (c Cell) Key() string {
+	return c.Topo + "/" + c.Load + "/" + c.Fault + "/" + c.Router
+}
+
+// Validate checks the spec's axes without building anything heavy.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("campaign: spec needs a name")
+	}
+	if len(s.Topos) == 0 || len(s.Loads) == 0 || len(s.Faults) == 0 || len(s.Routers) == 0 {
+		return fmt.Errorf("campaign: spec %s: every axis needs at least one member (use \"\" for no faults)", s.Name)
+	}
+	if s.Trials < 1 {
+		return fmt.Errorf("campaign: spec %s: trials %d < 1", s.Name, s.Trials)
+	}
+	for _, t := range s.Topos {
+		if _, err := parseTopoSpec(t); err != nil {
+			return err
+		}
+	}
+	for _, l := range s.Loads {
+		if err := checkLoadSpec(l); err != nil {
+			return err
+		}
+	}
+	for _, f := range s.Faults {
+		if _, err := faults.Parse(f); err != nil {
+			return err
+		}
+	}
+	for _, r := range s.Routers {
+		if _, err := routerFactory(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cells enumerates the grid in canonical (topo, load, fault, router)
+// order, skipping combinations that are structurally impossible (e.g.
+// transpose on a mesh) — a skip, not an error, so one load axis can
+// serve mixed topology axes.
+func (s *Spec) Cells() ([]Cell, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var cells []Cell
+	for _, t := range s.Topos {
+		ts, _ := parseTopoSpec(t)
+		for _, l := range s.Loads {
+			if !loadCompatible(ts, l) {
+				continue
+			}
+			for _, f := range s.Faults {
+				for _, r := range s.Routers {
+					cells = append(cells, Cell{Topo: t, Load: l, Fault: f, Router: r})
+				}
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("campaign: spec %s: no compatible (topo, load) pairs", s.Name)
+	}
+	return cells, nil
+}
+
+// Fingerprint hashes the spec's canonical JSON; checkpoints and
+// documents carry it so cells are never resumed into a different grid.
+func (s *Spec) Fingerprint() string {
+	data, err := json.Marshal(s)
+	if err != nil {
+		// Spec is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("campaign: fingerprint: %v", err))
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// mix64 is the SplitMix64 finalizer (same mixer as sim's arbitration
+// RNG), used to turn cell keys into well-spread seeds.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// cellSeed derives the cell's trial base seed from its key and the
+// spec's BaseSeed, masked to 62 bits so BaseSeed+Trials can never trip
+// mc.Run's overflow guard.
+func (s *Spec) cellSeed(key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int64(mix64(h.Sum64()^uint64(s.BaseSeed)*0x9e3779b97f4a7c15) & (1<<62 - 1))
+}
+
+// topoSpec is a parsed topology axis member.
+type topoSpec struct {
+	kind string
+	arg  int
+}
+
+func parseTopoSpec(spec string) (topoSpec, error) {
+	kind, argStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return topoSpec{}, fmt.Errorf("campaign: topology spec %q: want kind:arg", spec)
+	}
+	arg, err := strconv.Atoi(argStr)
+	if err != nil || arg < 1 {
+		return topoSpec{}, fmt.Errorf("campaign: topology spec %q: bad argument", spec)
+	}
+	switch kind {
+	case "butterfly", "mesh", "hypercube", "random":
+		return topoSpec{kind: kind, arg: arg}, nil
+	}
+	return topoSpec{}, fmt.Errorf("campaign: unknown topology kind %q", kind)
+}
+
+// buildTopo constructs the network; rng feeds only the random kind.
+func buildTopo(ts topoSpec, rng *rand.Rand) (*graph.Leveled, error) {
+	switch ts.kind {
+	case "butterfly":
+		return topo.Butterfly(ts.arg)
+	case "mesh":
+		return topo.Mesh(ts.arg, ts.arg, topo.CornerNW)
+	case "hypercube":
+		return topo.Hypercube(ts.arg)
+	case "random":
+		return topo.Random(rng, ts.arg, 3, 6, 0.4)
+	}
+	return nil, fmt.Errorf("campaign: unknown topology kind %q", ts.kind)
+}
+
+func checkLoadSpec(spec string) error {
+	kind, arg, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "fullthroughput", "transpose":
+		if arg != "" {
+			return fmt.Errorf("campaign: load spec %q takes no argument", spec)
+		}
+		return nil
+	case "hotspot":
+		nStr, sStr, ok := strings.Cut(arg, "x")
+		if !ok {
+			return fmt.Errorf("campaign: load spec %q: want hotspot:NxS", spec)
+		}
+		n, err1 := strconv.Atoi(nStr)
+		s, err2 := strconv.Atoi(sStr)
+		if err1 != nil || err2 != nil || n < 1 || s < 1 {
+			return fmt.Errorf("campaign: load spec %q: bad counts", spec)
+		}
+		return nil
+	case "random":
+		d, err := strconv.ParseFloat(arg, 64)
+		if err != nil || d <= 0 || d > 1 {
+			return fmt.Errorf("campaign: load spec %q: density must be in (0,1]", spec)
+		}
+		return nil
+	}
+	return fmt.Errorf("campaign: unknown load kind %q", kind)
+}
+
+// loadCompatible reports whether the load can be generated on the
+// topology kind (transpose needs a butterfly with even dimension).
+func loadCompatible(ts topoSpec, load string) bool {
+	if strings.HasPrefix(load, "transpose") {
+		return ts.kind == "butterfly" && ts.arg%2 == 0
+	}
+	return true
+}
+
+// buildLoad generates the problem on g.
+func buildLoad(spec string, ts topoSpec, g *graph.Leveled, rng *rand.Rand) (*workload.Problem, error) {
+	kind, arg, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "fullthroughput":
+		return workload.FullThroughput(g, rng)
+	case "transpose":
+		return workload.ButterflyTranspose(g, ts.arg)
+	case "hotspot":
+		nStr, sStr, _ := strings.Cut(arg, "x")
+		n, _ := strconv.Atoi(nStr)
+		s, _ := strconv.Atoi(sStr)
+		return workload.HotSpot(g, rng, n, s)
+	case "random":
+		d, _ := strconv.ParseFloat(arg, 64)
+		return workload.Random(g, rng, d)
+	}
+	return nil, fmt.Errorf("campaign: unknown load kind %q", kind)
+}
+
+// buildProblem deterministically constructs the cell's problem
+// instance: the generator RNG is a pure function of (BaseSeed, topo,
+// load), shared across the fault and router axes so those compare on
+// the identical instance.
+func (s *Spec) buildProblem(c Cell) (*workload.Problem, error) {
+	ts, err := parseTopoSpec(c.Topo)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.cellSeed(c.Topo + "/" + c.Load)))
+	g, err := buildTopo(ts, rng)
+	if err != nil {
+		return nil, err
+	}
+	return buildLoad(c.Load, ts, g, rng)
+}
+
+// routerFactory maps a router axis member to an engine router factory;
+// nil factory means the frame algorithm (which runs through core.Run,
+// not a plain engine router).
+func routerFactory(name string) (func() sim.Router, error) {
+	switch name {
+	case "frame":
+		return nil, nil
+	case "greedy-hp":
+		return func() sim.Router { return baselines.NewGreedy() }, nil
+	case "greedy-ftg":
+		return func() sim.Router { return baselines.NewFarthestToGo() }, nil
+	case "greedy-oldest":
+		return func() sim.Router { return baselines.NewOldestFirst() }, nil
+	case "rand-greedy-hp":
+		return func() sim.Router { return baselines.NewRandGreedy(0.05) }, nil
+	}
+	return nil, fmt.Errorf("campaign: unknown router %q (store-and-forward baselines ignore faults and are not campaignable)", name)
+}
+
+// cellParams are the frame parameters used for campaign cells: the
+// quick practical shape (identical to the bench suite's scale-1
+// configuration), keeping CI grids fast while preserving the frame
+// structure the fit measures.
+func cellParams(p *workload.Problem) core.Params {
+	return core.ParamsPractical(p.C, p.L(), p.N(), core.PracticalConfig{
+		SetCongestion: 4,
+		FrameSlack:    3,
+		RoundFactor:   3,
+	})
+}
+
+// baselineBudget is the step budget for baseline-router cells (frame
+// cells derive theirs from the schedule): generous enough that healthy
+// greedy runs always finish, so budget exhaustion measures faults, not
+// stinginess. Same shape as the bench suite's greedy budget.
+func baselineBudget(p *workload.Problem) int {
+	b := 200 * (p.C + p.D + p.L()) * (1 + p.N()/16)
+	if b < 100000 {
+		b = 100000
+	}
+	return b
+}
+
+// Smoke is the CI grid: small butterfly and mesh instances, two load
+// shapes, a fault-free and a flapping column, frame vs greedy — 16
+// cells that run in seconds yet exercise every moving part (frame
+// schedule, baseline budget, fault drops, bootstrap intervals).
+func Smoke() *Spec {
+	return &Spec{
+		Name:     "smoke",
+		Topos:    []string{"butterfly:4", "mesh:4"},
+		Loads:    []string{"hotspot:12x2", "random:0.5"},
+		Faults:   []string{"", "flap:period=40,down=4,rate=0.2"},
+		Routers:  []string{"frame", "greedy-hp"},
+		Trials:   6,
+		BaseSeed: 1,
+	}
+}
+
+// Full is the offline grid: the sizes EXPERIMENTS.md quotes, three
+// fault columns and the full hot-potato router family. Not run in CI.
+func Full() *Spec {
+	return &Spec{
+		Name:     "full",
+		Topos:    []string{"butterfly:6", "mesh:8", "hypercube:4", "random:24"},
+		Loads:    []string{"hotspot:48x2", "random:0.5", "fullthroughput", "transpose"},
+		Faults:   []string{"", "flap:period=50,down=5,rate=0.2", "ge:down=0.05,burst=4"},
+		Routers:  []string{"frame", "greedy-hp", "greedy-ftg", "rand-greedy-hp"},
+		Trials:   32,
+		BaseSeed: 1,
+	}
+}
+
+// Grid resolves a named grid.
+func Grid(name string) (*Spec, error) {
+	switch name {
+	case "smoke":
+		return Smoke(), nil
+	case "full":
+		return Full(), nil
+	}
+	return nil, fmt.Errorf("campaign: unknown grid %q (want smoke or full)", name)
+}

@@ -1,0 +1,313 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hotpotato/internal/persist"
+)
+
+// tinySpec is a 4-cell grid small enough for per-test execution.
+func tinySpec() *Spec {
+	return &Spec{
+		Name:     "tiny",
+		Topos:    []string{"butterfly:3"},
+		Loads:    []string{"hotspot:6x2"},
+		Faults:   []string{"", "flap:period=30,down=3,rate=0.2"},
+		Routers:  []string{"frame", "greedy-hp"},
+		Trials:   3,
+		BaseSeed: 7,
+	}
+}
+
+func TestSpecCellsCanonicalOrder(t *testing.T) {
+	cells, err := tinySpec().Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"butterfly:3/hotspot:6x2//frame",
+		"butterfly:3/hotspot:6x2//greedy-hp",
+		"butterfly:3/hotspot:6x2/flap:period=30,down=3,rate=0.2/frame",
+		"butterfly:3/hotspot:6x2/flap:period=30,down=3,rate=0.2/greedy-hp",
+	}
+	if len(cells) != len(want) {
+		t.Fatalf("got %d cells, want %d", len(cells), len(want))
+	}
+	for i, c := range cells {
+		if c.Key() != want[i] {
+			t.Fatalf("cell %d = %s, want %s", i, c.Key(), want[i])
+		}
+	}
+}
+
+// TestSpecCellsCompatSkip: transpose only exists on even-dimension
+// butterflies, so mixing it into a mesh axis skips, not errors.
+func TestSpecCellsCompatSkip(t *testing.T) {
+	s := tinySpec()
+	s.Topos = []string{"butterfly:4", "butterfly:3", "mesh:4"}
+	s.Loads = []string{"transpose", "random:0.5"}
+	cells, err := s.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.Load == "transpose" && c.Topo != "butterfly:4" {
+			t.Fatalf("transpose paired with %s", c.Topo)
+		}
+	}
+	// random:0.5 runs on all three topos, transpose only on butterfly:4:
+	// (3 + 1) topo-load pairs × 2 faults × 2 routers.
+	if len(cells) != 16 {
+		t.Fatalf("got %d cells, want 16", len(cells))
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	cases := map[string]func(*Spec){
+		"no name":        func(s *Spec) { s.Name = "" },
+		"empty axis":     func(s *Spec) { s.Routers = nil },
+		"zero trials":    func(s *Spec) { s.Trials = 0 },
+		"bad topo":       func(s *Spec) { s.Topos = []string{"torus:4"} },
+		"bad topo arg":   func(s *Spec) { s.Topos = []string{"mesh:x"} },
+		"bad load":       func(s *Spec) { s.Loads = []string{"hotspot:abc"} },
+		"bad fault":      func(s *Spec) { s.Faults = []string{"nope:1"} },
+		"bad router":     func(s *Spec) { s.Routers = []string{"dijkstra"} },
+		"sf router":      func(s *Spec) { s.Routers = []string{"sf-greedy"} },
+		"bad density":    func(s *Spec) { s.Loads = []string{"random:1.5"} },
+		"transpose args": func(s *Spec) { s.Loads = []string{"transpose:2"} },
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			s := tinySpec()
+			mutate(s)
+			if err := s.Validate(); err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+		})
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	a, b := tinySpec(), tinySpec()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical specs, different fingerprints")
+	}
+	b.Trials++
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different specs, same fingerprint")
+	}
+}
+
+// TestCellSeedIndependentOfGridPosition: the seed is a function of the
+// key alone, so axis reordering cannot move a cell's ensemble.
+func TestCellSeedIndependentOfGridPosition(t *testing.T) {
+	a := tinySpec()
+	b := tinySpec()
+	b.Routers = []string{"greedy-hp", "frame"} // reordered axis
+	key := "butterfly:3/hotspot:6x2//frame"
+	if a.cellSeed(key) != b.cellSeed(key) {
+		t.Fatal("cell seed depends on axis order")
+	}
+	if a.cellSeed(key) == a.cellSeed("butterfly:3/hotspot:6x2//greedy-hp") {
+		t.Fatal("distinct keys collided")
+	}
+	c := tinySpec()
+	c.BaseSeed = 8
+	if a.cellSeed(key) == c.cellSeed(key) {
+		t.Fatal("BaseSeed does not perturb cell seeds")
+	}
+}
+
+// TestExecuteCellDeterminism: the summary must be a pure function of
+// (spec, cell) — this is the substrate of byte-identical resume.
+func TestExecuteCellDeterminism(t *testing.T) {
+	spec := tinySpec()
+	cells, err := spec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		a, err := ExecuteCell(spec, c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Key(), err)
+		}
+		b, err := ExecuteCell(spec, c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Key(), err)
+		}
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if !bytes.Equal(ja, jb) {
+			t.Fatalf("%s: two executions differ:\n%s\n%s", c.Key(), ja, jb)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: summary fails its own invariants: %v", c.Key(), err)
+		}
+		if a.Trials != spec.Trials || a.Expected != spec.Trials*a.Packets {
+			t.Fatalf("%s: accounting wrong: %+v", c.Key(), a)
+		}
+	}
+}
+
+// TestExecuteCellSharedInstanceAcrossFaultRouterAxes: fault and router
+// members must see the identical problem instance (same C/D/L and
+// packet count), so cells differ only in the quantity under test.
+func TestExecuteCellSharedInstanceAcrossFaultRouterAxes(t *testing.T) {
+	spec := tinySpec()
+	cells, err := spec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first *struct{ c, d, l, packets int }
+	for _, c := range cells {
+		s, err := ExecuteCell(spec, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = &struct{ c, d, l, packets int }{s.C, s.D, s.L, s.Packets}
+			continue
+		}
+		if s.C != first.c || s.D != first.d || s.L != first.l || s.Packets != first.packets {
+			t.Fatalf("cell %s ran a different instance: %+v vs %+v", c.Key(), s, *first)
+		}
+	}
+}
+
+func runTiny(t *testing.T) *Document {
+	t.Helper()
+	doc, err := Run(tinySpec(), RunConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestCompareCampaignPassesOnIdentical(t *testing.T) {
+	doc := runTiny(t)
+	warnings, err := CompareCampaign(doc, doc, Tolerances{})
+	if err != nil {
+		t.Fatalf("identical documents failed the gate: %v", err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("identical documents warned: %v", warnings)
+	}
+}
+
+// TestCompareCampaignFailsOnShiftedQuantile is the acceptance
+// criterion: a synthetically shifted p50 must demonstrably fail.
+func TestCompareCampaignFailsOnShiftedQuantile(t *testing.T) {
+	base := runTiny(t)
+	shifted := runTiny(t)
+	shifted.Cells = append([]persist.CampaignCell(nil), shifted.Cells...)
+	i := 0
+	shifted.Cells[i].StepsP50 *= 1.25 // 25% shift vs 10% tolerance
+	if shifted.Cells[i].StepsP90 < shifted.Cells[i].StepsP50 {
+		shifted.Cells[i].StepsP90 = shifted.Cells[i].StepsP50
+	}
+	_, err := CompareCampaign(base, shifted, Tolerances{})
+	if err == nil {
+		t.Fatal("25% p50 shift passed the 10% gate")
+	}
+	if !strings.Contains(err.Error(), "p50 shifted") {
+		t.Fatalf("gate failed for the wrong reason: %v", err)
+	}
+}
+
+// TestCompareCampaignFailsOnDropRateShift: the under-faults degradation
+// figure gates absolutely.
+func TestCompareCampaignFailsOnDropRateShift(t *testing.T) {
+	base := runTiny(t)
+	shifted := runTiny(t)
+	shifted.Cells = append([]persist.CampaignCell(nil), shifted.Cells...)
+	shifted.Cells[1].DropRate += 0.2
+	_, err := CompareCampaign(base, shifted, Tolerances{})
+	if err == nil {
+		t.Fatal("0.2 drop-rate shift passed the 0.05 gate")
+	}
+	if !strings.Contains(err.Error(), "drop rate shifted") {
+		t.Fatalf("gate failed for the wrong reason: %v", err)
+	}
+}
+
+// TestCompareCampaignWarnsOnOneSidedCells: disjoint cells warn without
+// failing; the intersection still gates.
+func TestCompareCampaignWarnsOnOneSidedCells(t *testing.T) {
+	base := runTiny(t)
+	cur := runTiny(t)
+	cur.Cells = cur.Cells[:len(cur.Cells)-1]
+	warnings, err := CompareCampaign(base, cur, Tolerances{})
+	if err != nil {
+		t.Fatalf("missing cell must warn, not fail: %v", err)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "only in baseline") {
+		t.Fatalf("warnings = %v", warnings)
+	}
+}
+
+func TestDocumentRoundTripAndTamperRejection(t *testing.T) {
+	doc := runTiny(t)
+	var buf bytes.Buffer
+	if err := WriteDocument(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDocument(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(doc)
+	jb, _ := json.Marshal(got)
+	if !bytes.Equal(ja, jb) {
+		t.Fatal("document round-trip changed content")
+	}
+
+	// Hand-editing the spec inside the document breaks the fingerprint.
+	tampered := strings.Replace(buf.String(), `"trials": 3`, `"trials": 4`, 1)
+	if tampered == buf.String() {
+		t.Fatal("tamper target not found in serialized document")
+	}
+	if _, err := ReadDocument(strings.NewReader(tampered)); err == nil {
+		t.Fatal("tampered document accepted")
+	}
+
+	// An invalid cell is rejected even with a matching fingerprint.
+	bad := *got
+	bad.Cells = append([]persist.CampaignCell(nil), got.Cells...)
+	bad.Cells[0].Succeeded = bad.Cells[0].Trials + 1
+	var buf2 bytes.Buffer
+	if err := WriteDocument(&buf2, &bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDocument(bytes.NewReader(buf2.Bytes())); err == nil {
+		t.Fatal("document with invalid cell accepted")
+	}
+}
+
+// TestRunDocumentShape: the document lists cells in canonical grid
+// order and carries a fit when ≥2 fault-free frame cells exist.
+func TestRunDocumentShape(t *testing.T) {
+	s := tinySpec()
+	s.Topos = []string{"butterfly:3", "mesh:3"} // two frame fit points
+	doc, err := Run(s, RunConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, _ := s.Cells()
+	if len(doc.Cells) != len(cells) {
+		t.Fatalf("document has %d cells, grid has %d", len(doc.Cells), len(cells))
+	}
+	for i, c := range cells {
+		if doc.Cells[i].Key != c.Key() {
+			t.Fatalf("document order broken at %d: %s vs %s", i, doc.Cells[i].Key, c.Key())
+		}
+	}
+	if doc.Fit == nil {
+		t.Fatal("fit missing despite two fault-free frame cells")
+	}
+	if len(doc.Fit.Residuals) != 2 {
+		t.Fatalf("fit has %d residuals, want 2", len(doc.Fit.Residuals))
+	}
+}

@@ -1,0 +1,195 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hotpotato/internal/persist"
+)
+
+// docBytes canonicalizes a document for byte-identity comparison.
+func docBytes(t *testing.T, d *Document) []byte {
+	t.Helper()
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// runToCompletion runs the spec with no checkpoint as the reference.
+func runToCompletion(t *testing.T, spec *Spec) *Document {
+	t.Helper()
+	doc, err := Run(spec, RunConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestResumeAfterStopAfterIsByteIdentical is the satellite contract:
+// kill a campaign mid-grid, resume it from the checkpoint, and the
+// final document must be byte-identical to an uninterrupted run —
+// including bootstrap interval endpoints.
+func TestResumeAfterStopAfterIsByteIdentical(t *testing.T) {
+	// An 8-cell grid so StopAfter 2 always lands before the feeder has
+	// handed out the whole grid (a stop arriving after that completes
+	// the campaign instead — the documented drain semantic).
+	spec := tinySpec()
+	spec.Topos = []string{"butterfly:3", "mesh:3"}
+	want := docBytes(t, runToCompletion(t, spec))
+
+	ckpt := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	_, err := Run(spec, RunConfig{Workers: 2, Checkpoint: ckpt, StopAfter: 2})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("StopAfter run returned %v, want ErrStopped", err)
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cells, err := persist.ReadCampaignCheckpoint(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("checkpoint unreadable after interrupt: %v", err)
+	}
+	if len(cells) < 2 || len(cells) >= 8 {
+		t.Fatalf("interrupt checkpointed %d cells, want 2..7 (in-flight cells drain)", len(cells))
+	}
+
+	doc, err := Run(spec, RunConfig{Workers: 2, Checkpoint: ckpt})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if got := docBytes(t, doc); !bytes.Equal(got, want) {
+		t.Fatalf("resumed document differs from uninterrupted run:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestResumeAfterChaosStopIsByteIdentical kills the campaign at an
+// arbitrary wall-clock moment via the Stop channel — the chaos version
+// of the interrupt. Whatever subset completed, the resumed document
+// must be byte-identical to the uninterrupted run. Repeating with
+// different delays varies the kill point; under -race this also
+// exercises the drain path for races.
+func TestResumeAfterChaosStopIsByteIdentical(t *testing.T) {
+	spec := tinySpec()
+	spec.Topos = []string{"butterfly:3", "mesh:3"} // 8 cells: room to interrupt
+	want := docBytes(t, runToCompletion(t, spec))
+
+	for _, delay := range []time.Duration{0, 500 * time.Microsecond, 2 * time.Millisecond} {
+		ckpt := filepath.Join(t.TempDir(), "ckpt.jsonl")
+		stop := make(chan struct{})
+		go func() {
+			time.Sleep(delay)
+			close(stop)
+		}()
+		_, err := Run(spec, RunConfig{Workers: 2, Checkpoint: ckpt, Stop: stop})
+		if err != nil && !errors.Is(err, ErrStopped) {
+			t.Fatalf("delay %v: %v", delay, err)
+		}
+		// err == nil means the stop landed after the grid drained — the
+		// checkpointed-complete case; resume must still reproduce.
+		doc, err := Run(spec, RunConfig{Workers: 2, Checkpoint: ckpt})
+		if err != nil {
+			t.Fatalf("delay %v: resume: %v", delay, err)
+		}
+		if got := docBytes(t, doc); !bytes.Equal(got, want) {
+			t.Fatalf("delay %v: resumed document differs from uninterrupted run", delay)
+		}
+	}
+}
+
+// TestResumeSkipsCompletedCells: a second run over a complete
+// checkpoint executes nothing and still reproduces the document.
+func TestResumeSkipsCompletedCells(t *testing.T) {
+	spec := tinySpec()
+	ckpt := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	doc1, err := Run(spec, RunConfig{Workers: 2, Checkpoint: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	doc2, err := Run(spec, RunConfig{Workers: 2, Checkpoint: ckpt,
+		Logf: func(format string, args ...any) { ran++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("fully resumed run rewrote the checkpoint")
+	}
+	if !bytes.Equal(docBytes(t, doc1), docBytes(t, doc2)) {
+		t.Fatal("full resume changed the document")
+	}
+}
+
+// TestResumeRejectsForeignCheckpoint: a checkpoint from a different
+// grid must be refused, not silently mixed in.
+func TestResumeRejectsForeignCheckpoint(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	if _, err := Run(tinySpec(), RunConfig{Workers: 2, Checkpoint: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	other := tinySpec()
+	other.BaseSeed = 99
+	if _, err := Run(other, RunConfig{Workers: 2, Checkpoint: ckpt}); err == nil {
+		t.Fatal("checkpoint accepted under a different spec fingerprint")
+	}
+}
+
+// TestResumeToleratesTornTail: simulate a kill mid-append by
+// truncating the checkpoint inside its last line; the resume must drop
+// that cell, re-run it, and still converge byte-identically.
+func TestResumeToleratesTornTail(t *testing.T) {
+	spec := tinySpec()
+	want := docBytes(t, runToCompletion(t, spec))
+
+	ckpt := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	if _, err := Run(spec, RunConfig{Workers: 2, Checkpoint: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckpt, data[:len(data)-11], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Run(spec, RunConfig{Workers: 2, Checkpoint: ckpt})
+	if err != nil {
+		t.Fatalf("resume over torn tail: %v", err)
+	}
+	if got := docBytes(t, doc); !bytes.Equal(got, want) {
+		t.Fatal("torn-tail resume differs from uninterrupted run")
+	}
+}
+
+// TestRunStreamEmitsEveryNewCell: the CSV stream carries one row per
+// newly executed cell plus the header.
+func TestRunStreamEmitsEveryNewCell(t *testing.T) {
+	spec := tinySpec()
+	var buf bytes.Buffer
+	if _, err := Run(spec, RunConfig{Workers: 2, Stream: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Count(buf.Bytes(), []byte{'\n'})
+	cells, _ := spec.Cells()
+	if lines != len(cells)+1 {
+		t.Fatalf("stream has %d lines, want %d cells + header", lines, len(cells))
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("key,topo,load,fault,router")) {
+		t.Fatalf("stream header missing: %q", buf.Bytes()[:40])
+	}
+}

@@ -1,0 +1,406 @@
+package campaign
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/faults"
+	"hotpotato/internal/mc"
+	"hotpotato/internal/obs"
+	"hotpotato/internal/persist"
+	"hotpotato/internal/stats"
+)
+
+// ErrStopped is returned when a campaign was interrupted (Stop channel
+// or StopAfter) before every cell completed. All cells finished by then
+// — including in-flight ones, which are drained, not abandoned — are in
+// the checkpoint; rerunning with the same checkpoint resumes.
+var ErrStopped = errors.New("campaign: stopped before completion")
+
+// RunConfig configures one campaign execution.
+type RunConfig struct {
+	// Workers bounds cell-level concurrency (0 = GOMAXPROCS). Each cell
+	// runs its Monte-Carlo ensemble sequentially (mc Workers=1), so the
+	// unit of parallelism — and of checkpointing — is the cell.
+	Workers int
+	// Checkpoint is the checkpoint file path ("" disables
+	// checkpointing). An existing file is resumed: its cells are
+	// restored, only missing cells run. A checkpoint written under a
+	// different spec fingerprint is rejected.
+	Checkpoint string
+	// Stream, when non-nil, receives one CSV row per newly completed
+	// cell (completion order) through the obs table exporter — the live
+	// progress feed.
+	Stream io.Writer
+	// Stop requests a graceful stop when closed: no new cells start,
+	// in-flight cells finish and are checkpointed, Run returns
+	// ErrStopped.
+	Stop <-chan struct{}
+	// StopAfter stops the campaign after this many newly completed
+	// cells (0 = run to completion) — the deterministic interrupt the
+	// CI kill-and-resume job uses.
+	StopAfter int
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// DocumentVersion identifies the campaign result document schema.
+const DocumentVersion = 1
+
+// Document is a completed campaign: every cell summary in canonical
+// grid order plus the scaling fit. This is the committed
+// CAMPAIGN_baseline.json shape and CompareCampaign's input.
+type Document struct {
+	Version  int                    `json:"version"`
+	Name     string                 `json:"name"`
+	SpecHash string                 `json:"spec_hash"`
+	Spec     Spec                   `json:"spec"`
+	Cells    []persist.CampaignCell `json:"cells"`
+	// Fit regresses fault-free frame-cell mean delivery steps on
+	// (C+L)·ln^k(LN); nil when fewer than two such cells exist.
+	Fit *stats.PolylogFit `json:"fit,omitempty"`
+}
+
+// streamCols is the per-cell CSV layout of RunConfig.Stream.
+var streamCols = []string{
+	"key", "topo", "load", "fault", "router",
+	"packets", "c", "d", "l", "trials", "succeeded", "drop_rate",
+	"steps_mean", "steps_p50", "steps_p90", "steps_p99",
+	"p50_lo", "p50_hi", "p99_lo", "p99_hi",
+	"deflects_per_packet", "fault_blocked", "fault_stalls",
+}
+
+func streamRow(t *obs.Table, c *persist.CampaignCell) error {
+	return t.Row(c.Key, c.Topo, c.Load, c.Fault, c.Router,
+		c.Packets, c.C, c.D, c.L, c.Trials, c.Succeeded, c.DropRate,
+		c.StepsMean, c.StepsP50, c.StepsP90, c.StepsP99,
+		c.P50Lo, c.P50Hi, c.P99Lo, c.P99Hi,
+		c.DeflectsPerPacket, c.FaultBlocked, c.FaultStalls)
+}
+
+// Run executes the campaign. It returns the completed document, or
+// (nil, ErrStopped) when interrupted — with everything completed so far
+// checkpointed for resume — or (nil, err) on the first cell failure.
+func Run(spec *Spec, cfg RunConfig) (*Document, error) {
+	cells, err := spec.Cells()
+	if err != nil {
+		return nil, err
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	hash := spec.Fingerprint()
+
+	done := make(map[string]persist.CampaignCell)
+	var ckpt *persist.CampaignWriter
+	if cfg.Checkpoint != "" {
+		restored, w, err := openCheckpoint(cfg.Checkpoint, spec, hash)
+		if err != nil {
+			return nil, err
+		}
+		defer w.Close()
+		ckpt, err = persist.NewCampaignWriter(w, persist.CampaignHeader{
+			Version:  persist.CampaignFormatVersion,
+			Kind:     persist.CampaignKind,
+			Name:     spec.Name,
+			SpecHash: hash,
+		}, len(restored) == 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range restored {
+			done[c.Key] = c
+		}
+		if len(restored) > 0 {
+			logf("campaign %s: resumed %d checkpointed cells from %s", spec.Name, len(restored), cfg.Checkpoint)
+		}
+	}
+
+	var stream *obs.Table
+	if cfg.Stream != nil {
+		stream = obs.NewTable(cfg.Stream, streamCols...)
+	}
+
+	var pending []Cell
+	for _, c := range cells {
+		if _, ok := done[c.Key()]; !ok {
+			pending = append(pending, c)
+		}
+	}
+
+	stopped := false
+	if len(pending) > 0 {
+		stopped, err = runPending(spec, cfg, pending, done, ckpt, stream, logf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if stopped {
+		logf("campaign %s: stopped with %d/%d cells complete", spec.Name, len(done), len(cells))
+		return nil, ErrStopped
+	}
+
+	doc := &Document{Version: DocumentVersion, Name: spec.Name, SpecHash: hash, Spec: *spec}
+	for _, c := range cells {
+		doc.Cells = append(doc.Cells, done[c.Key()])
+	}
+	doc.Fit = fitScaling(doc.Cells)
+	return doc, nil
+}
+
+// runPending fans the missing cells over a worker pool, checkpointing
+// and streaming each completion. Returns stopped=true when interrupted
+// by Stop/StopAfter before exhausting pending.
+func runPending(spec *Spec, cfg RunConfig, pending []Cell,
+	done map[string]persist.CampaignCell, ckpt *persist.CampaignWriter,
+	stream *obs.Table, logf func(string, ...any)) (bool, error) {
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
+	type cellResult struct {
+		cell    Cell
+		summary persist.CampaignCell
+		err     error
+	}
+	jobs := make(chan Cell)
+	results := make(chan cellResult)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				s, err := ExecuteCell(spec, c)
+				results <- cellResult{cell: c, summary: s, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// The feeder races new cells against both stop signals; closing
+	// jobs lets in-flight cells drain through results.
+	stopFeed := make(chan struct{})
+	go func() {
+		defer close(jobs)
+		for _, c := range pending {
+			select {
+			case jobs <- c:
+			case <-stopFeed:
+				return
+			case <-cfg.Stop:
+				return
+			}
+		}
+	}()
+
+	total := len(done) + len(pending)
+	stopRequested := false
+	newly := 0
+	var firstErr error
+	for r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("campaign: cell %s: %w", r.cell.Key(), r.err)
+				close(stopFeed)
+				stopRequested = true
+			}
+			continue
+		}
+		if ckpt != nil {
+			if err := ckpt.Append(&r.summary); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("campaign: checkpoint %s: %w", cfg.Checkpoint, err)
+				close(stopFeed)
+				stopRequested = true
+				continue
+			}
+		}
+		if stream != nil {
+			if err := streamRow(stream, &r.summary); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("campaign: stream: %w", err)
+				close(stopFeed)
+				stopRequested = true
+				continue
+			}
+		}
+		done[r.cell.Key()] = r.summary
+		newly++
+		logf("campaign %s: cell %s done (%d newly completed)", spec.Name, r.cell.Key(), newly)
+		if cfg.StopAfter > 0 && newly >= cfg.StopAfter && !stopRequested {
+			close(stopFeed)
+			stopRequested = true
+		}
+	}
+	if firstErr != nil {
+		return false, firstErr
+	}
+	// A stop signal that arrived after the feeder had already handed
+	// out every cell interrupts nothing: the drain completed the grid.
+	return len(done) < total, nil
+}
+
+// openCheckpoint restores an existing checkpoint (validating its spec
+// fingerprint) and returns the restored cells plus an append-mode file.
+func openCheckpoint(path string, spec *Spec, hash string) ([]persist.CampaignCell, *os.File, error) {
+	var restored []persist.CampaignCell
+	if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+		h, cells, err := persist.ReadCampaignCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return nil, nil, fmt.Errorf("campaign: checkpoint %s: %w", path, err)
+		}
+		if h.SpecHash != hash {
+			return nil, nil, fmt.Errorf("campaign: checkpoint %s belongs to spec %s, not %s (%s); refusing to mix grids",
+				path, h.SpecHash, spec.Name, hash)
+		}
+		// Keep only cells the current grid contains — with the hash
+		// match this filters nothing today, but it keeps document
+		// assembly total if the fingerprint ever loosens.
+		cs, err := spec.Cells()
+		if err != nil {
+			return nil, nil, err
+		}
+		valid := make(map[string]bool, len(cs))
+		for _, c := range cs {
+			valid[c.Key()] = true
+		}
+		for _, c := range cells {
+			if valid[c.Key] {
+				restored = append(restored, c)
+			}
+		}
+	} else if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("campaign: checkpoint %s: %w", path, err)
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(restored) == 0 {
+		// Start the file over: it was empty, missing, or held only a
+		// torn header/cells filtered out above.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	return restored, f, nil
+}
+
+// ExecuteCell runs one cell's ensemble and summarizes it. Exported so
+// tests (and future distributed drivers) can run single cells; every
+// output field is a pure function of (spec, cell).
+func ExecuteCell(spec *Spec, c Cell) (persist.CampaignCell, error) {
+	p, err := spec.buildProblem(c)
+	if err != nil {
+		return persist.CampaignCell{}, err
+	}
+	fc, err := faults.Parse(c.Fault)
+	if err != nil {
+		return persist.CampaignCell{}, err
+	}
+	key := c.Key()
+	seed := spec.cellSeed(key)
+	opt := mc.Options{
+		Trials:   spec.Trials,
+		BaseSeed: seed,
+		Workers:  1,
+		Faults:   fc,
+	}
+	var params core.Params
+	if factory, err := routerFactory(c.Router); err != nil {
+		return persist.CampaignCell{}, err
+	} else if factory != nil {
+		opt.Router = factory
+		opt.MaxSteps = baselineBudget(p)
+	} else {
+		params = cellParams(p)
+	}
+	ens, err := mc.Run(p, params, opt)
+	if err != nil {
+		return persist.CampaignCell{}, err
+	}
+
+	out := persist.CampaignCell{
+		Key: key, Topo: c.Topo, Load: c.Load, Fault: c.Fault, Router: c.Router,
+		Nodes: p.G.NumNodes(), Edges: p.G.NumEdges(), Packets: p.N(),
+		C: p.C, D: p.D, L: p.L(),
+		Trials:   spec.Trials,
+		Expected: spec.Trials * p.N(),
+	}
+	var steps []float64
+	deflects := 0
+	for _, t := range ens.Trials {
+		if t.Done {
+			out.Succeeded++
+			steps = append(steps, float64(t.Steps))
+		}
+		out.Absorbed += t.Absorbed
+		out.FaultBlocked += t.FaultBlocked
+		out.FaultStalls += t.FaultStalls
+		deflects += t.Deflects
+	}
+	out.DropRate = 1 - float64(out.Absorbed)/float64(out.Expected)
+	out.DeflectsPerPacket = float64(deflects) / float64(out.Expected)
+	if len(steps) == 0 {
+		out.StepsMean, out.StepsP50, out.StepsP90, out.StepsP99 = -1, -1, -1, -1
+		out.P50Lo, out.P50Hi, out.P99Lo, out.P99Hi = -1, -1, -1, -1
+		return out, nil
+	}
+	sum := stats.Summarize(steps)
+	out.StepsMean = sum.Mean
+	out.StepsP50, out.StepsP90, out.StepsP99 = sum.Median, sum.P90, sum.P99
+	// Bootstrap seeds derive from the cell seed, keeping intervals
+	// byte-identical across resumes and worker assignments.
+	p50 := stats.BootstrapQuantileCI(steps, 0.5, bootstrapIters, uint64(seed)+1, 0.95)
+	p99 := stats.BootstrapQuantileCI(steps, 0.99, bootstrapIters, uint64(seed)+2, 0.95)
+	out.P50Lo, out.P50Hi = p50.Lo, p50.Hi
+	out.P99Lo, out.P99Hi = p99.Lo, p99.Hi
+	return out, nil
+}
+
+// bootstrapIters is the per-quantile resample count: enough for stable
+// 95% intervals on ensemble-sized samples, cheap next to the trials.
+const bootstrapIters = 500
+
+// fitScaling regresses fault-free frame-cell mean delivery steps on
+// (C+L)·ln^k(LN) over k = 0..maxFitExponent, recording residuals. The
+// paper's bound has k = 9; the practical parameters the cells run with
+// flatten most of that polylog, so the selected exponent is typically
+// small — the committed document records which.
+func fitScaling(cells []persist.CampaignCell) *stats.PolylogFit {
+	var base, lnln, ys []float64
+	for _, c := range cells {
+		if c.Router != "frame" || c.Fault != "" || c.Succeeded == 0 {
+			continue
+		}
+		base = append(base, float64(c.C+c.L))
+		lnln = append(lnln, math.Log(float64(c.L)*float64(c.Packets)))
+		ys = append(ys, c.StepsMean)
+	}
+	if len(ys) < 2 {
+		return nil
+	}
+	fit := stats.FitPolylog(base, lnln, ys, maxFitExponent)
+	return &fit
+}
+
+// maxFitExponent caps the polylog exponent search; the paper's ln⁹ is
+// included so proof-grade-parameter campaigns can select it.
+const maxFitExponent = 9

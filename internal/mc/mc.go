@@ -15,6 +15,7 @@ import (
 	"hotpotato/internal/core"
 	"hotpotato/internal/faults"
 	"hotpotato/internal/obs"
+	"hotpotato/internal/sim"
 	"hotpotato/internal/stats"
 	"hotpotato/internal/workload"
 )
@@ -27,6 +28,12 @@ type Trial struct {
 	Deflects   int
 	Unsafe     int
 	Violations int // Ic + Id + If invariant violations (when checked)
+	// Absorbed is the number of packets delivered within budget — the
+	// packet-level complement of Done (Done ⇔ Absorbed == N). Campaign
+	// drop rates under faults are computed from it, so a run that
+	// delivers 95% of its packets before exhausting its budget is not
+	// accounted like one that delivered none.
+	Absorbed int
 	// ExcitedSuccesses / ExcitedFailures split the run's excitation
 	// episodes by outcome (reached target vs deflected or timed out at a
 	// round/phase boundary). Lemma 4.3 lower-bounds the per-episode
@@ -89,6 +96,16 @@ type Options struct {
 	// scenario. The campaign's Model must be safe for concurrent calls,
 	// which every campaign in internal/faults is (pure values).
 	Faults faults.Campaign
+	// Router, when non-nil, runs each trial on the plain hot-potato
+	// engine with a router from this factory instead of the frame
+	// algorithm — the campaign layer's baseline axis. Each worker keeps
+	// one engine (built from one factory call, rewound per seed via
+	// Engine.Reset, which re-Inits the router), so the factory must
+	// return routers whose entire per-run state lives in Init. MaxSteps
+	// must be set explicitly: baselines have no schedule to derive a
+	// budget from. Check, Observe and RecordWindow require the frame
+	// router's schedule and are rejected in this mode.
+	Router func() sim.Router
 }
 
 // Run executes the ensemble, fanning trials out over a worker pool.
@@ -105,6 +122,14 @@ func Run(p *workload.Problem, params core.Params, opt Options) (*Ensemble, error
 	if opt.BaseSeed > math.MaxInt64-int64(opt.Trials-1) {
 		return nil, fmt.Errorf("mc: BaseSeed %d + %d trials overflows int64", opt.BaseSeed, opt.Trials)
 	}
+	if opt.Router != nil {
+		if opt.MaxSteps <= 0 {
+			return nil, fmt.Errorf("mc: Router mode needs an explicit MaxSteps budget")
+		}
+		if opt.Check || opt.Observe != nil || opt.RecordWindow {
+			return nil, fmt.Errorf("mc: Check/Observe/RecordWindow need the frame schedule; unsupported with Router")
+		}
+	}
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -120,6 +145,14 @@ func Run(p *workload.Problem, params core.Params, opt Options) (*Ensemble, error
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if opt.Router != nil {
+				eng := sim.NewEngine(p, opt.Router(), 1)
+				defer eng.Close()
+				for i := range jobs {
+					trials[i] = runRouterTrial(p, eng, opt, opt.BaseSeed+int64(i))
+				}
+				return
+			}
 			var runner *core.Runner
 			if !opt.FreshEngines {
 				runner = core.NewRunner(p, params, 1, 0)
@@ -153,6 +186,7 @@ func Run(p *workload.Problem, params core.Params, opt Options) (*Ensemble, error
 					Seed:             seed,
 					Steps:            res.Steps,
 					Done:             res.Done,
+					Absorbed:         res.Engine.Absorbed,
 					Deflects:         res.Engine.TotalDeflections(),
 					Unsafe:           res.Engine.UnsafeDeflections(),
 					ExcitedSuccesses: res.Router.ExcitedSuccesses,
@@ -178,6 +212,29 @@ func Run(p *workload.Problem, params core.Params, opt Options) (*Ensemble, error
 	close(jobs)
 	wg.Wait()
 	return &Ensemble{Problem: p, Params: params, Trials: trials}, nil
+}
+
+// runRouterTrial runs one seeded baseline trial on the worker's reused
+// engine. Reset re-seeds the RNG and re-Inits the router, so the trial
+// is identical to one on a freshly built engine.
+func runRouterTrial(p *workload.Problem, eng *sim.Engine, opt Options, seed int64) Trial {
+	eng.Reset(seed)
+	if opt.Faults != nil {
+		eng.Faults = opt.Faults.Model(p.G, seed)
+	} else {
+		eng.Faults = nil
+	}
+	steps, done := eng.Run(opt.MaxSteps)
+	return Trial{
+		Seed:         seed,
+		Steps:        steps,
+		Done:         done,
+		Absorbed:     eng.M.Absorbed,
+		Deflects:     eng.M.TotalDeflections(),
+		Unsafe:       eng.M.UnsafeDeflections(),
+		FaultBlocked: eng.M.FaultBlocked,
+		FaultStalls:  eng.M.FaultStalls,
+	}
 }
 
 // windowProbe records the widest measured active level band of one

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a streaming CSV exporter for row-per-event summaries (the
+// campaign runner streams one row per completed cell through it). The
+// header is emitted before the first row; each Row call writes and —
+// when the destination supports it — syncs one line, so a live tail of
+// the file tracks progress and an interrupted run leaves at most one
+// torn line. Unlike WriteCSV it holds nothing in memory.
+type Table struct {
+	w    io.Writer
+	cols []string
+	rows int
+}
+
+// NewTable builds a streaming table with the given columns.
+func NewTable(w io.Writer, cols ...string) *Table {
+	return &Table{w: w, cols: cols}
+}
+
+// Rows returns the number of data rows written so far.
+func (t *Table) Rows() int { return t.rows }
+
+// Row appends one row, formatting each value with %v (floats via %g).
+// The column count must match the header.
+func (t *Table) Row(vals ...any) error {
+	if len(vals) != len(t.cols) {
+		return fmt.Errorf("obs: table row has %d values for %d columns", len(vals), len(t.cols))
+	}
+	var b strings.Builder
+	if t.rows == 0 {
+		b.WriteString(strings.Join(t.cols, ","))
+		b.WriteByte('\n')
+	}
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		switch x := v.(type) {
+		case float64:
+			fmt.Fprintf(&b, "%g", x)
+		case string:
+			// Commas inside values (fault specs) would shear the table;
+			// quote per RFC 4180.
+			if strings.ContainsAny(x, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(x, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(x)
+			}
+		default:
+			fmt.Fprintf(&b, "%v", x)
+		}
+	}
+	b.WriteByte('\n')
+	if _, err := io.WriteString(t.w, b.String()); err != nil {
+		return err
+	}
+	t.rows++
+	if s, ok := t.w.(interface{ Sync() error }); ok {
+		if err := s.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

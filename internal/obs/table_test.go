@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableHeaderOnceAndFormatting(t *testing.T) {
+	var b strings.Builder
+	tab := NewTable(&b, "key", "n", "rate")
+	if err := tab.Row("a", 3, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Row("b", 4, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	want := "key,n,rate\na,3,0.25\nb,4,1\n"
+	if b.String() != want {
+		t.Fatalf("table = %q, want %q", b.String(), want)
+	}
+	if tab.Rows() != 2 {
+		t.Fatalf("Rows() = %d", tab.Rows())
+	}
+}
+
+// TestTableQuoting: values containing CSV metacharacters (fault specs
+// hold commas) must be RFC 4180 quoted so the table never shears.
+func TestTableQuoting(t *testing.T) {
+	var b strings.Builder
+	tab := NewTable(&b, "fault", "x")
+	if err := tab.Row("flap:period=40,down=4", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Row(`say "hi"`, 2); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if lines[1] != `"flap:period=40,down=4",1` {
+		t.Fatalf("comma value not quoted: %q", lines[1])
+	}
+	if lines[2] != `"say ""hi""",2` {
+		t.Fatalf("quote value not escaped: %q", lines[2])
+	}
+}
+
+func TestTableColumnCountMismatch(t *testing.T) {
+	var b strings.Builder
+	tab := NewTable(&b, "a", "b")
+	if err := tab.Row(1); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if b.Len() != 0 {
+		t.Fatalf("failed row wrote output: %q", b.String())
+	}
+	if err := tab.Row(1, 2, 3); err == nil {
+		t.Fatal("long row accepted")
+	}
+}

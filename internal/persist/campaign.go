@@ -1,0 +1,240 @@
+// Campaign checkpoint format: a JSON-lines file whose first line is a
+// CampaignHeader and whose remaining lines are one completed
+// CampaignCell each. Appending a line is the checkpoint's only write
+// operation, so an interrupted campaign leaves at most one torn line —
+// which ReadCampaignCheckpoint discards (a missing trailing newline
+// marks the tear) while rejecting any *complete* line that fails
+// validation. Cell summaries are pure functions of (spec, cell), so a
+// resumed campaign re-runs only the missing cells and reproduces the
+// uninterrupted document byte for byte.
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// CampaignFormatVersion identifies the campaign checkpoint schema.
+const CampaignFormatVersion = 1
+
+// CampaignKind is the header's kind tag, guarding against feeding some
+// other JSONL stream to the checkpoint reader.
+const CampaignKind = "campaign-checkpoint"
+
+// CampaignHeader is the first line of a checkpoint file.
+type CampaignHeader struct {
+	Version int    `json:"version"`
+	Kind    string `json:"kind"`
+	Name    string `json:"name"`
+	// SpecHash fingerprints the campaign spec the cells belong to; a
+	// checkpoint is only resumable into the identical spec.
+	SpecHash string `json:"spec_hash"`
+}
+
+// Validate checks header invariants.
+func (h *CampaignHeader) Validate() error {
+	if h.Version != CampaignFormatVersion {
+		return fmt.Errorf("persist: unsupported campaign format version %d (want %d)", h.Version, CampaignFormatVersion)
+	}
+	if h.Kind != CampaignKind {
+		return fmt.Errorf("persist: campaign header kind %q (want %q)", h.Kind, CampaignKind)
+	}
+	if h.SpecHash == "" {
+		return fmt.Errorf("persist: campaign header missing spec_hash")
+	}
+	return nil
+}
+
+// CampaignCell is one completed experiment-grid cell: the cell's
+// coordinates, its problem facts, and the distribution summary the
+// statistical gates compare. It deliberately carries no wall-clock
+// fields — every field is a deterministic function of (spec, cell), the
+// property the byte-identical-resume guarantee rests on.
+type CampaignCell struct {
+	// Key is the cell's stable identity "topo/load/fault/router"; seeds
+	// derive from it, so summaries survive grid reordering.
+	Key    string `json:"key"`
+	Topo   string `json:"topo"`
+	Load   string `json:"load"`
+	Fault  string `json:"fault,omitempty"`
+	Router string `json:"router"`
+
+	// Problem facts of the generated instance.
+	Nodes   int `json:"nodes"`
+	Edges   int `json:"edges"`
+	Packets int `json:"packets"`
+	C       int `json:"c"`
+	D       int `json:"d"`
+	L       int `json:"l"`
+
+	// Trials ran; Succeeded delivered every packet within budget.
+	Trials    int `json:"trials"`
+	Succeeded int `json:"succeeded"`
+	// Absorbed / Expected count delivered packets over all trials
+	// (Expected = Trials·Packets); DropRate = 1 - Absorbed/Expected is
+	// the faulted-campaign degradation figure the gate watches.
+	Absorbed int     `json:"absorbed"`
+	Expected int     `json:"expected"`
+	DropRate float64 `json:"drop_rate"`
+
+	// Delivery-time distribution over successful trials (-1 when none
+	// succeeded), with percentile-bootstrap 95% intervals on the median
+	// and the tail.
+	StepsMean float64 `json:"steps_mean"`
+	StepsP50  float64 `json:"steps_p50"`
+	StepsP90  float64 `json:"steps_p90"`
+	StepsP99  float64 `json:"steps_p99"`
+	P50Lo     float64 `json:"p50_lo"`
+	P50Hi     float64 `json:"p50_hi"`
+	P99Lo     float64 `json:"p99_lo"`
+	P99Hi     float64 `json:"p99_hi"`
+
+	DeflectsPerPacket float64 `json:"deflects_per_packet"`
+	FaultBlocked      int     `json:"fault_blocked"`
+	FaultStalls       int     `json:"fault_stalls"`
+}
+
+// Validate rejects malformed cells — the garbage filter between a
+// checkpoint file on disk and the campaign resuming from it.
+func (c *CampaignCell) Validate() error {
+	if c.Key == "" {
+		return fmt.Errorf("persist: campaign cell with empty key")
+	}
+	if c.Nodes < 0 || c.Edges < 0 || c.Packets <= 0 || c.C < 0 || c.D < 0 || c.L < 0 {
+		return fmt.Errorf("persist: campaign cell %s: negative or empty problem facts", c.Key)
+	}
+	if c.Trials <= 0 || c.Succeeded < 0 || c.Succeeded > c.Trials {
+		return fmt.Errorf("persist: campaign cell %s: succeeded %d of %d trials", c.Key, c.Succeeded, c.Trials)
+	}
+	if c.Expected != c.Trials*c.Packets || c.Absorbed < 0 || c.Absorbed > c.Expected {
+		return fmt.Errorf("persist: campaign cell %s: absorbed %d of expected %d (trials %d × packets %d)",
+			c.Key, c.Absorbed, c.Expected, c.Trials, c.Packets)
+	}
+	if c.DropRate < 0 || c.DropRate > 1 {
+		return fmt.Errorf("persist: campaign cell %s: drop rate %g outside [0,1]", c.Key, c.DropRate)
+	}
+	if c.Succeeded == 0 {
+		if c.StepsP50 != -1 || c.StepsP90 != -1 || c.StepsP99 != -1 {
+			return fmt.Errorf("persist: campaign cell %s: no successes but quantiles set", c.Key)
+		}
+		return nil
+	}
+	if c.StepsP50 <= 0 || c.StepsP50 > c.StepsP90 || c.StepsP90 > c.StepsP99 {
+		return fmt.Errorf("persist: campaign cell %s: unordered quantiles p50=%g p90=%g p99=%g",
+			c.Key, c.StepsP50, c.StepsP90, c.StepsP99)
+	}
+	if c.P50Lo > c.P50Hi || c.P99Lo > c.P99Hi {
+		return fmt.Errorf("persist: campaign cell %s: inverted bootstrap interval", c.Key)
+	}
+	return nil
+}
+
+// CampaignWriter appends completed cells to a checkpoint stream. It is
+// not safe for concurrent use; the campaign runner serializes appends.
+type CampaignWriter struct {
+	w io.Writer
+}
+
+// NewCampaignWriter writes the header line and returns a writer for
+// cell lines. Pass startedEmpty=false to continue an existing
+// checkpoint (the header is already on disk and is not rewritten).
+func NewCampaignWriter(w io.Writer, h CampaignHeader, startedEmpty bool) (*CampaignWriter, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	cw := &CampaignWriter{w: w}
+	if !startedEmpty {
+		return cw, nil
+	}
+	return cw, cw.appendJSON(h)
+}
+
+// Append writes one completed cell as a single line.
+func (cw *CampaignWriter) Append(c *CampaignCell) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	return cw.appendJSON(c)
+}
+
+func (cw *CampaignWriter) appendJSON(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = cw.w.Write(append(data, '\n'))
+	return err
+}
+
+// ReadCampaignCheckpoint parses and validates a checkpoint stream. A
+// trailing line without a newline terminator is treated as the torn
+// write of an interrupted campaign and silently dropped; every
+// newline-terminated line must parse and validate. Duplicate cell keys
+// are rejected (two writers on one file corrupt the resume contract).
+func ReadCampaignCheckpoint(r io.Reader) (CampaignHeader, []CampaignCell, error) {
+	var h CampaignHeader
+	br := bufio.NewReader(r)
+	lineNo := 0
+	seen := make(map[string]bool)
+	var cells []CampaignCell
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF && len(bytes.TrimSpace(line)) > 0 {
+			// Torn trailing line: the interrupted append never completed,
+			// so the cell it described was not checkpointed.
+			break
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return h, nil, fmt.Errorf("persist: campaign checkpoint line %d: %w", lineNo+1, err)
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		lineNo++
+		if lineNo == 1 {
+			if err := strictUnmarshal(line, &h); err != nil {
+				return h, nil, fmt.Errorf("persist: campaign checkpoint header: %w", err)
+			}
+			if err := h.Validate(); err != nil {
+				return h, nil, err
+			}
+			continue
+		}
+		var c CampaignCell
+		if err := strictUnmarshal(line, &c); err != nil {
+			return h, nil, fmt.Errorf("persist: campaign checkpoint line %d: %w", lineNo, err)
+		}
+		if err := c.Validate(); err != nil {
+			return h, nil, fmt.Errorf("persist: campaign checkpoint line %d: %w", lineNo, err)
+		}
+		if seen[c.Key] {
+			return h, nil, fmt.Errorf("persist: campaign checkpoint line %d: duplicate cell %q", lineNo, c.Key)
+		}
+		seen[c.Key] = true
+		cells = append(cells, c)
+	}
+	if lineNo == 0 {
+		return h, nil, fmt.Errorf("persist: campaign checkpoint is empty (no header)")
+	}
+	return h, cells, nil
+}
+
+// strictUnmarshal decodes exactly one JSON value from line, rejecting
+// trailing data (two values jammed on one line are corruption, not a
+// cell).
+func strictUnmarshal(line []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package persist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sampleCell returns a valid cell for checkpoint tests.
+func sampleCell(key string) CampaignCell {
+	return CampaignCell{
+		Key: key, Topo: "butterfly:4", Load: "hotspot:12x2", Router: "frame",
+		Nodes: 80, Edges: 256, Packets: 12, C: 3, D: 4, L: 4,
+		Trials: 6, Succeeded: 6,
+		Absorbed: 72, Expected: 72, DropRate: 0,
+		StepsMean: 100, StepsP50: 90, StepsP90: 120, StepsP99: 130,
+		P50Lo: 85, P50Hi: 95, P99Lo: 120, P99Hi: 140,
+		DeflectsPerPacket: 1.5,
+	}
+}
+
+func sampleHeader() CampaignHeader {
+	return CampaignHeader{
+		Version: CampaignFormatVersion, Kind: CampaignKind,
+		Name: "test", SpecHash: "0123456789abcdef",
+	}
+}
+
+func TestCampaignCheckpointRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewCampaignWriter(&buf, sampleHeader(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []CampaignCell{sampleCell("a"), sampleCell("b"), sampleCell("c")}
+	for i := range cells {
+		if err := w.Append(&cells[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, got, err := ReadCampaignCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != sampleHeader() {
+		t.Fatalf("header round-trip: got %+v", h)
+	}
+	if len(got) != len(cells) {
+		t.Fatalf("got %d cells, want %d", len(got), len(cells))
+	}
+	for i := range cells {
+		if got[i] != cells[i] {
+			t.Fatalf("cell %d round-trip mismatch:\n got %+v\nwant %+v", i, got[i], cells[i])
+		}
+	}
+}
+
+// TestCampaignCheckpointTornTail verifies the interrupted-append
+// contract: a trailing line without its newline is dropped silently
+// (that cell was never durably checkpointed), while complete lines
+// before it survive.
+func TestCampaignCheckpointTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewCampaignWriter(&buf, sampleHeader(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := sampleCell("a"), sampleCell("b")
+	if err := w.Append(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final line mid-write.
+	torn := buf.Bytes()[:buf.Len()-17]
+	h, cells, err := ReadCampaignCheckpoint(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated, got %v", err)
+	}
+	if h.SpecHash != sampleHeader().SpecHash {
+		t.Fatalf("header lost: %+v", h)
+	}
+	if len(cells) != 1 || cells[0].Key != "a" {
+		t.Fatalf("want only cell a to survive, got %d cells", len(cells))
+	}
+}
+
+// TestCampaignCheckpointGarbage feeds malformed checkpoints; each must
+// be rejected with an error, never accepted or panicked on.
+func TestCampaignCheckpointGarbage(t *testing.T) {
+	header := `{"version":1,"kind":"campaign-checkpoint","name":"t","spec_hash":"ab"}`
+	valid := `{"key":"k","topo":"butterfly:4","load":"hotspot:12x2","router":"frame","nodes":80,"edges":256,"packets":12,"c":3,"d":4,"l":4,"trials":6,"succeeded":6,"absorbed":72,"expected":72,"drop_rate":0,"steps_mean":100,"steps_p50":90,"steps_p90":120,"steps_p99":130,"p50_lo":85,"p50_hi":95,"p99_lo":120,"p99_hi":140,"deflects_per_packet":1.5,"fault_blocked":0,"fault_stalls":0}`
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"empty", ""},
+		{"not json", "hello\nworld\n"},
+		{"wrong kind", `{"version":1,"kind":"problem","name":"t","spec_hash":"ab"}` + "\n"},
+		{"wrong version", `{"version":99,"kind":"campaign-checkpoint","name":"t","spec_hash":"ab"}` + "\n"},
+		{"missing spec hash", `{"version":1,"kind":"campaign-checkpoint","name":"t"}` + "\n"},
+		{"cell before header rejected as header", valid + "\n"},
+		{"empty cell key", header + "\n" + strings.Replace(valid, `"key":"k"`, `"key":""`, 1) + "\n"},
+		{"negative trials", header + "\n" + strings.Replace(valid, `"trials":6`, `"trials":-1`, 1) + "\n"},
+		{"succeeded above trials", header + "\n" + strings.Replace(valid, `"succeeded":6`, `"succeeded":7`, 1) + "\n"},
+		{"absorbed above expected", header + "\n" + strings.Replace(valid, `"absorbed":72`, `"absorbed":73`, 1) + "\n"},
+		{"expected mismatch", header + "\n" + strings.Replace(valid, `"expected":72`, `"expected":60`, 1) + "\n"},
+		{"drop rate above one", header + "\n" + strings.Replace(valid, `"drop_rate":0`, `"drop_rate":1.5`, 1) + "\n"},
+		{"unordered quantiles", header + "\n" + strings.Replace(valid, `"steps_p90":120`, `"steps_p90":80`, 1) + "\n"},
+		{"inverted bootstrap interval", header + "\n" + strings.Replace(valid, `"p50_lo":85`, `"p50_lo":96`, 1) + "\n"},
+		{"no successes but quantiles", header + "\n" + strings.Replace(valid, `"succeeded":6`, `"succeeded":0`, 1) + "\n"},
+		{"duplicate key", header + "\n" + valid + "\n" + valid + "\n"},
+		{"two values one line", header + "\n" + valid + valid + "\n"},
+		{"garbage cell line", header + "\n" + `{"key":` + "\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := ReadCampaignCheckpoint(strings.NewReader(tc.data)); err == nil {
+				t.Fatalf("garbage checkpoint accepted")
+			}
+		})
+	}
+}
+
+func TestCampaignWriterRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewCampaignWriter(&buf, CampaignHeader{Version: 2, Kind: CampaignKind, SpecHash: "x"}, true); err == nil {
+		t.Fatal("bad header version accepted")
+	}
+	w, err := NewCampaignWriter(&buf, sampleHeader(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := sampleCell("k")
+	bad.Succeeded = bad.Trials + 1
+	if err := w.Append(&bad); err == nil {
+		t.Fatal("invalid cell accepted by writer")
+	}
+}
+
+// TestCampaignCheckpointContinuation verifies the resume path: a second
+// writer opened with startedEmpty=false appends without duplicating the
+// header, and the combined stream reads back whole.
+func TestCampaignCheckpointContinuation(t *testing.T) {
+	var buf bytes.Buffer
+	w1, err := NewCampaignWriter(&buf, sampleHeader(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sampleCell("a")
+	if err := w1.Append(&a); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := NewCampaignWriter(&buf, sampleHeader(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sampleCell("b")
+	if err := w2.Append(&b); err != nil {
+		t.Fatal(err)
+	}
+	_, cells, err := ReadCampaignCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 || cells[0].Key != "a" || cells[1].Key != "b" {
+		t.Fatalf("continuation read %d cells", len(cells))
+	}
+}

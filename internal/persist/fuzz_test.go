@@ -64,6 +64,75 @@ func FuzzReadProblem(f *testing.F) {
 	})
 }
 
+// FuzzReadCampaignCheckpoint mirrors FuzzReadProblem for campaign
+// checkpoints: arbitrary bytes must never panic the reader, and any
+// accepted checkpoint must contain only valid, uniquely keyed cells
+// that survive an append round-trip.
+func FuzzReadCampaignCheckpoint(f *testing.F) {
+	// Seed with a genuine checkpoint and some near-misses.
+	var buf bytes.Buffer
+	h := CampaignHeader{Version: CampaignFormatVersion, Kind: CampaignKind, Name: "seed", SpecHash: "0123456789abcdef"}
+	w, err := NewCampaignWriter(&buf, h, true)
+	if err != nil {
+		f.Fatal(err)
+	}
+	cell := CampaignCell{
+		Key: "butterfly:4/hotspot:12x2/flap/frame", Topo: "butterfly:4", Load: "hotspot:12x2",
+		Fault: "flap", Router: "frame", Nodes: 80, Edges: 256, Packets: 12, C: 3, D: 4, L: 4,
+		Trials: 6, Succeeded: 5, Absorbed: 60, Expected: 72, DropRate: 1 - 60.0/72.0,
+		StepsMean: 100, StepsP50: 90, StepsP90: 120, StepsP99: 130,
+		P50Lo: 85, P50Hi: 95, P99Lo: 120, P99Hi: 140, DeflectsPerPacket: 1.5,
+	}
+	if err := w.Append(&cell); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"version":1,"kind":"campaign-checkpoint","name":"t","spec_hash":"ab"}` + "\n")
+	f.Add(`{"version":1,"kind":"campaign-checkpoint","name":"t","spec_hash":"ab"}` + "\n" + `{"key":"k"}` + "\n")
+	f.Add(`{"version":2,"kind":"campaign-checkpoint","name":"t","spec_hash":"ab"}` + "\n")
+	f.Add(`{"version":1,"kind":"problem"}` + "\n")
+	f.Add("")
+	f.Add("\n\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		h, cells, err := ReadCampaignCheckpoint(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("accepted invalid header: %v", err)
+		}
+		seen := make(map[string]bool, len(cells))
+		for i := range cells {
+			if err := cells[i].Validate(); err != nil {
+				t.Fatalf("accepted invalid cell %d: %v", i, err)
+			}
+			if seen[cells[i].Key] {
+				t.Fatalf("accepted duplicate cell key %q", cells[i].Key)
+			}
+			seen[cells[i].Key] = true
+		}
+		// Accepted checkpoints must round-trip through the writer.
+		var out bytes.Buffer
+		w, err := NewCampaignWriter(&out, h, true)
+		if err != nil {
+			t.Fatalf("re-serialize header: %v", err)
+		}
+		for i := range cells {
+			if err := w.Append(&cells[i]); err != nil {
+				t.Fatalf("re-serialize cell %d: %v", i, err)
+			}
+		}
+		h2, cells2, err := ReadCampaignCheckpoint(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip failed: %v", err)
+		}
+		if h2 != h || len(cells2) != len(cells) {
+			t.Fatalf("round-trip changed content")
+		}
+	})
+}
+
 // FuzzReadNetwork mirrors FuzzReadProblem for bare networks.
 func FuzzReadNetwork(f *testing.F) {
 	g, err := topo.Butterfly(3)
