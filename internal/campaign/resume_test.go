@@ -151,7 +151,10 @@ func TestResumeRejectsForeignCheckpoint(t *testing.T) {
 
 // TestResumeToleratesTornTail: simulate a kill mid-append by
 // truncating the checkpoint inside its last line; the resume must drop
-// that cell, re-run it, and still converge byte-identically.
+// that cell, re-run it, and still converge byte-identically. The
+// resumed checkpoint must itself stay parseable — the torn fragment is
+// truncated away, not glued to the re-run cell's appended line — so a
+// second resume over it works too.
 func TestResumeToleratesTornTail(t *testing.T) {
 	spec := tinySpec()
 	want := docBytes(t, runToCompletion(t, spec))
@@ -174,6 +177,85 @@ func TestResumeToleratesTornTail(t *testing.T) {
 	if got := docBytes(t, doc); !bytes.Equal(got, want) {
 		t.Fatal("torn-tail resume differs from uninterrupted run")
 	}
+	after, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, cells, err := persist.ReadCampaignCheckpoint(bytes.NewReader(after)); err != nil {
+		t.Fatalf("checkpoint corrupt after torn-tail resume: %v", err)
+	} else if len(cells) != 4 {
+		t.Fatalf("checkpoint holds %d cells after torn-tail resume, want 4", len(cells))
+	}
+	doc, err = Run(spec, RunConfig{Workers: 2, Checkpoint: ckpt})
+	if err != nil {
+		t.Fatalf("second resume over repaired checkpoint: %v", err)
+	}
+	if got := docBytes(t, doc); !bytes.Equal(got, want) {
+		t.Fatal("second torn-tail resume differs from uninterrupted run")
+	}
+}
+
+// TestResumeStartsOverTornHeader: a checkpoint killed during its very
+// first write holds only a partial header line — no complete lines at
+// all. Resume must start the file over, not fail.
+func TestResumeStartsOverTornHeader(t *testing.T) {
+	spec := tinySpec()
+	want := docBytes(t, runToCompletion(t, spec))
+
+	ckpt := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	if err := os.WriteFile(ckpt, []byte(`{"version":1,"kind":"campai`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Run(spec, RunConfig{Workers: 2, Checkpoint: ckpt})
+	if err != nil {
+		t.Fatalf("resume over torn header: %v", err)
+	}
+	if got := docBytes(t, doc); !bytes.Equal(got, want) {
+		t.Fatal("torn-header restart differs from uninterrupted run")
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, cells, err := persist.ReadCampaignCheckpoint(bytes.NewReader(data)); err != nil {
+		t.Fatalf("restarted checkpoint unreadable: %v", err)
+	} else if len(cells) != 4 {
+		t.Fatalf("restarted checkpoint holds %d cells, want 4", len(cells))
+	}
+}
+
+// failAfterFirstWrite errors every Write after the first — a stream
+// sink that dies mid-campaign.
+type failAfterFirstWrite struct{ writes int }
+
+func (w *failAfterFirstWrite) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > 1 {
+		return 0, errors.New("stream sink full")
+	}
+	return len(p), nil
+}
+
+// TestStopAfterThenErrorDoesNotPanic: StopAfter fires first (closing
+// the feed), then a drained in-flight result hits the stream-error
+// branch — which must not close the feed a second time. Workers equal
+// to the cell count so every cell is in flight before the first result
+// drains, making the post-stop error deterministic.
+func TestStopAfterThenErrorDoesNotPanic(t *testing.T) {
+	spec := tinySpec()
+	spec.Topos = []string{"butterfly:3", "mesh:3"} // 8 cells
+	for attempt := 0; attempt < 5; attempt++ {
+		_, err := Run(spec, RunConfig{Workers: 8, StopAfter: 1, Stream: &failAfterFirstWrite{}})
+		if err == nil {
+			t.Fatal("stream error after StopAfter was swallowed")
+		}
+		if !errors.Is(err, ErrStopped) {
+			return // the stream error surfaced, no double-close panic
+		}
+		// ErrStopped means no in-flight result drained after the stop —
+		// the race the test needs didn't engage this attempt; retry.
+	}
+	t.Fatal("no attempt drained an erroring in-flight result after StopAfter")
 }
 
 // TestRunStreamEmitsEveryNewCell: the CSV stream carries one row per

@@ -211,40 +211,46 @@ func runPending(spec *Spec, cfg RunConfig, pending []Cell,
 	}()
 
 	total := len(done) + len(pending)
+	// requestStop closes stopFeed exactly once; every stop site below
+	// goes through it, since a StopAfter close can be followed by an
+	// error in a drained in-flight result (or vice versa). Only this
+	// goroutine calls it, so a plain bool guard suffices.
 	stopRequested := false
+	requestStop := func() {
+		if !stopRequested {
+			stopRequested = true
+			close(stopFeed)
+		}
+	}
 	newly := 0
 	var firstErr error
 	for r := range results {
 		if r.err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("campaign: cell %s: %w", r.cell.Key(), r.err)
-				close(stopFeed)
-				stopRequested = true
+				requestStop()
 			}
 			continue
 		}
 		if ckpt != nil {
 			if err := ckpt.Append(&r.summary); err != nil && firstErr == nil {
 				firstErr = fmt.Errorf("campaign: checkpoint %s: %w", cfg.Checkpoint, err)
-				close(stopFeed)
-				stopRequested = true
+				requestStop()
 				continue
 			}
 		}
 		if stream != nil {
 			if err := streamRow(stream, &r.summary); err != nil && firstErr == nil {
 				firstErr = fmt.Errorf("campaign: stream: %w", err)
-				close(stopFeed)
-				stopRequested = true
+				requestStop()
 				continue
 			}
 		}
 		done[r.cell.Key()] = r.summary
 		newly++
 		logf("campaign %s: cell %s done (%d newly completed)", spec.Name, r.cell.Key(), newly)
-		if cfg.StopAfter > 0 && newly >= cfg.StopAfter && !stopRequested {
-			close(stopFeed)
-			stopRequested = true
+		if cfg.StopAfter > 0 && newly >= cfg.StopAfter {
+			requestStop()
 		}
 	}
 	if firstErr != nil {
@@ -257,10 +263,29 @@ func runPending(spec *Spec, cfg RunConfig, pending []Cell,
 
 // openCheckpoint restores an existing checkpoint (validating its spec
 // fingerprint) and returns the restored cells plus an append-mode file.
+// A torn trailing line — the partial write of a killed append — is
+// physically truncated away before appending resumes, so a new cell
+// line is never glued onto the fragment (which would weld them into one
+// complete-but-invalid line and poison every later resume). A file torn
+// inside its very first line (killed during the header write) has no
+// complete lines at all and is started over.
 func openCheckpoint(path string, spec *Spec, hash string) ([]persist.CampaignCell, *os.File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("campaign: checkpoint %s: %w", path, err)
+	}
+	// keep is the byte length of the complete (newline-terminated)
+	// prefix; everything after the last newline is a torn tail.
+	keep := 0
+	if i := bytes.LastIndexByte(data, '\n'); i >= 0 {
+		keep = i + 1
+	}
+	if len(bytes.TrimSpace(data[:keep])) == 0 {
+		keep = 0
+	}
 	var restored []persist.CampaignCell
-	if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
-		h, cells, err := persist.ReadCampaignCheckpoint(bytes.NewReader(data))
+	if keep > 0 {
+		h, cells, err := persist.ReadCampaignCheckpoint(bytes.NewReader(data[:keep]))
 		if err != nil {
 			return nil, nil, fmt.Errorf("campaign: checkpoint %s: %w", path, err)
 		}
@@ -284,21 +309,22 @@ func openCheckpoint(path string, spec *Spec, hash string) ([]persist.CampaignCel
 				restored = append(restored, c)
 			}
 		}
-	} else if err != nil && !os.IsNotExist(err) {
-		return nil, nil, fmt.Errorf("campaign: checkpoint %s: %w", path, err)
 	}
-	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
-	f, err := os.OpenFile(path, flags, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
+	size := int64(keep)
 	if len(restored) == 0 {
-		// Start the file over: it was empty, missing, or held only a
-		// torn header/cells filtered out above.
-		if err := f.Truncate(0); err != nil {
-			f.Close()
-			return nil, nil, err
-		}
+		// Start the file over: it was empty, missing, torn inside the
+		// header, or held only cells filtered out above.
+		size = 0
+	}
+	// Drop the torn tail (or the whole file) before the first append;
+	// with O_APPEND, later writes land at the truncated end.
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, nil, err
 	}
 	return restored, f, nil
 }
