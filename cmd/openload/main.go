@@ -22,6 +22,21 @@
 // With -faults the run degrades under the given campaign (spec syntax
 // in docs/FAULTS.md); -retry N turns blocked arrivals into bounded
 // exponential-backoff retries instead of immediate losses.
+//
+// With -serve the process becomes routing-as-a-service (docs/SERVICE.md):
+// the topology is served over the internal/service HTTP API, tenants
+// from -tenants submit packet batches under token-bucket quotas, and
+// /debug/vars carries per-tenant ledgers under the "service" var.
+// SIGINT/SIGTERM drains gracefully — the in-flight state is frozen to
+// -snapshot (taken BEFORE the final window flush, so a process
+// restarted with -restore resumes the exact trajectory, trace digest
+// and all), the final partial window is flushed, and the listener shuts
+// down bounded.
+//
+//	openload -serve -http :8090 -lambda 0 -window 200 \
+//	    -tenants 'gold:rate=200,burst=400;free:rate=20,burst=40' \
+//	    -snapshot /tmp/svc.json
+//	openload -serve -http :8090 -restore /tmp/svc.json   # resume
 package main
 
 import (
@@ -60,6 +75,12 @@ func main() {
 		retryBase = flag.Int("retry-base", 1, "backoff before the first retry, in steps")
 		retryCap  = flag.Int("retry-cap", 64, "backoff ceiling, in steps")
 		httpAddr  = flag.String("http", "", "serve live expvar (/debug/vars) and pprof (/debug/pprof/) on this address during a single-rate run")
+
+		serve       = flag.Bool("serve", false, "routing-as-a-service mode: serve the topology over the HTTP packet API (requires -http)")
+		tenantSpec  = flag.String("tenants", "gold:rate=200,burst=400;free:rate=20,burst=40", "serve mode tenant quota table, 'name:rate=R,burst=B;...' (bare name = unlimited)")
+		snapPath    = flag.String("snapshot", "", "serve mode: freeze the service to this file on SIGTERM (before the final window flush)")
+		restorePath = flag.String("restore", "", "serve mode: resume from this snapshot file instead of starting fresh")
+		autoStep    = flag.Bool("autostep", true, "serve mode: step engines continuously; false = deterministic manual stepping via the /advance endpoint")
 	)
 	flag.Parse()
 
@@ -86,6 +107,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "openload: fault campaign %s\n", campaign.Name())
 	}
 	retry := dynamic.RetryPolicy{MaxAttempts: *retryMax, BaseDelay: *retryBase, MaxDelay: *retryCap}
+
+	if *serve || *restorePath != "" {
+		win := *window
+		if win <= 0 {
+			win = 200
+		}
+		runServe(serveConfig{
+			addr: *httpAddr, topoName: *topoStr, net: net,
+			engine: dynamic.Config{
+				Lambda: *lambda, Steps: 0, Seed: *seed, Window: win, Retry: retry,
+			},
+			faultSpec: *faultSpec, faultSeed: *seed,
+			tenantSpec: *tenantSpec, autoStep: *autoStep,
+			snapPath: *snapPath, restorePath: *restorePath,
+		})
+		return
+	}
 
 	if *sweep != "" {
 		fmt.Println("lambda,offered,admitted,admit_rate,delivered_per_step,lat_p50,lat_p99,avg_inflight,fault_blocked,fault_stalls,retried,dropped")

@@ -233,6 +233,51 @@ func TestCompareCampaignFailsOnDropRateShift(t *testing.T) {
 	}
 }
 
+// TestCompareCampaignZeroBaselineQuantile covers the degenerate
+// relative-gate cases the absolute floor exists for. Before the floor,
+// a baseline quantile of 0 made the relative shift |cur-0|/0 = +Inf, so
+// ANY nonzero current failed, and 0 vs 0 evaluated NaN > tol = false,
+// so that comparison was vacuous by accident rather than by decision.
+func TestCompareCampaignZeroBaselineQuantile(t *testing.T) {
+	mk := func(p50, p99 float64) *Document {
+		doc := runTiny(t)
+		doc.Cells = append([]persist.CampaignCell(nil), doc.Cells...)
+		doc.Cells[0].StepsP50 = p50
+		doc.Cells[0].StepsP90 = p99
+		doc.Cells[0].StepsP99 = p99
+		return doc
+	}
+
+	// Direction 1: zero baseline, tiny current — must PASS (the old
+	// Inf gate failed this spuriously).
+	if _, err := CompareCampaign(mk(0, 0), mk(0.05, 0.05), Tolerances{}); err != nil {
+		t.Errorf("tiny shift off zero baseline failed the gate: %v", err)
+	}
+	// Zero on both sides — must PASS, now by decision rather than by
+	// NaN comparing false.
+	if _, err := CompareCampaign(mk(0, 0), mk(0, 0), Tolerances{}); err != nil {
+		t.Errorf("identical zero quantiles failed the gate: %v", err)
+	}
+	// Direction 2: zero baseline, large current — must FAIL on the
+	// absolute fallback, with the near-zero wording.
+	_, err := CompareCampaign(mk(0, 0), mk(5, 5), Tolerances{})
+	if err == nil {
+		t.Fatal("large shift off zero baseline passed the gate")
+	}
+	if !strings.Contains(err.Error(), "near zero baseline") {
+		t.Fatalf("gate failed for the wrong reason: %v", err)
+	}
+	// And symmetrically: near-zero CURRENT against a sub-floor baseline
+	// still gates absolutely (regression in the shrinking direction).
+	if _, err := CompareCampaign(mk(0.5, 0.5), mk(0, 0), Tolerances{}); err == nil {
+		t.Fatal("0.5 -> 0 collapse under the floor passed the gate")
+	}
+	// A baseline above the floor keeps the plain relative gate.
+	if _, err := CompareCampaign(mk(100, 100), mk(105, 105), Tolerances{}); err != nil {
+		t.Errorf("5%% shift on healthy baseline failed the 10%% gate: %v", err)
+	}
+}
+
 // TestCompareCampaignWarnsOnOneSidedCells: disjoint cells warn without
 // failing; the intersection still gates.
 func TestCompareCampaignWarnsOnOneSidedCells(t *testing.T) {

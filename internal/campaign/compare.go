@@ -23,6 +23,15 @@ type Tolerances struct {
 	// packet-drop rate (the under-faults degradation figure). Default
 	// 0.05.
 	DropRate float64
+	// QuantileFloor switches the quantile gate from relative to
+	// absolute below this baseline magnitude. A relative gate is
+	// meaningless near zero: baseline 0 divides to +Inf (everything
+	// fails) and 0 vs 0 divides to NaN (every comparison is vacuously
+	// true, so anything passes). Below the floor the gate instead
+	// requires |cur-base| <= QuantileFloor*Quantile — the same
+	// proportional slack, anchored at the floor. Default 1.0 (one
+	// delivery step).
+	QuantileFloor float64
 }
 
 func (t Tolerances) normalize() Tolerances {
@@ -31,6 +40,9 @@ func (t Tolerances) normalize() Tolerances {
 	}
 	if t.DropRate <= 0 {
 		t.DropRate = 0.05
+	}
+	if t.QuantileFloor <= 0 {
+		t.QuantileFloor = 1.0
 	}
 	return t
 }
@@ -78,6 +90,15 @@ func CompareCampaign(baseline, current *Document, tol Tolerances) ([]string, err
 			case q.base < 0 || q.cur < 0:
 				violations = append(violations,
 					fmt.Sprintf("cell %s: %s existence flipped (baseline %g, current %g)", cur.Key, q.name, q.base, q.cur))
+			case math.Abs(q.base) < tol.QuantileFloor:
+				// Near-zero baseline: the relative gate degenerates
+				// (0 → Inf fails everything; 0 vs 0 → NaN passes
+				// everything). Gate on absolute shift instead.
+				if shift := math.Abs(q.cur - q.base); shift > tol.QuantileFloor*tol.Quantile {
+					violations = append(violations,
+						fmt.Sprintf("cell %s: %s shifted %g near zero baseline (baseline %g, current %g, absolute tolerance %g)",
+							cur.Key, q.name, shift, q.base, q.cur, tol.QuantileFloor*tol.Quantile))
+				}
 			default:
 				if shift := math.Abs(q.cur-q.base) / q.base; shift > tol.Quantile {
 					violations = append(violations,

@@ -6,6 +6,12 @@
 // open system exposes the stability threshold — the arrival rate beyond
 // which the bufferless network stops keeping up.
 //
+// The simulator is an explicit state machine (Engine): Run drives it in
+// the classic closed λ-loop, while the routing service
+// (internal/service) feeds it externally submitted batches via Submit /
+// SubmitPath / SubmitRandom and freezes it between steps with Snapshot
+// — restored engines resume byte-identically, RNG stream included.
+//
 // The open system optionally runs degraded: Config.Faults marks edges
 // down per step (same purity contract as sim.FaultModel — see
 // internal/faults for campaign constructors), blocked packets deflect
@@ -21,7 +27,6 @@ import (
 	"math/rand"
 
 	"hotpotato/internal/graph"
-	"hotpotato/internal/paths"
 	"hotpotato/internal/sim"
 	"hotpotato/internal/stats"
 )
@@ -72,9 +77,11 @@ func (rp RetryPolicy) backoff(k int) int {
 // Config parameterizes an open-system run.
 type Config struct {
 	// Lambda is the per-node per-step arrival probability at every
-	// eligible source node.
+	// eligible source node (0 disables endogenous arrivals — the pure
+	// service mode, where all traffic comes from Submit*).
 	Lambda float64
-	// Steps is the simulated horizon.
+	// Steps is the simulated horizon. Run requires >= 1; NewEngine also
+	// accepts 0 for an unbounded (service-driven) engine.
 	Steps int
 	// Warmup steps are excluded from the reported statistics.
 	Warmup int
@@ -89,8 +96,10 @@ type Config struct {
 	// healthy slots, and a packet stranded at a node with no healthy
 	// free slot stalls in place for the step. The model must be a pure
 	// function of (edge, step) — the sim.FaultModel contract; bind a
-	// faults.Campaign for composable outage scenarios.
-	Faults sim.FaultModel
+	// faults.Campaign for composable outage scenarios. Excluded from
+	// JSON (func value): snapshots persist the fault *spec*, not the
+	// bound model.
+	Faults sim.FaultModel `json:"-"`
 	// Retry is the admission retry/backoff policy for blocked
 	// arrivals. The zero value disables retry.
 	Retry RetryPolicy
@@ -103,27 +112,30 @@ type Config struct {
 	// the live-export hook for long soak runs (cmd/openload -http).
 	// It runs on the simulation goroutine; a slow callback slows the
 	// run.
-	OnWindow func(w WindowStats, r *Result)
+	OnWindow func(w WindowStats, r *Result) `json:"-"`
 	// Stop, when non-nil, ends the run early as soon as a receive
 	// succeeds (close the channel to fire it): the current partial
 	// window is flushed through OnWindow, Result.Interrupted is set,
 	// and the statistics cover the executed prefix. The graceful-drain
 	// hook for soak processes catching SIGINT/SIGTERM.
-	Stop <-chan struct{}
+	Stop <-chan struct{} `json:"-"`
 }
 
 // Result summarizes an open-system run.
 type Result struct {
 	Cfg Config
-	// Offered is the number of packets that arrived (wanted to enter).
+	// Offered is the number of packets that arrived (wanted to enter),
+	// λ-generated and submitted alike.
 	Offered int
 	// Admitted is the number injected (source free at arrival or
 	// retry); Delivered the number absorbed within the horizon.
 	Admitted  int
 	Delivered int
 	// Retried counts admission re-attempts performed by the retry
-	// policy; Dropped counts packets the policy abandoned after
-	// exhausting MaxAttempts. Both are 0 when retry is disabled.
+	// policy; Dropped counts packets abandoned after exhausting
+	// MaxAttempts (plus blocked batch submissions when retry is
+	// disabled). Both are 0 when retry is disabled and no batches were
+	// submitted.
 	Retried int
 	Dropped int
 	// FaultBlocked counts (packet, step) pairs whose requested edge
@@ -148,11 +160,18 @@ type Result struct {
 	// ExecutedSteps to the prefix actually simulated.
 	Interrupted   bool
 	ExecutedSteps int
+	// TraceDigest is the FNV-1a digest folded over every delivery
+	// (id, destination, inject step, deliver step) — the cheap
+	// equality witness for the snapshot/restore and determinism
+	// contracts. Stamped by Engine.Finalize.
+	TraceDigest uint64
 	// Windows holds the per-window time series when Config.Window > 0.
 	Windows []WindowStats
 }
 
-// WindowStats is one slice of the open-system time series.
+// WindowStats is one slice of the open-system time series. Every field
+// is finite by construction: empty windows report 0 means, never
+// NaN/Inf (expvar and JSON cannot encode either).
 type WindowStats struct {
 	// Start is the window's first step.
 	Start int
@@ -218,6 +237,7 @@ func (r *Result) String() string {
 // pkt is a live packet of the open system.
 type pkt struct {
 	id          int
+	tenant      string
 	cur         graph.NodeID
 	dst         graph.NodeID
 	path        []graph.EdgeID
@@ -231,6 +251,7 @@ type pkt struct {
 // so retries consume no randomness and the RNG stream stays a pure
 // function of the arrival sequence.
 type retryEntry struct {
+	tenant   string
 	src      graph.NodeID
 	dst      graph.NodeID
 	path     []graph.EdgeID
@@ -249,6 +270,10 @@ func reservoirKeep(rng *rand.Rand, k int) bool {
 	return rng.Intn(k) == 0
 }
 
+// summarizeLatencies is the single finalization path for the latency
+// sample (kept separate so Engine.Finalize and tests share it).
+func summarizeLatencies(xs []float64) stats.Summary { return stats.Summarize(xs) }
+
 // Run executes an open-system greedy hot-potato simulation. The router
 // is greedy (chase the path head, equal priorities, backward-safe
 // deflections) — the right baseline for dynamic traffic, since the
@@ -259,347 +284,29 @@ func reservoirKeep(rng *rand.Rand, k int) bool {
 // and every sweep (sources, live packets, nodes) iterates in ID or
 // injection order — never Go map order.
 func Run(g *graph.Leveled, cfg Config) (*Result, error) {
-	if cfg.Lambda < 0 || cfg.Lambda > 1 {
-		return nil, fmt.Errorf("dynamic: lambda must be in [0,1], got %g", cfg.Lambda)
-	}
 	if cfg.Steps < 1 {
 		return nil, fmt.Errorf("dynamic: steps must be >= 1, got %d", cfg.Steps)
 	}
-	if cfg.Warmup >= cfg.Steps {
-		return nil, fmt.Errorf("dynamic: warmup %d >= steps %d", cfg.Warmup, cfg.Steps)
+	e, err := NewEngine(g, cfg)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Retry.MaxAttempts < 0 || cfg.Retry.BaseDelay < 0 || cfg.Retry.MaxDelay < 0 {
-		return nil, fmt.Errorf("dynamic: negative retry policy field: %+v", cfg.Retry)
-	}
-	maxFly := cfg.MaxInFlight
-	if maxFly <= 0 {
-		maxFly = 4096
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	res := &Result{Cfg: cfg}
-
-	// Eligible sources and their reachable destination lists.
-	var sources []graph.NodeID
-	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
-		if g.Node(v).Level < g.Depth() && len(g.Node(v).Up) > 0 {
-			sources = append(sources, v)
-		}
-	}
-	if len(sources) == 0 {
-		return nil, fmt.Errorf("dynamic: network has no eligible sources")
-	}
-	dstsOf := make([][]graph.NodeID, g.NumNodes())
-	for _, s := range sources {
-		reach := g.ForwardReachableFrom(s)
-		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
-			if v != s && reach[v] {
-				dstsOf[s] = append(dstsOf[s], v)
-			}
-		}
-	}
-
-	// at[v] lists the live packets at node v; indexed by node ID so
-	// every sweep below runs in ID order (Go map iteration order would
-	// make same-seed runs diverge).
-	at := make([][]*pkt, g.NumNodes())
-	var live []*pkt
-	var retryQ []retryEntry
-	nextID := 0
-	var latencies []float64
-	inFlightSum := 0.0
-	inFlightSamples := 0
-
-	type slot struct {
-		e graph.EdgeID
-		d graph.Direction
-	}
-	prevForward := make([]*pkt, g.NumEdges())
-	curForward := make([]*pkt, g.NumEdges())
-
-	down := func(e graph.EdgeID, t int) bool {
-		return cfg.Faults != nil && cfg.Faults(e, t)
-	}
-
-	// inject admits a packet at src if the source is free and the
-	// in-flight cap allows, returning success.
-	inject := func(t int, src, dst graph.NodeID, path []graph.EdgeID) bool {
-		if len(at[src]) > 0 || len(live) >= maxFly {
-			if len(live) >= maxFly {
-				res.Saturated = true
-			}
-			return false
-		}
-		p := &pkt{id: nextID, cur: src, dst: dst, path: path, arrivalEdge: graph.NoEdge, inject: t}
-		nextID++
-		at[src] = append(at[src], p)
-		live = append(live, p)
-		res.Admitted++
-		return true
-	}
-
-	// Window accumulators. closeWindow flushes the window covering
-	// steps [wStart, endStep] (span steps accumulated so far).
-	var wDelivered, wSpan, wStart int
-	var wLatSum, wFlySum, wAvailSum float64
-	var wPrevBlocked, wPrevStalls, wPrevDropped int
-	closeWindow := func() {
-		if cfg.Window <= 0 || wSpan == 0 {
-			return
-		}
-		ws := WindowStats{
-			Start:        wStart,
-			Delivered:    wDelivered,
-			MeanInFlight: wFlySum / float64(wSpan),
-			FaultBlocked: res.FaultBlocked - wPrevBlocked,
-			FaultStalls:  res.FaultStalls - wPrevStalls,
-			Dropped:      res.Dropped - wPrevDropped,
-			Availability: wAvailSum / float64(wSpan),
-		}
-		if wDelivered > 0 {
-			ws.MeanLatency = wLatSum / float64(wDelivered)
-		}
-		res.Windows = append(res.Windows, ws)
-		if cfg.OnWindow != nil {
-			cfg.OnWindow(ws, res)
-		}
-		wDelivered, wSpan = 0, 0
-		wLatSum, wFlySum, wAvailSum = 0, 0, 0
-		wPrevBlocked, wPrevStalls, wPrevDropped = res.FaultBlocked, res.FaultStalls, res.Dropped
-		wStart = res.ExecutedSteps
-	}
-
 	for t := 0; t < cfg.Steps; t++ {
 		if cfg.Stop != nil {
+			interrupted := false
 			select {
 			case <-cfg.Stop:
-				res.Interrupted = true
+				interrupted = true
 			default:
 			}
-			if res.Interrupted {
+			if interrupted {
+				e.res.Interrupted = true
 				break
 			}
 		}
-
-		// Retry admissions first: waiting packets get the source slot
-		// ahead of fresh arrivals (no new packet starves a backlogged
-		// one). The queue is FIFO and consumes no randomness.
-		if len(retryQ) > 0 {
-			keep := retryQ[:0]
-			for i := range retryQ {
-				en := retryQ[i]
-				if en.next > t {
-					keep = append(keep, en)
-					continue
-				}
-				res.Retried++
-				if inject(t, en.src, en.dst, en.path) {
-					continue
-				}
-				en.attempts++
-				if en.attempts >= cfg.Retry.MaxAttempts {
-					res.Dropped++
-					continue
-				}
-				en.next = t + cfg.Retry.backoff(en.attempts)
-				keep = append(keep, en)
-			}
-			retryQ = keep
-		}
-
-		// Arrivals: each source draws; blocked arrivals enter the
-		// retry queue (or are lost when retry is disabled).
-		for _, s := range sources {
-			if rng.Float64() >= cfg.Lambda {
-				continue
-			}
-			res.Offered++
-			cands := dstsOf[s]
-			if len(cands) == 0 {
-				continue
-			}
-			dst := cands[rng.Intn(len(cands))]
-			path, err := paths.RandomForwardPath(g, rng, s, dst)
-			if err != nil {
-				return nil, err
-			}
-			if inject(t, s, dst, path) {
-				continue
-			}
-			if cfg.Retry.enabled() {
-				retryQ = append(retryQ, retryEntry{
-					src: s, dst: dst, path: path,
-					attempts: 1, next: t + cfg.Retry.backoff(1),
-				})
-			}
-		}
-
-		// Requests: every live packet chases its head; equal-priority
-		// conflicts resolve by reservoir selection (1/k per
-		// contender). A request for a downed edge is fault-blocked and
-		// falls through to the deflection pass.
-		winners := make(map[slot]*pkt, len(live))
-		contenders := make(map[slot]int, len(live))
-		for _, p := range live {
-			e := p.path[0]
-			if down(e, t) {
-				res.FaultBlocked++
-				continue
-			}
-			s := slot{e, g.DirectionFrom(e, p.cur)}
-			k := contenders[s] + 1
-			contenders[s] = k
-			if k == 1 || reservoirKeep(rng, k) {
-				winners[s] = p
-			}
-		}
-		used := make(map[slot]bool, len(winners))
-		granted := make(map[*pkt]slot, len(live))
-		for s, p := range winners {
-			used[s] = true
-			granted[p] = s
-		}
-		// Deflect losers per node, in node-ID order (determinism).
-		stalled := make(map[*pkt]bool)
-		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
-			ps := at[v]
-			if len(ps) == 0 {
-				continue
-			}
-			node := g.Node(v)
-			free := func(s slot) bool {
-				return !used[s] && !down(s.e, t)
-			}
-			for _, p := range ps {
-				if _, ok := granted[p]; ok {
-					continue
-				}
-				assigned := false
-				if p.arrivalEdge != graph.NoEdge {
-					s := slot{p.arrivalEdge, p.arrivalDir.Reverse()}
-					if free(s) {
-						granted[p], used[s] = s, true
-						assigned = true
-					}
-				}
-				if !assigned {
-					for _, ed := range node.Down {
-						s := slot{ed, graph.Backward}
-						if free(s) && prevForward[ed] != nil {
-							granted[p], used[s] = s, true
-							assigned = true
-							break
-						}
-					}
-				}
-				if !assigned {
-					for _, ed := range node.Down {
-						s := slot{ed, graph.Backward}
-						if free(s) {
-							granted[p], used[s] = s, true
-							assigned = true
-							break
-						}
-					}
-				}
-				if !assigned {
-					for _, ed := range node.Up {
-						s := slot{ed, graph.Forward}
-						if free(s) {
-							granted[p], used[s] = s, true
-							assigned = true
-							break
-						}
-					}
-				}
-				if !assigned {
-					if cfg.Faults != nil {
-						// An outage consumed the node's slack: hold in
-						// place for one step, the bufferless model's
-						// local escape hatch under faults.
-						stalled[p] = true
-						res.FaultStalls++
-						continue
-					}
-					return nil, fmt.Errorf("dynamic: step %d: node %d over capacity", t, v)
-				}
-				res.Deflections++
-			}
-		}
-
-		// Commit.
-		for i := range curForward {
-			curForward[i] = nil
-		}
-		survivors := live[:0]
-		for i := range at {
-			at[i] = at[i][:0]
-		}
-		for _, p := range live {
-			if stalled[p] {
-				survivors = append(survivors, p)
-				at[p.cur] = append(at[p.cur], p)
-				continue
-			}
-			s := granted[p]
-			dest := g.EndpointAt(s.e, s.d)
-			if len(p.path) > 0 && p.path[0] == s.e {
-				p.path = p.path[1:]
-			} else {
-				p.path = append([]graph.EdgeID{s.e}, p.path...)
-			}
-			p.cur = dest
-			p.arrivalEdge, p.arrivalDir = s.e, s.d
-			if s.d == graph.Forward {
-				curForward[s.e] = p
-			}
-			if p.cur == p.dst {
-				res.Delivered++
-				if p.inject >= cfg.Warmup {
-					latencies = append(latencies, float64(t+1-p.inject))
-				}
-				if cfg.Window > 0 {
-					wDelivered++
-					wLatSum += float64(t + 1 - p.inject)
-				}
-				continue
-			}
-			survivors = append(survivors, p)
-			at[p.cur] = append(at[p.cur], p)
-		}
-		live = survivors
-		prevForward, curForward = curForward, prevForward
-		res.ExecutedSteps = t + 1
-
-		if t >= cfg.Warmup {
-			inFlightSum += float64(len(live))
-			inFlightSamples++
-		}
-		if len(live) > res.PeakInFlight {
-			res.PeakInFlight = len(live)
-		}
-		if cfg.Window > 0 {
-			wFlySum += float64(len(live))
-			if cfg.Faults == nil {
-				wAvailSum++
-			} else {
-				downEdges := 0
-				for e := 0; e < g.NumEdges(); e++ {
-					if cfg.Faults(graph.EdgeID(e), t) {
-						downEdges++
-					}
-				}
-				wAvailSum += 1 - float64(downEdges)/float64(g.NumEdges())
-			}
-			wSpan++
-			if (t+1)%cfg.Window == 0 || t == cfg.Steps-1 {
-				closeWindow()
-			}
+		if err := e.Step(); err != nil {
+			return nil, err
 		}
 	}
-	closeWindow() // flush the partial window of an interrupted run
-	res.Latency = stats.Summarize(latencies)
-	if inFlightSamples > 0 {
-		res.AvgInFlight = inFlightSum / float64(inFlightSamples)
-	}
-	return res, nil
+	return e.Finalize(), nil
 }

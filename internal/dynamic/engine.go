@@ -1,0 +1,633 @@
+package dynamic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hotpotato/internal/graph"
+	"hotpotato/internal/paths"
+	"hotpotato/internal/persist"
+)
+
+// TenantTotals is the engine-side per-tenant ledger (see
+// persist.TenantTotals for field semantics).
+type TenantTotals = persist.TenantTotals
+
+// pendingEntry is a submitted-but-not-yet-injected packet request from
+// a service batch. Random entries draw src/dst/path from the engine RNG
+// at injection time; src/dst entries draw only the path; explicit-path
+// entries consume no randomness. Drawing late keeps the RNG stream a
+// pure function of the injection sequence, which is what makes a
+// snapshot-restored run replay byte-identically.
+type pendingEntry struct {
+	tenant string
+	random bool
+	src    graph.NodeID // NoNode when random
+	dst    graph.NodeID
+	path   []graph.EdgeID // nil unless explicit
+}
+
+// Engine is the open-system simulator as an explicit state machine:
+// NewEngine seeds it, Step advances it one slotted step, Submit* feed
+// it externally-requested packets (the routing-service path), Snapshot
+// freezes it between steps and Restore thaws it in another process.
+// Run wraps it for the classic closed-loop λ-arrival simulation.
+//
+// An Engine is not safe for concurrent use; the service serializes all
+// access through each topology's goroutine.
+type Engine struct {
+	g   *graph.Leveled
+	cfg Config
+	res *Result
+
+	src *sm64
+	rng *rand.Rand
+
+	sources []graph.NodeID
+	dstsOf  [][]graph.NodeID
+
+	at      [][]*pkt
+	live    []*pkt
+	retryQ  []retryEntry
+	pending []pendingEntry
+	nextID  int
+
+	latencies       []float64
+	inFlightSum     float64
+	inFlightSamples int
+
+	prevForward, curForward []*pkt
+
+	// Window accumulators (the open partial window).
+	wDelivered, wSpan, wStart               int
+	wLatSum, wFlySum, wAvailSum             float64
+	wPrevBlocked, wPrevStalls, wPrevDropped int
+
+	step      int
+	digest    uint64
+	tenants   map[string]*TenantTotals
+	finalized bool
+}
+
+type slot struct {
+	e graph.EdgeID
+	d graph.Direction
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// foldDigest folds one 64-bit word into the FNV-1a running digest.
+func foldDigest(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime64
+		x >>= 8
+	}
+	return h
+}
+
+// NewEngine validates the configuration and builds a ready engine.
+// Unlike Run, Steps may be 0: the engine then has no horizon and steps
+// for as long as the caller keeps calling Step (the service mode).
+func NewEngine(g *graph.Leveled, cfg Config) (*Engine, error) {
+	if cfg.Lambda < 0 || cfg.Lambda > 1 {
+		return nil, fmt.Errorf("dynamic: lambda must be in [0,1], got %g", cfg.Lambda)
+	}
+	if cfg.Steps < 0 {
+		return nil, fmt.Errorf("dynamic: steps must be >= 0, got %d", cfg.Steps)
+	}
+	if cfg.Steps > 0 && cfg.Warmup >= cfg.Steps {
+		return nil, fmt.Errorf("dynamic: warmup %d >= steps %d", cfg.Warmup, cfg.Steps)
+	}
+	if cfg.Warmup < 0 {
+		return nil, fmt.Errorf("dynamic: negative warmup %d", cfg.Warmup)
+	}
+	if cfg.Retry.MaxAttempts < 0 || cfg.Retry.BaseDelay < 0 || cfg.Retry.MaxDelay < 0 {
+		return nil, fmt.Errorf("dynamic: negative retry policy field: %+v", cfg.Retry)
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4096
+	}
+	e := &Engine{
+		g:       g,
+		cfg:     cfg,
+		res:     &Result{Cfg: cfg},
+		src:     newSM64(cfg.Seed),
+		tenants: make(map[string]*TenantTotals),
+	}
+	e.rng = rand.New(e.src)
+
+	// Eligible sources and their reachable destination lists.
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if g.Node(v).Level < g.Depth() && len(g.Node(v).Up) > 0 {
+			e.sources = append(e.sources, v)
+		}
+	}
+	if len(e.sources) == 0 {
+		return nil, fmt.Errorf("dynamic: network has no eligible sources")
+	}
+	e.dstsOf = make([][]graph.NodeID, g.NumNodes())
+	for _, s := range e.sources {
+		reach := g.ForwardReachableFrom(s)
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			if v != s && reach[v] {
+				e.dstsOf[s] = append(e.dstsOf[s], v)
+			}
+		}
+	}
+	e.at = make([][]*pkt, g.NumNodes())
+	e.prevForward = make([]*pkt, g.NumEdges())
+	e.curForward = make([]*pkt, g.NumEdges())
+	return e, nil
+}
+
+// tenant returns (allocating) the ledger of a named tenant; the
+// anonymous tenant "" (λ-generated arrivals) has no ledger.
+func (e *Engine) tenant(name string) *TenantTotals {
+	if name == "" {
+		return nil
+	}
+	tt := e.tenants[name]
+	if tt == nil {
+		tt = &TenantTotals{}
+		e.tenants[name] = tt
+	}
+	return tt
+}
+
+// Submit enqueues one src→dst packet request for injection. The path is
+// drawn (uniformly over forward paths) from the engine RNG when the
+// packet is injected. Validation is immediate: an unreachable pair is
+// rejected here, never mid-run.
+func (e *Engine) Submit(tenant string, src, dst graph.NodeID) error {
+	if int(src) < 0 || int(src) >= e.g.NumNodes() || int(dst) < 0 || int(dst) >= e.g.NumNodes() {
+		return fmt.Errorf("dynamic: submit: node out of range")
+	}
+	reachable := false
+	for _, d := range e.dstsOf[src] {
+		if d == dst {
+			reachable = true
+			break
+		}
+	}
+	if !reachable {
+		return fmt.Errorf("dynamic: submit: node %d cannot reach %d forward (or %d is not an eligible source)", src, dst, src)
+	}
+	e.offerPending(pendingEntry{tenant: tenant, src: src, dst: dst})
+	return nil
+}
+
+// SubmitPath enqueues a packet with a fully pre-computed forward path
+// (the hop-constrained / oblivious-routing client shape). The path must
+// be a contiguous forward edge sequence.
+func (e *Engine) SubmitPath(tenant string, path []graph.EdgeID) error {
+	if len(path) == 0 {
+		return fmt.Errorf("dynamic: submit: empty path")
+	}
+	for i, ed := range path {
+		if int(ed) < 0 || int(ed) >= e.g.NumEdges() {
+			return fmt.Errorf("dynamic: submit: path edge %d out of range", i)
+		}
+		if i > 0 && e.g.Edge(path[i]).From != e.g.Edge(path[i-1]).To {
+			return fmt.Errorf("dynamic: submit: path not contiguous at hop %d", i)
+		}
+	}
+	src := e.g.Edge(path[0]).From
+	dst := e.g.Edge(path[len(path)-1]).To
+	e.offerPending(pendingEntry{
+		tenant: tenant, src: src, dst: dst,
+		path: append([]graph.EdgeID(nil), path...),
+	})
+	return nil
+}
+
+// SubmitRandom enqueues n packets whose src/dst pairs and paths are
+// drawn from the engine RNG at injection time — the deterministic
+// load-generation shape (the whole run is a pure function of the
+// submission sequence and the seed).
+func (e *Engine) SubmitRandom(tenant string, n int) error {
+	if n < 1 {
+		return fmt.Errorf("dynamic: submit: random count %d < 1", n)
+	}
+	for i := 0; i < n; i++ {
+		e.offerPending(pendingEntry{tenant: tenant, random: true, src: graph.NoNode, dst: graph.NoNode})
+	}
+	return nil
+}
+
+func (e *Engine) offerPending(en pendingEntry) {
+	e.res.Offered++
+	if tt := e.tenant(en.tenant); tt != nil {
+		tt.Submitted++
+	}
+	e.pending = append(e.pending, en)
+}
+
+// inject admits a packet at src if the source is free and the in-flight
+// cap allows, returning success.
+func (e *Engine) inject(t int, tenant string, src, dst graph.NodeID, path []graph.EdgeID) bool {
+	if len(e.at[src]) > 0 || len(e.live) >= e.cfg.MaxInFlight {
+		if len(e.live) >= e.cfg.MaxInFlight {
+			e.res.Saturated = true
+		}
+		return false
+	}
+	p := &pkt{id: e.nextID, tenant: tenant, cur: src, dst: dst, path: path, arrivalEdge: graph.NoEdge, inject: t}
+	e.nextID++
+	e.at[src] = append(e.at[src], p)
+	e.live = append(e.live, p)
+	e.res.Admitted++
+	if tt := e.tenant(tenant); tt != nil {
+		tt.Admitted++
+	}
+	return true
+}
+
+// closeWindow flushes the open window (no-op when windowing is off or
+// the window is empty). Every mean is guarded against its empty case,
+// so no exported WindowStats field can be NaN or Inf — expvar cannot
+// encode either, and a single poisoned window used to break the whole
+// /debug/vars endpoint.
+func (e *Engine) closeWindow() {
+	if e.cfg.Window <= 0 || e.wSpan == 0 {
+		return
+	}
+	ws := WindowStats{
+		Start:        e.wStart,
+		Delivered:    e.wDelivered,
+		MeanInFlight: safeMean(e.wFlySum, e.wSpan),
+		FaultBlocked: e.res.FaultBlocked - e.wPrevBlocked,
+		FaultStalls:  e.res.FaultStalls - e.wPrevStalls,
+		Dropped:      e.res.Dropped - e.wPrevDropped,
+		Availability: safeMean(e.wAvailSum, e.wSpan),
+		MeanLatency:  safeMean(e.wLatSum, e.wDelivered),
+	}
+	e.res.Windows = append(e.res.Windows, ws)
+	if e.cfg.OnWindow != nil {
+		e.cfg.OnWindow(ws, e.res)
+	}
+	e.wDelivered, e.wSpan = 0, 0
+	e.wLatSum, e.wFlySum, e.wAvailSum = 0, 0, 0
+	e.wPrevBlocked, e.wPrevStalls, e.wPrevDropped = e.res.FaultBlocked, e.res.FaultStalls, e.res.Dropped
+	e.wStart = e.res.ExecutedSteps
+}
+
+// safeMean is sum/n with the empty case pinned to 0 — the NaN guard for
+// every exported windowed mean.
+func safeMean(sum float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// FlushWindow closes the open partial window immediately (fires
+// OnWindow). The graceful-drain hook: a terminating service flushes its
+// last window into the live export before snapshotting.
+func (e *Engine) FlushWindow() { e.closeWindow() }
+
+func (e *Engine) down(ed graph.EdgeID, t int) bool {
+	return e.cfg.Faults != nil && e.cfg.Faults(ed, t)
+}
+
+// HasWork reports whether anything is in flight or queued — the
+// service's idle test (λ-driven engines always have work until their
+// horizon ends).
+func (e *Engine) HasWork() bool {
+	return len(e.live) > 0 || len(e.pending) > 0 || len(e.retryQ) > 0
+}
+
+// StepCount returns the number of executed steps.
+func (e *Engine) StepCount() int { return e.step }
+
+// Live returns the number of in-flight packets.
+func (e *Engine) Live() int { return len(e.live) }
+
+// QueueDepth returns pending + retrying packets not yet in flight.
+func (e *Engine) QueueDepth() int { return len(e.pending) + len(e.retryQ) }
+
+// Digest returns the running trace digest: an FNV-1a hash folded over
+// every delivery (id, destination, inject step, deliver step). Two runs
+// with the same digest delivered the same packets at the same times —
+// the equality the kill-and-restore contract is asserted with.
+func (e *Engine) Digest() uint64 { return e.digest }
+
+// Tenants returns the per-tenant ledgers (live map of live values; the
+// caller must not mutate and must copy across steps).
+func (e *Engine) Tenants() map[string]*TenantTotals { return e.tenants }
+
+// Peek returns the result accumulated so far without finalizing. The
+// Latency summary and AvgInFlight are only computed by Finalize.
+func (e *Engine) Peek() Result { return *e.res }
+
+// Step advances the simulation one slotted step: retries, pending
+// injections, λ-arrivals, request arbitration, deflections, commit,
+// window bookkeeping. It is an error to step a finalized engine.
+func (e *Engine) Step() error {
+	if e.finalized {
+		return fmt.Errorf("dynamic: Step after Finalize")
+	}
+	t := e.step
+	cfg := &e.cfg
+	res := e.res
+
+	// Retry admissions first: waiting packets get the source slot ahead
+	// of fresh arrivals (no new packet starves a backlogged one). The
+	// queue is FIFO and consumes no randomness.
+	if len(e.retryQ) > 0 {
+		keep := e.retryQ[:0]
+		for i := range e.retryQ {
+			en := e.retryQ[i]
+			if en.next > t {
+				keep = append(keep, en)
+				continue
+			}
+			res.Retried++
+			if tt := e.tenant(en.tenant); tt != nil {
+				tt.Retried++
+			}
+			if e.inject(t, en.tenant, en.src, en.dst, en.path) {
+				continue
+			}
+			en.attempts++
+			if en.attempts >= cfg.Retry.MaxAttempts {
+				e.dropPacket(en.tenant)
+				continue
+			}
+			en.next = t + cfg.Retry.backoff(en.attempts)
+			keep = append(keep, en)
+		}
+		e.retryQ = keep
+	}
+
+	// Pending service submissions: FIFO, one injection attempt each;
+	// blocked entries fall into the retry queue (or are dropped when
+	// retry is disabled — unlike λ-arrivals, a submitted packet is
+	// always accounted for as admitted or dropped).
+	if len(e.pending) > 0 {
+		keep := e.pending[:0]
+		for i := range e.pending {
+			en := e.pending[i]
+			if en.random {
+				s := e.sources[e.rng.Intn(len(e.sources))]
+				cands := e.dstsOf[s]
+				if len(cands) == 0 {
+					// A source with no forward-reachable destination is
+					// excluded from e.sources only if it has no Up edges;
+					// levelized builders guarantee candidates, but guard.
+					e.dropPacket(en.tenant)
+					continue
+				}
+				en.src, en.dst = s, cands[e.rng.Intn(len(cands))]
+				en.random = false
+			}
+			if en.path == nil {
+				path, err := paths.RandomForwardPath(e.g, e.rng, en.src, en.dst)
+				if err != nil {
+					return fmt.Errorf("dynamic: step %d: pending path draw: %w", t, err)
+				}
+				en.path = path
+			}
+			if e.inject(t, en.tenant, en.src, en.dst, en.path) {
+				continue
+			}
+			if cfg.Retry.enabled() {
+				e.retryQ = append(e.retryQ, retryEntry{
+					tenant: en.tenant, src: en.src, dst: en.dst, path: en.path,
+					attempts: 1, next: t + cfg.Retry.backoff(1),
+				})
+			} else {
+				e.dropPacket(en.tenant)
+			}
+		}
+		e.pending = keep
+	}
+
+	// λ-arrivals: each source draws; blocked arrivals enter the retry
+	// queue (or are lost when retry is disabled). Skipped entirely at
+	// λ=0 (the pure service mode) so no randomness is consumed.
+	if cfg.Lambda > 0 {
+		for _, s := range e.sources {
+			if e.rng.Float64() >= cfg.Lambda {
+				continue
+			}
+			res.Offered++
+			cands := e.dstsOf[s]
+			if len(cands) == 0 {
+				continue
+			}
+			dst := cands[e.rng.Intn(len(cands))]
+			path, err := paths.RandomForwardPath(e.g, e.rng, s, dst)
+			if err != nil {
+				return err
+			}
+			if e.inject(t, "", s, dst, path) {
+				continue
+			}
+			if cfg.Retry.enabled() {
+				e.retryQ = append(e.retryQ, retryEntry{
+					src: s, dst: dst, path: path,
+					attempts: 1, next: t + cfg.Retry.backoff(1),
+				})
+			}
+		}
+	}
+
+	// Requests: every live packet chases its head; equal-priority
+	// conflicts resolve by reservoir selection (1/k per contender). A
+	// request for a downed edge is fault-blocked and falls through to
+	// the deflection pass.
+	winners := make(map[slot]*pkt, len(e.live))
+	contenders := make(map[slot]int, len(e.live))
+	for _, p := range e.live {
+		ed := p.path[0]
+		if e.down(ed, t) {
+			res.FaultBlocked++
+			continue
+		}
+		s := slot{ed, e.g.DirectionFrom(ed, p.cur)}
+		k := contenders[s] + 1
+		contenders[s] = k
+		if k == 1 || reservoirKeep(e.rng, k) {
+			winners[s] = p
+		}
+	}
+	used := make(map[slot]bool, len(winners))
+	granted := make(map[*pkt]slot, len(e.live))
+	for s, p := range winners {
+		used[s] = true
+		granted[p] = s
+	}
+	// Deflect losers per node, in node-ID order (determinism).
+	stalled := make(map[*pkt]bool)
+	for v := graph.NodeID(0); int(v) < e.g.NumNodes(); v++ {
+		ps := e.at[v]
+		if len(ps) == 0 {
+			continue
+		}
+		node := e.g.Node(v)
+		free := func(s slot) bool {
+			return !used[s] && !e.down(s.e, t)
+		}
+		for _, p := range ps {
+			if _, ok := granted[p]; ok {
+				continue
+			}
+			assigned := false
+			if p.arrivalEdge != graph.NoEdge {
+				s := slot{p.arrivalEdge, p.arrivalDir.Reverse()}
+				if free(s) {
+					granted[p], used[s] = s, true
+					assigned = true
+				}
+			}
+			if !assigned {
+				for _, ed := range node.Down {
+					s := slot{ed, graph.Backward}
+					if free(s) && e.prevForward[ed] != nil {
+						granted[p], used[s] = s, true
+						assigned = true
+						break
+					}
+				}
+			}
+			if !assigned {
+				for _, ed := range node.Down {
+					s := slot{ed, graph.Backward}
+					if free(s) {
+						granted[p], used[s] = s, true
+						assigned = true
+						break
+					}
+				}
+			}
+			if !assigned {
+				for _, ed := range node.Up {
+					s := slot{ed, graph.Forward}
+					if free(s) {
+						granted[p], used[s] = s, true
+						assigned = true
+						break
+					}
+				}
+			}
+			if !assigned {
+				if cfg.Faults != nil {
+					// An outage consumed the node's slack: hold in place
+					// for one step, the bufferless model's local escape
+					// hatch under faults.
+					stalled[p] = true
+					res.FaultStalls++
+					continue
+				}
+				return fmt.Errorf("dynamic: step %d: node %d over capacity", t, v)
+			}
+			res.Deflections++
+		}
+	}
+
+	// Commit.
+	for i := range e.curForward {
+		e.curForward[i] = nil
+	}
+	survivors := e.live[:0]
+	for i := range e.at {
+		e.at[i] = e.at[i][:0]
+	}
+	for _, p := range e.live {
+		if stalled[p] {
+			survivors = append(survivors, p)
+			e.at[p.cur] = append(e.at[p.cur], p)
+			continue
+		}
+		s := granted[p]
+		dest := e.g.EndpointAt(s.e, s.d)
+		if len(p.path) > 0 && p.path[0] == s.e {
+			p.path = p.path[1:]
+		} else {
+			p.path = append([]graph.EdgeID{s.e}, p.path...)
+		}
+		p.cur = dest
+		p.arrivalEdge, p.arrivalDir = s.e, s.d
+		if s.d == graph.Forward {
+			e.curForward[s.e] = p
+		}
+		if p.cur == p.dst {
+			res.Delivered++
+			if tt := e.tenant(p.tenant); tt != nil {
+				tt.Delivered++
+			}
+			e.digest = foldDigest(e.digest, uint64(p.id))
+			e.digest = foldDigest(e.digest, uint64(p.dst))
+			e.digest = foldDigest(e.digest, uint64(p.inject))
+			e.digest = foldDigest(e.digest, uint64(t+1))
+			if p.inject >= cfg.Warmup {
+				e.latencies = append(e.latencies, float64(t+1-p.inject))
+			}
+			if cfg.Window > 0 {
+				e.wDelivered++
+				e.wLatSum += float64(t + 1 - p.inject)
+			}
+			continue
+		}
+		survivors = append(survivors, p)
+		e.at[p.cur] = append(e.at[p.cur], p)
+	}
+	e.live = survivors
+	e.prevForward, e.curForward = e.curForward, e.prevForward
+	e.step = t + 1
+	res.ExecutedSteps = e.step
+
+	if t >= cfg.Warmup {
+		e.inFlightSum += float64(len(e.live))
+		e.inFlightSamples++
+	}
+	if len(e.live) > res.PeakInFlight {
+		res.PeakInFlight = len(e.live)
+	}
+	if cfg.Window > 0 {
+		e.wFlySum += float64(len(e.live))
+		if cfg.Faults == nil {
+			e.wAvailSum++
+		} else {
+			downEdges := 0
+			for ed := 0; ed < e.g.NumEdges(); ed++ {
+				if cfg.Faults(graph.EdgeID(ed), t) {
+					downEdges++
+				}
+			}
+			e.wAvailSum += 1 - float64(downEdges)/float64(e.g.NumEdges())
+		}
+		e.wSpan++
+		if (t+1)%cfg.Window == 0 || (cfg.Steps > 0 && t == cfg.Steps-1) {
+			e.closeWindow()
+		}
+	}
+	return nil
+}
+
+// dropPacket records an abandoned packet against the engine and the
+// tenant ledger.
+func (e *Engine) dropPacket(tenant string) {
+	e.res.Dropped++
+	if tt := e.tenant(tenant); tt != nil {
+		tt.Dropped++
+	}
+}
+
+// Finalize flushes the trailing partial window, computes the latency
+// summary and time-averages, stamps the trace digest, and returns the
+// result. Idempotent; the engine cannot step afterwards.
+func (e *Engine) Finalize() *Result {
+	if !e.finalized {
+		e.closeWindow()
+		e.res.Latency = summarizeLatencies(e.latencies)
+		e.res.AvgInFlight = safeMean(e.inFlightSum, e.inFlightSamples)
+		e.res.TraceDigest = e.digest
+		e.finalized = true
+	}
+	return e.res
+}

@@ -1,0 +1,311 @@
+package dynamic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hotpotato/internal/graph"
+	"hotpotato/internal/persist"
+	"hotpotato/internal/sim"
+)
+
+// fwdSentinel marks a restored prev-forward edge as occupied; see
+// Restore.
+var fwdSentinel = &pkt{id: -1}
+
+// Snapshot freezes the engine between two steps into the versioned
+// persist wire form. The engine must not have been finalized; it
+// remains usable afterwards. Everything the next Step reads is
+// captured — packets, queues, the previous-step forward occupancy, the
+// open window accumulators and the RNG state — so a Restore in a fresh
+// process continues the exact same trajectory.
+func (e *Engine) Snapshot() (*persist.EngineState, error) {
+	if e.finalized {
+		return nil, fmt.Errorf("dynamic: Snapshot after Finalize")
+	}
+	st := &persist.EngineState{
+		Version: persist.EngineStateVersion,
+		Kind:    persist.EngineStateKind,
+
+		Lambda:      e.cfg.Lambda,
+		Steps:       e.cfg.Steps,
+		Warmup:      e.cfg.Warmup,
+		Seed:        e.cfg.Seed,
+		MaxInFlight: e.cfg.MaxInFlight,
+		Window:      e.cfg.Window,
+		Retry: persist.RetryPolicyState{
+			MaxAttempts: e.cfg.Retry.MaxAttempts,
+			BaseDelay:   e.cfg.Retry.BaseDelay,
+			MaxDelay:    e.cfg.Retry.MaxDelay,
+		},
+
+		Step:   e.step,
+		RNG:    e.src.state,
+		NextID: e.nextID,
+
+		Offered:      e.res.Offered,
+		Admitted:     e.res.Admitted,
+		Delivered:    e.res.Delivered,
+		Retried:      e.res.Retried,
+		Dropped:      e.res.Dropped,
+		FaultBlocked: e.res.FaultBlocked,
+		FaultStalls:  e.res.FaultStalls,
+		Deflections:  e.res.Deflections,
+		PeakInFlight: e.res.PeakInFlight,
+		Saturated:    e.res.Saturated,
+
+		InFlightSum:     e.inFlightSum,
+		InFlightSamples: e.inFlightSamples,
+		Latencies:       append([]float64(nil), e.latencies...),
+
+		WDelivered:   e.wDelivered,
+		WSpan:        e.wSpan,
+		WStart:       e.wStart,
+		WLatSum:      e.wLatSum,
+		WFlySum:      e.wFlySum,
+		WAvailSum:    e.wAvailSum,
+		WPrevBlocked: e.wPrevBlocked,
+		WPrevStalls:  e.wPrevStalls,
+		WPrevDropped: e.wPrevDropped,
+
+		Digest: e.digest,
+	}
+	for _, w := range e.res.Windows {
+		st.Windows = append(st.Windows, persist.WindowState{
+			Start: w.Start, Delivered: w.Delivered,
+			MeanLatency: w.MeanLatency, MeanInFlight: w.MeanInFlight,
+			FaultBlocked: w.FaultBlocked, FaultStalls: w.FaultStalls,
+			Dropped: w.Dropped, Availability: w.Availability,
+		})
+	}
+	// Packets in injection order (the order e.live maintains and every
+	// commit sweep follows).
+	for _, p := range e.live {
+		st.Packets = append(st.Packets, persist.PacketState{
+			ID: p.id, Tenant: p.tenant,
+			Cur: int32(p.cur), Dst: int32(p.dst),
+			Path:        edgesToWire(p.path),
+			ArrivalEdge: int32(p.arrivalEdge),
+			ArrivalDir:  int8(p.arrivalDir),
+			Inject:      p.inject,
+		})
+	}
+	for _, en := range e.retryQ {
+		st.RetryQ = append(st.RetryQ, persist.RetryState{
+			Tenant: en.tenant, Src: int32(en.src), Dst: int32(en.dst),
+			Path: edgesToWire(en.path), Attempts: en.attempts, Next: en.next,
+		})
+	}
+	for _, en := range e.pending {
+		st.Pending = append(st.Pending, persist.PendingState{
+			Tenant: en.tenant, Random: en.random,
+			Src: int32(en.src), Dst: int32(en.dst), Path: edgesToWire(en.path),
+		})
+	}
+	for ed, p := range e.prevForward {
+		if p != nil {
+			st.PrevForward = append(st.PrevForward, int32(ed))
+		}
+	}
+	if len(e.tenants) > 0 {
+		st.Tenants = make(map[string]persist.TenantTotals, len(e.tenants))
+		for name, tt := range e.tenants {
+			st.Tenants[name] = *tt
+		}
+	}
+	if err := st.Validate(); err != nil {
+		return nil, fmt.Errorf("dynamic: snapshot failed self-validation: %w", err)
+	}
+	return st, nil
+}
+
+// Hooks carries the function-valued configuration a snapshot cannot
+// serialize; Restore re-binds them. The fault model MUST be the same
+// pure function the snapshotting engine ran with (same spec, same
+// seed), or the restored trajectory diverges — the service stores the
+// fault spec string beside the engine state for exactly this reason.
+type Hooks struct {
+	Faults   sim.FaultModel
+	OnWindow func(w WindowStats, r *Result)
+}
+
+// Restore thaws an engine state into graph g. The state is re-validated
+// both structurally (persist.EngineState.Validate) and against the
+// graph: node and edge references must be in range and every packet's
+// remaining path must be a chain of incident edges starting at its
+// current node.
+func Restore(g *graph.Leveled, st *persist.EngineState, hooks Hooks) (*Engine, error) {
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := Config{
+		Lambda:      st.Lambda,
+		Steps:       st.Steps,
+		Warmup:      st.Warmup,
+		Seed:        st.Seed,
+		MaxInFlight: st.MaxInFlight,
+		Window:      st.Window,
+		Retry: RetryPolicy{
+			MaxAttempts: st.Retry.MaxAttempts,
+			BaseDelay:   st.Retry.BaseDelay,
+			MaxDelay:    st.Retry.MaxDelay,
+		},
+		Faults:   hooks.Faults,
+		OnWindow: hooks.OnWindow,
+	}
+	e, err := NewEngine(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.src.state = st.RNG
+	e.rng = rand.New(e.src)
+	e.step = st.Step
+	e.nextID = st.NextID
+
+	e.res.Offered = st.Offered
+	e.res.Admitted = st.Admitted
+	e.res.Delivered = st.Delivered
+	e.res.Retried = st.Retried
+	e.res.Dropped = st.Dropped
+	e.res.FaultBlocked = st.FaultBlocked
+	e.res.FaultStalls = st.FaultStalls
+	e.res.Deflections = st.Deflections
+	e.res.PeakInFlight = st.PeakInFlight
+	e.res.Saturated = st.Saturated
+	e.res.ExecutedSteps = st.Step
+
+	e.inFlightSum = st.InFlightSum
+	e.inFlightSamples = st.InFlightSamples
+	e.latencies = append([]float64(nil), st.Latencies...)
+
+	for _, w := range st.Windows {
+		e.res.Windows = append(e.res.Windows, WindowStats{
+			Start: w.Start, Delivered: w.Delivered,
+			MeanLatency: w.MeanLatency, MeanInFlight: w.MeanInFlight,
+			FaultBlocked: w.FaultBlocked, FaultStalls: w.FaultStalls,
+			Dropped: w.Dropped, Availability: w.Availability,
+		})
+	}
+	e.wDelivered, e.wSpan, e.wStart = st.WDelivered, st.WSpan, st.WStart
+	e.wLatSum, e.wFlySum, e.wAvailSum = st.WLatSum, st.WFlySum, st.WAvailSum
+	e.wPrevBlocked, e.wPrevStalls, e.wPrevDropped = st.WPrevBlocked, st.WPrevStalls, st.WPrevDropped
+	e.digest = st.Digest
+
+	byID := make(map[int]*pkt, len(st.Packets))
+	for i := range st.Packets {
+		ps := &st.Packets[i]
+		if int(ps.Cur) >= g.NumNodes() || int(ps.Dst) >= g.NumNodes() || ps.Cur < 0 || ps.Dst < 0 {
+			return nil, fmt.Errorf("dynamic: restore: packet %d at/for unknown node", ps.ID)
+		}
+		path, err := wireToEdges(g, ps.Path)
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: restore: packet %d: %w", ps.ID, err)
+		}
+		// The remaining path must be walkable from Cur: each edge
+		// incident to the position the previous one leads to.
+		pos := graph.NodeID(ps.Cur)
+		for hop, ed := range path {
+			d := g.DirectionFrom(ed, pos)
+			if g.Edge(ed).From != pos && g.Edge(ed).To != pos {
+				return nil, fmt.Errorf("dynamic: restore: packet %d path hop %d not incident to node %d", ps.ID, hop, pos)
+			}
+			pos = g.EndpointAt(ed, d)
+		}
+		if pos != graph.NodeID(ps.Dst) {
+			return nil, fmt.Errorf("dynamic: restore: packet %d path ends at %d, not its destination %d", ps.ID, pos, ps.Dst)
+		}
+		if ps.ArrivalEdge != -1 && (int(ps.ArrivalEdge) >= g.NumEdges() || ps.ArrivalEdge < 0) {
+			return nil, fmt.Errorf("dynamic: restore: packet %d arrival edge out of range", ps.ID)
+		}
+		p := &pkt{
+			id: ps.ID, tenant: ps.Tenant,
+			cur: graph.NodeID(ps.Cur), dst: graph.NodeID(ps.Dst),
+			path:        path,
+			arrivalEdge: graph.EdgeID(ps.ArrivalEdge),
+			arrivalDir:  graph.Direction(ps.ArrivalDir),
+			inject:      ps.Inject,
+		}
+		byID[p.id] = p
+		e.live = append(e.live, p)
+		e.at[p.cur] = append(e.at[p.cur], p)
+	}
+	for _, ed := range st.PrevForward {
+		if int(ed) >= g.NumEdges() || ed < 0 {
+			return nil, fmt.Errorf("dynamic: restore: prev_forward edge %d out of range", ed)
+		}
+		// The engine only tests prevForward for non-nil (the packet that
+		// moved may since have been delivered); a sentinel preserves the
+		// predicate exactly.
+		e.prevForward[ed] = fwdSentinel
+	}
+	for i := range st.RetryQ {
+		rs := &st.RetryQ[i]
+		path, err := wireToEdges(g, rs.Path)
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: restore: retry entry %d: %w", i, err)
+		}
+		if int(rs.Src) >= g.NumNodes() || rs.Src < 0 || int(rs.Dst) >= g.NumNodes() || rs.Dst < 0 {
+			return nil, fmt.Errorf("dynamic: restore: retry entry %d references unknown node", i)
+		}
+		e.retryQ = append(e.retryQ, retryEntry{
+			tenant: rs.Tenant, src: graph.NodeID(rs.Src), dst: graph.NodeID(rs.Dst),
+			path: path, attempts: rs.Attempts, next: rs.Next,
+		})
+	}
+	for i := range st.Pending {
+		ps := &st.Pending[i]
+		en := pendingEntry{tenant: ps.Tenant, random: ps.Random, src: graph.NodeID(ps.Src), dst: graph.NodeID(ps.Dst)}
+		if !ps.Random {
+			if int(ps.Src) >= g.NumNodes() || ps.Src < 0 || int(ps.Dst) >= g.NumNodes() || ps.Dst < 0 {
+				return nil, fmt.Errorf("dynamic: restore: pending entry %d references unknown node", i)
+			}
+			if len(ps.Path) > 0 {
+				path, err := wireToEdges(g, ps.Path)
+				if err != nil {
+					return nil, fmt.Errorf("dynamic: restore: pending entry %d: %w", i, err)
+				}
+				en.path = path
+			}
+		}
+		e.pending = append(e.pending, en)
+	}
+	for name, tt := range st.Tenants {
+		cp := tt
+		e.tenants[name] = &cp
+	}
+	return e, nil
+}
+
+// TenantNames returns the tenant names in sorted order (stable
+// iteration for exports).
+func (e *Engine) TenantNames() []string {
+	names := make([]string, 0, len(e.tenants))
+	for n := range e.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func edgesToWire(path []graph.EdgeID) []int32 {
+	if path == nil {
+		return nil
+	}
+	out := make([]int32, len(path))
+	for i, ed := range path {
+		out[i] = int32(ed)
+	}
+	return out
+}
+
+func wireToEdges(g *graph.Leveled, wire []int32) ([]graph.EdgeID, error) {
+	out := make([]graph.EdgeID, len(wire))
+	for i, ed := range wire {
+		if int(ed) >= g.NumEdges() || ed < 0 {
+			return nil, fmt.Errorf("edge %d out of range", ed)
+		}
+		out[i] = graph.EdgeID(ed)
+	}
+	return out, nil
+}

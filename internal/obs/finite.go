@@ -1,0 +1,26 @@
+package obs
+
+import "math"
+
+// FiniteOr returns x unless it is NaN or ±Inf, in which case it returns
+// fallback. This is the last-line export guard for every metric that
+// leaves the process as JSON or expvar: encoding/json rejects NaN/Inf
+// outright (the whole /debug/vars page breaks, not just one field), so
+// exporters route computed ratios and means through this instead of
+// trusting every upstream division. Upstream code should still guard
+// its own divisions — FiniteOr is defense in depth, not the fix.
+func FiniteOr(x, fallback float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return fallback
+	}
+	return x
+}
+
+// Ratio is FiniteOr specialised to the common num/den counter ratio:
+// it returns 0 when den is 0 instead of dividing.
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return FiniteOr(num/den, 0)
+}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestFiniteOr(t *testing.T) {
+	cases := []struct{ x, fallback, want float64 }{
+		{1.5, 0, 1.5},
+		{0, 7, 0},
+		{math.NaN(), 0, 0},
+		{math.Inf(1), -1, -1},
+		{math.Inf(-1), 2, 2},
+		{math.MaxFloat64, 0, math.MaxFloat64},
+	}
+	for _, c := range cases {
+		if got := FiniteOr(c.x, c.fallback); got != c.want {
+			t.Errorf("FiniteOr(%g, %g) = %g, want %g", c.x, c.fallback, got, c.want)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(3, 4); got != 0.75 {
+		t.Errorf("Ratio(3,4) = %g", got)
+	}
+	// The two degenerate divisions that used to poison exports.
+	if got := Ratio(5, 0); got != 0 {
+		t.Errorf("Ratio(5,0) = %g, want 0", got)
+	}
+	if got := Ratio(0, 0); got != 0 {
+		t.Errorf("Ratio(0,0) = %g, want 0", got)
+	}
+	// Whatever comes out must survive a JSON encoder (the expvar
+	// contract).
+	for _, v := range []float64{Ratio(5, 0), Ratio(0, 0), FiniteOr(math.NaN(), 0)} {
+		if _, err := json.Marshal(v); err != nil {
+			t.Errorf("exported value %v not JSON-encodable: %v", v, err)
+		}
+	}
+}

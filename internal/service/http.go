@@ -1,0 +1,132 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+)
+
+// Handler returns the service's HTTP API (Go 1.22 method+wildcard
+// routes, stdlib only):
+//
+//	GET  /v1/topologies                    — stats for every topology
+//	GET  /v1/topologies/{name}             — stats for one topology
+//	POST /v1/topologies/{name}/batches     — submit a BatchRequest
+//	POST /v1/topologies/{name}/advance     — {"steps": n} manual stepping
+//	POST /v1/topologies/{name}/windows     — flush the open window
+//
+// Everything speaks JSON. Unknown topology → 404, unknown tenant → 403,
+// malformed or invalid request → 400.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/topologies", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.AllStats())
+	})
+	mux.HandleFunc("GET /v1/topologies/{name}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Stats(r.PathValue("name"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("POST /v1/topologies/{name}/batches", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchRequest
+		if err := decodeJSON(w, r, &req); err != nil {
+			return
+		}
+		res, err := s.SubmitBatch(r.PathValue("name"), req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /v1/topologies/{name}/advance", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Steps int `json:"steps"`
+		}
+		if err := decodeJSON(w, r, &req); err != nil {
+			return
+		}
+		step, err := s.Advance(r.PathValue("name"), req.Steps)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"step": step})
+	})
+	mux.HandleFunc("POST /v1/topologies/{name}/windows", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		tp := s.topology(name)
+		if tp == nil {
+			writeErr(w, fmt.Errorf("%w: %q", ErrUnknownTopology, name))
+			return
+		}
+		if err := tp.do(func() { tp.eng.FlushWindow() }); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"flushed": true})
+	})
+	return mux
+}
+
+// Vars returns the service's expvar view: a map of topology name to
+// TopologyStats, computed on demand (each read runs on the topology
+// loops, so it is always current and race-free). All floats inside are
+// finite by construction, which /debug/vars requires.
+func (s *Service) Vars() expvar.Var {
+	return expvar.Func(func() any {
+		out := make(map[string]TopologyStats)
+		for _, st := range s.AllStats() {
+			out[st.Name] = st
+		}
+		return out
+	})
+}
+
+// Publish registers Vars under the given expvar name, once; a second
+// service instance reusing the name (tests, restarts within a process)
+// is ignored rather than a panic — expvar registration is global and
+// permanent by design.
+func (s *Service) Publish(name string) {
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, s.Vars())
+	}
+}
+
+const maxBodyBytes = 8 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return err
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrUnknownTopology):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrUnknownTenant):
+		status = http.StatusForbidden
+	case errors.Is(err, ErrStopped):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

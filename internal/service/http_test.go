@@ -1,0 +1,138 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestHTTPAPI(t *testing.T) {
+	s, err := New([]TopologyConfig{manualCfg(t, "bfly")}, Options{Now: newFakeClock().now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Submit a mixed batch over the wire.
+	resp := postJSON(t, srv.URL+"/v1/topologies/bfly/batches", BatchRequest{
+		Tenant: "gold",
+		Pairs:  []Pair{{Src: 0, Dst: 60}},
+		Random: 9,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	br := decodeBody[BatchResult](t, resp)
+	if br.Offered != 10 || br.Admitted+len(br.Rejected) != 10 {
+		t.Fatalf("batch result: %+v", br)
+	}
+
+	// Drive the manual engine over the wire until the batch drains.
+	for i := 0; i < 100; i++ {
+		resp = postJSON(t, srv.URL+"/v1/topologies/bfly/advance", map[string]int{"steps": 10})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("advance status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+		get, err := http.Get(srv.URL + "/v1/topologies/bfly")
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decodeBody[TopologyStats](t, get)
+		if st.Live == 0 && st.QueueDepth == 0 {
+			if st.Delivered != br.Admitted {
+				t.Fatalf("delivered %d != admitted %d", st.Delivered, br.Admitted)
+			}
+			break
+		}
+		if i == 99 {
+			t.Fatal("batch never drained over HTTP")
+		}
+	}
+
+	// Window flush endpoint.
+	resp = postJSON(t, srv.URL+"/v1/topologies/bfly/windows", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	get, err := http.Get(srv.URL + "/v1/topologies/bfly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := decodeBody[TopologyStats](t, get); st.LastWindow == nil {
+		t.Error("no window after explicit flush")
+	}
+
+	// Topology listing.
+	get, err = http.Get(srv.URL + "/v1/topologies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all := decodeBody[[]TopologyStats](t, get); len(all) != 1 || all[0].Name != "bfly" {
+		t.Errorf("listing: %+v", all)
+	}
+
+	// Error mapping: 404 unknown topology, 403 unknown tenant, 400 bad
+	// JSON and bad advance.
+	errCases := []struct {
+		url  string
+		body string
+		want int
+	}{
+		{"/v1/topologies/ghost/batches", `{"tenant":"gold","random":1}`, http.StatusNotFound},
+		{"/v1/topologies/bfly/batches", `{"tenant":"ghost","random":1}`, http.StatusForbidden},
+		{"/v1/topologies/bfly/batches", `{not json`, http.StatusBadRequest},
+		{"/v1/topologies/bfly/batches", `{"tenant":"gold"}`, http.StatusBadRequest},
+		{"/v1/topologies/bfly/batches", `{"tenant":"gold","surprise":1}`, http.StatusBadRequest},
+		{"/v1/topologies/bfly/advance", `{"steps":0}`, http.StatusBadRequest},
+		{"/v1/topologies/ghost/advance", `{"steps":5}`, http.StatusNotFound},
+	}
+	for _, c := range errCases {
+		resp, err := http.Post(srv.URL+c.url, "application/json", bytes.NewReader([]byte(c.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != c.want {
+			t.Errorf("POST %s %s: status %d, want %d", c.url, c.body, resp.StatusCode, c.want)
+		}
+		resp.Body.Close()
+	}
+
+	// Unknown topology stats → 404.
+	get, err = http.Get(srv.URL + "/v1/topologies/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if get.StatusCode != http.StatusNotFound {
+		t.Errorf("ghost stats status %d", get.StatusCode)
+	}
+	get.Body.Close()
+}

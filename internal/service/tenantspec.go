@@ -1,0 +1,65 @@
+package service
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseTenants parses the command-line tenant table syntax used by
+// openload -serve and loadgen:
+//
+//	gold:rate=200,burst=400;free:rate=20,burst=40;anon
+//
+// Tenants are ';'-separated; each is a name optionally followed by
+// ':rate=R,burst=B'. A bare name declares an unlimited tenant. The
+// syntax deliberately mirrors the fault-spec style in docs/FAULTS.md.
+func ParseTenants(spec string) ([]TenantQuota, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("service: empty tenant spec")
+	}
+	var out []TenantQuota
+	seen := make(map[string]bool)
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, params, _ := strings.Cut(clause, ":")
+		name = strings.TrimSpace(name)
+		q := TenantQuota{Name: name}
+		if params != "" {
+			for _, kv := range strings.Split(params, ",") {
+				key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+				if !ok {
+					return nil, fmt.Errorf("service: tenant %q: %q is not key=value", name, kv)
+				}
+				x, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+				if err != nil {
+					return nil, fmt.Errorf("service: tenant %q: %s: %w", name, key, err)
+				}
+				switch strings.TrimSpace(key) {
+				case "rate":
+					q.Rate = x
+				case "burst":
+					q.Burst = x
+				default:
+					return nil, fmt.Errorf("service: tenant %q: unknown key %q", name, key)
+				}
+			}
+		}
+		if err := q.validate(); err != nil {
+			return nil, err
+		}
+		if seen[q.Name] {
+			return nil, fmt.Errorf("service: duplicate tenant %q in spec", q.Name)
+		}
+		seen[q.Name] = true
+		out = append(out, q)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("service: tenant spec %q declares no tenants", spec)
+	}
+	return out, nil
+}

@@ -1,0 +1,36 @@
+package service
+
+import "testing"
+
+func TestParseTenants(t *testing.T) {
+	qs, err := ParseTenants("gold:rate=200,burst=400; free:rate=20,burst=40 ;anon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 {
+		t.Fatalf("parsed %d tenants: %+v", len(qs), qs)
+	}
+	if qs[0] != (TenantQuota{Name: "gold", Rate: 200, Burst: 400}) {
+		t.Errorf("gold: %+v", qs[0])
+	}
+	if qs[2] != (TenantQuota{Name: "anon"}) {
+		t.Errorf("anon should be unlimited: %+v", qs[2])
+	}
+
+	for _, bad := range []string{
+		"",
+		";;",
+		":rate=1,burst=1",                   // no name
+		"x:rate=1",                          // burst missing
+		"x:burst=1",                         // rate missing
+		"x:rate=-1,burst=1",                 // negative
+		"x:rate=a,burst=1",                  // not a number
+		"x:speed=1",                         // unknown key
+		"x:rate",                            // not key=value
+		"x:rate=1,burst=1;x:rate=2,burst=2", // duplicate
+	} {
+		if _, err := ParseTenants(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

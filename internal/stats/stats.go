@@ -53,11 +53,21 @@ func Summarize(xs []float64) Summary {
 }
 
 // Quantile returns the q-quantile (0<=q<=1) of a sorted sample using
-// linear interpolation. Panics if the sample is empty or unsorted usage
-// is the caller's responsibility.
+// linear interpolation. It panics if the sample is empty or not in
+// ascending order: an unsorted sample silently returns garbage
+// quantiles, which poisoned downstream regression gates before this
+// contract was enforced. Callers with raw samples use QuantileUnsorted.
+// The order check is a single O(n) pass — noise next to the sort every
+// caller already paid for.
 func Quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		panic("stats: Quantile of empty sample")
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] < sorted[i-1] {
+			panic(fmt.Sprintf("stats: Quantile of unsorted sample (xs[%d]=%g < xs[%d]=%g)",
+				i, sorted[i], i-1, sorted[i-1]))
+		}
 	}
 	if q <= 0 {
 		return sorted[0]
@@ -73,6 +83,17 @@ func Quantile(sorted []float64, q float64) float64 {
 	}
 	frac := pos - float64(lo)
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// QuantileUnsorted returns the q-quantile of a raw sample: it sorts a
+// private copy (the input is never mutated) and delegates to Quantile.
+// Use this at call sites that hold samples in arrival order; use
+// Quantile directly when the slice is already sorted and the copy would
+// be waste.
+func QuantileUnsorted(xs []float64, q float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Quantile(sorted, q)
 }
 
 // String renders the summary on one line.

@@ -61,6 +61,33 @@ func TestQuantilePanicsEmpty(t *testing.T) {
 	Quantile(nil, 0.5)
 }
 
+// TestQuantilePanicsUnsorted pins the enforced caller contract: an
+// unsorted sample used to return silently-wrong quantiles; now it
+// panics so the bug class cannot recur.
+func TestQuantilePanicsUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile accepted an unsorted sample")
+		}
+	}()
+	Quantile([]float64{10, 30, 20, 40}, 0.5)
+}
+
+func TestQuantileUnsorted(t *testing.T) {
+	xs := []float64{40, 10, 30, 20}
+	if got := QuantileUnsorted(xs, 0.5); !almost(got, 25) {
+		t.Errorf("QuantileUnsorted(0.5) = %g, want 25", got)
+	}
+	// The input must not be mutated (callers keep arrival order).
+	if xs[0] != 40 || xs[1] != 10 || xs[2] != 30 || xs[3] != 20 {
+		t.Errorf("QuantileUnsorted mutated its input: %v", xs)
+	}
+	// Ties and equal runs are legal sorted input, not a contract breach.
+	if got := Quantile([]float64{5, 5, 5}, 0.9); got != 5 {
+		t.Errorf("Quantile of constant sample = %g", got)
+	}
+}
+
 func TestFitLinearExact(t *testing.T) {
 	xs := []float64{1, 2, 3, 4}
 	ys := []float64{5, 7, 9, 11} // y = 2x + 3

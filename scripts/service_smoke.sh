@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# End-to-end smoke for routing-as-a-service (docs/SERVICE.md), run by the
+# ci service-smoke job and usable locally:
+#
+#   go build -o openload ./cmd/openload && go build -o loadgen ./cmd/loadgen
+#   bash scripts/service_smoke.sh
+#
+# It proves, through the real binaries and real files (not the Go test
+# harness), the three serve-mode contracts:
+#
+#   1. Per-tenant quota accounting: a tenant offered far over its budget
+#      shows quota drops in /debug/vars while a within-budget tenant
+#      shows none.
+#   2. Kill-and-restore: SIGTERM freezes a snapshot; a new process
+#      restored from it and driven through the same remaining script
+#      ends at the same trace digest as one uninterrupted run.
+#   3. loadgen's report agrees: the over-quota tenant drops, the
+#      in-budget tenant admits 100%.
+#
+# Everything is manual-stepped (-autostep=false) so the trajectory is a
+# pure function of the batch/advance sequence — no wall-clock in the
+# digest. Quotas never refill mid-script (gold stays inside its burst,
+# free is offered only once), so the admitted packet set is identical
+# across the interrupted and reference runs regardless of timing.
+set -euo pipefail
+
+ADDR=127.0.0.1:18090
+BASE="http://$ADDR/v1/topologies/butterfly"
+VARS="http://$ADDR/debug/vars"
+SNAP=service_smoke.snapshot.json
+SERVE=(./openload -serve -http "$ADDR" -autostep=false -lambda 0
+  -window 50 -seed 42 -retry 8
+  -tenants 'gold:rate=1000,burst=1000;free:rate=1,burst=4')
+
+wait_ready() {
+  for _ in $(seq 100); do
+    curl -fsS "$BASE" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "service never became ready" >&2
+  exit 1
+}
+batch()   { curl -fsS -X POST "$BASE/batches" -d "{\"tenant\":\"$1\",\"random\":$2}" >/dev/null; }
+advance() { curl -fsS -X POST "$BASE/advance" -d "{\"steps\":$1}" >/dev/null; }
+stat_of() { curl -fsS "$BASE" | jq -r "$1"; }
+# The digest is a uint64; jq parses numbers as float64 and would round
+# it, so pull it out of the raw JSON instead.
+digest_of() { curl -fsS "$BASE" | grep -o '"digest": *[0-9]*' | grep -o '[0-9]*$'; }
+
+echo "--- phase 1: traffic + quota accounting, then SIGTERM snapshot"
+"${SERVE[@]}" -snapshot "$SNAP" &
+PID=$!
+wait_ready
+batch gold 20
+batch free 20
+advance 30
+
+# Quota ledger via expvar: free (burst 4, offered 20) must show drops,
+# gold (burst 1000) must show a spotless quota ledger.
+FREE_QDROP=$(curl -fsS "$VARS" | jq -r '.service.butterfly.tenants.free.quota_dropped')
+GOLD_QDROP=$(curl -fsS "$VARS" | jq -r '.service.butterfly.tenants.gold.quota_dropped')
+GOLD_RATE=$(curl -fsS "$VARS" | jq -r '.service.butterfly.tenants.gold.drop_rate')
+echo "expvar: free quota_dropped=$FREE_QDROP gold quota_dropped=$GOLD_QDROP gold drop_rate=$GOLD_RATE"
+[ "$FREE_QDROP" -eq 16 ] || { echo "FAIL: free quota_dropped=$FREE_QDROP, want 16" >&2; exit 1; }
+[ "$GOLD_QDROP" -eq 0 ] || { echo "FAIL: gold quota_dropped=$GOLD_QDROP, want 0" >&2; exit 1; }
+[ "$GOLD_RATE" = "0" ] || { echo "FAIL: gold drop_rate=$GOLD_RATE, want 0" >&2; exit 1; }
+
+kill -TERM "$PID"
+wait "$PID"
+[ -s "$SNAP" ] || { echo "FAIL: no snapshot at $SNAP" >&2; exit 1; }
+
+echo "--- phase 2: restore and finish the script"
+./openload -restore "$SNAP" -http "$ADDR" -autostep=false &
+PID=$!
+wait_ready
+batch gold 10
+advance 300
+RESUMED_DIGEST=$(digest_of)
+RESUMED_LIVE=$(stat_of .live)
+kill -TERM "$PID"; wait "$PID"
+[ "$RESUMED_LIVE" -eq 0 ] || { echo "FAIL: resumed run did not drain ($RESUMED_LIVE live)" >&2; exit 1; }
+
+echo "--- phase 3: uninterrupted reference run of the whole script"
+"${SERVE[@]}" &
+PID=$!
+wait_ready
+batch gold 20
+batch free 20
+advance 30
+batch gold 10
+advance 300
+REF_DIGEST=$(digest_of)
+kill -TERM "$PID"; wait "$PID"
+
+echo "resumed digest=$RESUMED_DIGEST reference digest=$REF_DIGEST"
+[ "$RESUMED_DIGEST" = "$REF_DIGEST" ] || {
+  echo "FAIL: resumed trajectory diverged from the uninterrupted run" >&2
+  exit 1
+}
+
+echo "--- phase 4: loadgen report against a fresh instance"
+"${SERVE[@]}" &
+PID=$!
+wait_ready
+./loadgen -addr "http://$ADDR" -topo butterfly -batches 40 -alpha 1.4 -xm 3 \
+  -seed 7 -mix 'gold=0.7,free=0.3' -advance 5 -drain 30s -json > loadgen_report.json
+kill -TERM "$PID"; wait "$PID"
+jq . loadgen_report.json >/dev/null
+LG_FREE_QDROP=$(jq -r '.tenants[] | select(.name=="free") | .quota_dropped' loadgen_report.json)
+LG_GOLD_ADMIT=$(jq -r '.tenants[] | select(.name=="gold") | .admission_rate' loadgen_report.json)
+echo "loadgen: free quota_dropped=$LG_FREE_QDROP gold admission_rate=$LG_GOLD_ADMIT"
+[ "$LG_FREE_QDROP" -gt 0 ] || { echo "FAIL: loadgen saw no quota drops for free" >&2; exit 1; }
+[ "$LG_GOLD_ADMIT" = "1" ] || { echo "FAIL: gold admission_rate=$LG_GOLD_ADMIT, want 1" >&2; exit 1; }
+
+echo "service smoke OK"
