@@ -46,6 +46,8 @@ func main() {
 		benchEngine   = flag.String("bench-engine", "", "write the engine hot-path benchmark (BENCH_engine.json) to this file and exit")
 		benchParallel = flag.String("bench-parallel", "", "write only the workers-sweep benchmark (sparse butterfly, no ensemble) to this file and exit — the multi-core CI fast path")
 		benchObs      = flag.String("bench-obs", "", "write the observability overhead benchmark (BENCH_obs.json) to this file and exit")
+		benchDynamic  = flag.String("bench-dynamic", "", "write the open-system (service) engine benchmark (BENCH_dynamic.json) to this file and exit; -bench-scale/-bench-strict-allocs/-bench-baseline apply")
+		benchDynPrePR = flag.String("bench-dynamic-prepr", "", "same-host BENCH_dynamic.json recorded against the pre-SoA engine; stamps pre_pr_ns_per_step/speedup_vs_pre_pr into the fresh rows")
 		benchScale    = flag.Int("bench-scale", 1, "engine benchmark scale: 1 = quick, 2 = full")
 		benchStrict   = flag.Bool("bench-strict-allocs", false, "fail the engine benchmark if any steady-state row allocates")
 		benchBase     = flag.String("bench-baseline", "", "compare the fresh engine benchmark against this committed BENCH_engine.json and fail on >10% ns/step regression for matched valid rows (stale invalid_parallel rows are warned about and skipped)")
@@ -128,6 +130,33 @@ func main() {
 		if *benchSpeedup > 0 {
 			fatal(bench.CheckParallelSpeedup(cur, 4, *benchSpeedup))
 			fmt.Printf("parallel speedup gate passed (>=%.2fx at workers=4)\n", *benchSpeedup)
+		}
+		return
+	}
+	if *benchDynamic != "" {
+		cur, err := bench.WriteDynamicBench(*benchDynamic, *benchScale, *benchStrict, *benchDynPrePR)
+		fatal(err)
+		fmt.Printf("wrote dynamic engine benchmark to %s (gomaxprocs=%d", *benchDynamic, cur.GOMAXPROCS)
+		if cur.CPUModel != "" {
+			fmt.Printf(", cpu=%s", cur.CPUModel)
+		}
+		fmt.Println(")")
+		for _, r := range cur.Rows {
+			fmt.Printf("  %s: %.0f ns/step (steady %.0f), %.4f allocs/step", r.Topology, r.NsPerStep, r.SteadyNsPerStep, r.AllocsPerStep)
+			if r.SpeedupVsPrePR > 0 {
+				fmt.Printf(", %.2fx vs pre-SoA", r.SpeedupVsPrePR)
+			}
+			fmt.Println()
+		}
+		if *benchBase != "" {
+			base, err := bench.ReadDynamicBench(*benchBase)
+			fatal(err)
+			warnings, err := bench.CompareDynamicBench(base, cur, 0.10)
+			for _, w := range warnings {
+				fmt.Printf("warning: %s\n", w)
+			}
+			fatal(err)
+			fmt.Printf("dynamic benchmark regression gate passed vs %s\n", *benchBase)
 		}
 		return
 	}

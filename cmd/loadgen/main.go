@@ -75,6 +75,11 @@ func main() {
 	admitted := make(map[string]int)
 	quotaDropped := make(map[string]int)
 	var reqLatencies []float64 // seconds, client-observed
+
+	// The step counter before any load: the report's service-side
+	// stepping rate covers only the steps this run drove.
+	initial, err := getStats(client, base)
+	fatal(err)
 	start := time.Now()
 
 	for i := 0; i < *batches; i++ {
@@ -120,7 +125,7 @@ func main() {
 	}
 	wall := time.Since(start)
 
-	report := buildReport(*topo, *batches, submitWall, wall, reqLatencies, tenants, offered, admitted, quotaDropped, final, *seed)
+	report := buildReport(*topo, *batches, submitWall, wall, reqLatencies, tenants, offered, admitted, quotaDropped, initial, final, *seed)
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -132,15 +137,22 @@ func main() {
 
 // Report is the machine-readable result of one loadgen run.
 type Report struct {
-	Topology   string                `json:"topology"`
-	Batches    int                   `json:"batches"`
-	SubmitSecs float64               `json:"submit_secs"`
-	WallSecs   float64               `json:"wall_secs"`
-	Throughput float64               `json:"delivered_per_sec"`
-	ReqP50     stats.QuantileCI      `json:"req_latency_p50_secs"`
-	ReqP99     stats.QuantileCI      `json:"req_latency_p99_secs"`
-	Tenants    []TenantReport        `json:"tenants"`
-	Service    service.TopologyStats `json:"service"`
+	Topology   string  `json:"topology"`
+	Batches    int     `json:"batches"`
+	SubmitSecs float64 `json:"submit_secs"`
+	WallSecs   float64 `json:"wall_secs"`
+	Throughput float64 `json:"delivered_per_sec"`
+	// ServiceSteps is the number of engine steps the service executed
+	// during this run (final minus initial step counter) and
+	// ServiceStepsPerSec that count over the wall clock — the
+	// service-side stepping rate, the end-to-end counterpart of the
+	// engine's ns/step in BENCH_dynamic.json.
+	ServiceSteps       int                   `json:"service_steps"`
+	ServiceStepsPerSec float64               `json:"service_steps_per_sec"`
+	ReqP50             stats.QuantileCI      `json:"req_latency_p50_secs"`
+	ReqP99             stats.QuantileCI      `json:"req_latency_p99_secs"`
+	Tenants            []TenantReport        `json:"tenants"`
+	Service            service.TopologyStats `json:"service"`
 }
 
 // TenantReport is one tenant's client-vs-service reconciliation.
@@ -156,13 +168,15 @@ type TenantReport struct {
 
 func buildReport(topo string, batches int, submitWall, wall time.Duration, lats []float64,
 	tenants []string, offered, admitted, quotaDropped map[string]int,
-	final service.TopologyStats, seed int64) Report {
+	initial, final service.TopologyStats, seed int64) Report {
 	rep := Report{
 		Topology: topo, Batches: batches,
 		SubmitSecs: submitWall.Seconds(), WallSecs: wall.Seconds(),
 	}
+	rep.ServiceSteps = final.Step - initial.Step
 	if wall > 0 {
 		rep.Throughput = float64(final.Delivered) / wall.Seconds()
+		rep.ServiceStepsPerSec = float64(rep.ServiceSteps) / wall.Seconds()
 	}
 	// Bootstrap CIs make the quantiles comparable across runs; the seed
 	// derives from the client seed so the report itself is reproducible.
@@ -197,8 +211,9 @@ func printReport(r Report) {
 		fmt.Printf("%s,%d,%d,%d,%.4f,%.4f,%d\n",
 			t.Name, t.Offered, t.Admitted, t.QuotaDropped, t.AdmissionRate, t.ServiceDropRate, t.Delivered)
 	}
-	fmt.Printf("service totals: offered=%d delivered=%d dropped=%d deflections=%d step=%d\n",
-		r.Service.Offered, r.Service.Delivered, r.Service.Dropped, r.Service.Deflections, r.Service.Step)
+	fmt.Printf("service totals: offered=%d delivered=%d dropped=%d deflections=%d step=%d (%d steps this run, %.0f steps/s)\n",
+		r.Service.Offered, r.Service.Delivered, r.Service.Dropped, r.Service.Deflections, r.Service.Step,
+		r.ServiceSteps, r.ServiceStepsPerSec)
 }
 
 // paretoSize draws a Pareto(α, xm) batch size, capped.

@@ -234,24 +234,14 @@ func (r *Result) String() string {
 	return s
 }
 
-// pkt is a live packet of the open system.
-type pkt struct {
-	id          int
-	tenant      string
-	cur         graph.NodeID
-	dst         graph.NodeID
-	path        []graph.EdgeID
-	arrivalEdge graph.EdgeID
-	arrivalDir  graph.Direction
-	inject      int
-}
-
 // retryEntry is a blocked arrival waiting in the source-side backoff
 // queue. Its destination and path were drawn at the original arrival,
 // so retries consume no randomness and the RNG stream stays a pure
-// function of the arrival sequence.
+// function of the arrival sequence. The path backing is a pooled
+// buffer owned by the engine; tenant is the interned id (-1 for
+// anonymous λ-arrivals).
 type retryEntry struct {
-	tenant   string
+	tenant   int32
 	src      graph.NodeID
 	dst      graph.NodeID
 	path     []graph.EdgeID

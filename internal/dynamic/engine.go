@@ -3,6 +3,7 @@ package dynamic
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"hotpotato/internal/graph"
 	"hotpotato/internal/paths"
@@ -18,13 +19,14 @@ type TenantTotals = persist.TenantTotals
 // at injection time; src/dst entries draw only the path; explicit-path
 // entries consume no randomness. Drawing late keeps the RNG stream a
 // pure function of the injection sequence, which is what makes a
-// snapshot-restored run replay byte-identically.
+// snapshot-restored run replay byte-identically. The path backing, when
+// non-nil, is a pooled buffer owned by the engine.
 type pendingEntry struct {
-	tenant string
+	tenant int32 // interned; -1 anonymous
 	random bool
 	src    graph.NodeID // NoNode when random
 	dst    graph.NodeID
-	path   []graph.EdgeID // nil unless explicit
+	path   []graph.EdgeID // nil unless explicit or already drawn
 }
 
 // Engine is the open-system simulator as an explicit state machine:
@@ -32,6 +34,16 @@ type pendingEntry struct {
 // it externally-requested packets (the routing-service path), Snapshot
 // freezes it between steps and Restore thaws it in another process.
 // Run wraps it for the classic closed-loop λ-arrival simulation.
+//
+// The hot path is structure-of-arrays, the design the batch engine
+// proved out (internal/sim, PRs 6/7): packet state lives in flat
+// parallel columns indexed by a free-listed packet slot, per-node
+// occupancy is counts+offsets carved from one arena sized by the
+// occ(v) <= deg(v) invariant, and the per-step request/grant/deflect
+// bookkeeping is epoch-stamped scratch keyed by transmission slot
+// (edge, direction) — no maps, no per-step allocation once warm. Paths
+// sit in per-slot pooled buffers with prepend headroom so a deflection
+// retreats in place instead of copy-prepending.
 //
 // An Engine is not safe for concurrent use; the service serializes all
 // access through each topology's goroutine.
@@ -46,38 +58,109 @@ type Engine struct {
 	sources []graph.NodeID
 	dstsOf  [][]graph.NodeID
 
-	at      [][]*pkt
-	live    []*pkt
+	// sampler reuses one forward-path-count scratch across all path
+	// draws (λ-arrivals and pending injections).
+	sampler paths.ForwardPathSampler
+
+	// pathCnt[d] is the precomputed paths.CountsTo table for eligible
+	// destination d (nil = not precomputed; drawPath then falls back to
+	// the counting sampler). The table depends only on d, so computing
+	// the rows once at construction takes the O(V+E) counting pass off
+	// the injection hot path.
+	pathCnt [][]int64
+
+	// Packet columns, indexed by slot. A slot is recycled through free
+	// when its packet delivers; its path buffer stays with the slot so
+	// a warm engine re-injects without allocating.
+	pID      []int
+	pTenant  []int32 // interned tenant id; -1 anonymous (λ-arrivals)
+	pCur     []int32
+	pDst     []int32
+	pArrEdge []int32 // -1 = never moved
+	pArrDir  []uint8
+	pInject  []int
+	pBuf     [][]graph.EdgeID // pooled path backing with headroom
+	pHead    []int32          // index of the path head within pBuf
+	pLen     []int32          // remaining path length
+
+	free []int32 // recycled packet slots
+	live []int32 // live slots in injection order
+
+	// Per-node occupancy: atList[atOff[v]:atOff[v]+atN[v]] are the
+	// slots parked at node v, in arrival order. The arena holds exactly
+	// sum(deg(v)) = 2|E| entries: occupancy can never exceed degree —
+	// after an injection occ(v) <= 1 (the source must be empty), and in
+	// a step where any packet stays at v every healthy out-slot of v
+	// carries a mover away while arrivals only come over healthy edges,
+	// so arrivals <= departures and occ(v) never grows past deg(v).
+	atOff    []int32 // node -> arena offset (prefix sums of degree), len N+1
+	atN      []int32 // node -> current occupancy
+	atList   []int32 // the arena
+	occupied []int32 // nodes with atN > 0; rebuilt each commit
+
+	// Per-transmission-slot scratch (slot si = edge<<1 | direction),
+	// epoch-stamped so steps never clear it: a stamp != epoch means
+	// "untouched this step".
+	slotEpoch  []uint32
+	slotCount  []int32 // request contenders this step
+	slotWinner []int32 // surviving contender (reservoir selection)
+	usedEpoch  []uint32
+	winSlots   []int32 // slots that saw >= 1 request this step
+	epoch      uint32
+
+	// Per-packet-slot step scratch, same epoch discipline.
+	grantEpoch []uint32
+	grantSlot  []int32
+	stallEpoch []uint32
+
+	// Forward-memory bitsets (was a forward move committed on edge e
+	// last step?) with dirty lists so clears cost O(moves), not O(E).
+	prevFwd, curFwd           []uint64
+	prevFwdDirty, curFwdDirty []int32
+
+	// qBufPool recycles path backings of pending/retry entries.
+	qBufPool [][]graph.EdgeID
+
 	retryQ  []retryEntry
 	pending []pendingEntry
 	nextID  int
 
-	latencies       []float64
+	lat             latReservoir
 	inFlightSum     float64
 	inFlightSamples int
-
-	prevForward, curForward []*pkt
 
 	// Window accumulators (the open partial window).
 	wDelivered, wSpan, wStart               int
 	wLatSum, wFlySum, wAvailSum             float64
 	wPrevBlocked, wPrevStalls, wPrevDropped int
 
-	step      int
-	digest    uint64
-	tenants   map[string]*TenantTotals
-	finalized bool
-}
+	step   int
+	digest uint64
 
-type slot struct {
-	e graph.EdgeID
-	d graph.Direction
+	// Tenant interning: the hot path carries int32 ids and indexes
+	// tenantTT; the name-keyed map is maintained for the Tenants() API
+	// and snapshots. All three share the same *TenantTotals values.
+	tenantID    map[string]int32
+	tenantNames []string
+	tenantTT    []*TenantTotals
+	tenants     map[string]*TenantTotals
+
+	finalized bool
 }
 
 const (
 	fnvOffset64 = 14695981039346656037
 	fnvPrime64  = 1099511628211
 )
+
+// pathHeadroom is the slack reserved on each side of a freshly
+// installed path so the first deflections prepend in place.
+const pathHeadroom = 8
+
+// maxPathCntEntries caps the per-destination path-count arena (int64
+// entries, so 32 MB): beyond it, path draws recount per draw instead
+// of indexing precomputed tables.
+const maxPathCntEntries = 1 << 22
 
 // foldDigest folds one 64-bit word into the FNV-1a running digest.
 func foldDigest(h, x uint64) uint64 {
@@ -112,11 +195,13 @@ func NewEngine(g *graph.Leveled, cfg Config) (*Engine, error) {
 		cfg.MaxInFlight = 4096
 	}
 	e := &Engine{
-		g:       g,
-		cfg:     cfg,
-		res:     &Result{Cfg: cfg},
-		src:     newSM64(cfg.Seed),
-		tenants: make(map[string]*TenantTotals),
+		g:        g,
+		cfg:      cfg,
+		res:      &Result{Cfg: cfg},
+		src:      newSM64(cfg.Seed),
+		lat:      newLatReservoir(cfg.Seed),
+		tenantID: make(map[string]int32, 8),
+		tenants:  make(map[string]*TenantTotals, 8),
 	}
 	e.rng = rand.New(e.src)
 
@@ -138,24 +223,136 @@ func NewEngine(g *graph.Leveled, cfg Config) (*Engine, error) {
 			}
 		}
 	}
-	e.at = make([][]*pkt, g.NumNodes())
-	e.prevForward = make([]*pkt, g.NumEdges())
-	e.curForward = make([]*pkt, g.NumEdges())
+
+	nn, ne := g.NumNodes(), g.NumEdges()
+
+	// Per-destination forward-path-count tables: path draws weight each
+	// hop by the number of forward paths through it, and the table
+	// depends only on the destination — recomputing it per draw (an
+	// O(V+E) counting pass) dominated the injection phase. Precompute
+	// one row per eligible destination, carved from a single arena,
+	// unless the arena would exceed maxPathCntEntries (then drawPath
+	// falls back to the per-draw counting sampler).
+	eligibleDst := make([]bool, nn)
+	rows := 0
+	for _, s := range e.sources {
+		for _, d := range e.dstsOf[s] {
+			if !eligibleDst[d] {
+				eligibleDst[d] = true
+				rows++
+			}
+		}
+	}
+	e.pathCnt = make([][]int64, nn)
+	if entries := rows * nn; entries > 0 && entries <= maxPathCntEntries {
+		arena := make([]int64, entries)
+		row := 0
+		for d, ok := range eligibleDst {
+			if !ok {
+				continue
+			}
+			e.pathCnt[d] = paths.CountsTo(g, graph.NodeID(d), arena[row*nn:(row+1)*nn])
+			row++
+		}
+	}
+
+	e.atOff = make([]int32, nn+1)
+	for v := 0; v < nn; v++ {
+		e.atOff[v+1] = e.atOff[v] + int32(g.Node(graph.NodeID(v)).Degree())
+	}
+	e.atN = make([]int32, nn)
+	e.atList = make([]int32, e.atOff[nn])
+	e.occupied = make([]int32, 0, nn)
+	e.slotEpoch = make([]uint32, 2*ne)
+	e.slotCount = make([]int32, 2*ne)
+	e.slotWinner = make([]int32, 2*ne)
+	e.usedEpoch = make([]uint32, 2*ne)
+	e.winSlots = make([]int32, 0, 2*ne)
+	words := (ne + 63) / 64
+	e.prevFwd = make([]uint64, words)
+	e.curFwd = make([]uint64, words)
+	e.prevFwdDirty = make([]int32, 0, ne)
+	e.curFwdDirty = make([]int32, 0, ne)
+
+	// Preallocate every hard-bounded backing so a warm engine's Step
+	// never allocates. Live packets are bounded by both the admission
+	// cap and the occupancy invariant (sum over v of occ(v) <= deg(v)
+	// is 2|E|), so the packet columns can be built at full size up
+	// front, every slot pre-fitted with a path buffer that holds a
+	// maximal forward path (depth edges) plus deflection headroom.
+	maxSlots := cfg.MaxInFlight
+	if bound := 2 * ne; bound < maxSlots {
+		maxSlots = bound
+	}
+	pathCap := g.Depth() + 2*pathHeadroom
+	e.pID = make([]int, maxSlots)
+	e.pTenant = make([]int32, maxSlots)
+	e.pCur = make([]int32, maxSlots)
+	e.pDst = make([]int32, maxSlots)
+	e.pArrEdge = make([]int32, maxSlots)
+	e.pArrDir = make([]uint8, maxSlots)
+	e.pInject = make([]int, maxSlots)
+	e.pBuf = make([][]graph.EdgeID, maxSlots)
+	e.pHead = make([]int32, maxSlots)
+	e.pLen = make([]int32, maxSlots)
+	e.grantEpoch = make([]uint32, maxSlots)
+	e.grantSlot = make([]int32, maxSlots)
+	e.stallEpoch = make([]uint32, maxSlots)
+	e.free = make([]int32, 0, maxSlots)
+	for s := maxSlots - 1; s >= 0; s-- {
+		e.pArrEdge[s] = -1
+		e.pTenant[s] = -1
+		e.pBuf[s] = make([]graph.EdgeID, pathCap)
+		e.free = append(e.free, int32(s)) // pops yield 0, 1, 2, ...
+	}
+	e.live = make([]int32, 0, maxSlots)
+
+	// The queue backings and the entry-path pool have no hard bound
+	// (retry depth is workload-dependent), so seed them generously:
+	// exceeding these is a rare cold-path growth, not a steady leak.
+	e.retryQ = make([]retryEntry, 0, 64)
+	e.pending = make([]pendingEntry, 0, 64)
+	e.qBufPool = make([][]graph.EdgeID, 0, 128)
+	for i := 0; i < 64; i++ {
+		e.qBufPool = append(e.qBufPool, make([]graph.EdgeID, 0, 16))
+	}
 	return e, nil
 }
 
-// tenant returns (allocating) the ledger of a named tenant; the
-// anonymous tenant "" (λ-generated arrivals) has no ledger.
-func (e *Engine) tenant(name string) *TenantTotals {
+// internTenant maps a tenant name to its dense id, allocating the
+// ledger on first sight. The anonymous tenant "" (λ-generated
+// arrivals) is id -1 and has no ledger.
+func (e *Engine) internTenant(name string) int32 {
 	if name == "" {
+		return -1
+	}
+	if id, ok := e.tenantID[name]; ok {
+		return id
+	}
+	id := int32(len(e.tenantNames))
+	tt := &TenantTotals{}
+	e.tenantID[name] = id
+	e.tenantNames = append(e.tenantNames, name)
+	e.tenantTT = append(e.tenantTT, tt)
+	e.tenants[name] = tt
+	return id
+}
+
+// ledger returns the ledger of an interned tenant id (nil for the
+// anonymous tenant) without touching a map.
+func (e *Engine) ledger(id int32) *TenantTotals {
+	if id < 0 {
 		return nil
 	}
-	tt := e.tenants[name]
-	if tt == nil {
-		tt = &TenantTotals{}
-		e.tenants[name] = tt
+	return e.tenantTT[id]
+}
+
+// tenantName is the inverse of internTenant, for snapshots.
+func (e *Engine) tenantName(id int32) string {
+	if id < 0 {
+		return ""
 	}
-	return tt
+	return e.tenantNames[id]
 }
 
 // Submit enqueues one src→dst packet request for injection. The path is
@@ -176,13 +373,14 @@ func (e *Engine) Submit(tenant string, src, dst graph.NodeID) error {
 	if !reachable {
 		return fmt.Errorf("dynamic: submit: node %d cannot reach %d forward (or %d is not an eligible source)", src, dst, src)
 	}
-	e.offerPending(pendingEntry{tenant: tenant, src: src, dst: dst})
+	e.offerPending(pendingEntry{tenant: e.internTenant(tenant), src: src, dst: dst})
 	return nil
 }
 
 // SubmitPath enqueues a packet with a fully pre-computed forward path
 // (the hop-constrained / oblivious-routing client shape). The path must
-// be a contiguous forward edge sequence.
+// be a contiguous forward edge sequence. The caller's slice is copied
+// into a pooled buffer, never retained.
 func (e *Engine) SubmitPath(tenant string, path []graph.EdgeID) error {
 	if len(path) == 0 {
 		return fmt.Errorf("dynamic: submit: empty path")
@@ -198,8 +396,8 @@ func (e *Engine) SubmitPath(tenant string, path []graph.EdgeID) error {
 	src := e.g.Edge(path[0]).From
 	dst := e.g.Edge(path[len(path)-1]).To
 	e.offerPending(pendingEntry{
-		tenant: tenant, src: src, dst: dst,
-		path: append([]graph.EdgeID(nil), path...),
+		tenant: e.internTenant(tenant), src: src, dst: dst,
+		path: append(e.borrowQBuf(), path...),
 	})
 	return nil
 }
@@ -212,35 +410,155 @@ func (e *Engine) SubmitRandom(tenant string, n int) error {
 	if n < 1 {
 		return fmt.Errorf("dynamic: submit: random count %d < 1", n)
 	}
+	id := e.internTenant(tenant)
 	for i := 0; i < n; i++ {
-		e.offerPending(pendingEntry{tenant: tenant, random: true, src: graph.NoNode, dst: graph.NoNode})
+		e.offerPending(pendingEntry{tenant: id, random: true, src: graph.NoNode, dst: graph.NoNode})
 	}
 	return nil
 }
 
 func (e *Engine) offerPending(en pendingEntry) {
 	e.res.Offered++
-	if tt := e.tenant(en.tenant); tt != nil {
+	if tt := e.ledger(en.tenant); tt != nil {
 		tt.Submitted++
 	}
 	e.pending = append(e.pending, en)
 }
 
+// drawPath samples a forward src→dst path into a pooled buffer — the
+// RNG consumption of paths.RandomForwardPath, minus its counting pass
+// whenever dst has a precomputed table.
+func (e *Engine) drawPath(src, dst graph.NodeID) ([]graph.EdgeID, error) {
+	if cnt := e.pathCnt[dst]; cnt != nil {
+		return paths.AppendPathCounted(e.g, e.rng, src, dst, cnt, e.borrowQBuf())
+	}
+	return e.sampler.AppendPath(e.g, e.rng, src, dst, e.borrowQBuf())
+}
+
+// borrowQBuf takes a pooled path backing for a pending/retry entry.
+func (e *Engine) borrowQBuf() []graph.EdgeID {
+	if n := len(e.qBufPool); n > 0 {
+		b := e.qBufPool[n-1]
+		e.qBufPool = e.qBufPool[:n-1]
+		return b[:0]
+	}
+	return make([]graph.EdgeID, 0, 16)
+}
+
+// returnQBuf puts an entry's path backing back in the pool.
+func (e *Engine) returnQBuf(b []graph.EdgeID) {
+	if cap(b) > 0 {
+		e.qBufPool = append(e.qBufPool, b)
+	}
+}
+
+// allocSlot takes a packet slot from the free list, growing the columns
+// when none are available. Recycled slots keep their path buffer.
+func (e *Engine) allocSlot() int32 {
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free = e.free[:n-1]
+		return s
+	}
+	s := int32(len(e.pID))
+	e.pID = append(e.pID, 0)
+	e.pTenant = append(e.pTenant, -1)
+	e.pCur = append(e.pCur, 0)
+	e.pDst = append(e.pDst, 0)
+	e.pArrEdge = append(e.pArrEdge, -1)
+	e.pArrDir = append(e.pArrDir, 0)
+	e.pInject = append(e.pInject, 0)
+	e.pBuf = append(e.pBuf, nil)
+	e.pHead = append(e.pHead, 0)
+	e.pLen = append(e.pLen, 0)
+	e.grantEpoch = append(e.grantEpoch, 0)
+	e.grantSlot = append(e.grantSlot, 0)
+	e.stallEpoch = append(e.stallEpoch, 0)
+	return s
+}
+
+// setPath installs a path into slot s's buffer, centered so both
+// prepends (deflection retreats) and head pops advance in place. The
+// buffer only ever grows, so a warm slot installs without allocating.
+func (e *Engine) setPath(s int32, path []graph.EdgeID) {
+	need := len(path) + 2*pathHeadroom
+	buf := e.pBuf[s]
+	if cap(buf) < need {
+		buf = make([]graph.EdgeID, need)
+	} else {
+		buf = buf[:cap(buf)]
+	}
+	head := (len(buf) - len(path)) / 2
+	copy(buf[head:], path)
+	e.pBuf[s] = buf
+	e.pHead[s] = int32(head)
+	e.pLen[s] = int32(len(path))
+}
+
+// prependEdge pushes one edge in front of slot s's path head: the
+// in-place replacement for the old copy-prepend on every deflection.
+// When the left headroom is exhausted it recenters within the buffer
+// (pops free space on the left over time) or grows it.
+func (e *Engine) prependEdge(s int32, ed graph.EdgeID) {
+	if e.pHead[s] == 0 {
+		buf, n := e.pBuf[s], int(e.pLen[s])
+		if n < len(buf) {
+			shift := (len(buf) - n + 1) / 2
+			copy(buf[shift:shift+n], buf[:n])
+			e.pHead[s] = int32(shift)
+		} else {
+			nbuf := make([]graph.EdgeID, 2*len(buf)+2*pathHeadroom)
+			head := (len(nbuf) - n) / 2
+			copy(nbuf[head:], buf[:n])
+			e.pBuf[s] = nbuf
+			e.pHead[s] = int32(head)
+		}
+	}
+	e.pHead[s]--
+	e.pBuf[s][e.pHead[s]] = ed
+	e.pLen[s]++
+}
+
+// parkAt appends slot s to node v's occupancy list. Overflow past
+// deg(v) is impossible by the occupancy invariant (see the atOff field
+// comment); it panics rather than corrupt a neighbor's list.
+func (e *Engine) parkAt(v graph.NodeID, s int32) {
+	n := e.atN[v]
+	off := e.atOff[v]
+	if off+n >= e.atOff[v+1] {
+		panic(fmt.Sprintf("dynamic: node %d occupancy exceeds degree %d", v, e.atOff[v+1]-off))
+	}
+	if n == 0 {
+		e.occupied = append(e.occupied, int32(v))
+	}
+	e.atList[off+n] = s
+	e.atN[v] = n + 1
+}
+
 // inject admits a packet at src if the source is free and the in-flight
-// cap allows, returning success.
-func (e *Engine) inject(t int, tenant string, src, dst graph.NodeID, path []graph.EdgeID) bool {
-	if len(e.at[src]) > 0 || len(e.live) >= e.cfg.MaxInFlight {
+// cap allows, returning success. The path is copied into the slot's
+// pooled buffer; the caller keeps ownership of the argument.
+func (e *Engine) inject(t int, tenant int32, src, dst graph.NodeID, path []graph.EdgeID) bool {
+	if e.atN[src] > 0 || len(e.live) >= e.cfg.MaxInFlight {
 		if len(e.live) >= e.cfg.MaxInFlight {
 			e.res.Saturated = true
 		}
 		return false
 	}
-	p := &pkt{id: e.nextID, tenant: tenant, cur: src, dst: dst, path: path, arrivalEdge: graph.NoEdge, inject: t}
+	s := e.allocSlot()
+	e.pID[s] = e.nextID
 	e.nextID++
-	e.at[src] = append(e.at[src], p)
-	e.live = append(e.live, p)
+	e.pTenant[s] = tenant
+	e.pCur[s] = int32(src)
+	e.pDst[s] = int32(dst)
+	e.pArrEdge[s] = -1
+	e.pArrDir[s] = 0
+	e.pInject[s] = t
+	e.setPath(s, path)
+	e.parkAt(src, s)
+	e.live = append(e.live, s)
 	e.res.Admitted++
-	if tt := e.tenant(tenant); tt != nil {
+	if tt := e.ledger(tenant); tt != nil {
 		tt.Admitted++
 	}
 	return true
@@ -346,15 +664,17 @@ func (e *Engine) Step() error {
 				continue
 			}
 			res.Retried++
-			if tt := e.tenant(en.tenant); tt != nil {
+			if tt := e.ledger(en.tenant); tt != nil {
 				tt.Retried++
 			}
 			if e.inject(t, en.tenant, en.src, en.dst, en.path) {
+				e.returnQBuf(en.path)
 				continue
 			}
 			en.attempts++
 			if en.attempts >= cfg.Retry.MaxAttempts {
 				e.dropPacket(en.tenant)
+				e.returnQBuf(en.path)
 				continue
 			}
 			en.next = t + cfg.Retry.backoff(en.attempts)
@@ -385,13 +705,14 @@ func (e *Engine) Step() error {
 				en.random = false
 			}
 			if en.path == nil {
-				path, err := paths.RandomForwardPath(e.g, e.rng, en.src, en.dst)
+				path, err := e.drawPath(en.src, en.dst)
 				if err != nil {
 					return fmt.Errorf("dynamic: step %d: pending path draw: %w", t, err)
 				}
 				en.path = path
 			}
 			if e.inject(t, en.tenant, en.src, en.dst, en.path) {
+				e.returnQBuf(en.path)
 				continue
 			}
 			if cfg.Retry.enabled() {
@@ -401,6 +722,7 @@ func (e *Engine) Step() error {
 				})
 			} else {
 				e.dropPacket(en.tenant)
+				e.returnQBuf(en.path)
 			}
 		}
 		e.pending = keep
@@ -420,75 +742,87 @@ func (e *Engine) Step() error {
 				continue
 			}
 			dst := cands[e.rng.Intn(len(cands))]
-			path, err := paths.RandomForwardPath(e.g, e.rng, s, dst)
+			path, err := e.drawPath(s, dst)
 			if err != nil {
 				return err
 			}
-			if e.inject(t, "", s, dst, path) {
+			if e.inject(t, -1, s, dst, path) {
+				e.returnQBuf(path)
 				continue
 			}
 			if cfg.Retry.enabled() {
 				e.retryQ = append(e.retryQ, retryEntry{
-					src: s, dst: dst, path: path,
+					tenant: -1, src: s, dst: dst, path: path,
 					attempts: 1, next: t + cfg.Retry.backoff(1),
 				})
+			} else {
+				e.returnQBuf(path)
 			}
 		}
 	}
 
 	// Requests: every live packet chases its head; equal-priority
-	// conflicts resolve by reservoir selection (1/k per contender). A
-	// request for a downed edge is fault-blocked and falls through to
+	// conflicts resolve by reservoir selection (1/k per contender, in
+	// live order — the exact RNG consumption of the map-based engine).
+	// A request for a downed edge is fault-blocked and falls through to
 	// the deflection pass.
-	winners := make(map[slot]*pkt, len(e.live))
-	contenders := make(map[slot]int, len(e.live))
-	for _, p := range e.live {
-		ed := p.path[0]
+	e.epoch++
+	ep := e.epoch
+	e.winSlots = e.winSlots[:0]
+	for _, s := range e.live {
+		ed := e.pBuf[s][e.pHead[s]]
 		if e.down(ed, t) {
 			res.FaultBlocked++
 			continue
 		}
-		s := slot{ed, e.g.DirectionFrom(ed, p.cur)}
-		k := contenders[s] + 1
-		contenders[s] = k
-		if k == 1 || reservoirKeep(e.rng, k) {
-			winners[s] = p
+		d := e.g.DirectionFrom(ed, graph.NodeID(e.pCur[s]))
+		si := int32(ed)<<1 | int32(d)
+		k := int32(1)
+		if e.slotEpoch[si] == ep {
+			k = e.slotCount[si] + 1
+		} else {
+			e.slotEpoch[si] = ep
+			e.winSlots = append(e.winSlots, si)
+		}
+		e.slotCount[si] = k
+		if k == 1 || reservoirKeep(e.rng, int(k)) {
+			e.slotWinner[si] = s
 		}
 	}
-	used := make(map[slot]bool, len(winners))
-	granted := make(map[*pkt]slot, len(e.live))
-	for s, p := range winners {
-		used[s] = true
-		granted[p] = s
+	for _, si := range e.winSlots {
+		e.usedEpoch[si] = ep
+		w := e.slotWinner[si]
+		e.grantEpoch[w] = ep
+		e.grantSlot[w] = si
 	}
-	// Deflect losers per node, in node-ID order (determinism).
-	stalled := make(map[*pkt]bool)
-	for v := graph.NodeID(0); int(v) < e.g.NumNodes(); v++ {
-		ps := e.at[v]
-		if len(ps) == 0 {
-			continue
-		}
+
+	// Deflect losers per node, in node-ID order (determinism): arrival
+	// reversal first, then safe-backward (an edge that carried a
+	// forward move last step), then any backward, then any forward.
+	slices.Sort(e.occupied)
+	for _, vi := range e.occupied {
+		v := graph.NodeID(vi)
+		lst := e.atList[e.atOff[v] : e.atOff[v]+e.atN[v]]
 		node := e.g.Node(v)
-		free := func(s slot) bool {
-			return !used[s] && !e.down(s.e, t)
-		}
-		for _, p := range ps {
-			if _, ok := granted[p]; ok {
+		for _, s := range lst {
+			if e.grantEpoch[s] == ep {
 				continue
 			}
 			assigned := false
-			if p.arrivalEdge != graph.NoEdge {
-				s := slot{p.arrivalEdge, p.arrivalDir.Reverse()}
-				if free(s) {
-					granted[p], used[s] = s, true
+			if ae := e.pArrEdge[s]; ae != -1 {
+				rd := graph.Direction(e.pArrDir[s]).Reverse()
+				si := ae<<1 | int32(rd)
+				if e.usedEpoch[si] != ep && !e.down(graph.EdgeID(ae), t) {
+					e.usedEpoch[si], e.grantEpoch[s], e.grantSlot[s] = ep, ep, si
 					assigned = true
 				}
 			}
 			if !assigned {
 				for _, ed := range node.Down {
-					s := slot{ed, graph.Backward}
-					if free(s) && e.prevForward[ed] != nil {
-						granted[p], used[s] = s, true
+					si := int32(ed)<<1 | int32(graph.Backward)
+					if e.usedEpoch[si] != ep && !e.down(ed, t) &&
+						e.prevFwd[ed>>6]&(1<<(uint(ed)&63)) != 0 {
+						e.usedEpoch[si], e.grantEpoch[s], e.grantSlot[s] = ep, ep, si
 						assigned = true
 						break
 					}
@@ -496,9 +830,9 @@ func (e *Engine) Step() error {
 			}
 			if !assigned {
 				for _, ed := range node.Down {
-					s := slot{ed, graph.Backward}
-					if free(s) {
-						granted[p], used[s] = s, true
+					si := int32(ed)<<1 | int32(graph.Backward)
+					if e.usedEpoch[si] != ep && !e.down(ed, t) {
+						e.usedEpoch[si], e.grantEpoch[s], e.grantSlot[s] = ep, ep, si
 						assigned = true
 						break
 					}
@@ -506,9 +840,9 @@ func (e *Engine) Step() error {
 			}
 			if !assigned {
 				for _, ed := range node.Up {
-					s := slot{ed, graph.Forward}
-					if free(s) {
-						granted[p], used[s] = s, true
+					si := int32(ed)<<1 | int32(graph.Forward)
+					if e.usedEpoch[si] != ep && !e.down(ed, t) {
+						e.usedEpoch[si], e.grantEpoch[s], e.grantSlot[s] = ep, ep, si
 						assigned = true
 						break
 					}
@@ -519,7 +853,7 @@ func (e *Engine) Step() error {
 					// An outage consumed the node's slack: hold in place
 					// for one step, the bufferless model's local escape
 					// hatch under faults.
-					stalled[p] = true
+					e.stallEpoch[s] = ep
 					res.FaultStalls++
 					continue
 				}
@@ -529,55 +863,68 @@ func (e *Engine) Step() error {
 		}
 	}
 
-	// Commit.
-	for i := range e.curForward {
-		e.curForward[i] = nil
-	}
+	// Commit: clear occupancy (O(occupied), not O(N)) and re-park every
+	// survivor in live order — the same arrival order the map engine's
+	// append-per-node sweep produced.
 	survivors := e.live[:0]
-	for i := range e.at {
-		e.at[i] = e.at[i][:0]
+	for _, vi := range e.occupied {
+		e.atN[vi] = 0
 	}
-	for _, p := range e.live {
-		if stalled[p] {
-			survivors = append(survivors, p)
-			e.at[p.cur] = append(e.at[p.cur], p)
+	e.occupied = e.occupied[:0]
+	for _, s := range e.live {
+		if e.stallEpoch[s] == ep {
+			survivors = append(survivors, s)
+			e.parkAt(graph.NodeID(e.pCur[s]), s)
 			continue
 		}
-		s := granted[p]
-		dest := e.g.EndpointAt(s.e, s.d)
-		if len(p.path) > 0 && p.path[0] == s.e {
-			p.path = p.path[1:]
+		si := e.grantSlot[s]
+		ed := graph.EdgeID(si >> 1)
+		d := graph.Direction(si & 1)
+		dest := e.g.EndpointAt(ed, d)
+		if e.pLen[s] > 0 && e.pBuf[s][e.pHead[s]] == ed {
+			e.pHead[s]++
+			e.pLen[s]--
 		} else {
-			p.path = append([]graph.EdgeID{s.e}, p.path...)
+			e.prependEdge(s, ed)
 		}
-		p.cur = dest
-		p.arrivalEdge, p.arrivalDir = s.e, s.d
-		if s.d == graph.Forward {
-			e.curForward[s.e] = p
+		e.pCur[s] = int32(dest)
+		e.pArrEdge[s] = int32(ed)
+		e.pArrDir[s] = uint8(d)
+		if d == graph.Forward {
+			e.curFwd[ed>>6] |= 1 << (uint(ed) & 63)
+			e.curFwdDirty = append(e.curFwdDirty, int32(ed))
 		}
-		if p.cur == p.dst {
+		if dest == graph.NodeID(e.pDst[s]) {
 			res.Delivered++
-			if tt := e.tenant(p.tenant); tt != nil {
+			if tt := e.ledger(e.pTenant[s]); tt != nil {
 				tt.Delivered++
 			}
-			e.digest = foldDigest(e.digest, uint64(p.id))
-			e.digest = foldDigest(e.digest, uint64(p.dst))
-			e.digest = foldDigest(e.digest, uint64(p.inject))
+			e.digest = foldDigest(e.digest, uint64(e.pID[s]))
+			e.digest = foldDigest(e.digest, uint64(e.pDst[s]))
+			e.digest = foldDigest(e.digest, uint64(e.pInject[s]))
 			e.digest = foldDigest(e.digest, uint64(t+1))
-			if p.inject >= cfg.Warmup {
-				e.latencies = append(e.latencies, float64(t+1-p.inject))
+			if e.pInject[s] >= cfg.Warmup {
+				e.lat.add(float64(t + 1 - e.pInject[s]))
 			}
 			if cfg.Window > 0 {
 				e.wDelivered++
-				e.wLatSum += float64(t + 1 - p.inject)
+				e.wLatSum += float64(t + 1 - e.pInject[s])
 			}
+			e.free = append(e.free, s)
 			continue
 		}
-		survivors = append(survivors, p)
-		e.at[p.cur] = append(e.at[p.cur], p)
+		survivors = append(survivors, s)
+		e.parkAt(dest, s)
 	}
 	e.live = survivors
-	e.prevForward, e.curForward = e.curForward, e.prevForward
+	// Swap the forward-memory bitsets and wipe the stale side through
+	// its dirty list.
+	e.prevFwd, e.curFwd = e.curFwd, e.prevFwd
+	e.prevFwdDirty, e.curFwdDirty = e.curFwdDirty, e.prevFwdDirty
+	for _, ed := range e.curFwdDirty {
+		e.curFwd[ed>>6] &^= 1 << (uint(ed) & 63)
+	}
+	e.curFwdDirty = e.curFwdDirty[:0]
 	e.step = t + 1
 	res.ExecutedSteps = e.step
 
@@ -611,9 +958,9 @@ func (e *Engine) Step() error {
 
 // dropPacket records an abandoned packet against the engine and the
 // tenant ledger.
-func (e *Engine) dropPacket(tenant string) {
+func (e *Engine) dropPacket(tenant int32) {
 	e.res.Dropped++
-	if tt := e.tenant(tenant); tt != nil {
+	if tt := e.ledger(tenant); tt != nil {
 		tt.Dropped++
 	}
 }
@@ -624,7 +971,7 @@ func (e *Engine) dropPacket(tenant string) {
 func (e *Engine) Finalize() *Result {
 	if !e.finalized {
 		e.closeWindow()
-		e.res.Latency = summarizeLatencies(e.latencies)
+		e.res.Latency = e.lat.summary()
 		e.res.AvgInFlight = safeMean(e.inFlightSum, e.inFlightSamples)
 		e.res.TraceDigest = e.digest
 		e.finalized = true

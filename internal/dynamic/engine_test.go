@@ -301,7 +301,8 @@ func TestRestoreRejectsCorruptState(t *testing.T) {
 		"count mismatch":   func(s *persist.EngineState) { s.Delivered++ },
 		"negative counter": func(s *persist.EngineState) { s.Deflections = -1 },
 		"nan latency": func(s *persist.EngineState) {
-			s.Latencies = append(s.Latencies, math.NaN())
+			s.LatSamples = append(s.LatSamples, math.NaN())
+			s.LatCount++
 		},
 	}
 	for name, corrupt := range cases {

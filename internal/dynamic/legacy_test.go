@@ -1,0 +1,769 @@
+package dynamic
+
+// This file carries a reference copy of the pre-SoA (array-of-pointers)
+// open-system engine, ported verbatim from the implementation the SoA
+// rebuild replaced, with one retrofit: the unbounded latency slice is
+// replaced by the same bounded reservoir the live engine uses, so both
+// produce byte-identical v2 snapshots. TestDynamicSoAMatchesLegacy
+// drives the two implementations in lockstep over seeds × faults ×
+// retry configs and asserts the step digests and snapshot bytes never
+// diverge — the dynamic-engine mirror of the batch engine's
+// TestDifferentialInjectionTraces (PR 6).
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/faults"
+	"hotpotato/internal/graph"
+	"hotpotato/internal/paths"
+	"hotpotato/internal/persist"
+	"hotpotato/internal/topo"
+)
+
+type lpkt struct {
+	id          int
+	tenant      string
+	cur         graph.NodeID
+	dst         graph.NodeID
+	path        []graph.EdgeID
+	arrivalEdge graph.EdgeID
+	arrivalDir  graph.Direction
+	inject      int
+}
+
+type lretryEntry struct {
+	tenant   string
+	src      graph.NodeID
+	dst      graph.NodeID
+	path     []graph.EdgeID
+	attempts int
+	next     int
+}
+
+type lpendingEntry struct {
+	tenant string
+	random bool
+	src    graph.NodeID
+	dst    graph.NodeID
+	path   []graph.EdgeID
+}
+
+type lslot struct {
+	e graph.EdgeID
+	d graph.Direction
+}
+
+var lfwdSentinel = &lpkt{id: -1}
+
+type legacyEngine struct {
+	g   *graph.Leveled
+	cfg Config
+	res *Result
+
+	src *sm64
+	rng *rand.Rand
+
+	sources []graph.NodeID
+	dstsOf  [][]graph.NodeID
+
+	at      [][]*lpkt
+	live    []*lpkt
+	retryQ  []lretryEntry
+	pending []lpendingEntry
+	nextID  int
+
+	lat             latReservoir
+	inFlightSum     float64
+	inFlightSamples int
+
+	prevForward, curForward []*lpkt
+
+	wDelivered, wSpan, wStart               int
+	wLatSum, wFlySum, wAvailSum             float64
+	wPrevBlocked, wPrevStalls, wPrevDropped int
+
+	step      int
+	digest    uint64
+	tenants   map[string]*TenantTotals
+	finalized bool
+}
+
+func newLegacyEngine(g *graph.Leveled, cfg Config) (*legacyEngine, error) {
+	if cfg.Lambda < 0 || cfg.Lambda > 1 {
+		return nil, fmt.Errorf("dynamic: lambda must be in [0,1], got %g", cfg.Lambda)
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4096
+	}
+	e := &legacyEngine{
+		g:       g,
+		cfg:     cfg,
+		res:     &Result{Cfg: cfg},
+		src:     newSM64(cfg.Seed),
+		lat:     newLatReservoir(cfg.Seed),
+		tenants: make(map[string]*TenantTotals),
+	}
+	e.rng = rand.New(e.src)
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if g.Node(v).Level < g.Depth() && len(g.Node(v).Up) > 0 {
+			e.sources = append(e.sources, v)
+		}
+	}
+	if len(e.sources) == 0 {
+		return nil, fmt.Errorf("dynamic: network has no eligible sources")
+	}
+	e.dstsOf = make([][]graph.NodeID, g.NumNodes())
+	for _, s := range e.sources {
+		reach := g.ForwardReachableFrom(s)
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			if v != s && reach[v] {
+				e.dstsOf[s] = append(e.dstsOf[s], v)
+			}
+		}
+	}
+	e.at = make([][]*lpkt, g.NumNodes())
+	e.prevForward = make([]*lpkt, g.NumEdges())
+	e.curForward = make([]*lpkt, g.NumEdges())
+	return e, nil
+}
+
+func (e *legacyEngine) tenant(name string) *TenantTotals {
+	if name == "" {
+		return nil
+	}
+	tt := e.tenants[name]
+	if tt == nil {
+		tt = &TenantTotals{}
+		e.tenants[name] = tt
+	}
+	return tt
+}
+
+func (e *legacyEngine) Submit(tenant string, src, dst graph.NodeID) error {
+	reachable := false
+	for _, d := range e.dstsOf[src] {
+		if d == dst {
+			reachable = true
+			break
+		}
+	}
+	if !reachable {
+		return fmt.Errorf("dynamic: submit: unreachable pair")
+	}
+	e.offerPending(lpendingEntry{tenant: tenant, src: src, dst: dst})
+	return nil
+}
+
+func (e *legacyEngine) SubmitPath(tenant string, path []graph.EdgeID) error {
+	src := e.g.Edge(path[0]).From
+	dst := e.g.Edge(path[len(path)-1]).To
+	e.offerPending(lpendingEntry{
+		tenant: tenant, src: src, dst: dst,
+		path: append([]graph.EdgeID(nil), path...),
+	})
+	return nil
+}
+
+func (e *legacyEngine) SubmitRandom(tenant string, n int) error {
+	for i := 0; i < n; i++ {
+		e.offerPending(lpendingEntry{tenant: tenant, random: true, src: graph.NoNode, dst: graph.NoNode})
+	}
+	return nil
+}
+
+func (e *legacyEngine) offerPending(en lpendingEntry) {
+	e.res.Offered++
+	if tt := e.tenant(en.tenant); tt != nil {
+		tt.Submitted++
+	}
+	e.pending = append(e.pending, en)
+}
+
+func (e *legacyEngine) inject(t int, tenant string, src, dst graph.NodeID, path []graph.EdgeID) bool {
+	if len(e.at[src]) > 0 || len(e.live) >= e.cfg.MaxInFlight {
+		if len(e.live) >= e.cfg.MaxInFlight {
+			e.res.Saturated = true
+		}
+		return false
+	}
+	p := &lpkt{id: e.nextID, tenant: tenant, cur: src, dst: dst, path: path, arrivalEdge: graph.NoEdge, inject: t}
+	e.nextID++
+	e.at[src] = append(e.at[src], p)
+	e.live = append(e.live, p)
+	e.res.Admitted++
+	if tt := e.tenant(tenant); tt != nil {
+		tt.Admitted++
+	}
+	return true
+}
+
+func (e *legacyEngine) closeWindow() {
+	if e.cfg.Window <= 0 || e.wSpan == 0 {
+		return
+	}
+	ws := WindowStats{
+		Start:        e.wStart,
+		Delivered:    e.wDelivered,
+		MeanInFlight: safeMean(e.wFlySum, e.wSpan),
+		FaultBlocked: e.res.FaultBlocked - e.wPrevBlocked,
+		FaultStalls:  e.res.FaultStalls - e.wPrevStalls,
+		Dropped:      e.res.Dropped - e.wPrevDropped,
+		Availability: safeMean(e.wAvailSum, e.wSpan),
+		MeanLatency:  safeMean(e.wLatSum, e.wDelivered),
+	}
+	e.res.Windows = append(e.res.Windows, ws)
+	if e.cfg.OnWindow != nil {
+		e.cfg.OnWindow(ws, e.res)
+	}
+	e.wDelivered, e.wSpan = 0, 0
+	e.wLatSum, e.wFlySum, e.wAvailSum = 0, 0, 0
+	e.wPrevBlocked, e.wPrevStalls, e.wPrevDropped = e.res.FaultBlocked, e.res.FaultStalls, e.res.Dropped
+	e.wStart = e.res.ExecutedSteps
+}
+
+func (e *legacyEngine) down(ed graph.EdgeID, t int) bool {
+	return e.cfg.Faults != nil && e.cfg.Faults(ed, t)
+}
+
+func (e *legacyEngine) HasWork() bool {
+	return len(e.live) > 0 || len(e.pending) > 0 || len(e.retryQ) > 0
+}
+
+func (e *legacyEngine) Digest() uint64 { return e.digest }
+
+func (e *legacyEngine) dropPacket(tenant string) {
+	e.res.Dropped++
+	if tt := e.tenant(tenant); tt != nil {
+		tt.Dropped++
+	}
+}
+
+func (e *legacyEngine) Step() error {
+	t := e.step
+	cfg := &e.cfg
+	res := e.res
+
+	if len(e.retryQ) > 0 {
+		keep := e.retryQ[:0]
+		for i := range e.retryQ {
+			en := e.retryQ[i]
+			if en.next > t {
+				keep = append(keep, en)
+				continue
+			}
+			res.Retried++
+			if tt := e.tenant(en.tenant); tt != nil {
+				tt.Retried++
+			}
+			if e.inject(t, en.tenant, en.src, en.dst, en.path) {
+				continue
+			}
+			en.attempts++
+			if en.attempts >= cfg.Retry.MaxAttempts {
+				e.dropPacket(en.tenant)
+				continue
+			}
+			en.next = t + cfg.Retry.backoff(en.attempts)
+			keep = append(keep, en)
+		}
+		e.retryQ = keep
+	}
+
+	if len(e.pending) > 0 {
+		keep := e.pending[:0]
+		for i := range e.pending {
+			en := e.pending[i]
+			if en.random {
+				s := e.sources[e.rng.Intn(len(e.sources))]
+				cands := e.dstsOf[s]
+				if len(cands) == 0 {
+					e.dropPacket(en.tenant)
+					continue
+				}
+				en.src, en.dst = s, cands[e.rng.Intn(len(cands))]
+				en.random = false
+			}
+			if en.path == nil {
+				path, err := paths.RandomForwardPath(e.g, e.rng, en.src, en.dst)
+				if err != nil {
+					return fmt.Errorf("dynamic: step %d: pending path draw: %w", t, err)
+				}
+				en.path = path
+			}
+			if e.inject(t, en.tenant, en.src, en.dst, en.path) {
+				continue
+			}
+			if cfg.Retry.enabled() {
+				e.retryQ = append(e.retryQ, lretryEntry{
+					tenant: en.tenant, src: en.src, dst: en.dst, path: en.path,
+					attempts: 1, next: t + cfg.Retry.backoff(1),
+				})
+			} else {
+				e.dropPacket(en.tenant)
+			}
+		}
+		e.pending = keep
+	}
+
+	if cfg.Lambda > 0 {
+		for _, s := range e.sources {
+			if e.rng.Float64() >= cfg.Lambda {
+				continue
+			}
+			res.Offered++
+			cands := e.dstsOf[s]
+			if len(cands) == 0 {
+				continue
+			}
+			dst := cands[e.rng.Intn(len(cands))]
+			path, err := paths.RandomForwardPath(e.g, e.rng, s, dst)
+			if err != nil {
+				return err
+			}
+			if e.inject(t, "", s, dst, path) {
+				continue
+			}
+			if cfg.Retry.enabled() {
+				e.retryQ = append(e.retryQ, lretryEntry{
+					src: s, dst: dst, path: path,
+					attempts: 1, next: t + cfg.Retry.backoff(1),
+				})
+			}
+		}
+	}
+
+	winners := make(map[lslot]*lpkt, len(e.live))
+	contenders := make(map[lslot]int, len(e.live))
+	for _, p := range e.live {
+		ed := p.path[0]
+		if e.down(ed, t) {
+			res.FaultBlocked++
+			continue
+		}
+		s := lslot{ed, e.g.DirectionFrom(ed, p.cur)}
+		k := contenders[s] + 1
+		contenders[s] = k
+		if k == 1 || reservoirKeep(e.rng, k) {
+			winners[s] = p
+		}
+	}
+	used := make(map[lslot]bool, len(winners))
+	granted := make(map[*lpkt]lslot, len(e.live))
+	for s, p := range winners {
+		used[s] = true
+		granted[p] = s
+	}
+	stalled := make(map[*lpkt]bool)
+	for v := graph.NodeID(0); int(v) < e.g.NumNodes(); v++ {
+		ps := e.at[v]
+		if len(ps) == 0 {
+			continue
+		}
+		node := e.g.Node(v)
+		free := func(s lslot) bool {
+			return !used[s] && !e.down(s.e, t)
+		}
+		for _, p := range ps {
+			if _, ok := granted[p]; ok {
+				continue
+			}
+			assigned := false
+			if p.arrivalEdge != graph.NoEdge {
+				s := lslot{p.arrivalEdge, p.arrivalDir.Reverse()}
+				if free(s) {
+					granted[p], used[s] = s, true
+					assigned = true
+				}
+			}
+			if !assigned {
+				for _, ed := range node.Down {
+					s := lslot{ed, graph.Backward}
+					if free(s) && e.prevForward[ed] != nil {
+						granted[p], used[s] = s, true
+						assigned = true
+						break
+					}
+				}
+			}
+			if !assigned {
+				for _, ed := range node.Down {
+					s := lslot{ed, graph.Backward}
+					if free(s) {
+						granted[p], used[s] = s, true
+						assigned = true
+						break
+					}
+				}
+			}
+			if !assigned {
+				for _, ed := range node.Up {
+					s := lslot{ed, graph.Forward}
+					if free(s) {
+						granted[p], used[s] = s, true
+						assigned = true
+						break
+					}
+				}
+			}
+			if !assigned {
+				if cfg.Faults != nil {
+					stalled[p] = true
+					res.FaultStalls++
+					continue
+				}
+				return fmt.Errorf("dynamic: step %d: node %d over capacity", t, v)
+			}
+			res.Deflections++
+		}
+	}
+
+	for i := range e.curForward {
+		e.curForward[i] = nil
+	}
+	survivors := e.live[:0]
+	for i := range e.at {
+		e.at[i] = e.at[i][:0]
+	}
+	for _, p := range e.live {
+		if stalled[p] {
+			survivors = append(survivors, p)
+			e.at[p.cur] = append(e.at[p.cur], p)
+			continue
+		}
+		s := granted[p]
+		dest := e.g.EndpointAt(s.e, s.d)
+		if len(p.path) > 0 && p.path[0] == s.e {
+			p.path = p.path[1:]
+		} else {
+			p.path = append([]graph.EdgeID{s.e}, p.path...)
+		}
+		p.cur = dest
+		p.arrivalEdge, p.arrivalDir = s.e, s.d
+		if s.d == graph.Forward {
+			e.curForward[s.e] = p
+		}
+		if p.cur == p.dst {
+			res.Delivered++
+			if tt := e.tenant(p.tenant); tt != nil {
+				tt.Delivered++
+			}
+			e.digest = foldDigest(e.digest, uint64(p.id))
+			e.digest = foldDigest(e.digest, uint64(p.dst))
+			e.digest = foldDigest(e.digest, uint64(p.inject))
+			e.digest = foldDigest(e.digest, uint64(t+1))
+			if p.inject >= cfg.Warmup {
+				e.lat.add(float64(t + 1 - p.inject))
+			}
+			if cfg.Window > 0 {
+				e.wDelivered++
+				e.wLatSum += float64(t + 1 - p.inject)
+			}
+			continue
+		}
+		survivors = append(survivors, p)
+		e.at[p.cur] = append(e.at[p.cur], p)
+	}
+	e.live = survivors
+	e.prevForward, e.curForward = e.curForward, e.prevForward
+	e.step = t + 1
+	res.ExecutedSteps = e.step
+
+	if t >= cfg.Warmup {
+		e.inFlightSum += float64(len(e.live))
+		e.inFlightSamples++
+	}
+	if len(e.live) > res.PeakInFlight {
+		res.PeakInFlight = len(e.live)
+	}
+	if cfg.Window > 0 {
+		e.wFlySum += float64(len(e.live))
+		if cfg.Faults == nil {
+			e.wAvailSum++
+		} else {
+			downEdges := 0
+			for ed := 0; ed < e.g.NumEdges(); ed++ {
+				if cfg.Faults(graph.EdgeID(ed), t) {
+					downEdges++
+				}
+			}
+			e.wAvailSum += 1 - float64(downEdges)/float64(e.g.NumEdges())
+		}
+		e.wSpan++
+		if (t+1)%cfg.Window == 0 || (cfg.Steps > 0 && t == cfg.Steps-1) {
+			e.closeWindow()
+		}
+	}
+	return nil
+}
+
+// Snapshot mirrors the live engine's Snapshot against the v2 persist
+// schema, emitting field-identical state from the legacy layout.
+func (e *legacyEngine) Snapshot() (*persist.EngineState, error) {
+	st := &persist.EngineState{
+		Version: persist.EngineStateVersion,
+		Kind:    persist.EngineStateKind,
+
+		Lambda:      e.cfg.Lambda,
+		Steps:       e.cfg.Steps,
+		Warmup:      e.cfg.Warmup,
+		Seed:        e.cfg.Seed,
+		MaxInFlight: e.cfg.MaxInFlight,
+		Window:      e.cfg.Window,
+		Retry: persist.RetryPolicyState{
+			MaxAttempts: e.cfg.Retry.MaxAttempts,
+			BaseDelay:   e.cfg.Retry.BaseDelay,
+			MaxDelay:    e.cfg.Retry.MaxDelay,
+		},
+
+		Step:   e.step,
+		RNG:    e.src.state,
+		NextID: e.nextID,
+
+		Offered:      e.res.Offered,
+		Admitted:     e.res.Admitted,
+		Delivered:    e.res.Delivered,
+		Retried:      e.res.Retried,
+		Dropped:      e.res.Dropped,
+		FaultBlocked: e.res.FaultBlocked,
+		FaultStalls:  e.res.FaultStalls,
+		Deflections:  e.res.Deflections,
+		PeakInFlight: e.res.PeakInFlight,
+		Saturated:    e.res.Saturated,
+
+		InFlightSum:     e.inFlightSum,
+		InFlightSamples: e.inFlightSamples,
+		LatCount:        e.lat.count,
+		LatSum:          e.lat.sum,
+		LatSamples:      append([]float64(nil), e.lat.samples...),
+		LatRNG:          e.lat.rng.state,
+
+		WDelivered:   e.wDelivered,
+		WSpan:        e.wSpan,
+		WStart:       e.wStart,
+		WLatSum:      e.wLatSum,
+		WFlySum:      e.wFlySum,
+		WAvailSum:    e.wAvailSum,
+		WPrevBlocked: e.wPrevBlocked,
+		WPrevStalls:  e.wPrevStalls,
+		WPrevDropped: e.wPrevDropped,
+
+		Digest: e.digest,
+	}
+	for _, w := range e.res.Windows {
+		st.Windows = append(st.Windows, persist.WindowState{
+			Start: w.Start, Delivered: w.Delivered,
+			MeanLatency: w.MeanLatency, MeanInFlight: w.MeanInFlight,
+			FaultBlocked: w.FaultBlocked, FaultStalls: w.FaultStalls,
+			Dropped: w.Dropped, Availability: w.Availability,
+		})
+	}
+	for _, p := range e.live {
+		st.Packets = append(st.Packets, persist.PacketState{
+			ID: p.id, Tenant: p.tenant,
+			Cur: int32(p.cur), Dst: int32(p.dst),
+			Path:        edgesToWire(p.path),
+			ArrivalEdge: int32(p.arrivalEdge),
+			ArrivalDir:  int8(p.arrivalDir),
+			Inject:      p.inject,
+		})
+	}
+	for _, en := range e.retryQ {
+		st.RetryQ = append(st.RetryQ, persist.RetryState{
+			Tenant: en.tenant, Src: int32(en.src), Dst: int32(en.dst),
+			Path: edgesToWire(en.path), Attempts: en.attempts, Next: en.next,
+		})
+	}
+	for _, en := range e.pending {
+		st.Pending = append(st.Pending, persist.PendingState{
+			Tenant: en.tenant, Random: en.random,
+			Src: int32(en.src), Dst: int32(en.dst), Path: edgesToWire(en.path),
+		})
+	}
+	for ed, p := range e.prevForward {
+		if p != nil {
+			st.PrevForward = append(st.PrevForward, int32(ed))
+		}
+	}
+	if len(e.tenants) > 0 {
+		st.Tenants = make(map[string]persist.TenantTotals, len(e.tenants))
+		for name, tt := range e.tenants {
+			st.Tenants[name] = *tt
+		}
+	}
+	if err := st.Validate(); err != nil {
+		return nil, fmt.Errorf("dynamic: legacy snapshot failed self-validation: %w", err)
+	}
+	return st, nil
+}
+
+// driveDifferential runs the SoA and legacy engines in lockstep under a
+// mixed service workload and asserts step digests and snapshot bytes
+// never diverge. Midway it also round-trips the SoA engine through its
+// own snapshot (as a process handoff would) and keeps comparing — the
+// restored SoA engine must still track the never-restored legacy one.
+func driveDifferential(t *testing.T, g *graph.Leveled, cfg Config, steps int) {
+	t.Helper()
+	eng, err := NewEngine(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leg, err := newLegacyEngine(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-draw a few valid explicit paths and (src, dst) pairs from a
+	// workload RNG independent of both engines.
+	wrng := rand.New(newSM64(cfg.Seed ^ 0x77))
+	var explicit [][]graph.EdgeID
+	var pairs [][2]graph.NodeID
+	for v := graph.NodeID(0); int(v) < g.NumNodes() && len(pairs) < 8; v++ {
+		if len(g.Node(v).Up) == 0 {
+			continue
+		}
+		reach := g.ForwardReachableFrom(v)
+		for d := graph.NodeID(0); int(d) < g.NumNodes(); d++ {
+			if d != v && reach[d] {
+				pairs = append(pairs, [2]graph.NodeID{v, d})
+				p, err := paths.RandomForwardPath(g, wrng, v, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				explicit = append(explicit, p)
+				break
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		t.Fatal("no usable (src, dst) pairs")
+	}
+
+	submitBoth := func(s int) {
+		switch s % 4 {
+		case 0:
+			if err := eng.SubmitRandom("gold", 3); err != nil {
+				t.Fatal(err)
+			}
+			if err := leg.SubmitRandom("gold", 3); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			pr := pairs[s%len(pairs)]
+			if err := eng.Submit("free", pr[0], pr[1]); err != nil {
+				t.Fatal(err)
+			}
+			if err := leg.Submit("free", pr[0], pr[1]); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			p := explicit[s%len(explicit)]
+			if err := eng.SubmitPath("gold", p); err != nil {
+				t.Fatal(err)
+			}
+			if err := leg.SubmitPath("gold", p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	compareSnapshots := func(s int) {
+		t.Helper()
+		stNew, err := eng.Snapshot()
+		if err != nil {
+			t.Fatalf("step %d: SoA snapshot: %v", s, err)
+		}
+		stLeg, err := leg.Snapshot()
+		if err != nil {
+			t.Fatalf("step %d: legacy snapshot: %v", s, err)
+		}
+		bNew, err := json.Marshal(stNew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bLeg, err := json.Marshal(stLeg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(bNew) != string(bLeg) {
+			t.Fatalf("step %d: snapshot bytes diverge:\nsoa:    %s\nlegacy: %s", s, bNew, bLeg)
+		}
+	}
+
+	for s := 0; s < steps; s++ {
+		submitBoth(s)
+		if err := eng.Step(); err != nil {
+			t.Fatalf("step %d: SoA: %v", s, err)
+		}
+		if err := leg.Step(); err != nil {
+			t.Fatalf("step %d: legacy: %v", s, err)
+		}
+		if eng.Digest() != leg.Digest() {
+			t.Fatalf("step %d: digest diverged: soa=%#x legacy=%#x", s, eng.Digest(), leg.Digest())
+		}
+		if eng.Live() != len(leg.live) || eng.QueueDepth() != len(leg.pending)+len(leg.retryQ) {
+			t.Fatalf("step %d: occupancy diverged: live %d vs %d, queue %d vs %d",
+				s, eng.Live(), len(leg.live), eng.QueueDepth(), len(leg.pending)+len(leg.retryQ))
+		}
+		if s%16 == 7 {
+			compareSnapshots(s)
+		}
+		if s == steps/2 {
+			// Round-trip the SoA engine through its own snapshot.
+			st, err := eng.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := json.Marshal(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back persist.EngineState
+			if err := json.Unmarshal(raw, &back); err != nil {
+				t.Fatal(err)
+			}
+			eng, err = Restore(g, &back, Hooks{Faults: cfg.Faults})
+			if err != nil {
+				t.Fatalf("step %d: restore: %v", s, err)
+			}
+		}
+	}
+	compareSnapshots(steps)
+}
+
+// TestDynamicSoAMatchesLegacy pins the SoA rebuild to the legacy
+// engine: identical (seed, workload, faults, retry) configs must yield
+// identical trace digests at every step and byte-identical snapshots at
+// every checkpoint, across seeds × faults × retry.
+func TestDynamicSoAMatchesLegacy(t *testing.T) {
+	g, err := topo.Butterfly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		for _, faulted := range []bool{false, true} {
+			for _, retry := range []bool{false, true} {
+				name := fmt.Sprintf("seed=%d/faulted=%v/retry=%v", seed, faulted, retry)
+				t.Run(name, func(t *testing.T) {
+					cfg := Config{
+						Lambda:      0.12,
+						Steps:       0,
+						Warmup:      2,
+						Seed:        seed,
+						MaxInFlight: 64,
+						Window:      8,
+					}
+					if faulted {
+						cfg.Faults = faults.Flap{Period: 16, Down: 4, Rate: 0.25}.Model(g, seed+5)
+					}
+					if retry {
+						cfg.Retry = RetryPolicy{MaxAttempts: 4, BaseDelay: 1, MaxDelay: 8}
+					}
+					driveDifferential(t, g, cfg, 96)
+				})
+			}
+		}
+	}
+}

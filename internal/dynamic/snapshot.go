@@ -3,6 +3,7 @@ package dynamic
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"hotpotato/internal/graph"
@@ -10,16 +11,15 @@ import (
 	"hotpotato/internal/sim"
 )
 
-// fwdSentinel marks a restored prev-forward edge as occupied; see
-// Restore.
-var fwdSentinel = &pkt{id: -1}
-
 // Snapshot freezes the engine between two steps into the versioned
 // persist wire form. The engine must not have been finalized; it
 // remains usable afterwards. Everything the next Step reads is
 // captured — packets, queues, the previous-step forward occupancy, the
-// open window accumulators and the RNG state — so a Restore in a fresh
-// process continues the exact same trajectory.
+// open window accumulators, the latency reservoir and the RNG states —
+// so a Restore in a fresh process continues the exact same trajectory.
+// The wire form is independent of the in-memory layout: the SoA
+// columns serialize to the same per-packet records the
+// array-of-pointers engine emitted.
 func (e *Engine) Snapshot() (*persist.EngineState, error) {
 	if e.finalized {
 		return nil, fmt.Errorf("dynamic: Snapshot after Finalize")
@@ -57,7 +57,10 @@ func (e *Engine) Snapshot() (*persist.EngineState, error) {
 
 		InFlightSum:     e.inFlightSum,
 		InFlightSamples: e.inFlightSamples,
-		Latencies:       append([]float64(nil), e.latencies...),
+		LatCount:        e.lat.count,
+		LatSum:          e.lat.sum,
+		LatSamples:      append([]float64(nil), e.lat.samples...),
+		LatRNG:          e.lat.rng.state,
 
 		WDelivered:   e.wDelivered,
 		WSpan:        e.wSpan,
@@ -81,32 +84,34 @@ func (e *Engine) Snapshot() (*persist.EngineState, error) {
 	}
 	// Packets in injection order (the order e.live maintains and every
 	// commit sweep follows).
-	for _, p := range e.live {
+	for _, s := range e.live {
 		st.Packets = append(st.Packets, persist.PacketState{
-			ID: p.id, Tenant: p.tenant,
-			Cur: int32(p.cur), Dst: int32(p.dst),
-			Path:        edgesToWire(p.path),
-			ArrivalEdge: int32(p.arrivalEdge),
-			ArrivalDir:  int8(p.arrivalDir),
-			Inject:      p.inject,
+			ID: e.pID[s], Tenant: e.tenantName(e.pTenant[s]),
+			Cur: e.pCur[s], Dst: e.pDst[s],
+			Path:        edgesToWire(e.pBuf[s][e.pHead[s] : e.pHead[s]+e.pLen[s]]),
+			ArrivalEdge: e.pArrEdge[s],
+			ArrivalDir:  int8(e.pArrDir[s]),
+			Inject:      e.pInject[s],
 		})
 	}
 	for _, en := range e.retryQ {
 		st.RetryQ = append(st.RetryQ, persist.RetryState{
-			Tenant: en.tenant, Src: int32(en.src), Dst: int32(en.dst),
+			Tenant: e.tenantName(en.tenant), Src: int32(en.src), Dst: int32(en.dst),
 			Path: edgesToWire(en.path), Attempts: en.attempts, Next: en.next,
 		})
 	}
 	for _, en := range e.pending {
 		st.Pending = append(st.Pending, persist.PendingState{
-			Tenant: en.tenant, Random: en.random,
+			Tenant: e.tenantName(en.tenant), Random: en.random,
 			Src: int32(en.src), Dst: int32(en.dst), Path: edgesToWire(en.path),
 		})
 	}
-	for ed, p := range e.prevForward {
-		if p != nil {
-			st.PrevForward = append(st.PrevForward, int32(ed))
-		}
+	// The dirty list enumerates exactly the set bits of prevFwd; the
+	// wire form is ascending edge id, as the dense-scan engine emitted.
+	if len(e.prevFwdDirty) > 0 {
+		fwd := append([]int32(nil), e.prevFwdDirty...)
+		slices.Sort(fwd)
+		st.PrevForward = fwd
 	}
 	if len(e.tenants) > 0 {
 		st.Tenants = make(map[string]persist.TenantTotals, len(e.tenants))
@@ -177,7 +182,7 @@ func Restore(g *graph.Leveled, st *persist.EngineState, hooks Hooks) (*Engine, e
 
 	e.inFlightSum = st.InFlightSum
 	e.inFlightSamples = st.InFlightSamples
-	e.latencies = append([]float64(nil), st.Latencies...)
+	e.lat = restoreLatReservoir(st.LatCount, st.LatSum, st.LatSamples, st.LatRNG)
 
 	for _, w := range st.Windows {
 		e.res.Windows = append(e.res.Windows, WindowStats{
@@ -192,7 +197,6 @@ func Restore(g *graph.Leveled, st *persist.EngineState, hooks Hooks) (*Engine, e
 	e.wPrevBlocked, e.wPrevStalls, e.wPrevDropped = st.WPrevBlocked, st.WPrevStalls, st.WPrevDropped
 	e.digest = st.Digest
 
-	byID := make(map[int]*pkt, len(st.Packets))
 	for i := range st.Packets {
 		ps := &st.Packets[i]
 		if int(ps.Cur) >= g.NumNodes() || int(ps.Dst) >= g.NumNodes() || ps.Cur < 0 || ps.Dst < 0 {
@@ -206,11 +210,10 @@ func Restore(g *graph.Leveled, st *persist.EngineState, hooks Hooks) (*Engine, e
 		// incident to the position the previous one leads to.
 		pos := graph.NodeID(ps.Cur)
 		for hop, ed := range path {
-			d := g.DirectionFrom(ed, pos)
 			if g.Edge(ed).From != pos && g.Edge(ed).To != pos {
 				return nil, fmt.Errorf("dynamic: restore: packet %d path hop %d not incident to node %d", ps.ID, hop, pos)
 			}
-			pos = g.EndpointAt(ed, d)
+			pos = g.EndpointAt(ed, g.DirectionFrom(ed, pos))
 		}
 		if pos != graph.NodeID(ps.Dst) {
 			return nil, fmt.Errorf("dynamic: restore: packet %d path ends at %d, not its destination %d", ps.ID, pos, ps.Dst)
@@ -218,26 +221,27 @@ func Restore(g *graph.Leveled, st *persist.EngineState, hooks Hooks) (*Engine, e
 		if ps.ArrivalEdge != -1 && (int(ps.ArrivalEdge) >= g.NumEdges() || ps.ArrivalEdge < 0) {
 			return nil, fmt.Errorf("dynamic: restore: packet %d arrival edge out of range", ps.ID)
 		}
-		p := &pkt{
-			id: ps.ID, tenant: ps.Tenant,
-			cur: graph.NodeID(ps.Cur), dst: graph.NodeID(ps.Dst),
-			path:        path,
-			arrivalEdge: graph.EdgeID(ps.ArrivalEdge),
-			arrivalDir:  graph.Direction(ps.ArrivalDir),
-			inject:      ps.Inject,
-		}
-		byID[p.id] = p
-		e.live = append(e.live, p)
-		e.at[p.cur] = append(e.at[p.cur], p)
+		s := e.allocSlot()
+		e.pID[s] = ps.ID
+		e.pTenant[s] = e.internTenant(ps.Tenant)
+		e.pCur[s] = ps.Cur
+		e.pDst[s] = ps.Dst
+		e.pArrEdge[s] = ps.ArrivalEdge
+		e.pArrDir[s] = uint8(ps.ArrivalDir)
+		e.pInject[s] = ps.Inject
+		e.setPath(s, path)
+		e.live = append(e.live, s)
+		e.parkAt(graph.NodeID(ps.Cur), s)
 	}
 	for _, ed := range st.PrevForward {
 		if int(ed) >= g.NumEdges() || ed < 0 {
 			return nil, fmt.Errorf("dynamic: restore: prev_forward edge %d out of range", ed)
 		}
-		// The engine only tests prevForward for non-nil (the packet that
-		// moved may since have been delivered); a sentinel preserves the
-		// predicate exactly.
-		e.prevForward[ed] = fwdSentinel
+		// The engine only tests whether a forward move was committed on
+		// the edge (the packet that moved may since have been
+		// delivered); the bit is the predicate.
+		e.prevFwd[ed>>6] |= 1 << (uint(ed) & 63)
+		e.prevFwdDirty = append(e.prevFwdDirty, ed)
 	}
 	for i := range st.RetryQ {
 		rs := &st.RetryQ[i]
@@ -249,13 +253,13 @@ func Restore(g *graph.Leveled, st *persist.EngineState, hooks Hooks) (*Engine, e
 			return nil, fmt.Errorf("dynamic: restore: retry entry %d references unknown node", i)
 		}
 		e.retryQ = append(e.retryQ, retryEntry{
-			tenant: rs.Tenant, src: graph.NodeID(rs.Src), dst: graph.NodeID(rs.Dst),
+			tenant: e.internTenant(rs.Tenant), src: graph.NodeID(rs.Src), dst: graph.NodeID(rs.Dst),
 			path: path, attempts: rs.Attempts, next: rs.Next,
 		})
 	}
 	for i := range st.Pending {
 		ps := &st.Pending[i]
-		en := pendingEntry{tenant: ps.Tenant, random: ps.Random, src: graph.NodeID(ps.Src), dst: graph.NodeID(ps.Dst)}
+		en := pendingEntry{tenant: e.internTenant(ps.Tenant), random: ps.Random, src: graph.NodeID(ps.Src), dst: graph.NodeID(ps.Dst)}
 		if !ps.Random {
 			if int(ps.Src) >= g.NumNodes() || ps.Src < 0 || int(ps.Dst) >= g.NumNodes() || ps.Dst < 0 {
 				return nil, fmt.Errorf("dynamic: restore: pending entry %d references unknown node", i)
@@ -271,8 +275,7 @@ func Restore(g *graph.Leveled, st *persist.EngineState, hooks Hooks) (*Engine, e
 		e.pending = append(e.pending, en)
 	}
 	for name, tt := range st.Tenants {
-		cp := tt
-		e.tenants[name] = &cp
+		*e.tenantTT[e.internTenant(name)] = tt
 	}
 	return e, nil
 }

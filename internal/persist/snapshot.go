@@ -16,8 +16,12 @@ import (
 	"hotpotato/internal/graph"
 )
 
-// EngineStateVersion identifies the engine snapshot schema.
-const EngineStateVersion = 1
+// EngineStateVersion identifies the engine snapshot schema. Version 2
+// replaced the unbounded per-delivery latency list (`latencies`) with a
+// bounded reservoir plus exact count/sum (`lat_count`, `lat_sum`,
+// `lat_samples`, `lat_rng`) — a v1 snapshot grew without bound in
+// long-running serve mode and is refused by v2 readers.
+const EngineStateVersion = 2
 
 // EngineStateKind tags an engine state object.
 const EngineStateKind = "engine-state"
@@ -149,10 +153,18 @@ type EngineState struct {
 	PeakInFlight int  `json:"peak_inflight"`
 	Saturated    bool `json:"saturated"`
 
-	InFlightSum     float64       `json:"inflight_sum"`
-	InFlightSamples int           `json:"inflight_samples"`
-	Latencies       []float64     `json:"latencies,omitempty"`
-	Windows         []WindowState `json:"windows,omitempty"`
+	InFlightSum     float64 `json:"inflight_sum"`
+	InFlightSamples int     `json:"inflight_samples"`
+	// LatCount/LatSum are the exact post-warmup delivery count and
+	// latency sum; LatSamples is the bounded Algorithm-R reservoir the
+	// quantile summary is computed from, and LatRNG the state of its
+	// dedicated SplitMix64 stream (kept apart from the trajectory RNG so
+	// sampling never perturbs routing).
+	LatCount   int           `json:"lat_count"`
+	LatSum     float64       `json:"lat_sum"`
+	LatSamples []float64     `json:"lat_samples,omitempty"`
+	LatRNG     uint64        `json:"lat_rng"`
+	Windows    []WindowState `json:"windows,omitempty"`
 
 	// Open-window accumulators (the partial window the snapshot
 	// interrupted; the restored engine closes it on schedule).
@@ -203,7 +215,7 @@ func (s *EngineState) Validate() error {
 		{"retried", s.Retried}, {"dropped", s.Dropped},
 		{"fault_blocked", s.FaultBlocked}, {"fault_stalls", s.FaultStalls},
 		{"deflections", s.Deflections}, {"peak_inflight", s.PeakInFlight},
-		{"inflight_samples", s.InFlightSamples},
+		{"inflight_samples", s.InFlightSamples}, {"lat_count", s.LatCount},
 		{"w_delivered", s.WDelivered}, {"w_span", s.WSpan}, {"w_start", s.WStart},
 	} {
 		if c.v < 0 {
@@ -220,10 +232,16 @@ func (s *EngineState) Validate() error {
 		return fmt.Errorf("persist: engine state holds %d packets but admitted-delivered = %d",
 			len(s.Packets), s.Admitted-s.Delivered)
 	}
-	for _, x := range s.Latencies {
+	for _, x := range s.LatSamples {
 		if math.IsNaN(x) || math.IsInf(x, 0) || x <= 0 {
 			return fmt.Errorf("persist: engine state latency sample %g not positive finite", x)
 		}
+	}
+	if s.LatCount < len(s.LatSamples) {
+		return fmt.Errorf("persist: engine state lat_count %d < %d retained samples", s.LatCount, len(s.LatSamples))
+	}
+	if math.IsNaN(s.LatSum) || math.IsInf(s.LatSum, 0) || s.LatSum < 0 {
+		return fmt.Errorf("persist: engine state lat_sum %g not finite and non-negative", s.LatSum)
 	}
 	for i, w := range s.Windows {
 		if w.Delivered < 0 || !finite(w.MeanLatency) || !finite(w.MeanInFlight) || !finite(w.Availability) {

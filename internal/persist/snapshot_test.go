@@ -21,9 +21,9 @@ func validEngineState() EngineState {
 		Offered: 12, Admitted: 10, Delivered: 9, Retried: 2, Dropped: 1,
 		FaultBlocked: 3, FaultStalls: 1, Deflections: 5, PeakInFlight: 4,
 		InFlightSum: 30, InFlightSamples: 30,
-		Latencies: []float64{3, 4, 7},
-		Windows:   []WindowState{{Start: 0, Delivered: 5, MeanLatency: 4.2, MeanInFlight: 1.5, Availability: 1}},
-		WStart:    25, WSpan: 15, WDelivered: 4, WLatSum: 16, WFlySum: 20, WAvailSum: 15,
+		LatCount: 3, LatSum: 14, LatSamples: []float64{3, 4, 7}, LatRNG: 0x9a,
+		Windows: []WindowState{{Start: 0, Delivered: 5, MeanLatency: 4.2, MeanInFlight: 1.5, Availability: 1}},
+		WStart:  25, WSpan: 15, WDelivered: 4, WLatSum: 16, WFlySum: 20, WAvailSum: 15,
 		Digest:      0x1234,
 		Packets:     []PacketState{{ID: 11, Tenant: "gold", Cur: 2, Dst: 5, Path: []int32{3, 4}, ArrivalEdge: 1, ArrivalDir: 0, Inject: 38}},
 		RetryQ:      []RetryState{{Tenant: "gold", Src: 0, Dst: 5, Path: []int32{0, 3}, Attempts: 2, Next: 42}},
@@ -56,8 +56,10 @@ func TestEngineStateValidate(t *testing.T) {
 			s.Delivered = s.Admitted + 1
 		},
 		"packet count":        func(s *EngineState) { s.Packets = nil },
-		"nan latency":         func(s *EngineState) { s.Latencies[0] = math.NaN() },
-		"negative latency":    func(s *EngineState) { s.Latencies[0] = -2 },
+		"nan latency":         func(s *EngineState) { s.LatSamples[0] = math.NaN() },
+		"negative latency":    func(s *EngineState) { s.LatSamples[0] = -2 },
+		"lat count < samples": func(s *EngineState) { s.LatCount = 1 },
+		"nan lat sum":         func(s *EngineState) { s.LatSum = math.NaN() },
 		"inf window":          func(s *EngineState) { s.Windows[0].MeanLatency = math.Inf(1) },
 		"nan accumulator":     func(s *EngineState) { s.WLatSum = math.NaN() },
 		"packet id >= nextid": func(s *EngineState) { s.Packets[0].ID = s.NextID },
